@@ -1,0 +1,65 @@
+//! Criterion wall-time benchmarks of the local kernels and small
+//! end-to-end simulated factorizations. These complement the cost-model
+//! benches: the paper's claims are about communication counts, but the
+//! library should also be *fast enough* to use, and these catch
+//! performance regressions in the kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qr3d_bench::{run_caqr1d, run_caqr3d, run_tsqr};
+use qr3d_core::prelude::*;
+use qr3d_matrix::gemm::matmul;
+use qr3d_matrix::qr::geqrt;
+use qr3d_matrix::tri::lu_sign;
+use qr3d_matrix::Matrix;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for n in [32usize, 64, 128] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_geqrt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geqrt");
+    for (m, n) in [(256usize, 16usize), (512, 32)] {
+        let a = Matrix::random(m, n, 3);
+        g.bench_with_input(BenchmarkId::new("panel", format!("{m}x{n}")), &a, |bench, a| {
+            bench.iter(|| geqrt(a));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu_sign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_sign");
+    for n in [16usize, 64] {
+        let x = Matrix::random(n, n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |bench, x| {
+            bench.iter(|| lu_sign(x));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulated_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_qr");
+    g.sample_size(10);
+    g.bench_function("tsqr_256x16_p4", |b| {
+        b.iter(|| run_tsqr(256, 16, 4, 5));
+    });
+    g.bench_function("caqr1d_256x16_p4", |b| {
+        b.iter(|| run_caqr1d(256, 16, 4, 8, 6));
+    });
+    g.bench_function("caqr3d_128x32_p4", |b| {
+        b.iter(|| run_caqr3d(128, 32, 4, Caqr3dConfig::auto(128, 32, 4, 0.5), 7));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_geqrt, bench_lu_sign, bench_simulated_qr);
+criterion_main!(benches);

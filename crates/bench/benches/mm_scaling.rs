@@ -1,0 +1,136 @@
+//! Experiment E8 — Lemmas 3 and 4: parallel matmul costs, plus the
+//! 2D-SUMMA reference the paper's introduction alludes to ("3D matrix
+//! multiplication, which incurs a smaller bandwidth cost than conventional
+//! (2D) approaches").
+//!
+//! Checks:
+//! * 1D dmm (reduce case): W stays O(I·J) as P grows (Lemma 3 / Eq. (8));
+//! * 3D dmm: W scales as (IJK/P)^{2/3} (Lemma 4 / Eq. (9)) — exponent fit
+//!   over a size sweep;
+//! * 3D beats 2D SUMMA's bandwidth on cubic problems.
+
+use qr3d_bench::report::{exponent_fit, header};
+use qr3d_machine::{CostParams, Machine};
+use qr3d_matrix::layout::BlockRow;
+use qr3d_matrix::Matrix;
+use qr3d_mm::brick::{BrickA, BrickB};
+use qr3d_mm::dmm1d::dmm1d_reduce;
+use qr3d_mm::dmm3d::{dmm3d, Grid3};
+use qr3d_mm::summa::{summa2d, summa_local_a, summa_local_b, Grid2};
+
+fn main() {
+    header("Lemma 3 — 1D dmm (reduce case): W independent of P");
+    let (m, i, j) = (2048usize, 16usize, 16usize);
+    let left = Matrix::random(m, i, 1);
+    let right = Matrix::random(m, j, 2);
+    println!("{:>4} {:>10} {:>10}", "P", "W", "S");
+    for p in [4usize, 8, 16, 32] {
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let l = left.take_rows(&rows);
+            let r = right.take_rows(&rows);
+            dmm1d_reduce(rank, &w, &l, &r, 0)
+        });
+        let c = out.stats.critical();
+        println!("{:>4} {:>10.0} {:>10.0}", p, c.words, c.msgs);
+        assert!(
+            c.words <= 8.0 * (i * j) as f64,
+            "P={p}: Lemma 3 bandwidth must stay O(IJ)"
+        );
+    }
+    println!("(Eq. (8): β·O(IJ) with α·O(log P) — bandwidth flat, latency logarithmic)");
+
+    header("Lemma 4 — 3D dmm: bandwidth exponent on cubic problems (P = 8)");
+    let p = 8;
+    let grid = Grid3::new(2, 2, 2);
+    let mut sizes = Vec::new();
+    let mut words = Vec::new();
+    println!("{:>6} {:>12} {:>10}", "n", "W", "S");
+    for n in [16usize, 32, 64] {
+        let a = Matrix::random(n, n, 3);
+        let b = Matrix::random(n, n, 4);
+        let brick_a = BrickA::new(grid, n, n, p);
+        let brick_b = BrickB::new(grid, n, n, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let (q, r, s) = grid.coords(w.rank()).unwrap();
+            let (ar, ac) = brick_a.block_of(q, r, s);
+            let (br, bc) = brick_b.block_of(q, r, s);
+            let a_loc = a.submatrix(ar.start, ar.end, ac.start, ac.end);
+            let b_loc = b.submatrix(br.start, br.end, bc.start, bc.end);
+            dmm3d(rank, &w, grid, &a_loc, &b_loc, n, n, n)
+        });
+        let c = out.stats.critical();
+        sizes.push((n * n * n) as f64 / p as f64);
+        words.push(c.words);
+        println!("{:>6} {:>12.0} {:>10.0}", n, c.words, c.msgs);
+    }
+    let slope = exponent_fit(&sizes, &words);
+    println!("measured W ∝ (IJK/P)^{slope:.3}  (Lemma 4 predicts exponent 2/3 ≈ 0.667)");
+    assert!(
+        (slope - 2.0 / 3.0).abs() < 0.15,
+        "3D dmm bandwidth exponent {slope} too far from 2/3"
+    );
+
+    header("3D vs 2D SUMMA bandwidth (cubic n = 48)");
+    let n = 48;
+    let a = Matrix::random(n, n, 5);
+    let b = Matrix::random(n, n, 6);
+    for p in [8usize, 16] {
+        let grid3 = Grid3::choose(n, n, n, p);
+        let brick_a = BrickA::new(grid3, n, n, p);
+        let brick_b = BrickB::new(grid3, n, n, p);
+        let m3 = Machine::new(p, CostParams::unit());
+        let w3 = m3
+            .run(|rank| {
+                let w = rank.world();
+                match grid3.coords(w.rank()) {
+                    Some((q, r, s)) => {
+                        let (ar, ac) = brick_a.block_of(q, r, s);
+                        let (br, bc) = brick_b.block_of(q, r, s);
+                        let a_loc = a.submatrix(ar.start, ar.end, ac.start, ac.end);
+                        let b_loc = b.submatrix(br.start, br.end, bc.start, bc.end);
+                        dmm3d(rank, &w, grid3, &a_loc, &b_loc, n, n, n)
+                    }
+                    None => dmm3d(
+                        rank,
+                        &w,
+                        grid3,
+                        &Matrix::zeros(0, 0),
+                        &Matrix::zeros(0, 0),
+                        n,
+                        n,
+                        n,
+                    ),
+                }
+            })
+            .stats
+            .critical()
+            .words;
+        let grid2 = Grid2::choose(p);
+        let m2 = Machine::new(p, CostParams::unit());
+        let w2 = m2
+            .run(|rank| {
+                let w = rank.world();
+                let a_loc = summa_local_a(&a, grid2, w.rank());
+                let b_loc = summa_local_b(&b, grid2, w.rank());
+                summa2d(rank, &w, grid2, &a_loc, &b_loc, n, n, n)
+            })
+            .stats
+            .critical()
+            .words;
+        println!(
+            "P={p:<3} 3D grid {:?} W={w3:<8.0} 2D grid {}x{} W={w2:<8.0} ratio 2D/3D = {:.2}",
+            (grid3.q, grid3.r, grid3.s),
+            grid2.pr,
+            grid2.pc,
+            w2 / w3
+        );
+        assert!(w3 < w2, "P={p}: 3D must beat 2D SUMMA bandwidth on a cube");
+    }
+    println!("\n[mm scaling done]");
+}

@@ -1,0 +1,93 @@
+//! Experiment E9 — the paper's motivation: "we can tune this algorithm
+//! for machines with different communication costs."
+//!
+//! Fixed problem, P sweep; for each algorithm the measured critical-path
+//! (F, W, S) is converted to modeled runtime `γF + βW + αS` under two
+//! machine presets. The winner flips with the machine: on the
+//! latency-dominated cluster the low-S settings (small ε/δ) win; on the
+//! bandwidth-precious supercomputer the low-W settings (large ε/δ) win.
+
+use qr3d_bench::report::header;
+use qr3d_bench::{run_caqr1d, run_caqr3d, run_house1d, run_tsqr};
+use qr3d_core::params::caqr1d_block;
+use qr3d_core::prelude::*;
+use qr3d_machine::{Clock, CostParams};
+
+fn time(c: &Clock, p: &CostParams) -> f64 {
+    p.time(c.flops, c.words, c.msgs)
+}
+
+fn main() {
+    header("Strong scaling, tall-skinny (n = 24, m = 24·P)");
+    let n = 24usize;
+    println!(
+        "{:<22} {:>4} {:>12} {:>12} | {:>13} {:>13}",
+        "algorithm", "P", "W", "S", "t(cluster)", "t(supercomp.)"
+    );
+    for p in [4usize, 8, 16] {
+        let m = n * p;
+        let algos: Vec<(String, Clock)> = vec![
+            ("1d-house".into(), run_house1d(m, n, p, 1, 31)),
+            ("tsqr".into(), run_tsqr(m, n, p, 31)),
+            ("1d-caqr-eg (ε=1)".into(), run_caqr1d(m, n, p, caqr1d_block(n, p, 1.0), 31)),
+        ];
+        let cluster = CostParams::cluster();
+        let superc = CostParams::supercomputer();
+        let mut best_cluster = (f64::INFINITY, String::new());
+        let mut best_super = (f64::INFINITY, String::new());
+        for (name, c) in &algos {
+            let tc = time(c, &cluster);
+            let ts = time(c, &superc);
+            if tc < best_cluster.0 {
+                best_cluster = (tc, name.clone());
+            }
+            if ts < best_super.0 {
+                best_super = (ts, name.clone());
+            }
+            println!(
+                "{:<22} {:>4} {:>12.0} {:>12.0} | {:>13.6} {:>13.6}",
+                name, p, c.words, c.msgs, tc, ts
+            );
+        }
+        println!("    P={p}: cluster winner = {}, supercomputer winner = {}",
+            best_cluster.1, best_super.1);
+        // 1d-house must never win on either machine at meaningful P.
+        if p >= 8 {
+            assert_ne!(best_cluster.1, "1d-house");
+            assert_ne!(best_super.1, "1d-house");
+        }
+    }
+
+    header("Strong scaling, square-ish (m = 4n, n = 48): δ tuned to the machine");
+    let n = 48usize;
+    let m = 4 * n;
+    println!(
+        "{:<22} {:>4} {:>12} {:>12} | {:>13} {:>13}",
+        "algorithm", "P", "W", "S", "t(cluster)", "t(supercomp.)"
+    );
+    for p in [8usize, 16] {
+        let lo = run_caqr3d(m, n, p, Caqr3dConfig::auto(m, n, p, 0.5), 32);
+        let hi = run_caqr3d(m, n, p, Caqr3dConfig::auto(m, n, p, 2.0 / 3.0), 32);
+        for (name, c) in [("3d-caqr-eg (δ=1/2)", &lo), ("3d-caqr-eg (δ=2/3)", &hi)] {
+            println!(
+                "{:<22} {:>4} {:>12.0} {:>12.0} | {:>13.6} {:>13.6}",
+                name,
+                p,
+                c.words,
+                c.msgs,
+                time(c, &CostParams::cluster()),
+                time(c, &CostParams::supercomputer()),
+            );
+        }
+        println!(
+            "    P={p}: δ=1/2 is the latency end (S {:.0} vs {:.0}); δ=2/3's bandwidth \
+             advantage needs the Eq. (2) regime (see table2's extrapolation)",
+            lo.msgs, hi.msgs
+        );
+        assert!(
+            lo.msgs <= hi.msgs,
+            "P={p}: smaller δ must not need more messages"
+        );
+    }
+    println!("\n[strong scaling done]");
+}

@@ -1,0 +1,156 @@
+//! Experiment E1 — reproduce **Table 1**: asymptotic costs of the eight
+//! collectives.
+//!
+//! For each collective we measure critical-path (F, W, S) on the simulated
+//! machine across a processor sweep and a block-size sweep, print the
+//! measured-to-formula ratio (which should stay roughly constant), and fit
+//! empirical scaling exponents.
+
+use qr3d_bench::report::{cost_cell, exponent_fit, header, ratio};
+use qr3d_collectives::prelude::*;
+use qr3d_cost::collectives as formula;
+use qr3d_machine::{Clock, Comm, CostParams, Machine, Rank};
+
+fn measure(p: usize, f: impl Fn(&mut Rank, &Comm) + Sync) -> Clock {
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        f(rank, &w);
+    });
+    out.stats.critical()
+}
+
+fn run_collective(name: &str, p: usize, b: usize) -> Clock {
+    match name {
+        "scatter" => measure(p, |rank, w| {
+            let sizes = vec![b; p];
+            let blocks = (w.rank() == 0).then(|| vec![vec![1.0; b]; p]);
+            let _ = scatter(rank, w, 0, blocks, &sizes);
+        }),
+        "gather" => measure(p, |rank, w| {
+            let sizes = vec![b; p];
+            let _ = gather(rank, w, 0, vec![1.0; b], &sizes);
+        }),
+        "broadcast" => measure(p, |rank, w| {
+            let data = (w.rank() == 0).then(|| vec![1.0; b]);
+            let _ = broadcast(rank, w, 0, data, b);
+        }),
+        "reduce" => measure(p, |rank, w| {
+            let _ = reduce(rank, w, 0, vec![1.0; b]);
+        }),
+        "all-gather" => measure(p, |rank, w| {
+            let sizes = vec![b; p];
+            let _ = all_gather(rank, w, vec![1.0; b], &sizes);
+        }),
+        "all-reduce" => measure(p, |rank, w| {
+            let _ = all_reduce(rank, w, vec![1.0; b]);
+        }),
+        "reduce-scatter" => measure(p, |rank, w| {
+            let sizes = vec![b; p];
+            let blocks = vec![vec![1.0; b]; p];
+            let _ = reduce_scatter(rank, w, blocks, &sizes);
+        }),
+        "all-to-all" => measure(p, |rank, w| {
+            let sizes = BlockSizes::uniform(p, b);
+            let me = w.rank();
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| vec![(me + d) as f64; b]).collect();
+            let _ = all_to_all(rank, w, blocks, &sizes);
+        }),
+        _ => unreachable!(),
+    }
+}
+
+fn predicted(name: &str, p: usize, b: usize) -> qr3d_cost::Cost3 {
+    match name {
+        "scatter" => formula::scatter(p, b),
+        "gather" => formula::gather(p, b),
+        "broadcast" => formula::broadcast(p, b),
+        "reduce" => formula::reduce(p, b),
+        "all-gather" => formula::all_gather(p, b),
+        "all-reduce" => formula::all_reduce(p, b),
+        "reduce-scatter" => formula::reduce_scatter(p, b),
+        "all-to-all" => formula::all_to_all(p, b, b * p),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let names = [
+        "scatter",
+        "gather",
+        "broadcast",
+        "reduce",
+        "all-gather",
+        "all-reduce",
+        "all-to-all",
+        "reduce-scatter",
+    ];
+
+    header("Table 1 — collective costs, P sweep (B = 64)");
+    println!(
+        "{:<16} {:>4} {:>42}   {:>8} {:>8} {:>8}",
+        "collective", "P", "measured (critical path)", "W/Ŵ", "S/Ŝ", ""
+    );
+    let b = 64;
+    for name in names {
+        let mut s_series = Vec::new();
+        let ps = [4usize, 8, 16, 32];
+        for &p in &ps {
+            let c = run_collective(name, p, b);
+            let f = predicted(name, p, b);
+            s_series.push(c.msgs);
+            println!(
+                "{:<16} {:>4} {:>42}   {:>8.2} {:>8.2}",
+                name,
+                p,
+                cost_cell(&c),
+                ratio(c.words.max(1.0), f.words.max(1.0)),
+                ratio(c.msgs, f.msgs),
+            );
+        }
+        let xs: Vec<f64> = ps.iter().map(|&p| (p as f64).log2()).collect();
+        let slope = exponent_fit(&xs, &s_series);
+        println!("{name:<16}      S grows ∝ (log P)^{slope:.2}  (Table 1 predicts exponent 1.00)");
+    }
+
+    header("Table 1 — broadcast/reduce regime switch, B sweep (P = 16)");
+    println!("{:<16} {:>6} {:>12} {:>14}", "collective", "B", "measured W", "min-bound ratio");
+    for name in ["broadcast", "reduce", "all-reduce"] {
+        for b in [4usize, 64, 1024, 8192] {
+            let c = run_collective(name, 16, b);
+            let f = predicted(name, 16, b);
+            println!(
+                "{:<16} {:>6} {:>12.0} {:>14.2}",
+                name,
+                b,
+                c.words,
+                ratio(c.words, f.words),
+            );
+        }
+    }
+
+    header("Table 1 — all-to-all: two-phase handles skewed block sizes");
+    for p in [8usize, 16] {
+        let hot = 512;
+        let sizes = BlockSizes::from_fn(p, |s, _| if s == 0 { hot } else { 1 });
+        let bstar = sizes.max_load();
+        let machine = Machine::new(p, CostParams::unit());
+        let sz = sizes.clone();
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let blocks: Vec<Vec<f64>> =
+                (0..p).map(|d| vec![d as f64; sz.get(me, d)]).collect();
+            let _ = all_to_all(rank, &w, blocks, &sz);
+        });
+        let c = out.stats.critical();
+        let f = formula::all_to_all(p, hot, bstar);
+        println!(
+            "P={p:<3} skew B={hot}, B*={bstar}: measured W={:.0} vs (B*+P²)logP bound ratio {:.2}",
+            c.words,
+            ratio(c.words, f.words),
+        );
+    }
+
+    println!("\n[table1 done]");
+}

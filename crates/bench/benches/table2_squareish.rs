@@ -1,0 +1,114 @@
+//! Experiment E2 — reproduce **Table 2**: square-ish comparison
+//! (`m/n = O(P)`).
+//!
+//! ```text
+//! algorithm    #operations   #words               #messages
+//! 2d-house     mn²/P         n²/(nP/m)^{1/2}      n log P
+//! caqr (2D)    mn²/P         n²/(nP/m)^{1/2}      (nP/m)^{1/2}(log P)²
+//! 3d-caqr-eg   mn²/P         n²/(nP/m)^δ          (nP/m)^δ(log P)²
+//! ```
+//!
+//! Shape claims: caqr beats 2d-house on latency (tsqr panels); 3d-caqr-eg
+//! with δ = 2/3 beats both 2D algorithms on bandwidth by Θ((nP/m)^{1/6}).
+
+use qr3d_bench::report::{cost_cell, header, ratio};
+use qr3d_bench::{run_caqr2d, run_caqr3d, run_house2d};
+use qr3d_core::caqr2d::caqr2d_block;
+use qr3d_core::house2d::Grid2Config;
+use qr3d_core::prelude::*;
+use qr3d_cost::prelude::*;
+
+fn main() {
+    header("Table 2 — square-ish comparison (m = 4n, P = 16)");
+    let p = 16;
+    println!(
+        "{:<24} {:>4} {:>44}  {:>7} {:>7}",
+        "algorithm", "n", "measured (critical path)", "W/Ŵ", "S/Ŝ"
+    );
+    for n in [32usize, 64] {
+        let m = 4 * n;
+        let house_grid = Grid2Config::auto(m, n, p, 2);
+        let caqr_grid = Grid2Config::auto(m, n, p, caqr2d_block(m, n, p));
+        let rows: Vec<(String, qr3d_machine::Clock, Cost3)> = vec![
+            (
+                format!("2d-house ({}x{} b=2)", house_grid.pr, house_grid.pc),
+                run_house2d(m, n, p, house_grid, 3),
+                house2d_cost(m, n, p),
+            ),
+            (
+                format!("caqr-2d  ({}x{} b={})", caqr_grid.pr, caqr_grid.pc, caqr_grid.b),
+                run_caqr2d(m, n, p, caqr_grid, 3),
+                caqr2d_cost(m, n, p),
+            ),
+            (
+                "3d-caqr-eg (δ=1/2)".into(),
+                run_caqr3d(m, n, p, Caqr3dConfig::auto(m, n, p, 0.5), 3),
+                theorem1_cost(m, n, p, 0.5),
+            ),
+            (
+                "3d-caqr-eg (δ=2/3)".into(),
+                run_caqr3d(m, n, p, Caqr3dConfig::auto(m, n, p, 2.0 / 3.0), 3),
+                theorem1_cost(m, n, p, 2.0 / 3.0),
+            ),
+        ];
+        for (name, c, f) in &rows {
+            println!(
+                "{:<24} {:>4} {:>44}  {:>7.2} {:>7.2}",
+                name,
+                n,
+                cost_cell(c),
+                ratio(c.words, f.words),
+                ratio(c.msgs, f.msgs),
+            );
+        }
+        let (house, caqr2, d3) = (&rows[0].1, &rows[1].1, &rows[3].1);
+        assert!(
+            caqr2.msgs < house.msgs,
+            "n={n}: caqr-2d must beat 2d-house on latency (tsqr panels)"
+        );
+        println!(
+            "    n={n}: measured W ratio 3d(δ=2/3)/caqr-2d = {:.2}  \
+             (asymptotically Θ((nP/m)^(-1/6)) = {:.2}; see extrapolation below)",
+            d3.words / caqr2.words,
+            (n as f64 * p as f64 / m as f64).powf(-1.0 / 6.0),
+        );
+        println!(
+            "    n={n}: W(3d,δ=2/3) / Ω(n²/(nP/m)^(2/3)) = {:.2}",
+            d3.words / lower_bounds_square(m, n, p).words,
+        );
+    }
+
+    header("Table 2 — asymptotic regime (Eq. (2) satisfied): model extrapolation");
+    // At simulator scale the Eq. (2) constraint P(log P)² =
+    // O(m^{δ/(1+δ)} n^{(1−δ)/(1+δ)}) is violated, so 3D-CAQR-EG's
+    // all-to-all overheads dominate its bandwidth (exactly the limitation
+    // §8.4 discusses). The Eq. (11)/(13) formulas are validated
+    // term-by-term against measurement in `validate_recurrences`; here we
+    // evaluate the same formulas at the paper's intended scale to read off
+    // the asymptotic Table 2 ordering.
+    let (n, p) = (1usize << 16, 1usize << 10);
+    let m = 4 * n;
+    println!("(m = 4n, n = 2^16, P = 2^10)");
+    println!("{:<24} {:>14} {:>14}", "algorithm", "Ŵ", "Ŝ");
+    let rows = [
+        ("2d-house".to_string(), house2d_cost(m, n, p)),
+        ("caqr-2d".to_string(), caqr2d_cost(m, n, p)),
+        ("3d-caqr-eg (δ=1/2)".to_string(), theorem1_cost(m, n, p, 0.5)),
+        ("3d-caqr-eg (δ=2/3)".to_string(), theorem1_cost(m, n, p, 2.0 / 3.0)),
+    ];
+    for (name, c) in &rows {
+        println!("{:<24} {:>14.3e} {:>14.3e}", name, c.words, c.msgs);
+    }
+    let w3 = rows[3].1.words;
+    let w2 = rows[1].1.words;
+    assert!(
+        w3 < w2,
+        "in the Eq. (2) regime, 3D (δ=2/3) must beat 2D bandwidth: {w3} vs {w2}"
+    );
+    println!(
+        "ratio 3d(δ=2/3)/caqr-2d = {:.3} = Θ((nP/m)^(-1/6)) = {:.3} — the paper's claim",
+        w3 / w2,
+        (n as f64 * p as f64 / m as f64).powf(-1.0 / 6.0)
+    );
+    println!("\n[table2 done]");
+}

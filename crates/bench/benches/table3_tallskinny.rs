@@ -1,0 +1,80 @@
+//! Experiment E3 — reproduce **Table 3**: tall-skinny comparison
+//! (`m/n = Ω(P)`).
+//!
+//! ```text
+//! algorithm    #operations                 #words              #messages
+//! 1d-house     mn²/P                       n² log P            n log P
+//! tsqr         mn²/P + n³ log P            n² log P            log P
+//! 1d-caqr-eg   mn²/P + n³(log P)^{1−2ε}    n²(log P)^{1−ε}     (log P)^{1+ε}
+//! ```
+//!
+//! The shape claims to check: tsqr beats 1d-house in messages by Θ(n);
+//! 1d-caqr-eg (ε = 1) beats tsqr in words by Θ(log P) while paying
+//! Θ(log P) more messages.
+
+use qr3d_bench::report::{cost_cell, header, ratio};
+use qr3d_bench::{run_caqr1d, run_house1d, run_tsqr};
+use qr3d_core::params::caqr1d_block;
+use qr3d_cost::prelude::*;
+
+fn main() {
+    let n = 16;
+    header("Table 3 — tall-skinny comparison (m = nP, n = 16)");
+    println!(
+        "{:<22} {:>4} {:>44}  {:>7} {:>7} {:>7}",
+        "algorithm", "P", "measured (critical path)", "F/F̂", "W/Ŵ", "S/Ŝ"
+    );
+    for p in [4usize, 8, 16] {
+        let m = n * p;
+        let rows: Vec<(String, qr3d_machine::Clock, Cost3)> = vec![
+            ("1d-house (b=1)".into(), run_house1d(m, n, p, 1, 7), house1d_cost(m, n, p)),
+            ("tsqr".into(), run_tsqr(m, n, p, 7), tsqr_cost(m, n, p)),
+            (
+                "1d-caqr-eg (ε=1/2)".into(),
+                run_caqr1d(m, n, p, caqr1d_block(n, p, 0.5), 7),
+                theorem2_cost(m, n, p, 0.5),
+            ),
+            (
+                "1d-caqr-eg (ε=1)".into(),
+                run_caqr1d(m, n, p, caqr1d_block(n, p, 1.0), 7),
+                theorem2_cost(m, n, p, 1.0),
+            ),
+        ];
+        for (name, c, f) in &rows {
+            println!(
+                "{:<22} {:>4} {:>44}  {:>7.2} {:>7.2} {:>7.2}",
+                name,
+                p,
+                cost_cell(c),
+                ratio(c.flops, f.flops),
+                ratio(c.words, f.words),
+                ratio(c.msgs, f.msgs),
+            );
+        }
+        // Who-wins checks (the paper's qualitative claims).
+        let (house, tsqr, caqr) = (&rows[0].1, &rows[1].1, &rows[3].1);
+        assert!(
+            tsqr.msgs < house.msgs,
+            "P={p}: tsqr must beat 1d-house on latency"
+        );
+        if p >= 8 {
+            assert!(
+                caqr.words < tsqr.words,
+                "P={p}: 1d-caqr-eg (ε=1) must beat tsqr on bandwidth"
+            );
+            assert!(
+                caqr.msgs > tsqr.msgs,
+                "P={p}: the bandwidth saving must cost messages (the tradeoff)"
+            );
+        }
+        println!(
+            "    P={p}: S ratio tsqr/1d-house = {:.3} (paper: Θ(1/n) = {:.3});  \
+             W ratio caqr(ε=1)/tsqr = {:.2} (paper: Θ(1/log P) = {:.2})",
+            tsqr.msgs / house.msgs,
+            1.0 / n as f64,
+            caqr.words / tsqr.words,
+            1.0 / lg(p),
+        );
+    }
+    println!("\n[table3 done]");
+}

@@ -1,0 +1,71 @@
+//! Experiments E6 & E7 — validate the cost recurrences Eq. (11)
+//! (1D-CAQR-EG) and Eq. (13) (3D-CAQR-EG) term by term.
+//!
+//! For a sweep of block sizes at fixed (m, n, P), the measured-to-predicted
+//! ratio should stay within a narrow constant band if the implementation
+//! realizes the analyzed communication pattern.
+
+use qr3d_bench::report::{header, ratio};
+use qr3d_bench::{run_caqr1d, run_caqr3d};
+use qr3d_core::prelude::*;
+use qr3d_cost::prelude::*;
+
+fn main() {
+    header("Eq. (11) — 1D-CAQR-EG cost recurrence, b sweep (m = 8n, n = 32, P = 8)");
+    let (n, p) = (32usize, 8usize);
+    let m = 8 * n;
+    println!(
+        "{:>5} | {:>11} {:>9} | {:>11} {:>9} | {:>9} {:>7}",
+        "b", "W meas", "W/Ŵ", "F meas", "F/F̂", "S meas", "S/Ŝ"
+    );
+    let mut w_ratios = Vec::new();
+    for b in [32usize, 16, 8, 4, 2] {
+        let c = run_caqr1d(m, n, p, b, 21);
+        let f = caqr1d_cost(m, n, p, b);
+        w_ratios.push(ratio(c.words, f.words));
+        println!(
+            "{:>5} | {:>11.0} {:>9.2} | {:>11.0} {:>9.2} | {:>9.0} {:>7.2}",
+            b,
+            c.words,
+            ratio(c.words, f.words),
+            c.flops,
+            ratio(c.flops, f.flops),
+            c.msgs,
+            ratio(c.msgs, f.msgs),
+        );
+    }
+    let spread = w_ratios.iter().cloned().fold(f64::MIN, f64::max)
+        / w_ratios.iter().cloned().fold(f64::MAX, f64::min);
+    println!("W ratio spread across the b sweep: ×{spread:.2} (constant band expected)");
+    assert!(spread < 8.0, "Eq. (11) W term tracks the measurement only loosely");
+
+    header("Eq. (13) — 3D-CAQR-EG cost recurrence, (b, b*) sweep (m = 4n, n = 64, P = 8)");
+    let (n, p) = (64usize, 8usize);
+    let m = 4 * n;
+    println!(
+        "{:>5} {:>5} | {:>11} {:>9} | {:>11} {:>9} | {:>9} {:>7}",
+        "b", "b*", "W meas", "W/Ŵ", "F meas", "F/F̂", "S meas", "S/Ŝ"
+    );
+    for (b, bstar) in [(32usize, 16usize), (32, 8), (16, 8), (16, 4), (8, 4)] {
+        let c = run_caqr3d(m, n, p, Caqr3dConfig::new(b, bstar), 22);
+        let f = caqr3d_cost(m, n, p, b, bstar);
+        println!(
+            "{:>5} {:>5} | {:>11.0} {:>9.2} | {:>11.0} {:>9.2} | {:>9.0} {:>7.2}",
+            b,
+            bstar,
+            c.words,
+            ratio(c.words, f.words),
+            c.flops,
+            ratio(c.flops, f.flops),
+            c.msgs,
+            ratio(c.msgs, f.msgs),
+        );
+        // The dominant message term is (n/b*) log P: check the shape.
+        let s_shape = c.msgs / ((n as f64 / bstar as f64) * lg(p));
+        assert!(
+            s_shape > 0.5 && s_shape < 60.0,
+            "message count should scale like (n/b*) log P, got shape {s_shape}"
+        );
+    }
+    println!("\n[recurrence validation done]");
+}

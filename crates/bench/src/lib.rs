@@ -1,0 +1,157 @@
+//! # qr3d-bench — the experiment harness
+//!
+//! Shared runners and reporting utilities behind the bench targets that
+//! regenerate every table and tradeoff figure of the paper (see the
+//! experiment index in `DESIGN.md` and results in `EXPERIMENTS.md`):
+//!
+//! | target                 | paper artifact                           |
+//! |------------------------|------------------------------------------|
+//! | `table1_collectives`   | Table 1 (collective costs)               |
+//! | `table2_squareish`     | Table 2 (square-ish algorithm comparison)|
+//! | `table3_tallskinny`    | Table 3 (tall-skinny comparison)         |
+//! | `tradeoff_sweeps`      | Theorems 1–2 bandwidth/latency tradeoffs |
+//! | `validate_recurrences` | Equations (11) and (13)                  |
+//! | `mm_scaling`           | Lemmas 3–4 (+ 2D SUMMA reference)        |
+//! | `strong_scaling`       | §1/§8 machine-dependent winners          |
+//! | `ablations`            | collective & base-case design choices    |
+//! | `kernels` (criterion)  | wall-time of the local kernels           |
+//!
+//! Every runner executes the *real* algorithm on the simulated machine,
+//! verifies the result numerically, and returns the critical-path
+//! [`Clock`] — so every number printed comes from a correct execution.
+
+use qr3d_core::prelude::*;
+use qr3d_machine::{Clock, CostParams, Machine};
+use qr3d_matrix::layout::BlockRow;
+use qr3d_matrix::Matrix;
+
+pub mod report;
+
+/// Tolerance used by the harness' correctness gates.
+pub const TOL: f64 = 1e-9;
+
+/// Run tsqr on an `m × n` matrix over `p` ranks; verify; return the
+/// critical-path costs.
+pub fn run_tsqr(m: usize, n: usize, p: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        tsqr_factor(rank, &w, &a_loc)
+    });
+    let fac = qr3d_core::verify::assemble_block_row(&out.results, lay.counts());
+    assert!(fac.residual(&a) < TOL, "tsqr residual");
+    out.stats.critical()
+}
+
+/// Run 1D-CAQR-EG with threshold `b`; verify; return critical-path costs.
+pub fn run_caqr1d(m: usize, n: usize, p: usize, b: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let cfg = Caqr1dConfig::new(b);
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        caqr1d_factor(rank, &w, &a_loc, &cfg)
+    });
+    let fac = qr3d_core::verify::assemble_block_row(&out.results, lay.counts());
+    assert!(fac.residual(&a) < TOL, "caqr1d residual");
+    out.stats.critical()
+}
+
+/// Run 3D-CAQR-EG with the given thresholds; verify; return costs.
+pub fn run_caqr3d(m: usize, n: usize, p: usize, cfg: Caqr3dConfig, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = ShiftedRowCyclic::new(m, n, p, 0);
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = lay.scatter_from_full(&a, w.rank());
+        caqr3d_factor(rank, &w, &a_loc, m, n, &cfg)
+    });
+    let fac = assemble_factorization(&out.results, m, n, p);
+    assert!(fac.residual(&a) < TOL, "caqr3d residual");
+    out.stats.critical()
+}
+
+/// Run `1d-house` with panel width `b`; verify; return costs.
+pub fn run_house1d(m: usize, n: usize, p: usize, b: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let cfg = House1dConfig::new(b);
+    let counts = lay.counts().to_vec();
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        house1d_factor(rank, &w, &a_loc, &counts, &cfg)
+    });
+    let r = out.results[0].r.as_ref().expect("rank 0 holds R");
+    assert!(r_gram_error(&a, r) < TOL, "house1d R identity");
+    out.stats.critical()
+}
+
+/// Run `2d-house` on the given grid; verify; return costs.
+pub fn run_house2d(
+    m: usize,
+    n: usize,
+    p: usize,
+    cfg: qr3d_core::house2d::Grid2Config,
+    seed: u64,
+) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = cfg.scatter_from_full(&a, w.rank());
+        house2d_factor(rank, &w, &a_loc, m, n, &cfg)
+    });
+    let r = out.results[0].r.as_ref().expect("rank 0 holds R");
+    assert!(r_gram_error(&a, r) < TOL, "house2d R identity");
+    out.stats.critical()
+}
+
+/// Run 2D `caqr` on the given grid; verify; return costs.
+pub fn run_caqr2d(
+    m: usize,
+    n: usize,
+    p: usize,
+    cfg: qr3d_core::house2d::Grid2Config,
+    seed: u64,
+) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = cfg.scatter_from_full(&a, w.rank());
+        caqr2d_factor(rank, &w, &a_loc, m, n, &cfg)
+    });
+    let r = out.results[0].r.as_ref().expect("rank 0 holds R");
+    assert!(r_gram_error(&a, r) < TOL, "caqr2d R identity");
+    out.stats.critical()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_core::house2d::Grid2Config;
+
+    #[test]
+    fn runners_verify_and_measure() {
+        let c = run_tsqr(64, 8, 4, 1);
+        assert!(c.flops > 0.0 && c.words > 0.0 && c.msgs > 0.0);
+        let c = run_caqr1d(64, 8, 4, 4, 2);
+        assert!(c.msgs > 0.0);
+        let c = run_caqr3d(48, 12, 4, Caqr3dConfig::new(6, 3), 3);
+        assert!(c.words > 0.0);
+        let c = run_house1d(32, 8, 4, 2, 4);
+        assert!(c.msgs > 0.0);
+        let c = run_house2d(32, 8, 4, Grid2Config::new(2, 2, 2), 5);
+        assert!(c.words > 0.0);
+        let c = run_caqr2d(32, 8, 4, Grid2Config::new(2, 2, 2), 6);
+        assert!(c.words > 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Reporting utilities: table formatting and log-log scaling-exponent
+//! fits, used to compare measured costs against the paper's formulas.
+
+use qr3d_machine::Clock;
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// scaling exponent of `y ∝ x^slope`.
+///
+/// # Panics
+/// If fewer than two points or any non-positive coordinate.
+pub fn exponent_fit(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "point count mismatch");
+    assert!(xs.len() >= 2, "need at least two points to fit a slope");
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "log-log fit needs positive x");
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0, "log-log fit needs positive y");
+            y.ln()
+        })
+        .collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    sxy / sxx
+}
+
+/// Format a measured clock as a compact `F/W/S` cell.
+pub fn cost_cell(c: &Clock) -> String {
+    format!("F={:<12.0} W={:<10.0} S={:<6.0}", c.flops, c.words, c.msgs)
+}
+
+/// Print a section header in the style used across all bench targets.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Print a ruled table row from pre-formatted cells.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(" | "));
+}
+
+/// `x / y` guarding against division by zero (returns 0 when `y = 0`).
+pub fn ratio(x: f64, y: f64) -> f64 {
+    if y == 0.0 {
+        0.0
+    } else {
+        x / y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let xs = [1.0f64, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.powf(1.5)).collect();
+        let slope = exponent_fit(&xs, &ys);
+        assert!((slope - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_slope() {
+        let xs = [1.0, 10.0, 100.0];
+        let ys = [7.0, 7.0, 7.0];
+        assert!(exponent_fit(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_close() {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| x * x * (1.0 + 0.05 * (i as f64 % 2.0))).collect();
+        let slope = exponent_fit(&xs, &ys);
+        assert!((slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn single_point_rejected() {
+        let _ = exponent_fit(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(6.0, 2.0), 3.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! All-to-all algorithms (paper Appendix A.3).
+//!
+//! * [`all_to_all_index`] — the radix-2 **index algorithm** [BHK+97]:
+//!   blocks are labeled `(q − p) mod P`; at step `i` every processor
+//!   forwards the blocks whose label has bit `i` set to processor
+//!   `p + 2^i`. `⌈log₂P⌉` messages, `O(B·P·log P)` words.
+//! * [`all_to_all`] — the **two-phase** variant \[HBJ96\] ("all
+//!   all-to-alls in this work use a two-phase approach"): each block is
+//!   first dealt into `P` balanced pieces routed through intermediate
+//!   processors, bounding the per-message size by `B*/P + O(P)` and the
+//!   total bandwidth by `O((B* + P²) log P)` even when block sizes vary
+//!   wildly.
+//! * [`all_to_all_direct`] — pairwise exchange reference (`P−1` messages
+//!   of one block each); used for correctness checks and ablations.
+//!
+//! Because every rank can compute the full [`BlockSizes`] matrix locally,
+//! no size or label headers are transmitted; the charged words are exactly
+//! the blocks'.
+
+use qr3d_machine::{Comm, Rank};
+
+use crate::sizes::BlockSizes;
+use crate::{ceil_log2, tag_of};
+
+/// Pairwise-exchange all-to-all: `blocks[d]` goes to local rank `d`;
+/// returns the received blocks indexed by source. `P−1` rounds.
+pub fn all_to_all_direct(
+    rank: &mut Rank,
+    comm: &Comm,
+    mut blocks: Vec<Vec<f64>>,
+    sizes: &BlockSizes,
+) -> Vec<Vec<f64>> {
+    let p = comm.size();
+    let me = comm.rank();
+    check_outgoing(&blocks, sizes, me, p);
+    let op = comm.next_op();
+
+    let mut out: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    out[me] = std::mem::take(&mut blocks[me]);
+    for k in 1..p {
+        let dst = (me + k) % p;
+        let src = (me + p - k) % p;
+        rank.send_vec(comm, dst, tag_of(op, k as u64), std::mem::take(&mut blocks[dst]));
+        let incoming = rank.recv(comm, src, tag_of(op, k as u64));
+        assert_eq!(incoming.len(), sizes.get(src, me), "direct: size mismatch");
+        out[src] = incoming;
+    }
+    out
+}
+
+/// Radix-2 index-algorithm all-to-all [BHK+97]: `blocks[d]` goes to local
+/// rank `d`; returns received blocks indexed by source. `⌈log₂P⌉` rounds.
+pub fn all_to_all_index(
+    rank: &mut Rank,
+    comm: &Comm,
+    blocks: Vec<Vec<f64>>,
+    sizes: &BlockSizes,
+) -> Vec<Vec<f64>> {
+    let p = comm.size();
+    let me = comm.rank();
+    check_outgoing(&blocks, sizes, me, p);
+    if p == 1 {
+        return blocks;
+    }
+    let op = comm.next_op();
+
+    // held[l] = current content of the block labeled l = (dest − holder) mod P.
+    let mut held: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    for (d, b) in blocks.into_iter().enumerate() {
+        held[(d + p - me) % p] = b;
+    }
+
+    let steps = ceil_log2(p);
+    for i in 0..steps {
+        let bit = 1usize << i;
+        let to = (me + bit) % p;
+        let from = (me + p - bit) % p;
+        // Outgoing: all labels with bit i set, ascending.
+        let mut payload = Vec::new();
+        for l in 0..p {
+            if l & bit != 0 {
+                payload.extend(std::mem::take(&mut held[l]));
+            }
+        }
+        rank.send_vec(comm, to, tag_of(op, i as u64), payload);
+        // Incoming: the same label set; the block labeled l has traveled
+        // the lower set bits of l so far, so its origin (and hence size)
+        // is known: src = from − (l & (bit−1)), dest = src + l.
+        let payload = rank.recv(comm, from, tag_of(op, i as u64));
+        let mut off = 0;
+        for l in 0..p {
+            if l & bit != 0 {
+                let traveled = l & (bit - 1);
+                let src = (from + p - traveled % p) % p;
+                let dst = (src + l) % p;
+                let sz = sizes.get(src, dst);
+                held[l] = payload[off..off + sz].to_vec();
+                off += sz;
+            }
+        }
+        assert_eq!(off, payload.len(), "index: payload size mismatch at step {i}");
+    }
+
+    // The block labeled l now held here originated at (me − l) mod P.
+    let mut out: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    for l in 0..p {
+        let src = (me + p - l) % p;
+        out[src] = std::mem::take(&mut held[l]);
+        debug_assert_eq!(out[src].len(), sizes.get(src, me));
+    }
+    out
+}
+
+/// Size of piece `j` when a block of `len` words is dealt into `p`
+/// balanced contiguous pieces (first `len mod p` pieces get the extra
+/// word).
+fn piece_size(len: usize, p: usize, j: usize) -> usize {
+    let q = len / p;
+    let r = len % p;
+    if j < r {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Offset of piece `j` within its block.
+fn piece_offset(len: usize, p: usize, j: usize) -> usize {
+    let q = len / p;
+    let r = len % p;
+    if j < r {
+        j * (q + 1)
+    } else {
+        r * (q + 1) + (j - r) * q
+    }
+}
+
+/// Two-phase all-to-all \[HBJ96\]: the default used throughout the paper.
+///
+/// Each processor `p` deals its block for `q` into `P` balanced pieces
+/// assigned round-robin to intermediates starting at `p + q`; two index
+/// all-to-alls route pieces to intermediates and then to their final
+/// destinations. The rotation `p + q` load-balances the intermediate
+/// traffic, bounding message sizes by `B*/P + O(P)`.
+pub fn all_to_all(
+    rank: &mut Rank,
+    comm: &Comm,
+    blocks: Vec<Vec<f64>>,
+    sizes: &BlockSizes,
+) -> Vec<Vec<f64>> {
+    let p = comm.size();
+    let me = comm.rank();
+    check_outgoing(&blocks, sizes, me, p);
+    if p == 1 {
+        return blocks;
+    }
+
+    // Intermediate of piece j of block (s → q) is (s + q + j) mod P;
+    // equivalently, the piece routed via intermediate t is
+    // j = (t − s − q) mod P.
+    let piece_of = |s: usize, q: usize, t: usize| (t + 2 * p - s % p - q % p) % p;
+
+    // Phase 1 payloads: to intermediate t, concat over destinations q
+    // (ascending) of piece (t−s−q) of my block for q.
+    let phase1_sizes = BlockSizes::from_fn(p, |s, t| {
+        (0..p).map(|q| piece_size(sizes.get(s, q), p, piece_of(s, q, t))).sum()
+    });
+    let mut phase1_blocks: Vec<Vec<f64>> = Vec::with_capacity(p);
+    for t in 0..p {
+        let mut payload = Vec::new();
+        for (q, block) in blocks.iter().enumerate() {
+            let j = piece_of(me, q, t);
+            let off = piece_offset(block.len(), p, j);
+            let sz = piece_size(block.len(), p, j);
+            payload.extend_from_slice(&block[off..off + sz]);
+        }
+        phase1_blocks.push(payload);
+    }
+    drop(blocks);
+    let from_sources = all_to_all_index(rank, comm, phase1_blocks, &phase1_sizes);
+
+    // Regroup: I am intermediate t = me. From source s I hold, for each q,
+    // piece (me−s−q). Phase 2 sends to q the concat over sources s
+    // (ascending) of their (s → q) pieces.
+    let phase2_sizes = BlockSizes::from_fn(p, |t, q| {
+        (0..p).map(|s| piece_size(sizes.get(s, q), p, piece_of(s, q, t))).sum()
+    });
+    let mut phase2_blocks: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    for (s, bundle) in from_sources.iter().enumerate() {
+        let mut off = 0;
+        for (q, out) in phase2_blocks.iter_mut().enumerate() {
+            let sz = piece_size(sizes.get(s, q), p, piece_of(s, q, me));
+            out.extend_from_slice(&bundle[off..off + sz]);
+            off += sz;
+        }
+        assert_eq!(off, bundle.len(), "two-phase: regroup size mismatch");
+    }
+    drop(from_sources);
+    let from_intermediates = all_to_all_index(rank, comm, phase2_blocks, &phase2_sizes);
+
+    // Reassemble: block (s → me) is the concat of pieces j = 0..P, where
+    // piece j sits in the bundle from intermediate t = (s + me + j) mod P
+    // at the offset of the (s, me) piece within that bundle.
+    let mut out = Vec::with_capacity(p);
+    for s in 0..p {
+        let len = sizes.get(s, me);
+        let mut block = Vec::with_capacity(len);
+        for j in 0..p {
+            let t = (s + me + j) % p;
+            let bundle = &from_intermediates[t];
+            // Offset: pieces of sources s' < s for destination me.
+            let mut off = 0;
+            for s2 in 0..s {
+                off += piece_size(sizes.get(s2, me), p, piece_of(s2, me, t));
+            }
+            let sz = piece_size(len, p, j);
+            block.extend_from_slice(&bundle[off..off + sz]);
+        }
+        assert_eq!(block.len(), len, "two-phase: reassembled block size mismatch");
+        out.push(block);
+    }
+    out
+}
+
+fn check_outgoing(blocks: &[Vec<f64>], sizes: &BlockSizes, me: usize, p: usize) {
+    assert_eq!(blocks.len(), p, "all-to-all: one block per destination");
+    assert_eq!(sizes.procs(), p, "all-to-all: size matrix shape");
+    for (d, b) in blocks.iter().enumerate() {
+        assert_eq!(b.len(), sizes.get(me, d), "all-to-all: block for {d} size mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, CostParams::unit())
+    }
+
+    /// Payload that encodes (src, dst, index) so routing errors surface.
+    fn marked(src: usize, dst: usize, len: usize) -> Vec<f64> {
+        (0..len).map(|k| (src * 1_000_000 + dst * 1_000 + k) as f64).collect()
+    }
+
+    fn run_and_check(
+        p: usize,
+        sizes: BlockSizes,
+        algo: fn(&mut Rank, &Comm, Vec<Vec<f64>>, &BlockSizes) -> Vec<Vec<f64>>,
+    ) {
+        use qr3d_machine::{Comm, Rank};
+        let _ = |_: &Comm, _: &Rank| {}; // silence unused-import pedantry in closures
+        let sz = sizes.clone();
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let blocks: Vec<Vec<f64>> =
+                (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+            algo(rank, &w, blocks, &sz)
+        });
+        for (me, res) in out.results.iter().enumerate() {
+            assert_eq!(res.len(), p);
+            for (s, b) in res.iter().enumerate() {
+                assert_eq!(b, &marked(s, me, sizes.get(s, me)), "recv at {me} from {s}");
+            }
+        }
+    }
+
+    use qr3d_machine::{Comm, Rank};
+
+    #[test]
+    fn direct_uniform() {
+        for p in [1usize, 2, 3, 4, 7] {
+            run_and_check(p, BlockSizes::uniform(p, 3), all_to_all_direct);
+        }
+    }
+
+    #[test]
+    fn index_uniform() {
+        for p in [1usize, 2, 3, 4, 5, 8, 13] {
+            run_and_check(p, BlockSizes::uniform(p, 3), all_to_all_index);
+        }
+    }
+
+    #[test]
+    fn index_variable_sizes() {
+        for p in [2usize, 3, 6, 9] {
+            let sizes = BlockSizes::from_fn(p, |s, d| (3 * s + 2 * d) % 7);
+            run_and_check(p, sizes, all_to_all_index);
+        }
+    }
+
+    #[test]
+    fn two_phase_uniform_and_variable() {
+        for p in [1usize, 2, 4, 5, 8] {
+            run_and_check(p, BlockSizes::uniform(p, 4), all_to_all);
+            let sizes = BlockSizes::from_fn(p, |s, d| (s * d + s + 1) % 9);
+            run_and_check(p, sizes, all_to_all);
+        }
+    }
+
+    #[test]
+    fn two_phase_with_empty_blocks() {
+        let p = 4;
+        let sizes = BlockSizes::from_fn(p, |s, d| if (s + d) % 2 == 0 { 5 } else { 0 });
+        run_and_check(p, sizes, all_to_all);
+    }
+
+    #[test]
+    fn two_phase_skewed_sizes() {
+        // One hot sender and one hot receiver: exactly the case two-phase
+        // load-balances.
+        let p = 8;
+        let sizes = BlockSizes::from_fn(p, |s, d| {
+            if s == 0 {
+                64
+            } else if d == 3 {
+                32
+            } else {
+                1
+            }
+        });
+        run_and_check(p, sizes, all_to_all);
+    }
+
+    #[test]
+    fn index_message_count_is_log_p() {
+        for p in [4usize, 8, 16, 32] {
+            let sizes = BlockSizes::uniform(p, 2);
+            let sz = sizes.clone();
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let me = w.rank();
+                let blocks: Vec<Vec<f64>> =
+                    (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+                all_to_all_index(rank, &w, blocks, &sz)
+            });
+            let lg = (p as f64).log2().ceil();
+            // Each rank sends exactly ⌈log₂P⌉ messages.
+            let per_rank_msgs = out.stats.total_messages() / p as f64;
+            assert_eq!(per_rank_msgs, lg, "p={p}");
+        }
+    }
+
+    #[test]
+    fn two_phase_bandwidth_bound() {
+        // Critical-path W = O((B* + P²) log P) even with skewed sizes.
+        let p = 16;
+        let hot = 256;
+        let sizes = BlockSizes::from_fn(p, |s, _| if s == 0 { hot } else { 1 });
+        let bstar = sizes.max_load() as f64;
+        let sz = sizes.clone();
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let blocks: Vec<Vec<f64>> =
+                (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+            all_to_all(rank, &w, blocks, &sz)
+        });
+        let c = out.stats.critical();
+        let lg = (p as f64).log2().ceil();
+        let bound = 4.0 * (bstar + (p * p) as f64) * lg;
+        assert!(c.words <= bound, "W={} bound={bound}", c.words);
+        // And the single-phase index algorithm would move B·P·logP from the
+        // hot sender: verify two-phase's critical path beats that bound's
+        // worst case for this skew.
+        let naive_hot = hot as f64 * p as f64; // B*P words leaving rank 0 alone
+        assert!(
+            c.words <= 2.0 * naive_hot * lg,
+            "sanity: two-phase within index bound"
+        );
+    }
+
+    #[test]
+    fn piece_arithmetic() {
+        assert_eq!(piece_size(10, 4, 0), 3);
+        assert_eq!(piece_size(10, 4, 1), 3);
+        assert_eq!(piece_size(10, 4, 2), 2);
+        assert_eq!(piece_size(10, 4, 3), 2);
+        assert_eq!((0..4).map(|j| piece_size(10, 4, j)).sum::<usize>(), 10);
+        assert_eq!(piece_offset(10, 4, 0), 0);
+        assert_eq!(piece_offset(10, 4, 1), 3);
+        assert_eq!(piece_offset(10, 4, 2), 6);
+        assert_eq!(piece_offset(10, 4, 3), 8);
+        // Zero-length blocks.
+        assert_eq!(piece_size(0, 4, 2), 0);
+        assert_eq!(piece_offset(0, 4, 3), 0);
+    }
+
+    #[test]
+    fn index_on_subcommunicator() {
+        let p = 6;
+        let out = machine(p).run(|rank| {
+            let w = rank.world();
+            // Even ranks only.
+            if rank.id() % 2 == 0 {
+                let sub = w.subset(&[0, 2, 4]).unwrap();
+                let sizes = BlockSizes::uniform(3, 2);
+                let me = sub.rank();
+                let blocks: Vec<Vec<f64>> = (0..3).map(|d| marked(me, d, 2)).collect();
+                Some(all_to_all_index(rank, &sub, blocks, &sizes))
+            } else {
+                None
+            }
+        });
+        for (r, res) in out.results.iter().enumerate() {
+            if r % 2 == 0 {
+                let res = res.as_ref().unwrap();
+                let me = r / 2;
+                for (s, b) in res.iter().enumerate() {
+                    assert_eq!(b, &marked(s, me, 2));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Auto-dispatched collectives: pick the algorithm minimizing the Table 1
+//! bound.
+//!
+//! Lemma 1's proof: "for broadcast and (all-)reduce we use whichever of
+//! the two [binomial tree or bidirectional exchange] minimizes all three
+//! costs, asymptotically". The bidirectional-exchange variants move
+//! `O(B + P)` words versus the tree's `B log P`, at the same `O(log P)`
+//! message count, so they win exactly when the block is large relative to
+//! the processor count.
+
+use qr3d_machine::{Comm, Rank};
+
+use crate::bidir::{all_reduce_bidir, broadcast_bidir, reduce_bidir};
+use crate::binomial::{all_reduce_binomial, broadcast_binomial, reduce_binomial};
+
+/// True when the bidirectional-exchange variant's `B + P` bound beats the
+/// binomial tree's `B log P` (with `log P ≥ 1`).
+fn bidir_wins(block: usize, p: usize) -> bool {
+    if p <= 2 {
+        return false;
+    }
+    let lg = (p as f64).log2();
+    ((block + p) as f64) < block as f64 * lg
+}
+
+/// **broadcast** with automatic algorithm selection
+/// (`min(B log P, B + P)` words, Table 1 row 3).
+pub fn broadcast(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    data: Option<Vec<f64>>,
+    size: usize,
+) -> Vec<f64> {
+    if bidir_wins(size, comm.size()) {
+        broadcast_bidir(rank, comm, root, data, size)
+    } else {
+        broadcast_binomial(rank, comm, root, data, size)
+    }
+}
+
+/// **reduce** with automatic algorithm selection
+/// (`min(B log P, B + P)` words and flops, Table 1 row 4).
+pub fn reduce(rank: &mut Rank, comm: &Comm, root: usize, data: Vec<f64>) -> Option<Vec<f64>> {
+    if bidir_wins(data.len(), comm.size()) {
+        reduce_bidir(rank, comm, root, data)
+    } else {
+        reduce_binomial(rank, comm, root, data)
+    }
+}
+
+/// **all-reduce** with automatic algorithm selection
+/// (`min(B log P, B + P)` words and flops, Table 1 row 6).
+pub fn all_reduce(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
+    if bidir_wins(data.len(), comm.size()) {
+        all_reduce_bidir(rank, comm, data)
+    } else {
+        all_reduce_binomial(rank, comm, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, CostParams::unit())
+    }
+
+    #[test]
+    fn selector_prefers_tree_for_tiny_blocks() {
+        assert!(!bidir_wins(1, 16));
+        assert!(!bidir_wins(4, 4));
+        assert!(!bidir_wins(100, 2));
+    }
+
+    #[test]
+    fn selector_prefers_exchange_for_big_blocks() {
+        assert!(bidir_wins(1000, 16));
+        assert!(bidir_wins(64, 8));
+    }
+
+    #[test]
+    fn auto_broadcast_correct_both_regimes() {
+        for (p, b) in [(8usize, 2usize), (8, 4096)] {
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let data = (w.rank() == 0).then(|| vec![2.5; b]);
+                broadcast(rank, &w, 0, data, b)
+            });
+            assert!(out.results.iter().all(|r| r == &vec![2.5; b]), "p={p} b={b}");
+        }
+    }
+
+    #[test]
+    fn auto_reduce_correct_both_regimes() {
+        for (p, b) in [(7usize, 1usize), (7, 2048)] {
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                reduce(rank, &w, 2, vec![1.0; b])
+            });
+            assert_eq!(out.results[2].as_ref().unwrap(), &vec![p as f64; b]);
+            assert!(out.results[0].is_none());
+        }
+    }
+
+    #[test]
+    fn auto_all_reduce_correct_both_regimes() {
+        for (p, b) in [(5usize, 3usize), (5, 1024)] {
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                all_reduce(rank, &w, vec![1.0; b])
+            });
+            assert!(out.results.iter().all(|r| r == &vec![p as f64; b]), "p={p} b={b}");
+        }
+    }
+
+    #[test]
+    fn auto_broadcast_bandwidth_tracks_min_bound() {
+        // For large B the auto pick must achieve O(B + P), beating B log P.
+        let p = 16;
+        let b = 8192;
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let data = (w.rank() == 0).then(|| vec![1.0; b]);
+            broadcast(rank, &w, 0, data, b)
+        });
+        let c = out.stats.critical();
+        let tree_cost = b as f64 * (p as f64).log2();
+        assert!(c.words < tree_cost, "auto should beat the tree: W={}", c.words);
+    }
+}

@@ -1,0 +1,457 @@
+//! Bidirectional-exchange collectives (paper Appendix A.2).
+//!
+//! `reduce-scatter` recursively halves the processor range, pairing each
+//! processor with one in the opposite set; paired processors exchange the
+//! blocks destined for each other's sets and fold them into their partial
+//! sums. `all-gather` reverses the pattern (head recursion). When the two
+//! sets differ in size, the odd processor of the *smaller* set talks to two
+//! partners ("processor p only sends to one of the two, but receives from
+//! both" — and, reversed, sends to both / receives from one).
+//!
+//! On top of these, the paper builds the large-block variants:
+//!
+//! * `broadcast` = scatter + all-gather — `O(B + P)` words,
+//! * `reduce` = reduce-scatter + gather — `O(B + P)` words and flops,
+//! * `all-reduce` = reduce-scatter + all-gather,
+//!
+//! each splitting the original block into `P` chunks of `⌈B/P⌉`.
+
+use qr3d_machine::{Comm, Rank};
+
+use crate::binomial::{gather, scatter};
+use crate::tag_of;
+
+/// One level of the bidirectional-exchange recursion for this rank:
+/// my partners in the opposite set, and the opposite set's range.
+#[derive(Debug, Clone, Copy)]
+struct Level {
+    /// Partner to exchange with (always present for p > 1 ranges).
+    partner: usize,
+    /// Second incoming partner, for the odd processor of the smaller set.
+    extra_in: Option<usize>,
+    /// True if this rank is the unpaired extra of the larger set: it
+    /// sends but does not receive (reduce-scatter direction).
+    send_only: bool,
+    /// The opposite set's local-rank range.
+    olo: usize,
+    ohi: usize,
+    /// My set's range after this level (descend into it).
+    mlo: usize,
+    mhi: usize,
+    depth: u64,
+}
+
+/// Compute this rank's exchange levels, top-down. Sets split as
+/// `⌈P/2⌉ | ⌊P/2⌋` (left set never smaller). Pairing: `L[i] ↔ R[i]`;
+/// if the left set is larger, its extra last member `L[l−1]` is the
+/// `send_only` partner of `R[r−1]` (which gets `extra_in`).
+fn levels(me: usize, p: usize) -> Vec<Level> {
+    let (mut lo, mut hi) = (0usize, p);
+    let mut depth = 0u64;
+    let mut out = Vec::new();
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        let lsize = mid - lo;
+        let rsize = hi - mid;
+        let (level, next_lo, next_hi);
+        if me < mid {
+            let i = me - lo;
+            if i < rsize {
+                let extra_in = None;
+                level = Level {
+                    partner: mid + i,
+                    extra_in,
+                    send_only: false,
+                    olo: mid,
+                    ohi: hi,
+                    mlo: lo,
+                    mhi: mid,
+                    depth,
+                };
+            } else {
+                // The unpaired extra of the (larger) left set.
+                level = Level {
+                    partner: mid + rsize - 1,
+                    extra_in: None,
+                    send_only: true,
+                    olo: mid,
+                    ohi: hi,
+                    mlo: lo,
+                    mhi: mid,
+                    depth,
+                };
+            }
+            next_lo = lo;
+            next_hi = mid;
+        } else {
+            let j = me - mid;
+            let extra_in =
+                (j == rsize - 1 && lsize > rsize).then(|| lo + lsize - 1);
+            level = Level {
+                partner: lo + j,
+                extra_in,
+                send_only: false,
+                olo: lo,
+                ohi: mid,
+                mlo: mid,
+                mhi: hi,
+                depth,
+            };
+            next_lo = mid;
+            next_hi = hi;
+        }
+        out.push(level);
+        lo = next_lo;
+        hi = next_hi;
+        depth += 1;
+    }
+    out
+}
+
+fn concat_range(held: &[Vec<f64>], lo: usize, hi: usize) -> Vec<f64> {
+    let mut payload = Vec::new();
+    for b in &held[lo..hi] {
+        payload.extend_from_slice(b);
+    }
+    payload
+}
+
+/// Bidirectional-exchange **reduce-scatter**: every rank contributes one
+/// block per destination (`blocks[i]` of size `sizes[i]`, entrywise
+/// summed); rank `i` ends with the fully reduced block `i`.
+pub fn reduce_scatter(
+    rank: &mut Rank,
+    comm: &Comm,
+    blocks: Vec<Vec<f64>>,
+    sizes: &[usize],
+) -> Vec<f64> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert_eq!(blocks.len(), p, "reduce_scatter: one block per rank");
+    assert_eq!(sizes.len(), p, "reduce_scatter: one size per rank");
+    for (i, b) in blocks.iter().enumerate() {
+        assert_eq!(b.len(), sizes[i], "reduce_scatter: block {i} size mismatch");
+    }
+    let op = comm.next_op();
+    let mut held = blocks;
+
+    for lv in levels(me, p) {
+        // Send everything destined for the opposite set to my partner.
+        let payload = concat_range(&held, lv.olo, lv.ohi);
+        rank.send_vec(comm, lv.partner, tag_of(op, lv.depth), payload);
+        for b in &mut held[lv.olo..lv.ohi] {
+            b.clear();
+        }
+        // Receive and fold contributions for my set.
+        let mut fold = |rank: &mut Rank, src: usize| {
+            let payload = rank.recv(comm, src, tag_of(op, lv.depth));
+            let mut off = 0;
+            for t in lv.mlo..lv.mhi {
+                for k in 0..sizes[t] {
+                    held[t][k] += payload[off + k];
+                }
+                off += sizes[t];
+            }
+            assert_eq!(off, payload.len(), "reduce_scatter: payload size mismatch");
+            rank.charge_flops(payload.len() as f64);
+        };
+        if !lv.send_only {
+            fold(rank, lv.partner);
+        }
+        if let Some(extra) = lv.extra_in {
+            fold(rank, extra);
+        }
+    }
+    std::mem::take(&mut held[me])
+}
+
+/// Bidirectional-exchange **all-gather**: every rank contributes `block`
+/// (of size `sizes[rank]`); every rank ends with all blocks (indexed by
+/// local rank).
+pub fn all_gather(
+    rank: &mut Rank,
+    comm: &Comm,
+    block: Vec<f64>,
+    sizes: &[usize],
+) -> Vec<Vec<f64>> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert_eq!(sizes.len(), p, "all_gather: one size per rank");
+    assert_eq!(block.len(), sizes[me], "all_gather: own block size mismatch");
+    let op = comm.next_op();
+
+    let mut held: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    held[me] = block;
+
+    // Head recursion: exchanges happen deepest level first. Roles are the
+    // exact reverse of reduce-scatter: the send_only rank becomes
+    // receive-only, and the rank with extra_in sends to both partners.
+    for lv in levels(me, p).into_iter().rev() {
+        // Send all blocks of my set to my partner(s) — unless I'm the
+        // reverse-direction "receive only" extra.
+        if !lv.send_only {
+            let payload = concat_range(&held, lv.mlo, lv.mhi);
+            rank.send_vec(comm, lv.partner, tag_of(op, lv.depth), payload.clone());
+            if let Some(extra) = lv.extra_in {
+                rank.send_vec(comm, extra, tag_of(op, lv.depth), payload);
+            }
+        }
+        // Receive the opposite set's blocks from my (single) source.
+        let payload = rank.recv(comm, lv.partner, tag_of(op, lv.depth));
+        let mut off = 0;
+        for t in lv.olo..lv.ohi {
+            held[t] = payload[off..off + sizes[t]].to_vec();
+            off += sizes[t];
+        }
+        assert_eq!(off, payload.len(), "all_gather: payload size mismatch");
+    }
+    held
+}
+
+/// Bidirectional-exchange **broadcast** (scatter + all-gather): `O(B + P)`
+/// words — cheaper than the binomial tree's `B log P` for large blocks.
+pub fn broadcast_bidir(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    data: Option<Vec<f64>>,
+    size: usize,
+) -> Vec<f64> {
+    let p = comm.size();
+    let chunk_sizes = chunk_sizes(size, p);
+    let chunks = data.map(|d| {
+        assert_eq!(d.len(), size, "broadcast: size mismatch");
+        split_chunks(&d, &chunk_sizes)
+    });
+    let mine = scatter(rank, comm, root, chunks, &chunk_sizes);
+    let all = all_gather(rank, comm, mine, &chunk_sizes);
+    all.concat()
+}
+
+/// Bidirectional-exchange **reduce** (reduce-scatter + gather): `O(B + P)`
+/// words and flops.
+pub fn reduce_bidir(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    data: Vec<f64>,
+) -> Option<Vec<f64>> {
+    let p = comm.size();
+    let size = data.len();
+    let chunk_sizes = chunk_sizes(size, p);
+    let chunks = split_chunks(&data, &chunk_sizes);
+    let mine = reduce_scatter(rank, comm, chunks, &chunk_sizes);
+    gather(rank, comm, root, mine, &chunk_sizes).map(|blocks| blocks.concat())
+}
+
+/// Bidirectional-exchange **all-reduce** (reduce-scatter + all-gather).
+pub fn all_reduce_bidir(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
+    let p = comm.size();
+    let size = data.len();
+    let chunk_sizes = chunk_sizes(size, p);
+    let chunks = split_chunks(&data, &chunk_sizes);
+    let mine = reduce_scatter(rank, comm, chunks, &chunk_sizes);
+    let all = all_gather(rank, comm, mine, &chunk_sizes);
+    all.concat()
+}
+
+/// Balanced chunk sizes for splitting a block of `size` words into `p`
+/// pieces ("splitting the original blocks into new blocks of size at most
+/// ⌈B/P⌉").
+fn chunk_sizes(size: usize, p: usize) -> Vec<usize> {
+    let q = size / p;
+    let r = size % p;
+    (0..p).map(|i| if i < r { q + 1 } else { q }).collect()
+}
+
+fn split_chunks(data: &[f64], sizes: &[usize]) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut off = 0;
+    for &s in sizes {
+        out.push(data[off..off + s].to_vec());
+        off += s;
+    }
+    assert_eq!(off, data.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, CostParams::unit())
+    }
+
+    #[test]
+    fn reduce_scatter_sums_per_destination() {
+        for p in [1usize, 2, 3, 5, 8, 11] {
+            let sizes: Vec<usize> = (0..p).map(|i| 1 + (i % 3)).collect();
+            let sz = sizes.clone();
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                // Rank s contributes value (s+1) to every destination block.
+                let blocks: Vec<Vec<f64>> =
+                    (0..p).map(|d| vec![(w.rank() + 1) as f64; sz[d]]).collect();
+                reduce_scatter(rank, &w, blocks, &sz)
+            });
+            let total: f64 = (1..=p).map(|x| x as f64).sum();
+            for (d, b) in out.results.iter().enumerate() {
+                assert_eq!(b, &vec![total; sizes[d]], "p={p} dest={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_zero_blocks() {
+        let p = 4;
+        let sizes = vec![0, 2, 0, 1];
+        let sz = sizes.clone();
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let blocks: Vec<Vec<f64>> = sz.iter().map(|&s| vec![1.0; s]).collect();
+            reduce_scatter(rank, &w, blocks, &sz)
+        });
+        assert_eq!(out.results[0], Vec::<f64>::new());
+        assert_eq!(out.results[1], vec![4.0, 4.0]);
+        assert_eq!(out.results[3], vec![4.0]);
+    }
+
+    #[test]
+    fn all_gather_delivers_everything_everywhere() {
+        for p in [1usize, 2, 3, 6, 9] {
+            let sizes: Vec<usize> = (0..p).map(|i| i % 4).collect();
+            let sz = sizes.clone();
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let mine = vec![w.rank() as f64; sz[w.rank()]];
+                all_gather(rank, &w, mine, &sz)
+            });
+            for res in &out.results {
+                for (i, b) in res.iter().enumerate() {
+                    assert_eq!(b, &vec![i as f64; sizes[i]], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidir_broadcast_correct_and_cheap() {
+        for p in [2usize, 4, 7, 16] {
+            let b = 256;
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let data =
+                    (w.rank() == 1).then(|| (0..b).map(|i| i as f64).collect::<Vec<_>>());
+                broadcast_bidir(rank, &w, 1, data, b)
+            });
+            let expect: Vec<f64> = (0..b).map(|i| i as f64).collect();
+            assert!(out.results.iter().all(|r| r == &expect), "p={p}");
+            // Bandwidth: O(B + P), not B log P. Allow generous constants.
+            let c = out.stats.critical();
+            assert!(
+                c.words <= 6.0 * (b + p) as f64,
+                "p={p}: bidir broadcast W={} should be O(B+P)",
+                c.words
+            );
+        }
+    }
+
+    #[test]
+    fn bidir_beats_binomial_bandwidth_for_large_blocks() {
+        use crate::binomial::broadcast_binomial;
+        let p = 16;
+        let b = 4096;
+        let bidir = machine(p).run(move |rank| {
+            let w = rank.world();
+            let data = (w.rank() == 0).then(|| vec![1.0; b]);
+            broadcast_bidir(rank, &w, 0, data, b)
+        });
+        let binom = machine(p).run(move |rank| {
+            let w = rank.world();
+            let data = (w.rank() == 0).then(|| vec![1.0; b]);
+            broadcast_binomial(rank, &w, 0, data, b)
+        });
+        assert!(
+            bidir.stats.critical().words < binom.stats.critical().words / 1.5,
+            "bidir W={} should clearly beat binomial W={}",
+            bidir.stats.critical().words,
+            binom.stats.critical().words
+        );
+        // ... at the cost of more messages.
+        assert!(bidir.stats.critical().msgs >= binom.stats.critical().msgs);
+    }
+
+    #[test]
+    fn bidir_reduce_sums_to_root() {
+        for p in [1usize, 3, 8, 10] {
+            let root = p - 1;
+            let b = 40;
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                reduce_bidir(rank, &w, root, vec![(rank.id() + 1) as f64; b])
+            });
+            let total: f64 = (1..=p).map(|x| x as f64).sum();
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    assert_eq!(res.as_ref().unwrap(), &vec![total; b], "p={p}");
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidir_all_reduce_everyone_gets_sum() {
+        for p in [1usize, 2, 5, 8] {
+            let b = 33;
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                all_reduce_bidir(rank, &w, vec![(rank.id() + 1) as f64; b])
+            });
+            let total: f64 = (1..=p).map(|x| x as f64).sum();
+            assert!(out.results.iter().all(|r| r == &vec![total; b]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn all_reduce_bidir_bandwidth_is_linear_in_block() {
+        // W = O(B + P) per Table 1 (Equation 21), vs binomial's B log P.
+        let p = 16;
+        let b = 2048;
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            all_reduce_bidir(rank, &w, vec![1.0; b])
+        });
+        let c = out.stats.critical();
+        assert!(c.words <= 8.0 * (b + p) as f64, "W={} not O(B+P)", c.words);
+        // flops: (P−1)/P·B per endpoint ≈ B on the path, definitely ≤ 4B.
+        assert!(c.flops <= 4.0 * b as f64, "F={} not O(B)", c.flops);
+    }
+
+    #[test]
+    fn reduce_scatter_charges_total_adds() {
+        // Total adds across ranks = (P−1)·ΣB (each contribution folded once).
+        let p = 4;
+        let b = 8;
+        let sizes = vec![b; p];
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let blocks: Vec<Vec<f64>> = (0..p).map(|_| vec![1.0; b]).collect();
+            reduce_scatter(rank, &w, blocks, &sizes)
+        });
+        assert_eq!(out.stats.total_flops(), ((p - 1) * p * b) as f64);
+    }
+
+    #[test]
+    fn chunking_is_exact() {
+        assert_eq!(chunk_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(chunk_sizes(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(chunk_sizes(0, 2), vec![0, 0]);
+        let d: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let c = split_chunks(&d, &chunk_sizes(10, 3));
+        assert_eq!(c.concat(), d);
+    }
+}

@@ -1,0 +1,372 @@
+//! Binomial-tree collectives (paper Appendix A.1).
+//!
+//! The recursion splits the processors of a range into two sets of sizes
+//! `⌈P/2⌉` and `⌊P/2⌋`; the root's counterpart `r'` in the opposite set
+//! becomes the root of that set. `scatter`/`broadcast` transfer on the way
+//! *down* the recursion (tail recursion), `gather`/`reduce` on the way *up*
+//! (head recursion).
+//!
+//! Costs (Table 1): `scatter`/`gather` move `(P−1)B` words in `log P`
+//! messages; `broadcast`/`reduce` move `B log P` words in `log P` messages
+//! (`reduce` also adds `B log P` flops).
+
+use qr3d_machine::{Comm, Rank};
+
+use crate::tag_of;
+use crate::tree::binomial_frames as frames;
+
+/// Binomial-tree **scatter**: the root supplies one block per local rank
+/// (`blocks[i]` of size `sizes[i]`); every rank receives its own block.
+///
+/// Every member must pass the same `sizes`; only the root passes `blocks`.
+pub fn scatter(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    blocks: Option<Vec<Vec<f64>>>,
+    sizes: &[usize],
+) -> Vec<f64> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "scatter: root out of range");
+    assert_eq!(sizes.len(), p, "scatter: need one size per rank");
+    let op = comm.next_op();
+
+    let mut held: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+    if me == root {
+        let blocks = blocks.expect("scatter: root must supply blocks");
+        assert_eq!(blocks.len(), p, "scatter: root must supply one block per rank");
+        for (i, b) in blocks.into_iter().enumerate() {
+            assert_eq!(b.len(), sizes[i], "scatter: block {i} size mismatch");
+            held[i] = Some(b);
+        }
+    }
+
+    for f in frames(me, p, root) {
+        if me == f.rt {
+            // Send everything destined for the opposite set to r'.
+            let mut payload = Vec::new();
+            for t in f.olo..f.ohi {
+                payload.extend(held[t].take().expect("scatter: missing block at root"));
+            }
+            rank.send_vec(comm, f.ort, tag_of(op, f.depth), payload);
+        } else {
+            // me == f.ort: receive and split by the (globally known) sizes.
+            let payload = rank.recv(comm, f.rt, tag_of(op, f.depth));
+            let mut off = 0;
+            for t in f.olo..f.ohi {
+                held[t] = Some(payload[off..off + sizes[t]].to_vec());
+                off += sizes[t];
+            }
+            assert_eq!(off, payload.len(), "scatter: payload size mismatch");
+        }
+    }
+    held[me].take().expect("scatter: own block missing")
+}
+
+/// Binomial-tree **gather**: every rank contributes `block` (of size
+/// `sizes[rank]`); the root receives all blocks (indexed by local rank).
+pub fn gather(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    block: Vec<f64>,
+    sizes: &[usize],
+) -> Option<Vec<Vec<f64>>> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "gather: root out of range");
+    assert_eq!(sizes.len(), p, "gather: need one size per rank");
+    assert_eq!(block.len(), sizes[me], "gather: own block size mismatch");
+    let op = comm.next_op();
+
+    let mut held: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+    held[me] = Some(block);
+
+    // Reverse of scatter: transfers happen deepest-frame-first.
+    for f in frames(me, p, root).into_iter().rev() {
+        if me == f.ort {
+            // Send everything from my (opposite) set up to rt.
+            let mut payload = Vec::new();
+            for t in f.olo..f.ohi {
+                payload.extend(held[t].take().expect("gather: missing block"));
+            }
+            rank.send_vec(comm, f.rt, tag_of(op, f.depth), payload);
+        } else {
+            // me == f.rt: receive the opposite set's blocks.
+            let payload = rank.recv(comm, f.ort, tag_of(op, f.depth));
+            let mut off = 0;
+            for t in f.olo..f.ohi {
+                held[t] = Some(payload[off..off + sizes[t]].to_vec());
+                off += sizes[t];
+            }
+            assert_eq!(off, payload.len(), "gather: payload size mismatch");
+        }
+    }
+
+    if me == root {
+        Some(held.into_iter().map(|b| b.expect("gather: missing block at root")).collect())
+    } else {
+        None
+    }
+}
+
+/// Binomial-tree **broadcast**: the root's block (of size `size`) is
+/// delivered to every rank. `B log P` words, `log P` messages.
+pub fn broadcast_binomial(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    data: Option<Vec<f64>>,
+    size: usize,
+) -> Vec<f64> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "broadcast: root out of range");
+    let op = comm.next_op();
+
+    let mut held: Option<Vec<f64>> = if me == root {
+        let d = data.expect("broadcast: root must supply data");
+        assert_eq!(d.len(), size, "broadcast: size mismatch");
+        Some(d)
+    } else {
+        None
+    };
+
+    for f in frames(me, p, root) {
+        if me == f.rt {
+            let d = held.as_ref().expect("broadcast: root has data");
+            rank.send(comm, f.ort, tag_of(op, f.depth), d);
+        } else {
+            held = Some(rank.recv(comm, f.rt, tag_of(op, f.depth)));
+        }
+    }
+    held.expect("broadcast: data missing after tree")
+}
+
+/// Binomial-tree **reduce** (entrywise sum): every rank contributes `data`
+/// (all the same length); the root receives the sum. Adds are charged one
+/// flop per word.
+pub fn reduce_binomial(
+    rank: &mut Rank,
+    comm: &Comm,
+    root: usize,
+    data: Vec<f64>,
+) -> Option<Vec<f64>> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "reduce: root out of range");
+    let op = comm.next_op();
+
+    let mut acc = data;
+    // Reverse of broadcast: deepest-frame-first, adding as blocks arrive.
+    for f in frames(me, p, root).into_iter().rev() {
+        if me == f.ort {
+            rank.send_vec(comm, f.rt, tag_of(op, f.depth), acc);
+            // This rank's contribution is folded in upstream; it is done.
+            return None;
+        } else {
+            let incoming = rank.recv(comm, f.ort, tag_of(op, f.depth));
+            assert_eq!(incoming.len(), acc.len(), "reduce: length mismatch");
+            for (a, b) in acc.iter_mut().zip(&incoming) {
+                *a += b;
+            }
+            rank.charge_flops(incoming.len() as f64);
+        }
+    }
+    if me == root {
+        Some(acc)
+    } else {
+        None
+    }
+}
+
+/// Binomial **all-reduce**: reduce to local rank 0, then binomial
+/// broadcast (the Appendix A.1 composition).
+pub fn all_reduce_binomial(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
+    let size = data.len();
+    let reduced = reduce_binomial(rank, comm, 0, data);
+    broadcast_binomial(rank, comm, 0, reduced, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, CostParams::unit())
+    }
+
+    #[test]
+    fn scatter_delivers_blocks_any_root_any_p() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in [0, p - 1, p / 2] {
+                let sizes: Vec<usize> = (0..p).map(|i| i + 1).collect();
+                let out = machine(p).run(|rank| {
+                    let w = rank.world();
+                    let blocks = (w.rank() == root).then(|| {
+                        (0..p).map(|i| vec![(100 * root + i) as f64; i + 1]).collect()
+                    });
+                    scatter(rank, &w, root, blocks, &sizes)
+                });
+                for (i, b) in out.results.iter().enumerate() {
+                    assert_eq!(b, &vec![(100 * root + i) as f64; i + 1], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_with_empty_blocks() {
+        let p = 4;
+        let sizes = vec![2, 0, 3, 0];
+        let out = machine(p).run(|rank| {
+            let w = rank.world();
+            let blocks = (w.rank() == 0)
+                .then(|| vec![vec![1.0; 2], vec![], vec![2.0; 3], vec![]]);
+            scatter(rank, &w, 0, blocks, &sizes)
+        });
+        assert_eq!(out.results[0], vec![1.0; 2]);
+        assert_eq!(out.results[1], Vec::<f64>::new());
+        assert_eq!(out.results[2], vec![2.0; 3]);
+    }
+
+    #[test]
+    fn gather_reverses_scatter() {
+        for p in [1usize, 3, 6, 7] {
+            let root = p / 3;
+            let sizes: Vec<usize> = (0..p).map(|i| 2 * i % 5).collect();
+            let sz = sizes.clone();
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let mine = vec![w.rank() as f64; sz[w.rank()]];
+                gather(rank, &w, root, mine, &sz)
+            });
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    let blocks = res.as_ref().expect("root gets blocks");
+                    for (i, b) in blocks.iter().enumerate() {
+                        assert_eq!(b, &vec![i as f64; sizes[i]], "p={p}");
+                    }
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for p in [1usize, 2, 5, 8, 13] {
+            let root = p - 1;
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let data = (w.rank() == root).then(|| vec![3.25; 10]);
+                broadcast_binomial(rank, &w, root, data, 10)
+            });
+            assert!(out.results.iter().all(|b| b == &vec![3.25; 10]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_costs_match_table1() {
+        // W ≤ B·⌈log₂P⌉ along the critical path; S ≤ ⌈log₂P⌉ + small const.
+        for p in [4usize, 8, 16, 32] {
+            let b = 64;
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let data = (w.rank() == 0).then(|| vec![1.0; b]);
+                broadcast_binomial(rank, &w, 0, data, b)
+            });
+            let c = out.stats.critical();
+            let lg = (p as f64).log2().ceil();
+            // Each hop charges the message at both endpoints: factor 2.
+            assert!(c.words <= 2.0 * b as f64 * lg, "p={p}: W={}", c.words);
+            assert!(c.msgs <= 2.0 * lg, "p={p}: S={}", c.msgs);
+            assert!(c.msgs >= lg, "p={p}: a broadcast needs ≥ log P messages");
+        }
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        for p in [1usize, 2, 4, 7, 9] {
+            let root = p / 2;
+            let out = machine(p).run(move |rank| {
+                let w = rank.world();
+                let data = vec![rank.id() as f64, 1.0];
+                reduce_binomial(rank, &w, root, data)
+            });
+            let expect_sum = (p * (p - 1) / 2) as f64;
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    assert_eq!(res.as_ref().unwrap(), &vec![expect_sum, p as f64], "p={p}");
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_charges_adds() {
+        let p = 8;
+        let b = 32;
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            reduce_binomial(rank, &w, 0, vec![1.0; b])
+        });
+        // Total adds = (P-1)·B regardless of tree shape.
+        assert_eq!(out.stats.total_flops(), ((p - 1) * b) as f64);
+        // Critical-path flops ≤ B·log₂P.
+        assert!(out.stats.critical().flops <= (b as f64) * 3.0);
+    }
+
+    #[test]
+    fn all_reduce_binomial_all_ranks_get_sum() {
+        for p in [1usize, 3, 8] {
+            let out = machine(p).run(|rank| {
+                let w = rank.world();
+                all_reduce_binomial(rank, &w, vec![1.0, rank.id() as f64])
+            });
+            let s = (p * (p - 1) / 2) as f64;
+            assert!(out.results.iter().all(|r| r == &vec![p as f64, s]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn scatter_total_volume_is_table1_bound() {
+        // Binomial scatter moves each block once per level it descends:
+        // total volume ≤ B·(P−1) for uniform blocks... exactly Σ levels.
+        let p = 8;
+        let b = 10;
+        let sizes = vec![b; p];
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let blocks = (w.rank() == 0).then(|| vec![vec![1.0; b]; p]);
+            scatter(rank, &w, 0, blocks, &sizes)
+        });
+        // Volume: level 0 sends 4 blocks, level 1 sends 2+2, level 2 sends 1×4:
+        // total = (P−1)·B? 4+4 = no: 4B + 4B + 4B = 12B... bound is ≤ B·P·log/2.
+        // The Table 1 *critical path* bound is (P−1)B words:
+        let c = out.stats.critical();
+        assert!(c.words <= 2.0 * ((p - 1) * b) as f64, "W={} bound={}", c.words, (p - 1) * b);
+        assert!(c.msgs <= 2.0 * 3.0 + 1.0);
+    }
+
+    #[test]
+    fn works_on_subcommunicators() {
+        // Broadcast within each half of the world.
+        let p = 8;
+        let out = machine(p).run(|rank| {
+            let w = rank.world();
+            let half: Vec<usize> = if rank.id() < 4 { (0..4).collect() } else { (4..8).collect() };
+            let sub = w.subset(&half).unwrap();
+            let data = (sub.rank() == 0).then(|| vec![half[0] as f64]);
+            broadcast_binomial(rank, &sub, 0, data, 1)
+        });
+        for (r, v) in out.results.iter().enumerate() {
+            assert_eq!(v[0], if r < 4 { 0.0 } else { 4.0 });
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # qr3d-collectives — the eight collectives of SPAA'18 Table 1
+//!
+//! Implements the collective communication operations the paper defines in
+//! Section 3 and analyzes in Appendix A, on top of the point-to-point
+//! primitives of [`qr3d_machine`]:
+//!
+//! | collective       | algorithm(s)                                        |
+//! |------------------|-----------------------------------------------------|
+//! | `scatter`        | binomial tree (A.1)                                 |
+//! | `gather`         | binomial tree (A.1)                                 |
+//! | `broadcast`      | binomial tree; scatter + all-gather (A.2)           |
+//! | `reduce`         | binomial tree; reduce-scatter + gather (A.2)        |
+//! | `all-gather`     | bidirectional exchange (A.2)                        |
+//! | `all-reduce`     | binomial; reduce-scatter + all-gather (A.2)         |
+//! | `all-to-all`     | radix-2 index [BHK+97]; two-phase variant \[HBJ96\]   |
+//! | `reduce-scatter` | bidirectional exchange (A.2)                        |
+//!
+//! The [`auto`] module picks, per call, whichever variant minimizes the
+//! Table 1 bound ("for broadcast and (all-)reduce we use whichever of the
+//! two minimizes all three costs, asymptotically").
+//!
+//! ## Conventions
+//!
+//! * Block sizes are *metadata known to every rank* (they always derive
+//!   from a data layout in this codebase), so no size headers are sent and
+//!   the charged words are exactly the paper's. Pass them explicitly
+//!   (`sizes[i]` = size of the block associated with local rank `i`;
+//!   [`BlockSizes`] for the all-to-all's `B_pq` matrix).
+//! * Reductions are entrywise sums of equal-length blocks (the only
+//!   reduction the paper needs), charged one flop per added word.
+//! * Every member of the communicator must enter the collective (SPMD);
+//!   root-only arguments are `Option`s.
+
+pub mod alltoall;
+pub mod auto;
+pub mod bidir;
+pub mod binomial;
+pub mod sizes;
+pub mod tree;
+
+pub use sizes::BlockSizes;
+
+/// Glob-import surface: the auto-dispatched collectives under their paper
+/// names, plus the explicit variants.
+pub mod prelude {
+    pub use crate::alltoall::{all_to_all, all_to_all_direct, all_to_all_index};
+    pub use crate::auto::{all_reduce, broadcast, reduce};
+    pub use crate::bidir::{
+        all_gather, all_reduce_bidir, broadcast_bidir, reduce_bidir, reduce_scatter,
+    };
+    pub use crate::binomial::{
+        all_reduce_binomial, broadcast_binomial, gather, reduce_binomial, scatter,
+    };
+    pub use crate::sizes::BlockSizes;
+}
+
+#[inline]
+pub(crate) fn tag_of(op: u64, step: u64) -> u64 {
+    (op << 8) | step
+}
+
+/// `⌈log₂ p⌉` (0 for p ≤ 1).
+pub(crate) fn ceil_log2(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ceil_log2;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! The binomial-tree schedule (Appendix A.1), exposed for reuse.
+//!
+//! TSQR "resembles a reduce followed by a broadcast, the distinction being
+//! the local arithmetic performed before and after each exchange"
+//! (Section 5 / Appendix C) — it therefore reuses this schedule with its
+//! own per-exchange computation instead of an entrywise sum.
+
+/// One frame of the binomial recursion in which this rank participates:
+/// the range splits into two sets; `rt` roots the set containing the
+/// original root and `ort` (the paper's `r'`) roots the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeFrame {
+    /// Root of the set containing the (original) root.
+    pub rt: usize,
+    /// The opposite set's range (local ranks `olo..ohi`).
+    pub olo: usize,
+    /// End of the opposite set's range.
+    pub ohi: usize,
+    /// The opposite set's root `r'`.
+    pub ort: usize,
+    /// Recursion depth (0 = the full range), usable as a message tag.
+    pub depth: u64,
+}
+
+/// Walk the binomial recursion over local ranks `0..p` rooted at `root`,
+/// returning (top-down) the frames in which rank `me` is `rt` or `ort`.
+/// Ranges split as `⌈P/2⌉ | ⌊P/2⌋`. Every rank computes the same tree
+/// locally; no communication.
+///
+/// * Down-moving collectives (scatter, broadcast) transfer at each frame
+///   in order.
+/// * Up-moving collectives (gather, reduce, TSQR's upsweep) transfer in
+///   reverse order; a rank acting as `ort` sends and is finished.
+pub fn binomial_frames(me: usize, p: usize, root: usize) -> Vec<TreeFrame> {
+    assert!(root < p, "root out of range");
+    assert!(me < p, "rank out of range");
+    let (mut lo, mut hi, mut rt) = (0usize, p, root);
+    let mut depth = 0u64;
+    let mut out = Vec::new();
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        let (olo, ohi) = if rt < mid { (mid, hi) } else { (lo, mid) };
+        let ort = if rt < mid { mid } else { lo };
+        if me == rt || me == ort {
+            out.push(TreeFrame { rt, olo, ohi, ort, depth });
+        }
+        if me < mid {
+            hi = mid;
+            rt = if rt < mid { rt } else { lo };
+        } else {
+            lo = mid;
+            rt = if rt < mid { mid } else { rt };
+        }
+        depth += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_has_no_frames() {
+        assert!(binomial_frames(0, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn two_ranks_one_exchange() {
+        let f0 = binomial_frames(0, 2, 0);
+        let f1 = binomial_frames(1, 2, 0);
+        assert_eq!(f0.len(), 1);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f0[0], f1[0]);
+        assert_eq!(f0[0].rt, 0);
+        assert_eq!(f0[0].ort, 1);
+    }
+
+    #[test]
+    fn frames_pair_up_consistently() {
+        // For every p, root: each frame seen by rt is seen identically by
+        // ort, and every non-root rank is ort exactly once.
+        for p in [2usize, 3, 5, 8, 13] {
+            for root in [0, p / 2, p - 1] {
+                let all: Vec<Vec<TreeFrame>> =
+                    (0..p).map(|me| binomial_frames(me, p, root)).collect();
+                let mut ort_count = vec![0usize; p];
+                for frames in &all {
+                    for f in frames {
+                        assert!(all[f.rt].contains(f), "rt sees frame {f:?}");
+                        assert!(all[f.ort].contains(f), "ort sees frame {f:?}");
+                        assert!(f.olo <= f.ort && f.ort < f.ohi, "ort inside its range");
+                    }
+                }
+                for (me, frames) in all.iter().enumerate() {
+                    for f in frames {
+                        if f.ort == me {
+                            ort_count[me] += 1;
+                        }
+                    }
+                }
+                for me in 0..p {
+                    let expect = usize::from(me != root);
+                    assert_eq!(
+                        ort_count[me], expect,
+                        "p={p} root={root} me={me}: each non-root is ort exactly once"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_bounded_by_log() {
+        for p in [2usize, 7, 16, 31] {
+            for me in 0..p {
+                let frames = binomial_frames(me, p, 0);
+                let lg = (p as f64).log2().ceil() as usize;
+                assert!(frames.len() <= lg, "p={p} me={me}");
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Distributed application of a factored Q to row-distributed matrices.
+//!
+//! Given the 1D-family output `(V, T, R)` (V row-distributed, T on the
+//! root), computes `Q·C` or `Qᵀ·C` for a conformally row-distributed `C`
+//! using the same Lemma 3 pattern as the qr-eg inductive case:
+//! `M₁ = VᵀC` (1D dmm, reduce), `M₂ = T'·M₁` (root-local), `C − V·M₂`
+//! (1D dmm, broadcast). This is the building block downstream consumers
+//! need (least-squares, orthogonalization, the paper's `R = [R₁ QᴴA₂]`
+//! wide-matrix trick of Section 2.1).
+
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::gemm::Trans;
+use qr3d_matrix::{flops, Matrix};
+use qr3d_mm::brick::TransposedDist;
+use qr3d_mm::dmm1d::{dmm1d_broadcast, dmm1d_reduce};
+use qr3d_mm::dmm3d::dmm3d_redistributed;
+use qr3d_mm::local::mm_local;
+
+use crate::caqr3d::QrFactorsCyclic;
+use crate::shifted::ShiftedRowCyclic;
+use crate::tsqr::QrFactors;
+
+/// Apply `Qᵀ` to a row-distributed matrix: returns this rank's rows of
+/// `QᵀC = C − V·(Tᵀ·(VᵀC))`. `factors.t` must be present on local rank 0.
+pub fn apply_qt_1d(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactors,
+    c_local: &Matrix,
+) -> Matrix {
+    apply_1d(rank, comm, factors, c_local, true)
+}
+
+/// Apply `Q` to a row-distributed matrix: returns this rank's rows of
+/// `QC = C − V·(T·(VᵀC))`.
+pub fn apply_q_1d(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactors,
+    c_local: &Matrix,
+) -> Matrix {
+    apply_1d(rank, comm, factors, c_local, false)
+}
+
+fn apply_1d(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactors,
+    c_local: &Matrix,
+    transpose: bool,
+) -> Matrix {
+    let n = factors.v_local.cols();
+    let j = c_local.cols();
+    assert_eq!(
+        factors.v_local.rows(),
+        c_local.rows(),
+        "apply: C must share V's row distribution"
+    );
+    // M₁ = VᵀC → root.
+    let m1 = dmm1d_reduce(rank, comm, &factors.v_local, c_local, 0);
+    // M₂ = T'·M₁ at the root.
+    let m2 = m1.map(|m1| {
+        let t = factors.t.as_ref().expect("root holds T");
+        let tt = if transpose { Trans::Yes } else { Trans::No };
+        mm_local(rank, tt, Trans::No, t, &m1)
+    });
+    // C − V·M₂, rows staying local.
+    let vm2 = dmm1d_broadcast(rank, comm, &factors.v_local, m2, n, j, 0);
+    let mut out = c_local.clone();
+    out.sub_assign(&vm2);
+    rank.charge_flops(flops::matrix_add(out.rows(), j));
+    out
+}
+
+/// Apply `Qᵀ` from a 3D-CAQR-EG factorization to a row-cyclic matrix:
+/// returns this rank's rows of `QᵀC = C − V·(Tᵀ·(VᵀC))`, computed with
+/// three 3D dmms (all layouts row-cyclic over the communicator).
+///
+/// `m` is V's (and C's) global height, `j` is C's width.
+pub fn apply_qt_3d(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactorsCyclic,
+    c_local: &Matrix,
+    m: usize,
+    j: usize,
+) -> Matrix {
+    apply_3d(rank, comm, factors, c_local, m, j, true)
+}
+
+/// Apply `Q` from a 3D-CAQR-EG factorization to a row-cyclic matrix
+/// (see [`apply_qt_3d`]).
+pub fn apply_q_3d(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactorsCyclic,
+    c_local: &Matrix,
+    m: usize,
+    j: usize,
+) -> Matrix {
+    apply_3d(rank, comm, factors, c_local, m, j, false)
+}
+
+fn apply_3d(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactorsCyclic,
+    c_local: &Matrix,
+    m: usize,
+    j: usize,
+    transpose: bool,
+) -> Matrix {
+    let p = comm.size();
+    let n = factors.v_local.cols();
+    if j == 0 || n == 0 {
+        // Nothing to apply (empty C or empty Q basis): identity.
+        return c_local.clone();
+    }
+    let v_lay = ShiftedRowCyclic::new(m, n, p, 0);
+    let t_lay = ShiftedRowCyclic::new(n, n, p, 0);
+    let c_lay = ShiftedRowCyclic::new(m, j, p, 0);
+    let small = ShiftedRowCyclic::new(n, j, p, 0);
+    assert_eq!(c_local.cols(), j, "apply: C width");
+
+    // M₁ = VᵀC.
+    let m1 = dmm3d_redistributed(
+        rank,
+        comm,
+        factors.v_local.as_slice(),
+        &TransposedDist(v_lay.clone()),
+        c_local.as_slice(),
+        &c_lay,
+        &small,
+    );
+    // M₂ = T'·M₁ (T used transposed for Qᵀ).
+    let m2 = if transpose {
+        dmm3d_redistributed(
+            rank,
+            comm,
+            factors.t_local.as_slice(),
+            &TransposedDist(t_lay),
+            &m1,
+            &small,
+            &small,
+        )
+    } else {
+        dmm3d_redistributed(rank, comm, factors.t_local.as_slice(), &t_lay, &m1, &small, &small)
+    };
+    // C − V·M₂.
+    let vm2 = dmm3d_redistributed(
+        rank,
+        comm,
+        factors.v_local.as_slice(),
+        &v_lay,
+        &m2,
+        &small,
+        &c_lay,
+    );
+    let mut out = c_local.clone();
+    out.sub_assign(&Matrix::from_vec(c_local.rows(), j, vm2));
+    rank.charge_flops(flops::matrix_add(out.rows(), j));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caqr1d::{caqr1d_factor, Caqr1dConfig};
+    use crate::tsqr::tsqr_factor;
+    use crate::verify::assemble_block_row;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::layout::BlockRow;
+    use qr3d_matrix::qr::qt_times;
+
+    fn setup(m: usize, n: usize, j: usize, p: usize) -> (Matrix, Matrix, BlockRow) {
+        let a = Matrix::random(m, n, 51);
+        let c = Matrix::random(m, j, 52);
+        let lay = BlockRow::balanced(m, 1, p);
+        (a, c, lay)
+    }
+
+    #[test]
+    fn qt_matches_serial_apply() {
+        let (m, n, j, p) = (48usize, 6usize, 3usize, 4usize);
+        let (a, c, lay) = setup(m, n, j, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let f = tsqr_factor(rank, &w, &a.take_rows(&rows));
+            let qc = apply_qt_1d(rank, &w, &f, &c.take_rows(&rows));
+            (f, qc)
+        });
+        // Assemble the distributed result and compare with the serial
+        // application of the assembled factors.
+        let facs: Vec<_> = out.results.iter().map(|(f, _)| f.clone()).collect();
+        let fac = assemble_block_row(&facs, lay.counts());
+        let mut got = Matrix::zeros(m, j);
+        let starts = lay.starts();
+        for (r, (_, qc)) in out.results.iter().enumerate() {
+            got.set_submatrix(starts[r], 0, qc);
+        }
+        let expect = qt_times(&fac.v, &fac.t, &c);
+        assert!(got.sub(&expect).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_then_qt_roundtrips() {
+        let (m, n, j, p) = (40usize, 5usize, 2usize, 5usize);
+        let (a, c, lay) = setup(m, n, j, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let cfg = Caqr1dConfig::new(2);
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let f = caqr1d_factor(rank, &w, &a.take_rows(&rows), &cfg);
+            let c_loc = c.take_rows(&rows);
+            let qc = apply_q_1d(rank, &w, &f, &c_loc);
+            let back = apply_qt_1d(rank, &w, &f, &qc);
+            back.sub(&c_loc).max_abs()
+        });
+        for err in out.results {
+            assert!(err < 1e-12, "QᵀQC = C violated: {err}");
+        }
+    }
+
+    #[test]
+    fn qt_a_recovers_r() {
+        // QᵀA = [R; 0] distributed: the root's top n rows hold R.
+        let (m, n, p) = (36usize, 6usize, 3usize);
+        let a = Matrix::random(m, n, 53);
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let a_loc = a.take_rows(&rows);
+            let f = tsqr_factor(rank, &w, &a_loc);
+            let qta = apply_qt_1d(rank, &w, &f, &a_loc);
+            (f.r, qta)
+        });
+        let r = out.results[0].0.as_ref().unwrap();
+        let top = out.results[0].1.submatrix(0, n, 0, n);
+        assert!(top.sub(r).max_abs() < 1e-11, "top of QᵀA is R");
+        // All rows below n (across all ranks) vanish.
+        let starts = lay.starts();
+        for (rk, (_, qta)) in out.results.iter().enumerate() {
+            for lr in 0..qta.rows() {
+                if starts[rk] + lr >= n {
+                    for c in 0..n {
+                        assert!(qta[(lr, c)].abs() < 1e-11, "QᵀA zero below R");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_3d_matches_serial() {
+        use crate::caqr3d::{caqr3d_factor, Caqr3dConfig};
+        use crate::verify::assemble_factorization;
+        let (m, n, j, p) = (32usize, 8usize, 3usize, 4usize);
+        let a = Matrix::random(m, n, 71);
+        let c = Matrix::random(m, j, 72);
+        let cyc_a = ShiftedRowCyclic::new(m, n, p, 0);
+        let cyc_c = ShiftedRowCyclic::new(m, j, p, 0);
+        let cfg = Caqr3dConfig::new(4, 2);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let f = caqr3d_factor(rank, &w, &cyc_a.scatter_from_full(&a, rank.id()), m, n, &cfg);
+            let qc = apply_qt_3d(rank, &w, &f, &cyc_c.scatter_from_full(&c, rank.id()), m, j);
+            let back = apply_q_3d(rank, &w, &f, &qc, m, j);
+            (f, qc, back)
+        });
+        let facs: Vec<_> = out.results.iter().map(|(f, _, _)| f.clone()).collect();
+        let fac = assemble_factorization(&facs, m, n, p);
+        let qcs: Vec<Matrix> = out.results.iter().map(|(_, qc, _)| qc.clone()).collect();
+        let got = cyc_c.gather_to_full(&qcs);
+        let expect = qt_times(&fac.v, &fac.t, &c);
+        assert!(got.sub(&expect).max_abs() < 1e-12, "Qᵀ apply (3D) matches serial");
+        // Roundtrip: Q(QᵀC) = C.
+        let backs: Vec<Matrix> = out.results.iter().map(|(_, _, b)| b.clone()).collect();
+        let back = cyc_c.gather_to_full(&backs);
+        assert!(back.sub(&c).max_abs() < 1e-12, "Q·QᵀC = C");
+    }
+
+    #[test]
+    fn apply_costs_are_low_order() {
+        // One apply should cost far less than the factorization itself.
+        let (m, n, p) = (256usize, 16usize, 8usize);
+        let a = Matrix::random(m, n, 54);
+        let c = Matrix::random(m, 1, 55);
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let f = tsqr_factor(rank, &w, &a.take_rows(&rows));
+            let before = rank.clock();
+            let _ = apply_qt_1d(rank, &w, &f, &c.take_rows(&rows));
+            rank.clock().since(&before)
+        });
+        let factor_cost = machine_factor_cost(m, n, p, &a, &lay);
+        let apply_words = out.results.iter().map(|c| c.words).fold(0.0, f64::max);
+        assert!(
+            apply_words < factor_cost / 2.0,
+            "apply moved {apply_words} words, factorization moved {factor_cost}"
+        );
+    }
+
+    fn machine_factor_cost(
+        m: usize,
+        n: usize,
+        p: usize,
+        a: &Matrix,
+        lay: &BlockRow,
+    ) -> f64 {
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let _ = tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())));
+        });
+        let _ = (m, n);
+        out.stats.critical().words
+    }
+}

@@ -1,0 +1,265 @@
+//! 1D-CAQR-EG (paper Section 6, Theorem 2).
+//!
+//! An instantiation of the qr-eg template (Algorithm 2) on a 1D row
+//! distribution: the base case is [`crate::tsqr`], and the inductive
+//! case's six multiplications are 1D dmms (Lemma 3) and root-local mms.
+//! Choosing the recursion threshold `b = Θ(n/(log P)^ε)` (Equation (10))
+//! "effectively reduces tsqr's bandwidth cost by a logarithmic factor, at
+//! the expense of increasing its latency cost by a comparable factor":
+//!
+//! ```text
+//!           #operations                  #words               #messages
+//! tsqr      mn²/P + n³ log P             n² log P             log P
+//! 1d-caqr   mn²/P + n³(log P)^{1−2ε}     n²(log P)^{1−ε}      (log P)^{1+ε}
+//! ```
+//!
+//! Input distribution (as for tsqr): every rank owns `m_p ≥ n` rows and
+//! local rank 0 — the root — owns the leading `n` rows. `V` is returned
+//! with `A`'s distribution; `T` and `R` on the root only.
+
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::gemm::Trans;
+use qr3d_matrix::{flops, Matrix};
+use qr3d_mm::dmm1d::{dmm1d_broadcast, dmm1d_reduce};
+use qr3d_mm::local::mm_local;
+
+use crate::params::caqr1d_block;
+use crate::tsqr::{tsqr_factor, QrFactors};
+
+/// Configuration for 1D-CAQR-EG: the recursion threshold `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Caqr1dConfig {
+    /// Column threshold below which tsqr is invoked (`1 ≤ b`; `b ≥ n`
+    /// means tsqr immediately).
+    pub b: usize,
+}
+
+impl Caqr1dConfig {
+    /// Explicit threshold.
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 1, "threshold must be positive");
+        Caqr1dConfig { b }
+    }
+
+    /// The paper's choice `b = Θ(n/(log P)^ε)` (Equation (10)); `ε = 1`
+    /// yields Theorem 2's bounds.
+    pub fn auto(n: usize, p: usize, epsilon: f64) -> Self {
+        Caqr1dConfig { b: caqr1d_block(n, p, epsilon) }
+    }
+}
+
+/// Factor the row-distributed `a_local` (root = local rank 0 owning the
+/// top rows; every rank with at least `n` rows) with 1D-CAQR-EG.
+pub fn caqr1d_factor(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    cfg: &Caqr1dConfig,
+) -> QrFactors {
+    let n = a_local.cols();
+    assert!(
+        a_local.rows() >= n,
+        "caqr1d: every rank needs at least n rows (got {} × {n})",
+        a_local.rows()
+    );
+    recurse(rank, comm, a_local, cfg.b)
+}
+
+fn recurse(rank: &mut Rank, comm: &Comm, a_local: &Matrix, b: usize) -> QrFactors {
+    let n = a_local.cols();
+    let mp = a_local.rows();
+    let me = comm.rank();
+
+    // Base case (Line 1–2): invoke tsqr with the same root.
+    if n <= b {
+        return tsqr_factor(rank, comm, a_local);
+    }
+
+    // Line 4: split columns (A₁₁ is ⌊n/2⌋ × ⌊n/2⌋).
+    let nl = n / 2;
+    let nr = n - nl;
+    let a_left = a_local.submatrix(0, mp, 0, nl);
+    let a_right = a_local.submatrix(0, mp, nl, n);
+
+    // Line 5: left recursion (only n decreases; distribution intact).
+    let left = recurse(rank, comm, &a_left, b);
+
+    // Line 6: M₁ = V_Lᵀ·[A₁₂; A₂₂] — 1D dmm, reduce case (K = m), root 0.
+    let m1 = dmm1d_reduce(rank, comm, &left.v_local, &a_right, 0);
+
+    // Line 7: M₂ = T_Lᵀ·M₁ — local mm on the root.
+    let m2 = m1.map(|m1| {
+        let tl = left.t.as_ref().expect("root holds T_L");
+        mm_local(rank, Trans::Yes, Trans::No, tl, &m1)
+    });
+
+    // Line 8: [B₁₂; B₂₂] = [A₁₂; A₂₂] − V_L·M₂ — 1D dmm, broadcast case
+    // (I = m), then a local subtraction in the same row distribution.
+    let vl_m2 = dmm1d_broadcast(rank, comm, &left.v_local, m2, nl, nr, 0);
+    let mut b_panel = a_right.clone();
+    b_panel.sub_assign(&vl_m2);
+    rank.charge_flops(flops::matrix_add(mp, nr));
+
+    // Line 9: right recursion on B₂₂ (the root's share shrinks by nl rows,
+    // preserving "root owns the top rows" for the sub-panel).
+    let b22_local =
+        if me == 0 { b_panel.submatrix(nl, mp, 0, nr) } else { b_panel.clone() };
+    let right = recurse(rank, comm, &b22_local, b);
+
+    // Line 10: assemble local rows of V = [V_L  [0; V_R]].
+    let mut v_local = Matrix::zeros(mp, n);
+    v_local.set_submatrix(0, 0, &left.v_local);
+    if me == 0 {
+        v_local.set_submatrix(nl, nl, &right.v_local);
+    } else {
+        v_local.set_submatrix(0, nl, &right.v_local);
+    }
+
+    // Line 11: M₃ = V_Lᵀ·[0; V_R] — 1D dmm, reduce case, root 0.
+    let zero_vr = v_local.submatrix(0, mp, nl, n);
+    let m3 = dmm1d_reduce(rank, comm, &left.v_local, &zero_vr, 0);
+
+    // Lines 12–14: root-local assembly of T and R.
+    if me == 0 {
+        let tl = left.t.expect("root holds T_L");
+        let rl = left.r.expect("root holds R_L");
+        let tr = right.t.expect("root holds T_R");
+        let rr = right.r.expect("root holds R_R");
+        // Line 12: M₄ = M₃·T_R.
+        let m4 = mm_local(rank, Trans::No, Trans::No, &m3.expect("root holds M₃"), &tr);
+        // Line 13: T = [[T_L, −T_L·M₄], [0, T_R]].
+        let mut t12 = mm_local(rank, Trans::No, Trans::No, &tl, &m4);
+        t12.scale(-1.0);
+        rank.charge_flops(flops::matrix_add(nl, nr));
+        let mut t = Matrix::zeros(n, n);
+        t.set_submatrix(0, 0, &tl);
+        t.set_submatrix(0, nl, &t12);
+        t.set_submatrix(nl, nl, &tr);
+        // Line 14: R = [[R_L, B₁₂], [0, R_R]].
+        let b12 = b_panel.submatrix(0, nl, 0, nr);
+        let mut r = Matrix::zeros(n, n);
+        r.set_submatrix(0, 0, &rl);
+        r.set_submatrix(0, nl, &b12);
+        r.set_submatrix(nl, nl, &rr);
+        QrFactors { v_local, t: Some(t), r: Some(r) }
+    } else {
+        QrFactors { v_local, t: None, r: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::gemm::matmul_tn;
+    use qr3d_matrix::layout::BlockRow;
+    use qr3d_matrix::qr::{q_times, thin_q};
+
+    fn check(m: usize, n: usize, p: usize, b: usize, seed: u64) {
+        let a = Matrix::random(m, n, seed);
+        let lay = BlockRow::balanced(m, 1, p);
+        assert!(lay.counts().iter().all(|&c| c >= n));
+        let machine = Machine::new(p, CostParams::unit());
+        let cfg = Caqr1dConfig::new(b);
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+            caqr1d_factor(rank, &w, &a_loc, &cfg)
+        });
+        let starts = lay.starts();
+        let mut v = Matrix::zeros(m, n);
+        for (r, fac) in out.results.iter().enumerate() {
+            v.set_submatrix(starts[r], 0, &fac.v_local);
+        }
+        let t = out.results[0].t.clone().unwrap();
+        let r = out.results[0].r.clone().unwrap();
+        assert!(v.is_unit_lower_trapezoidal(1e-11), "V structure (m={m} n={n} p={p} b={b})");
+        assert!(t.is_upper_triangular(1e-13), "T structure");
+        assert!(r.is_upper_triangular(1e-13), "R structure");
+        let mut rn = Matrix::zeros(m, n);
+        rn.set_submatrix(0, 0, &r);
+        let resid =
+            q_times(&v, &t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
+        assert!(resid < 1e-11, "m={m} n={n} p={p} b={b}: residual {resid}");
+        let q1 = thin_q(&v, &t);
+        let orth = matmul_tn(&q1, &q1).sub(&Matrix::identity(n)).max_abs();
+        assert!(orth < 1e-11, "m={m} n={n} p={p} b={b}: orthogonality {orth}");
+    }
+
+    #[test]
+    fn correct_across_thresholds() {
+        // b = n (pure tsqr), b = n/2 (one split), b = 1 (full recursion).
+        for b in [8usize, 4, 2, 1] {
+            check(64, 8, 4, b, 42);
+        }
+    }
+
+    #[test]
+    fn correct_odd_sizes() {
+        check(63, 7, 3, 2, 1);
+        check(45, 5, 5, 3, 2);
+        check(36, 6, 2, 5, 3);
+    }
+
+    #[test]
+    fn single_rank_still_recursive() {
+        check(20, 6, 1, 2, 4);
+    }
+
+    #[test]
+    fn single_column() {
+        check(16, 1, 4, 1, 5);
+    }
+
+    #[test]
+    fn auto_config_matches_eq10() {
+        let cfg = Caqr1dConfig::auto(64, 16, 1.0);
+        assert_eq!(cfg.b, 16);
+        check(16 * 64, 64, 16, cfg.b, 6);
+    }
+
+    #[test]
+    fn reduces_bandwidth_versus_tsqr() {
+        // Theorem 2's point: with ε = 1, W drops from n² log P to ≈ n²,
+        // while S grows from log P to (log P)².
+        let (n, p) = (32, 16);
+        let m = n * p;
+        let a = Matrix::random(m, n, 7);
+        let lay = BlockRow::balanced(m, 1, p);
+        let measure = |b: usize| {
+            let machine = Machine::new(p, CostParams::unit());
+            let cfg = Caqr1dConfig::new(b);
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+                caqr1d_factor(rank, &w, &a_loc, &cfg)
+            });
+            out.stats.critical()
+        };
+        let tsqr_cost = measure(n); // b = n ⇒ pure tsqr
+        let caqr_cost = measure(Caqr1dConfig::auto(n, p, 1.0).b);
+        assert!(
+            caqr_cost.words < tsqr_cost.words,
+            "caqr-eg W={} should beat tsqr W={}",
+            caqr_cost.words,
+            tsqr_cost.words
+        );
+        assert!(
+            caqr_cost.msgs > tsqr_cost.msgs,
+            "caqr-eg S={} should exceed tsqr S={} (the tradeoff)",
+            caqr_cost.msgs,
+            tsqr_cost.msgs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n rows")]
+    fn rejects_insufficient_rows() {
+        let machine = Machine::new(1, CostParams::unit());
+        let cfg = Caqr1dConfig::new(1);
+        let _ = machine.run(|rank| {
+            let w = rank.world();
+            caqr1d_factor(rank, &w, &Matrix::zeros(3, 5), &cfg)
+        });
+    }
+}

@@ -1,0 +1,94 @@
+//! `caqr` (2D) — communication-avoiding QR \[DGHL12\] with the [BDG+15]
+//! improvements (paper Section 8.1).
+//!
+//! "caqr modifies 2d-house to invoke tsqr in the base case. [...] We
+//! parallelize and distribute data for tsqr as discussed in Section 5,
+//! and for caqr's inductive case as we did for 2d-house's. [...] In the
+//! case of caqr we use the same r × c grid as for 2d-house but now pick
+//! b = Θ(n/(nP/m)^{1/2})."
+//!
+//! Implementation: the shared 2D driver ([`crate::house2d::qr2d_driver`])
+//! with [`crate::house2d::PanelKind::Tsqr`] — each panel is factored by
+//! one tsqr over the owning grid column (`O(log P)` messages) instead of
+//! `b` column-wise all-reduce rounds (`O(b log P)` messages), which is
+//! exactly where caqr's latency win over `2d-house` comes from
+//! (Table 2: `(nP/m)^{1/2}(log P)²` vs `n log P` messages).
+
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::Matrix;
+
+use crate::house2d::{qr2d_driver, Grid2Config, PanelKind, Qr2dOutput};
+
+/// `caqr` (2D): blocked right-looking QR with tsqr panels.
+/// `a_local` must be this rank's piece per [`Grid2Config::scatter_from_full`];
+/// use [`Grid2Config::auto`] with `b = Θ(n/(nP/m)^{1/2})` (the paper's
+/// choice — see [`caqr2d_block`]) for the Table 2 costs.
+pub fn caqr2d_factor(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    m: usize,
+    n: usize,
+    cfg: &Grid2Config,
+) -> Qr2dOutput {
+    qr2d_driver(rank, comm, a_local, m, n, cfg, PanelKind::Tsqr)
+}
+
+/// The paper's caqr panel width `b = Θ(n/(nP/m)^{1/2})`, clamped to
+/// `[1, n]`.
+pub fn caqr2d_block(m: usize, n: usize, p: usize) -> usize {
+    assert!(m >= n && n >= 1);
+    let aspect = (n as f64 * p as f64 / m as f64).max(1.0);
+    ((n as f64 / aspect.sqrt()).round() as usize).clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::house2d::tests::run_2d;
+
+    #[test]
+    fn caqr2d_various_grids() {
+        run_2d(32, 8, Grid2Config::new(2, 2, 2), 4, PanelKind::Tsqr, 11);
+        run_2d(48, 12, Grid2Config::new(3, 2, 4), 6, PanelKind::Tsqr, 12);
+        run_2d(24, 6, Grid2Config::new(2, 1, 3), 2, PanelKind::Tsqr, 13);
+        run_2d(40, 10, Grid2Config::new(1, 2, 5), 2, PanelKind::Tsqr, 14);
+    }
+
+    #[test]
+    fn caqr2d_single_rank() {
+        run_2d(12, 6, Grid2Config::new(1, 1, 3), 1, PanelKind::Tsqr, 15);
+    }
+
+    #[test]
+    fn caqr2d_triggers_short_panel_fallback() {
+        // Square matrix: the last panels have fewer active rows per fiber
+        // rank than b, exercising the gather-to-root fallback.
+        run_2d(16, 16, Grid2Config::new(4, 1, 4), 4, PanelKind::Tsqr, 16);
+        run_2d(12, 12, Grid2Config::new(3, 2, 3), 6, PanelKind::Tsqr, 17);
+    }
+
+    #[test]
+    fn caqr2d_beats_house2d_latency() {
+        // Table 2: caqr's tsqr panels need O(log P) messages where
+        // 2d-house needs O(b log P) per panel.
+        let (m, n, p) = (256, 32, 8);
+        let cfg = Grid2Config::new(4, 2, 8);
+        let (_, house) = run_2d(m, n, cfg, p, PanelKind::House, 18);
+        let (_, caqr) = run_2d(m, n, cfg, p, PanelKind::Tsqr, 18);
+        assert!(
+            caqr.msgs < house.msgs,
+            "caqr S={} should beat 2d-house S={}",
+            caqr.msgs,
+            house.msgs
+        );
+    }
+
+    #[test]
+    fn block_choice_matches_paper() {
+        // m = 4n ⇒ nP/m = P/4; b = n/√(P/4).
+        assert_eq!(caqr2d_block(4 * 64, 64, 16), 32);
+        // Tall-skinny: aspect ≤ 1 ⇒ b = n.
+        assert_eq!(caqr2d_block(64 * 32, 32, 8), 32);
+    }
+}

@@ -1,0 +1,255 @@
+//! `1d-house` — the 1D distributed Householder baseline (Section 8.1).
+//!
+//! "Let 1d-house denote the unblocked right-looking variant [...] For
+//! 1d-house we use a 1D processor grid \[and\] distribute matrices similar
+//! to 1d-caqr-eg." Each panel of `b` columns (`b = 1` recovers
+//! Householder's original unblocked algorithm) is factored column by
+//! column with per-column all-reduces ([`crate::panel::house_panel`]),
+//! then the trailing matrix is updated with one more all-reduce.
+//!
+//! Costs (Table 3): `mn²/P` flops, `n² log P` words, `n log P` messages —
+//! the latency baseline both tsqr and 1D-CAQR-EG beat exponentially.
+
+use qr3d_collectives::auto::all_reduce;
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::gemm::Trans;
+use qr3d_matrix::{flops, Matrix};
+use qr3d_mm::local::{mm_local, mm_local_acc};
+
+use crate::panel::house_panel;
+
+/// Configuration for `1d-house`: the panel width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct House1dConfig {
+    /// Panel width (`1` = the classic unblocked algorithm).
+    pub b: usize,
+}
+
+impl House1dConfig {
+    /// Panel width `b ≥ 1`.
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 1, "panel width must be positive");
+        House1dConfig { b }
+    }
+}
+
+/// Output of [`house1d_factor`]: `V` row-distributed like `A`; `R` on
+/// local rank 0. (The full-size `T` kernel is recoverable from `V` alone
+/// via `T = (triu(VᵀV, −1) + diag(diag(VᵀV))/2)⁻¹`, Section 2.3 — see
+/// `verify::t_from_v`.)
+#[derive(Debug, Clone)]
+pub struct House1dOutput {
+    /// This rank's rows of the Householder basis `V` (`m_p × n`).
+    pub v_local: Matrix,
+    /// The `n × n` R-factor (local rank 0 only).
+    pub r: Option<Matrix>,
+}
+
+/// Factor the block-row-distributed matrix (`counts[r]` rows on rank `r`,
+/// in global row order; `Σ counts = m ≥ n`) with blocked right-looking
+/// distributed Householder QR.
+pub fn house1d_factor(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    counts: &[usize],
+    cfg: &House1dConfig,
+) -> House1dOutput {
+    let n = a_local.cols();
+    let me = comm.rank();
+    assert_eq!(counts.len(), comm.size(), "one count per rank");
+    assert_eq!(a_local.rows(), counts[me], "local height mismatch");
+    let m: usize = counts.iter().sum();
+    assert!(m >= n, "need m ≥ n");
+
+    let starts: Vec<usize> = {
+        let mut s = vec![0];
+        for &c in counts {
+            s.push(s.last().unwrap() + c);
+        }
+        s
+    };
+    let my_lo = starts[me];
+    let my_count = counts[me];
+    // First local row with global index ≥ g.
+    let local_from =
+        |g: usize| g.saturating_sub(my_lo).min(my_count);
+
+    let mut work = a_local.clone();
+    let mut v_local = Matrix::zeros(my_count, n);
+
+    let mut j0 = 0;
+    while j0 < n {
+        let b = cfg.b.min(n - j0);
+        let j1 = j0 + b;
+        let lo = local_from(j0);
+
+        // Panel = rows ≥ j0, columns j0..j1, distributed with shrunken
+        // counts (global row order is preserved by the block-row layout).
+        let sub_counts: Vec<usize> = (0..comm.size())
+            .map(|r| starts[r + 1].saturating_sub(starts[r].max(j0)).min(counts[r]))
+            .collect();
+        let mut panel = work.submatrix(lo, my_count, j0, j1);
+        let (t, r_panel) = house_panel(rank, comm, &mut panel, &sub_counts);
+
+        // Store V and the panel's R rows.
+        v_local.set_submatrix(lo, j0, &panel);
+        for (lr, g) in (j0..j1).enumerate() {
+            if g >= my_lo && g < my_lo + my_count {
+                for (c, gc) in (j0..j1).enumerate() {
+                    work[(g - my_lo, gc)] = r_panel[(lr, c)];
+                }
+            }
+        }
+
+        // Trailing update: A[j0.., j1..] ← (I − V·Tᵀ·Vᵀ)ᵀ-style Qᵀ apply:
+        // W = Vᵀ·A_trail (all-reduced), M = Tᵀ·W, A_trail −= V·M.
+        if j1 < n {
+            let nt = n - j1;
+            let a_trail = work.submatrix(lo, my_count, j1, n);
+            let w_partial = mm_local(rank, Trans::Yes, Trans::No, &panel, &a_trail);
+            let w = Matrix::from_vec(b, nt, all_reduce(rank, comm, w_partial.into_vec()));
+            let m_mat = mm_local(rank, Trans::Yes, Trans::No, &t, &w);
+            let mut a_trail = a_trail;
+            mm_local_acc(rank, Trans::No, Trans::No, -1.0, &panel, &m_mat, &mut a_trail);
+            work.set_submatrix(lo, j1, &a_trail);
+            rank.charge_flops(flops::matrix_add(my_count - lo, nt));
+        }
+
+        j0 = j1;
+    }
+
+    // Collect R on rank 0: each rank packs its rows with global index < n
+    // (upper-triangular parts), gathered by one collective.
+    let my_r_rows: Vec<usize> =
+        (my_lo..my_lo + my_count).filter(|&g| g < n).collect();
+    let mut packed = Vec::new();
+    for &g in &my_r_rows {
+        packed.extend_from_slice(&work.row(g - my_lo)[g..n]);
+    }
+    let sizes: Vec<usize> = (0..comm.size())
+        .map(|r| {
+            (starts[r]..starts[r + 1])
+                .filter(|&g| g < n)
+                .map(|g| n - g)
+                .sum()
+        })
+        .collect();
+    let gathered = qr3d_collectives::binomial::gather(rank, comm, 0, packed, &sizes);
+    let r = gathered.map(|blocks| {
+        let mut r = Matrix::zeros(n, n);
+        for (src, block) in blocks.iter().enumerate() {
+            let mut off = 0;
+            for g in (starts[src]..starts[src + 1]).filter(|&g| g < n) {
+                for (k, c) in (g..n).enumerate() {
+                    r[(g, c)] = block[off + k];
+                }
+                off += n - g;
+            }
+        }
+        r
+    });
+
+    House1dOutput { v_local, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::partition::balanced_sizes;
+    use qr3d_matrix::qr::q_times;
+
+    use crate::verify::t_from_v;
+
+    fn check(m: usize, n: usize, p: usize, b: usize, seed: u64) {
+        let a = Matrix::random(m, n, seed);
+        let counts = balanced_sizes(m, p);
+        let starts: Vec<usize> = {
+            let mut s = vec![0];
+            for &c in &counts {
+                s.push(s.last().unwrap() + c);
+            }
+            s
+        };
+        let cfg = House1dConfig::new(b);
+        let machine = Machine::new(p, CostParams::unit());
+        let counts2 = counts.clone();
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let a_loc = a.submatrix(starts[me], starts[me + 1], 0, n);
+            house1d_factor(rank, &w, &a_loc, &counts2, &cfg)
+        });
+        let mut v = Matrix::zeros(m, n);
+        let mut off = 0;
+        for res in &out.results {
+            v.set_submatrix(off, 0, &res.v_local);
+            off += res.v_local.rows();
+        }
+        let r = out.results[0].r.clone().expect("rank 0 holds R");
+        assert!(out.results.iter().skip(1).all(|o| o.r.is_none()));
+        assert!(v.is_unit_lower_trapezoidal(1e-11), "V structure m={m} n={n} p={p} b={b}");
+        assert!(r.is_upper_triangular(0.0), "R structure");
+        // Monolithic T from V (Section 2.3 formula), then the identities.
+        let t = t_from_v(&v);
+        let mut rn = Matrix::zeros(m, n);
+        rn.set_submatrix(0, 0, &r);
+        let resid =
+            q_times(&v, &t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
+        assert!(resid < 1e-10, "m={m} n={n} p={p} b={b}: residual {resid}");
+    }
+
+    #[test]
+    fn unblocked_correct() {
+        check(24, 6, 3, 1, 1);
+        check(17, 5, 2, 1, 2);
+    }
+
+    #[test]
+    fn blocked_correct() {
+        check(32, 8, 4, 4, 3);
+        check(30, 9, 3, 2, 4);
+        check(20, 7, 2, 7, 5);
+        check(25, 6, 5, 3, 6);
+    }
+
+    #[test]
+    fn single_rank() {
+        check(12, 5, 1, 2, 7);
+    }
+
+    #[test]
+    fn square_matrix() {
+        check(8, 8, 2, 3, 8);
+    }
+
+    #[test]
+    fn message_count_scales_with_n_not_logp() {
+        // Table 3: S = Θ(n log P) — doubling n should ≈ double messages.
+        let p = 4;
+        let measure = |n: usize| {
+            let m = 8 * n;
+            let a = Matrix::random(m, n, 9);
+            let counts = balanced_sizes(m, p);
+            let cfg = House1dConfig::new(1);
+            let machine = Machine::new(p, CostParams::unit());
+            let counts2 = counts.clone();
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let me = w.rank();
+                let lo: usize = counts2[..me].iter().sum();
+                let a_loc = a.submatrix(lo, lo + counts2[me], 0, n);
+                house1d_factor(rank, &w, &a_loc, &counts2, &cfg)
+            });
+            out.stats.critical().msgs
+        };
+        let s8 = measure(8);
+        let s16 = measure(16);
+        let ratio = s16 / s8;
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "messages should scale ≈ linearly with n: S(8)={s8} S(16)={s16}"
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Iterative right-looking qr-eg (paper Sections 2.4 and 8.4).
+//!
+//! "\[EG00\] actually proposes a hybrid of the stated approach and an
+//! iterative approach" (§2.4), and: "If the full T is not desired, by
+//! replacing the top level of recursion with a right-looking iterative
+//! qr-eg variant, we can avoid ever computing superdiagonal blocks of T;
+//! this does, however, restrict the available parallelism" (§8.4).
+//!
+//! This module implements that variant on the 1D distribution: the
+//! columns are processed in panels of width `b_outer`; each panel is
+//! factored with (recursive) 1D-CAQR-EG, the trailing panels are updated
+//! with one distributed `Qᵀ` application, and the per-panel `(V_k, T_k)`
+//! are retained instead of ever assembling a monolithic `T` — Lines 11–13
+//! of Algorithm 2 (the `M₃`, `M₄`, `−T_L·M₄` products) are never
+//! executed. The resulting representation applies `Q`/`Qᵀ` panel by
+//! panel.
+
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::Matrix;
+
+use crate::apply::{apply_q_1d, apply_qt_1d};
+use crate::caqr1d::{caqr1d_factor, Caqr1dConfig};
+use crate::tsqr::QrFactors;
+
+/// One panel's Householder factors: `V_k` over the panel's rows (this
+/// rank's slice) and `T_k` on the root. `j0` is the panel's first column.
+#[derive(Debug, Clone)]
+pub struct PanelQr {
+    /// First column of the panel.
+    pub j0: usize,
+    /// Panel width.
+    pub width: usize,
+    /// The panel's factors (V rows = this rank's rows with global row
+    /// index ≥ j0; T on the root).
+    pub factors: QrFactors,
+}
+
+/// The iterative factorization: per-panel `(V_k, T_k)` (no superdiagonal
+/// `T` blocks anywhere) plus `R` on the root.
+#[derive(Debug, Clone)]
+pub struct IterativeQr {
+    /// Panels in factorization order.
+    pub panels: Vec<PanelQr>,
+    /// The `n × n` R-factor (root only).
+    pub r: Option<Matrix>,
+}
+
+/// Factor with the iterative right-looking variant. Input distribution as
+/// for [`caqr1d_factor`] (block rows, root = local rank 0 owning the top
+/// rows, every rank at least `n` rows); `b_outer` is the outer panel
+/// width, `inner` configures the 1D-CAQR-EG used per panel.
+pub fn caqr1d_iterative(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    b_outer: usize,
+    inner: &Caqr1dConfig,
+) -> IterativeQr {
+    let n = a_local.cols();
+    let me = comm.rank();
+    assert!(b_outer >= 1, "outer panel width must be positive");
+    assert!(
+        a_local.rows() >= n,
+        "iterative: every rank needs at least n rows (got {} × {n})",
+        a_local.rows()
+    );
+
+    let mut work = a_local.clone();
+    let mut panels = Vec::new();
+    let mut r = (me == 0).then(|| Matrix::zeros(n, n));
+
+    let mut j0 = 0;
+    while j0 < n {
+        let bk = b_outer.min(n - j0);
+        let j1 = j0 + bk;
+        // The panel spans rows j0..m: the root drops its first j0 local
+        // rows (it owns the top rows); other ranks keep all rows.
+        let lo = if me == 0 { j0 } else { 0 };
+        let panel = work.submatrix(lo, work.rows(), j0, j1);
+        let f = caqr1d_factor(rank, comm, &panel, inner);
+
+        // Trailing update: one distributed Qᵀ application.
+        if j1 < n {
+            let trail = work.submatrix(lo, work.rows(), j1, n);
+            let updated = apply_qt_1d(rank, comm, &f, &trail);
+            work.set_submatrix(lo, j1, &updated);
+        }
+        // Record R rows j0..j1: the diagonal block from the panel's R,
+        // the trailing part from the root's updated top rows.
+        if let (Some(r), Some(rp)) = (r.as_mut(), f.r.as_ref()) {
+            r.set_submatrix(j0, j0, rp);
+            if j1 < n {
+                let top = work.submatrix(j0, j1, j1, n);
+                r.set_submatrix(j0, j1, &top);
+            }
+        }
+        panels.push(PanelQr { j0, width: bk, factors: f.clone() });
+        j0 = j1;
+    }
+
+    IterativeQr { panels, r }
+}
+
+/// Apply `Qᵀ = Q_Kᵀ…Q_1ᵀ` to a row-distributed matrix (panel order).
+pub fn apply_qt_iterative(
+    rank: &mut Rank,
+    comm: &Comm,
+    qr: &IterativeQr,
+    c_local: &Matrix,
+) -> Matrix {
+    let me = comm.rank();
+    let mut out = c_local.clone();
+    for p in &qr.panels {
+        let lo = if me == 0 { p.j0 } else { 0 };
+        let sub = out.submatrix(lo, out.rows(), 0, out.cols());
+        let updated = apply_qt_1d(rank, comm, &p.factors, &sub);
+        out.set_submatrix(lo, 0, &updated);
+    }
+    out
+}
+
+/// Apply `Q = Q_1…Q_K` to a row-distributed matrix (reverse panel order).
+pub fn apply_q_iterative(
+    rank: &mut Rank,
+    comm: &Comm,
+    qr: &IterativeQr,
+    c_local: &Matrix,
+) -> Matrix {
+    let me = comm.rank();
+    let mut out = c_local.clone();
+    for p in qr.panels.iter().rev() {
+        let lo = if me == 0 { p.j0 } else { 0 };
+        let sub = out.submatrix(lo, out.rows(), 0, out.cols());
+        let updated = apply_q_1d(rank, comm, &p.factors, &sub);
+        out.set_submatrix(lo, 0, &updated);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::layout::BlockRow;
+
+    fn check(m: usize, n: usize, p: usize, b_outer: usize, b_inner: usize, seed: u64) {
+        let a = Matrix::random(m, n, seed);
+        let lay = BlockRow::balanced(m, 1, p);
+        assert!(lay.counts().iter().all(|&c| c >= n));
+        let inner = Caqr1dConfig::new(b_inner);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+            let qr = caqr1d_iterative(rank, &w, &a_loc, b_outer, &inner);
+            // Residual check inside the machine, using the panel-wise
+            // apply: Q·[R; 0] must reconstruct A's local rows.
+            let r = qr.r.clone();
+            let r_bcast = qr3d_collectives::auto::broadcast(
+                rank,
+                &w,
+                0,
+                r.map(|r| r.into_vec()),
+                n * n,
+            );
+            let r_full = Matrix::from_vec(n, n, r_bcast);
+            let mut rn_local = Matrix::zeros(a_loc.rows(), n);
+            if w.rank() == 0 {
+                rn_local.set_submatrix(0, 0, &r_full);
+            }
+            let qr_local = apply_q_iterative(rank, &w, &qr, &rn_local);
+            let resid = qr_local.sub(&a_loc).max_abs();
+            (qr.r, resid)
+        });
+        let r = out.results[0].0.as_ref().expect("root holds R");
+        assert!(r.is_upper_triangular(1e-12), "R upper triangular");
+        for (_, resid) in &out.results {
+            assert!(
+                *resid < 1e-10,
+                "m={m} n={n} p={p} b_outer={b_outer}: residual {resid}"
+            );
+        }
+        // R agrees with the recursive algorithm's (R is unique through the
+        // shared tsqr reconstruction).
+        let machine = Machine::new(p, CostParams::unit());
+        let cfg = Caqr1dConfig::new(b_inner);
+        let out2 = machine.run(|rank| {
+            let w = rank.world();
+            caqr1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &cfg)
+        });
+        let r2 = out2.results[0].r.as_ref().unwrap();
+        assert!(r.sub(r2).max_abs() < 1e-10, "iterative and recursive R agree");
+    }
+
+    #[test]
+    fn iterative_various_shapes() {
+        check(64, 8, 4, 4, 2, 81);
+        check(48, 6, 3, 2, 3, 82);
+        check(40, 10, 2, 5, 5, 83);
+    }
+
+    #[test]
+    fn single_panel_equals_plain_caqr1d() {
+        check(32, 4, 4, 4, 2, 84);
+    }
+
+    #[test]
+    fn unit_panels() {
+        check(24, 6, 2, 1, 1, 85);
+    }
+
+    #[test]
+    fn qt_then_q_roundtrips() {
+        let (m, n, p) = (36usize, 6usize, 3usize);
+        let a = Matrix::random(m, n, 86);
+        let c = Matrix::random(m, 2, 87);
+        let lay = BlockRow::balanced(m, 1, p);
+        let inner = Caqr1dConfig::new(2);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let qr = caqr1d_iterative(rank, &w, &a.take_rows(&rows), 3, &inner);
+            let c_loc = c.take_rows(&rows);
+            let qc = apply_qt_iterative(rank, &w, &qr, &c_loc);
+            let back = apply_q_iterative(rank, &w, &qr, &qc);
+            (back.sub(&c_loc).max_abs(), (qc.frobenius_norm() - c_loc.frobenius_norm()).abs())
+        });
+        for (roundtrip, _) in &out.results {
+            assert!(*roundtrip < 1e-11, "Q·QᵀC = C violated: {roundtrip}");
+        }
+    }
+
+    #[test]
+    fn never_materializes_full_t() {
+        // The structural point of §8.4: every stored T is at most
+        // b_outer × b_outer.
+        let (m, n, p, b_outer) = (48usize, 12usize, 2usize, 3usize);
+        let a = Matrix::random(m, n, 88);
+        let lay = BlockRow::balanced(m, 1, p);
+        let inner = Caqr1dConfig::new(2);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            caqr1d_iterative(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), b_outer, &inner)
+        });
+        let qr = &out.results[0];
+        assert_eq!(qr.panels.len(), n.div_ceil(b_outer));
+        for panel in &qr.panels {
+            let t = panel.factors.t.as_ref().unwrap();
+            assert!(t.rows() <= b_outer, "T blocks stay panel-sized");
+            assert_eq!(t.rows(), panel.width);
+        }
+    }
+
+    #[test]
+    fn saves_flops_versus_full_t_assembly() {
+        // Skipping Lines 11–13 must reduce arithmetic (the n³-ish T
+        // assembly terms) relative to the recursive variant at equal
+        // parameters.
+        let (m, n, p) = (256usize, 32usize, 4usize);
+        let a = Matrix::random(m, n, 89);
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let inner = Caqr1dConfig::new(8);
+        let iterative = machine.run(|rank| {
+            let w = rank.world();
+            caqr1d_iterative(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), 8, &inner)
+        });
+        let machine = Machine::new(p, CostParams::unit());
+        let cfg = Caqr1dConfig::new(8);
+        let recursive = machine.run(|rank| {
+            let w = rank.world();
+            caqr1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &cfg)
+        });
+        let fi = iterative.stats.critical().flops;
+        let fr = recursive.stats.critical().flops;
+        assert!(
+            fi < fr,
+            "iterative (no superdiagonal T) flops {fi} should undercut recursive {fr}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # qr3d-core — the SPAA'18 QR algorithms
+//!
+//! The paper's contribution and its Section 8 comparison baselines, all
+//! running on the simulated distributed-memory machine:
+//!
+//! * [`tsqr`] — tall-skinny QR with Householder reconstruction
+//!   (Section 5, Appendix C; the [BDG+15] variant).
+//! * [`caqr1d`] — **1D-CAQR-EG** (Section 6, Theorem 2): the qr-eg
+//!   recursion with a tsqr base case and 1D dmms, trading a logarithmic
+//!   bandwidth factor for latency via `b = Θ(n/(log P)^ε)`.
+//! * [`caqr3d`] — **3D-CAQR-EG** (Section 7, Theorem 1): the qr-eg
+//!   recursion with a 1D-CAQR-EG base case (with the Section 7.1 layout
+//!   conversion) and 3D dmms, navigating the bandwidth/latency tradeoff
+//!   via `b = Θ(n/(nP/m)^δ)`, `b* = Θ(b/(log P)^ε)`.
+//! * [`house1d`] / [`house2d`] — the un/blocked distributed Householder
+//!   baselines of Section 8.1.
+//! * [`caqr2d`] — the 2D CAQR baseline \[DGHL12\] with the [BDG+15]
+//!   improvements (tsqr panels on a 2D grid).
+//! * [`panel`] — the shared distributed Householder panel factorization.
+//! * [`params`] — the paper's parameter choices (Equations (10), (12)).
+//! * [`verify`] — factorization/orthogonality error metrics and
+//!   assembly of distributed factors.
+//! * [`shifted`] — the shifted row-cyclic layout 3D-CAQR-EG's recursion
+//!   induces.
+
+pub mod apply;
+pub mod caqr1d;
+pub mod caqr2d;
+pub mod caqr3d;
+pub mod house1d;
+pub mod iterative;
+pub mod house2d;
+pub mod panel;
+pub mod params;
+pub mod shifted;
+pub mod tsqr;
+pub mod verify;
+pub mod wide;
+
+pub use tsqr::QrFactors;
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::apply::{apply_q_1d, apply_qt_1d};
+    pub use crate::caqr1d::{caqr1d_factor, Caqr1dConfig};
+    pub use crate::caqr2d::caqr2d_factor;
+    pub use crate::caqr3d::{caqr3d_factor, Caqr3dConfig, QrFactorsCyclic};
+    pub use crate::house1d::{house1d_factor, House1dConfig};
+    pub use crate::house2d::house2d_factor;
+    pub use crate::iterative::{apply_q_iterative, apply_qt_iterative, caqr1d_iterative, IterativeQr};
+    pub use crate::params::{caqr1d_block, caqr3d_blocks};
+    pub use crate::shifted::ShiftedRowCyclic;
+    pub use crate::tsqr::{tsqr_factor, QrFactors};
+    pub use crate::wide::{qr_wide, WideQr};
+    pub use crate::verify::{
+        assemble_factorization, factorization_error, orthogonality_error, r_gram_error,
+        Factorization,
+    };
+}

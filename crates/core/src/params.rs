@@ -1,0 +1,118 @@
+//! Parameter selection: the paper's block-size choices.
+//!
+//! * Equation (10): 1D-CAQR-EG takes `b = Θ(n/(log P)^ε)`, `ε ∈ [0, 1]`;
+//!   `ε = 1` proves Theorem 2. `ε ≤ 0` means `b = n`, i.e. plain tsqr.
+//! * Equation (12): 3D-CAQR-EG takes `b = Θ(n/(nP/m)^δ)` and
+//!   `b* = Θ(b/(log P)^ε)`, with `δ ∈ [1/2, 2/3]`, `ε = 1` proving
+//!   Theorem 1. Larger `δ` lowers bandwidth and raises latency.
+
+/// `log₂ P`, floored at 1 so it can sit in denominators (`P ≤ 2` keeps
+/// block sizes whole).
+fn log2p(p: usize) -> f64 {
+    (p as f64).log2().max(1.0)
+}
+
+/// The 1D-CAQR-EG recursion threshold `b = Θ(n/(log P)^ε)` of
+/// Equation (10), clamped to `[1, n]`. `epsilon ≤ 0` yields `b = n`
+/// ("a sensible interpretation of the case ε < 0 is b = n, meaning tsqr
+/// is invoked immediately").
+pub fn caqr1d_block(n: usize, p: usize, epsilon: f64) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    if epsilon <= 0.0 {
+        return n;
+    }
+    let b = n as f64 / log2p(p).powf(epsilon);
+    (b.round() as usize).clamp(1, n)
+}
+
+/// The 3D-CAQR-EG block sizes `(b, b*)` of Equation (12):
+/// `b = Θ(n/(nP/m)^δ)`, `b* = Θ(b/(log P)^ε)`, both clamped to `[1, n]`
+/// with `b* ≤ b`. `delta ≤ 0` yields `b = n` (1D-CAQR-EG invoked
+/// immediately).
+pub fn caqr3d_blocks(m: usize, n: usize, p: usize, delta: f64, epsilon: f64) -> (usize, usize) {
+    assert!(m >= n, "need m ≥ n");
+    if n == 0 {
+        return (1, 1);
+    }
+    let b = if delta <= 0.0 {
+        n
+    } else {
+        let aspect = (n as f64 * p as f64 / m as f64).max(1.0);
+        ((n as f64 / aspect.powf(delta)).round() as usize).clamp(1, n)
+    };
+    let bstar = if epsilon <= 0.0 {
+        b
+    } else {
+        ((b as f64 / log2p(p).powf(epsilon)).round() as usize).clamp(1, b)
+    };
+    (b, bstar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caqr1d_block_epsilon_extremes() {
+        assert_eq!(caqr1d_block(64, 16, 0.0), 64, "ε = 0 ⇒ b = n (pure tsqr)");
+        assert_eq!(caqr1d_block(64, 16, 1.0), 16, "ε = 1 ⇒ b = n/log₂P");
+        // ε = 1/2 ⇒ b = n/2.
+        assert_eq!(caqr1d_block(64, 16, 0.5), 32);
+    }
+
+    #[test]
+    fn caqr1d_block_clamps() {
+        assert_eq!(caqr1d_block(2, 1 << 20, 1.0), 1, "never below 1");
+        assert_eq!(caqr1d_block(5, 2, 1.0), 5, "log₂2 = 1 keeps b = n");
+        assert_eq!(caqr1d_block(0, 4, 1.0), 1, "degenerate n");
+    }
+
+    #[test]
+    fn caqr1d_block_monotone_in_epsilon() {
+        let n = 1024;
+        let p = 64;
+        let mut prev = usize::MAX;
+        for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let b = caqr1d_block(n, p, eps);
+            assert!(b <= prev, "b must shrink as ε grows");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn caqr3d_blocks_delta_navigates_tradeoff() {
+        // m = 4n, so nP/m = P/4.
+        let (m, n, p) = (4096, 1024, 64);
+        let (b_half, _) = caqr3d_blocks(m, n, p, 0.5, 1.0);
+        let (b_two_thirds, _) = caqr3d_blocks(m, n, p, 2.0 / 3.0, 1.0);
+        assert!(b_two_thirds < b_half, "larger δ ⇒ smaller b");
+        // δ = 1/2 with aspect 16: b = n/4 = 256.
+        assert_eq!(b_half, 256);
+    }
+
+    #[test]
+    fn caqr3d_bstar_below_b() {
+        let (b, bstar) = caqr3d_blocks(4096, 1024, 64, 0.5, 1.0);
+        assert!(bstar <= b);
+        assert_eq!(bstar, (b as f64 / 6.0).round() as usize); // log₂64 = 6
+        let (b2, bstar2) = caqr3d_blocks(4096, 1024, 64, 0.5, 0.0);
+        assert_eq!(b2, bstar2, "ε = 0 ⇒ b* = b");
+    }
+
+    #[test]
+    fn caqr3d_tall_skinny_aspect_floors_at_one() {
+        // m/n ≥ P means nP/m ≤ 1: b = n regardless of δ (no 3D recursion
+        // needed; the base case handles it, matching Section 7.3's
+        // "taking b = n simplifies 3d-caqr-eg to 1d-caqr-eg").
+        let (b, _) = caqr3d_blocks(64 * 128, 64, 8, 0.5, 1.0);
+        assert_eq!(b, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ n")]
+    fn caqr3d_rejects_wide() {
+        let _ = caqr3d_blocks(10, 20, 4, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! TSQR — tall-skinny QR with Householder reconstruction
+//! (paper Section 5 and Appendix C; the variant of [BDG+15]).
+//!
+//! The matrix `A` (`m × n`, `m/n ≥ P`) is row-distributed: rank `p` owns
+//! `m_p ≥ n` rows, and the root (local rank 0 here) owns the leading `n`
+//! rows. Three phases:
+//!
+//! 1. **Upsweep** (C.1): local QR on each rank, then a binomial "reduce"
+//!    whose combine stacks two `R` factors and re-factors them. `R`
+//!    factors travel packed as their `n(n+1)/2` upper triangles — the
+//!    paper's stated block size.
+//! 2. **Downsweep** (C.2): apply the stored tree Q-factors to `n` identity
+//!    columns (a "broadcast" whose block changes at every hop, block size
+//!    `n²`), yielding `W`, the leading `n` columns of the implicit
+//!    Q-factor.
+//! 3. **Reconstruction** (C.2): the sign-altered LU `X + S = LU` of `W`'s
+//!    top block gives the Householder representation: `V = [L; W₂U⁻¹]`,
+//!    `T = U·S·L⁻ᵀ`, `R ← −S·R`; `U` is broadcast so every rank solves
+//!    for its own `V` rows.
+//!
+//! Costs (Lemma 5): `γ·O(max_p m_p n² + n³ log P) + β·O(n² log P) +
+//! α·O(log P)`.
+
+use qr3d_collectives::auto::broadcast;
+use qr3d_collectives::tree::binomial_frames;
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::qr::{apply_block_reflector, geqrt};
+use qr3d_matrix::tri::{lu_sign, trsm, Side, Uplo};
+use qr3d_matrix::{flops, Matrix};
+
+/// A QR factorization in Householder representation, row-distributed:
+/// `V` has the same row distribution as `A`; `T` and `R` live on the root
+/// only (paper Section 5: "Both T and the R-factor are returned only on
+/// the root processor").
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// This rank's rows of the unit-lower-trapezoidal basis `V` (`m_p × n`).
+    pub v_local: Matrix,
+    /// The `n × n` upper-triangular kernel `T` (root only).
+    pub t: Option<Matrix>,
+    /// The `n × n` upper-triangular R-factor (root only).
+    pub r: Option<Matrix>,
+}
+
+/// Pack the upper triangle of an `n × n` matrix into `n(n+1)/2` words
+/// (row-major over the triangle) — the R-factor wire format of C.1.
+pub(crate) fn pack_upper(r: &Matrix) -> Vec<f64> {
+    let n = r.rows();
+    debug_assert_eq!(r.cols(), n);
+    let mut out = Vec::with_capacity(n * (n + 1) / 2);
+    for i in 0..n {
+        for j in i..n {
+            out.push(r[(i, j)]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_upper`].
+pub(crate) fn unpack_upper(data: &[f64], n: usize) -> Matrix {
+    debug_assert_eq!(data.len(), n * (n + 1) / 2);
+    let mut r = Matrix::zeros(n, n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in i..n {
+            r[(i, j)] = data[k];
+            k += 1;
+        }
+    }
+    r
+}
+
+/// TSQR-factor the row-distributed matrix `a_local` over `comm` (root =
+/// local rank 0, which must own the global leading rows). Requires
+/// `a_local.rows() ≥ a_local.cols()` on every rank.
+pub fn tsqr_factor(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> QrFactors {
+    let n = a_local.cols();
+    let mp = a_local.rows();
+    assert!(mp >= n, "tsqr: every rank needs at least n rows (got {mp} × {n})");
+    let me = comm.rank();
+    let op = comm.next_op();
+    let tag = |depth: u64, phase: u64| (op << 8) | (depth << 1) | phase;
+
+    if n == 0 {
+        return QrFactors {
+            v_local: Matrix::zeros(mp, 0),
+            t: (me == 0).then(|| Matrix::zeros(0, 0)),
+            r: (me == 0).then(|| Matrix::zeros(0, 0)),
+        };
+    }
+
+    // ---- Phase 0: local QR (C.1). ----
+    let local = geqrt(a_local);
+    rank.charge_flops(flops::geqrt(mp, n));
+    let (v0, t0) = (local.v, local.t);
+    let mut r_cur = local.r;
+
+    // ---- Phase 1: upsweep — binomial reduce with QR as the combine. ----
+    // Stack of (V, T) per merge, deepest first, to be replayed in reverse.
+    let frames = binomial_frames(me, comm.size(), 0);
+    let mut tree: Vec<(Matrix, Matrix)> = Vec::new();
+    for f in frames.iter().rev() {
+        if me == f.ort {
+            rank.send_vec(comm, f.rt, tag(f.depth, 0), pack_upper(&r_cur));
+        } else {
+            let incoming = rank.recv(comm, f.ort, tag(f.depth, 0));
+            let r_other = unpack_upper(&incoming, n);
+            let stacked = r_cur.vstack(&r_other);
+            let merged = geqrt(&stacked);
+            rank.charge_flops(flops::geqrt(2 * n, n));
+            r_cur = merged.r;
+            tree.push((merged.v, merged.t));
+        }
+    }
+
+    // ---- Phase 2: downsweep — apply tree Q-factors to identity columns. ----
+    // The root starts with B = I_n; at each level (shallowest first) the
+    // receiver-side rank computes [B_me; B_q] = (I − V T Vᵀ)[B_me; 0] and
+    // sends B_q down to q.
+    let mut b_cur = if me == 0 { Matrix::identity(n) } else { Matrix::zeros(0, 0) };
+    for f in frames.iter() {
+        if me == f.ort {
+            b_cur = Matrix::from_vec(n, n, rank.recv(comm, f.rt, tag(f.depth, 1)));
+        } else {
+            let (v, t) = tree.pop().expect("tree Q-factor per frame");
+            let mut stacked = b_cur.vstack(&Matrix::zeros(n, n));
+            apply_block_reflector(&v, &t, &mut stacked, false);
+            rank.charge_flops(flops::apply_block_reflector(2 * n, n, n));
+            b_cur = stacked.submatrix(0, n, 0, n);
+            let b_q = stacked.submatrix(n, 2 * n, 0, n);
+            rank.send_vec(comm, f.ort, tag(f.depth, 1), b_q.into_vec());
+        }
+    }
+    debug_assert!(tree.is_empty(), "all tree factors consumed");
+
+    // W_p = (I − V⁰T⁰V⁰ᵀ)[B_p; 0]  (m_p × n).
+    let mut w = b_cur.vstack(&Matrix::zeros(mp - n, n));
+    apply_block_reflector(&v0, &t0, &mut w, false);
+    rank.charge_flops(flops::apply_block_reflector(mp, n, n));
+
+    // ---- Phase 3: Householder reconstruction (C.2, [BDG+15]). ----
+    if me == 0 {
+        let x = w.submatrix(0, n, 0, n);
+        let (l, u, s) = lu_sign(&x);
+        rank.charge_flops(flops::lu_sign(n));
+        // T = (U·S)·L⁻ᵀ : scale U's columns by s, then right-solve by Lᵀ.
+        let mut us = u.clone();
+        for i in 0..n {
+            for j in 0..n {
+                us[(i, j)] *= s[j];
+            }
+        }
+        rank.charge_flops((n * n) as f64);
+        let t = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
+        rank.charge_flops(flops::trsm(n, n));
+        // V_root = [L; W₂ U⁻¹].
+        let w2 = w.submatrix(n, mp, 0, n);
+        let v_below = trsm(Side::Right, Uplo::Upper, false, false, &u, &w2);
+        rank.charge_flops(flops::trsm(n, mp - n));
+        let v_local = l.vstack(&v_below);
+        // R ← −S·R (scale row i by −s_i).
+        let mut r = r_cur;
+        for i in 0..n {
+            for j in 0..n {
+                r[(i, j)] *= -s[i];
+            }
+        }
+        rank.charge_flops((n * n) as f64);
+        // Broadcast U so the other ranks can solve for their V rows.
+        broadcast(rank, comm, 0, Some(u.into_vec()), n * n);
+        QrFactors { v_local, t: Some(t), r: Some(r) }
+    } else {
+        let u = Matrix::from_vec(n, n, broadcast(rank, comm, 0, None, n * n));
+        let v_local = trsm(Side::Right, Uplo::Upper, false, false, &u, &w);
+        rank.charge_flops(flops::trsm(n, mp));
+        QrFactors { v_local, t: None, r: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::gemm::matmul_tn;
+    use qr3d_matrix::layout::BlockRow;
+    use qr3d_matrix::qr::{q_times, thin_q};
+
+    /// Reassemble V from per-rank pieces under a block-row layout and
+    /// verify the Householder identities.
+    fn check_tsqr(m: usize, n: usize, p: usize, seed: u64) {
+        let a = Matrix::random(m, n, seed);
+        let lay = BlockRow::balanced(m, 1, p);
+        assert!(lay.counts().iter().all(|&c| c >= n), "layout must give every rank ≥ n rows");
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let a_loc = a.take_rows(&rows);
+            tsqr_factor(rank, &w, &a_loc)
+        });
+        // Assemble.
+        let starts = lay.starts();
+        let mut v = Matrix::zeros(m, n);
+        for (r, fac) in out.results.iter().enumerate() {
+            v.set_submatrix(starts[r], 0, &fac.v_local);
+        }
+        let t = out.results[0].t.clone().expect("root holds T");
+        let r = out.results[0].r.clone().expect("root holds R");
+        for other in 1..p {
+            assert!(out.results[other].t.is_none());
+            assert!(out.results[other].r.is_none());
+        }
+        // Structure.
+        assert!(v.is_unit_lower_trapezoidal(1e-12), "V unit lower trapezoidal");
+        assert!(t.is_upper_triangular(1e-14), "T upper triangular");
+        assert!(r.is_upper_triangular(1e-14), "R upper triangular");
+        // A = Q[R; 0].
+        let mut rn = Matrix::zeros(m, n);
+        rn.set_submatrix(0, 0, &r);
+        let qr = q_times(&v, &t, &rn);
+        let resid = qr.sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
+        assert!(resid < 1e-12, "m={m} n={n} p={p}: residual {resid}");
+        // Orthogonality of the thin Q.
+        let q1 = thin_q(&v, &t);
+        let gram = matmul_tn(&q1, &q1);
+        let orth = gram.sub(&Matrix::identity(n)).max_abs();
+        assert!(orth < 1e-12, "m={m} n={n} p={p}: orthogonality {orth}");
+    }
+
+    #[test]
+    fn tsqr_various_shapes() {
+        check_tsqr(32, 4, 4, 1);
+        check_tsqr(64, 8, 8, 2);
+        check_tsqr(40, 5, 5, 3);
+        check_tsqr(48, 3, 7, 4);
+    }
+
+    #[test]
+    fn tsqr_single_rank_equals_local_qr() {
+        check_tsqr(16, 6, 1, 5);
+    }
+
+    #[test]
+    fn tsqr_two_ranks() {
+        check_tsqr(12, 3, 2, 6);
+    }
+
+    #[test]
+    fn tsqr_non_power_of_two_ranks() {
+        check_tsqr(36, 4, 3, 7);
+        check_tsqr(60, 4, 6, 8);
+    }
+
+    #[test]
+    fn tsqr_single_column() {
+        check_tsqr(24, 1, 4, 9);
+    }
+
+    #[test]
+    fn tsqr_minimum_rows_per_rank() {
+        // Exactly n rows per rank: m = n·P.
+        check_tsqr(4 * 6, 4, 6, 10);
+    }
+
+    #[test]
+    fn tsqr_zero_columns() {
+        let p = 2;
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            tsqr_factor(rank, &w, &Matrix::zeros(3, 0))
+        });
+        assert_eq!(out.results[0].v_local.cols(), 0);
+        assert!(out.results[0].t.is_some());
+        assert!(out.results[1].t.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n rows")]
+    fn tsqr_rejects_short_rank() {
+        let machine = Machine::new(1, CostParams::unit());
+        let _ = machine.run(|rank| {
+            let w = rank.world();
+            tsqr_factor(rank, &w, &Matrix::zeros(2, 5))
+        });
+    }
+
+    #[test]
+    fn tsqr_costs_match_lemma5() {
+        // W = O(n² log P) and S = O(log P) on the critical path.
+        let (n, rows_per) = (8, 16);
+        for p in [4usize, 8, 16] {
+            let m = rows_per * p;
+            let a = Matrix::random(m, n, 11);
+            let lay = BlockRow::balanced(m, 1, p);
+            let machine = Machine::new(p, CostParams::unit());
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+                tsqr_factor(rank, &w, &a_loc)
+            });
+            let c = out.stats.critical();
+            let lg = (p as f64).log2().ceil();
+            let n2 = (n * n) as f64;
+            // Generous constants; the point is the scaling shape.
+            assert!(c.words <= 6.0 * n2 * (lg + 1.0), "p={p}: W={}", c.words);
+            assert!(c.msgs <= 8.0 * (lg + 1.0), "p={p}: S={}", c.msgs);
+            // Arithmetic: O(m/P·n² + n³ log P).
+            let bound = 14.0 * ((m / p) as f64 * n2 + (n as f64).powi(3) * (lg + 1.0));
+            assert!(c.flops <= bound, "p={p}: F={} bound={bound}", c.flops);
+        }
+    }
+
+    #[test]
+    fn tsqr_r_diag_sign_invariant() {
+        // Determinism + reproducibility: two runs give bit-identical R.
+        let (m, n, p) = (40, 5, 4);
+        let a = Matrix::random(m, n, 12);
+        let lay = BlockRow::balanced(m, 1, p);
+        let run = || {
+            let machine = Machine::new(p, CostParams::unit());
+            machine
+                .run(|rank| {
+                    let w = rank.world();
+                    let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+                    tsqr_factor(rank, &w, &a_loc)
+                })
+                .results[0]
+                .r
+                .clone()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let r = Matrix::from_fn(4, 4, |i, j| if j >= i { (i * 4 + j + 1) as f64 } else { 0.0 });
+        let packed = pack_upper(&r);
+        assert_eq!(packed.len(), 10);
+        assert_eq!(unpack_upper(&packed, 4), r);
+    }
+}

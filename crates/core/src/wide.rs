@@ -1,0 +1,115 @@
+//! QR decomposition of wide matrices (Section 2.1 extension).
+//!
+//! "When A has more columns than rows, we can obtain a QR decomposition
+//! by splitting A = [A₁ A₂] with square A₁, decomposing A₁ = QR₁, and
+//! computing R = [R₁ QᴴA₂]."
+//!
+//! The square left block needs an algorithm that handles `m = n` on any
+//! `P` — that is 3D-CAQR-EG (the 1D family requires `m/n ≥ P`). We
+//! factor `A₁` with [`crate::caqr3d`], then apply `Qᵀ` to the remaining
+//! columns with [`crate::apply::apply_qt_3d`].
+
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::Matrix;
+
+use crate::apply::apply_qt_3d;
+use crate::caqr3d::{caqr3d_factor, Caqr3dConfig, QrFactorsCyclic};
+
+/// A wide-matrix QR: `A = Q·[R₁ R₂]` with `Q = I − V·T·Vᵀ` square
+/// (`m × m`), `R₁` upper triangular (row-cyclic like the 3D output), and
+/// `R₂ = QᵀA₂` (`m × (n−m)`) row-cyclic like `A`'s rows.
+#[derive(Debug, Clone)]
+pub struct WideQr {
+    /// The factorization of the square left block.
+    pub left: QrFactorsCyclic,
+    /// This rank's rows of `R₂ = QᵀA₂`.
+    pub r_right_local: Matrix,
+}
+
+/// Factor a row-cyclic wide matrix (`n ≥ m`) as `A = Q·[R₁ R₂]`.
+pub fn qr_wide(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    m: usize,
+    n: usize,
+    cfg: &Caqr3dConfig,
+) -> WideQr {
+    assert!(n >= m, "qr_wide is for wide matrices (n ≥ m), got {m} × {n}");
+    let mp = a_local.rows();
+    assert_eq!(a_local.cols(), n, "local column count");
+    let a1 = a_local.submatrix(0, mp, 0, m);
+    let a2 = a_local.submatrix(0, mp, m, n);
+    let left = caqr3d_factor(rank, comm, &a1, m, m, cfg);
+    let r_right_local = apply_qt_3d(rank, comm, &left, &a2, m, n - m);
+    WideQr { left, r_right_local }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shifted::ShiftedRowCyclic;
+    use crate::verify::assemble_factorization;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::gemm::matmul_tn;
+    use qr3d_matrix::qr::{q_times, thin_q};
+
+    fn check_wide(m: usize, n: usize, p: usize, b: usize, bstar: usize, seed: u64) {
+        let a = Matrix::random(m, n, seed);
+        let lay = ShiftedRowCyclic::new(m, n, p, 0);
+        let lay_r2 = ShiftedRowCyclic::new(m, n - m, p, 0);
+        let cfg = Caqr3dConfig::new(b, bstar);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let a_loc = lay.scatter_from_full(&a, rank.id());
+            qr_wide(rank, &w, &a_loc, m, n, &cfg)
+        });
+        let lefts: Vec<QrFactorsCyclic> =
+            out.results.iter().map(|r| r.left.clone()).collect();
+        let fac = assemble_factorization(&lefts, m, m, p);
+        let r2s: Vec<Matrix> =
+            out.results.iter().map(|r| r.r_right_local.clone()).collect();
+        let r2 = lay_r2.gather_to_full(&r2s);
+        assert!(fac.r.is_upper_triangular(1e-12), "R₁ upper triangular");
+        // A = Q·[R₁ R₂].
+        let mut r_full = Matrix::zeros(m, n);
+        r_full.set_submatrix(0, 0, &fac.r);
+        r_full.set_submatrix(0, m, &r2);
+        let qr = q_times(&fac.v, &fac.t, &r_full);
+        let resid = qr.sub(&a).frobenius_norm() / a.frobenius_norm();
+        assert!(resid < 1e-11, "m={m} n={n} p={p}: wide residual {resid}");
+        // Q orthogonal (square).
+        let q = thin_q(&fac.v, &fac.t);
+        let orth = matmul_tn(&q, &q).sub(&Matrix::identity(m)).max_abs();
+        assert!(orth < 1e-11, "orthogonality {orth}");
+    }
+
+    #[test]
+    fn wide_various_shapes() {
+        check_wide(8, 20, 2, 4, 2, 61);
+        check_wide(12, 13, 3, 3, 3, 62);
+        check_wide(6, 24, 4, 2, 1, 63);
+    }
+
+    #[test]
+    fn wide_single_rank() {
+        check_wide(6, 15, 1, 2, 2, 64);
+    }
+
+    #[test]
+    fn square_degenerates_to_plain_qr() {
+        check_wide(10, 10, 2, 5, 2, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "wide matrices")]
+    fn tall_rejected() {
+        let machine = Machine::new(1, CostParams::unit());
+        let cfg = Caqr3dConfig::new(2, 2);
+        let _ = machine.run(|rank| {
+            let w = rank.world();
+            qr_wide(rank, &w, &Matrix::zeros(8, 4), 8, 4, &cfg)
+        });
+    }
+}

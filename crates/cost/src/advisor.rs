@@ -1,0 +1,185 @@
+//! Algorithm and parameter selection for a concrete machine — the
+//! operational form of the paper's headline: "by varying a parameter to
+//! navigate the bandwidth/latency tradeoff, we can tune this algorithm
+//! for machines with different communication costs."
+//!
+//! Given `(m, n, P)` and the machine's `(α, β, γ)`, evaluate every
+//! algorithm's cost formula (with its tuning parameter swept over its
+//! admissible range) under `γF + βW + αS` and return the cheapest.
+
+use crate::algorithms::{
+    caqr2d_cost, house1d_cost, house2d_cost, theorem1_cost, theorem2_cost, tsqr_cost,
+};
+use crate::Cost3;
+
+/// An algorithm choice with its tuned parameter (if any).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Choice {
+    /// `1d-house` (no tuning parameter).
+    House1d,
+    /// tsqr.
+    Tsqr,
+    /// 1D-CAQR-EG with the given ε ∈ [0, 1].
+    Caqr1d {
+        /// The Theorem 2 tradeoff parameter.
+        epsilon: f64,
+    },
+    /// `2d-house`.
+    House2d,
+    /// 2D caqr.
+    Caqr2d,
+    /// 3D-CAQR-EG with the given δ ∈ [1/2, 2/3].
+    Caqr3d {
+        /// The Theorem 1 tradeoff parameter.
+        delta: f64,
+    },
+}
+
+/// A recommendation: the choice, its predicted cost triple, and the
+/// modeled runtime on the given machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// Which algorithm (and parameter) to run.
+    pub choice: Choice,
+    /// Its predicted `(F, W, S)`.
+    pub cost: Cost3,
+    /// `γF + βW + αS` on the queried machine.
+    pub time: f64,
+}
+
+/// All candidates for an `m × n` problem on `P` processors, with tuning
+/// parameters swept on a grid. Tall-skinny algorithms require `m/n ≥ P`
+/// and are skipped otherwise.
+pub fn candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
+    let mut out = Vec::new();
+    if m / n.max(1) >= p {
+        out.push((Choice::House1d, house1d_cost(m, n, p)));
+        out.push((Choice::Tsqr, tsqr_cost(m, n, p)));
+        for k in 0..=4 {
+            let epsilon = k as f64 / 4.0;
+            out.push((Choice::Caqr1d { epsilon }, theorem2_cost(m, n, p, epsilon)));
+        }
+    }
+    out.push((Choice::House2d, house2d_cost(m, n, p)));
+    out.push((Choice::Caqr2d, caqr2d_cost(m, n, p)));
+    for k in 0..=4 {
+        let delta = 0.5 + (k as f64 / 4.0) / 6.0; // [1/2, 2/3]
+        out.push((Choice::Caqr3d { delta }, theorem1_cost(m, n, p, delta)));
+    }
+    out
+}
+
+/// The cheapest candidate under `γF + βW + αS`.
+pub fn recommend(m: usize, n: usize, p: usize, alpha: f64, beta: f64, gamma: f64) -> Recommendation {
+    let mut best: Option<Recommendation> = None;
+    for (choice, cost) in candidates(m, n, p) {
+        let time = cost.time(alpha, beta, gamma);
+        if best.map(|b| time < b.time).unwrap_or(true) {
+            best = Some(Recommendation { choice, cost, time });
+        }
+    }
+    best.expect("candidate list is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA_CLUSTER: f64 = 1e-3;
+    const BETA_CLUSTER: f64 = 1e-7;
+    const ALPHA_SUPER: f64 = 1e-5;
+    const BETA_SUPER: f64 = 2e-8;
+    const GAMMA: f64 = 1e-9;
+
+    #[test]
+    fn tall_skinny_on_latency_machine_avoids_house() {
+        let r = recommend(1 << 22, 1 << 6, 1 << 8, ALPHA_CLUSTER, BETA_CLUSTER, GAMMA);
+        assert!(
+            !matches!(r.choice, Choice::House1d | Choice::House2d),
+            "latency-dominated machines must avoid per-column algorithms, got {:?}",
+            r.choice
+        );
+        // Low-ε / tsqr territory: latency-optimal end.
+        match r.choice {
+            Choice::Tsqr => {}
+            Choice::Caqr1d { epsilon } => assert!(epsilon <= 0.5, "got ε = {epsilon}"),
+            other => panic!("expected a tall-skinny algorithm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tall_skinny_on_bandwidth_machine_reaches_the_w_lower_bound() {
+        // With bandwidth absurdly precious, the pick must attain W = Θ(n²)
+        // — the Section 8.3 lower bound. Several algorithms tie there
+        // (high-ε 1d-caqr-eg, and 2D caqr whose W formula degenerates to
+        // n² at aspect ≤ 1); what matters is that no log-factor W is left.
+        let (m, n, p) = (1usize << 22, 1usize << 6, 1usize << 8);
+        let r = recommend(m, n, p, 1e-9, 1e-3, GAMMA);
+        let n2 = (n * n) as f64;
+        assert!(
+            r.cost.words <= 1.5 * n2,
+            "bandwidth machine must get W ≈ n² (lower bound), got {} with {:?}",
+            r.cost.words,
+            r.choice
+        );
+        // And never a tree-depth W like tsqr's n² log P.
+        assert!(!matches!(r.choice, Choice::Tsqr | Choice::House1d));
+    }
+
+    #[test]
+    fn squareish_on_bandwidth_machine_prefers_3d_high_delta() {
+        let n = 1 << 16;
+        let r = recommend(4 * n, n, 1 << 10, 1e-9, 1e-3, GAMMA);
+        match r.choice {
+            Choice::Caqr3d { delta } => {
+                assert!(delta > 0.6, "bandwidth machine wants δ → 2/3, got {delta}")
+            }
+            other => panic!("expected 3d-caqr-eg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn squareish_delta_moves_with_the_latency_to_bandwidth_ratio() {
+        // Directionality: cranking α up must never *raise* the chosen δ
+        // (more latency pressure ⇒ latency-leaner settings), and the
+        // extremes land at the two δ endpoints.
+        let n = 1 << 16;
+        let (m, p) = (4 * n, 1 << 10);
+        let delta_of = |alpha: f64, beta: f64| match recommend(m, n, p, alpha, beta, GAMMA).choice
+        {
+            Choice::Caqr3d { delta } => delta,
+            Choice::Caqr2d | Choice::House2d => 0.5, // 2D sits at the latency end's W
+            other => panic!("expected a square-ish algorithm, got {other:?}"),
+        };
+        let latency_heavy = delta_of(10.0, 1e-9);
+        let balanced = delta_of(ALPHA_CLUSTER, BETA_CLUSTER);
+        let bandwidth_heavy = delta_of(1e-9, 1e-3);
+        assert!(latency_heavy <= balanced + 1e-12);
+        assert!(balanced <= bandwidth_heavy + 1e-12);
+        assert!(latency_heavy <= 0.51, "α-dominated ⇒ δ → 1/2, got {latency_heavy}");
+        assert!(bandwidth_heavy >= 0.66, "β-dominated ⇒ δ → 2/3, got {bandwidth_heavy}");
+    }
+
+    #[test]
+    fn candidates_respect_aspect_gate() {
+        // Square problem: no tall-skinny candidates.
+        let c = candidates(1024, 1024, 64);
+        assert!(c.iter().all(|(ch, _)| !matches!(
+            ch,
+            Choice::Tsqr | Choice::House1d | Choice::Caqr1d { .. }
+        )));
+        // Very tall: both families present.
+        let c = candidates(1 << 20, 16, 64);
+        assert!(c.iter().any(|(ch, _)| matches!(ch, Choice::Tsqr)));
+        assert!(c.iter().any(|(ch, _)| matches!(ch, Choice::Caqr3d { .. })));
+    }
+
+    #[test]
+    fn recommendation_is_argmin() {
+        let (m, n, p) = (1 << 18, 1 << 8, 1 << 6);
+        let r = recommend(m, n, p, ALPHA_SUPER, BETA_SUPER, GAMMA);
+        for (_, cost) in candidates(m, n, p) {
+            assert!(r.time <= cost.time(ALPHA_SUPER, BETA_SUPER, GAMMA) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Algorithm cost formulas: Lemma 5, Equations (11) and (13), Theorems 1
+//! and 2, and the Table 2/3 baseline rows.
+
+use crate::{lg, Cost3};
+
+/// Lemma 5 — tsqr on an `m × n` matrix over `p` ranks (`m/n ≥ p`):
+/// `F = mn²/P + n³ log P`, `W = n² log P`, `S = log P`.
+pub fn tsqr_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, l) = (m as f64, n as f64, lg(p));
+    Cost3 {
+        flops: mf * nf * nf / p as f64 + nf.powi(3) * l,
+        words: nf * nf * l,
+        msgs: l,
+    }
+}
+
+/// Equation (11) — 1D-CAQR-EG with threshold `b` (requires `P = O(b²)`):
+///
+/// ```text
+/// F = mn²/P + n b² log P
+/// W = n² + n b log P
+/// S = (n/b) log P
+/// ```
+pub fn caqr1d_cost(m: usize, n: usize, p: usize, b: usize) -> Cost3 {
+    let (mf, nf, bf, l) = (m as f64, n as f64, b as f64, lg(p));
+    Cost3 {
+        flops: mf * nf * nf / p as f64 + nf * bf * bf * l,
+        words: nf * nf + nf * bf * l,
+        msgs: (nf / bf) * l,
+    }
+}
+
+/// Theorem 2 — 1D-CAQR-EG with `b = n/(log P)^ε`:
+///
+/// ```text
+/// F = mn²/P + n³ (log P)^{1−2ε}
+/// W = n² (log P)^{1−ε}
+/// S = (log P)^{1+ε}
+/// ```
+pub fn theorem2_cost(m: usize, n: usize, p: usize, epsilon: f64) -> Cost3 {
+    let (mf, nf, l) = (m as f64, n as f64, lg(p));
+    Cost3 {
+        flops: mf * nf * nf / p as f64 + nf.powi(3) * l.powf(1.0 - 2.0 * epsilon),
+        words: nf * nf * l.powf(1.0 - epsilon),
+        msgs: l.powf(1.0 + epsilon),
+    }
+}
+
+/// Equation (13) — 3D-CAQR-EG with thresholds `(b, b*)`:
+///
+/// ```text
+/// F = mn²/P + n b*² log P
+/// W = mn/P + nb + nb* log P + (mn²/P)^{2/3}
+///     + ((mn/P + n) log(n/b) + nP²/b) log P
+/// S = (n/b*) log P
+/// ```
+pub fn caqr3d_cost(m: usize, n: usize, p: usize, b: usize, bstar: usize) -> Cost3 {
+    let (mf, nf, pf) = (m as f64, n as f64, p as f64);
+    let (bf, bsf, l) = (b as f64, bstar as f64, lg(p));
+    let log_nb = (nf / bf).log2().max(1.0);
+    Cost3 {
+        flops: mf * nf * nf / pf + nf * bsf * bsf * l,
+        words: mf * nf / pf
+            + nf * bf
+            + nf * bsf * l
+            + (mf * nf * nf / pf).powf(2.0 / 3.0)
+            + ((mf * nf / pf + nf) * log_nb + nf * pf * pf / bf) * l,
+        msgs: (nf / bsf) * l,
+    }
+}
+
+/// Theorem 1 — 3D-CAQR-EG with `δ ∈ [1/2, 2/3]` (and ε = 1):
+///
+/// ```text
+/// F = mn²/P ,  W = n²/(nP/m)^δ ,  S = (nP/m)^δ (log P)²
+/// ```
+pub fn theorem1_cost(m: usize, n: usize, p: usize, delta: f64) -> Cost3 {
+    let (mf, nf, pf) = (m as f64, n as f64, p as f64);
+    let aspect = (nf * pf / mf).max(1.0);
+    Cost3 {
+        flops: mf * nf * nf / pf,
+        words: nf * nf / aspect.powf(delta),
+        msgs: aspect.powf(delta) * lg(p) * lg(p),
+    }
+}
+
+/// Table 3, row 1 — `1d-house`:
+/// `F = mn²/P`, `W = n² log P`, `S = n log P`.
+pub fn house1d_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, l) = (m as f64, n as f64, lg(p));
+    Cost3 { flops: mf * nf * nf / p as f64, words: nf * nf * l, msgs: nf * l }
+}
+
+/// Table 2, row 1 — `2d-house` (with the paper's grid/block choices):
+/// `F = mn²/P`, `W = n²/(nP/m)^{1/2}`, `S = n log P`.
+pub fn house2d_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, pf) = (m as f64, n as f64, p as f64);
+    let aspect = (nf * pf / mf).max(1.0);
+    Cost3 {
+        flops: mf * nf * nf / pf,
+        words: nf * nf / aspect.sqrt(),
+        msgs: nf * lg(p),
+    }
+}
+
+/// Table 2, row 2 — 2D `caqr`:
+/// `F = mn²/P`, `W = n²/(nP/m)^{1/2}`, `S = (nP/m)^{1/2} (log P)²`.
+pub fn caqr2d_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, pf) = (m as f64, n as f64, p as f64);
+    let aspect = (nf * pf / mf).max(1.0);
+    Cost3 {
+        flops: mf * nf * nf / pf,
+        words: nf * nf / aspect.sqrt(),
+        msgs: aspect.sqrt() * lg(p) * lg(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: usize = 1 << 20;
+    const N: usize = 1 << 10;
+    const P: usize = 64;
+
+    #[test]
+    fn theorem2_endpoints_recover_known_rows() {
+        // ε = 0 gives tsqr's shape; ε = 1 gives the optimal-bandwidth row.
+        let t0 = theorem2_cost(M, N, P, 0.0);
+        let tsqr = tsqr_cost(M, N, P);
+        assert_eq!(t0.words, tsqr.words);
+        assert_eq!(t0.msgs, tsqr.msgs, "ε = 0 is latency-optimal, like tsqr");
+        let t1 = theorem2_cost(M, N, P, 1.0);
+        assert_eq!(t1.words, (N * N) as f64, "ε = 1 attains the n² lower bound");
+    }
+
+    #[test]
+    fn theorem2_tradeoff_is_monotone() {
+        let mut prev_w = f64::INFINITY;
+        let mut prev_s = 0.0;
+        for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let c = theorem2_cost(M, N, P, eps);
+            assert!(c.words <= prev_w, "W falls as ε grows");
+            assert!(c.msgs >= prev_s, "S rises as ε grows");
+            prev_w = c.words;
+            prev_s = c.msgs;
+        }
+    }
+
+    #[test]
+    fn theorem1_tradeoff_is_monotone_in_delta() {
+        let m = 4 * N * N; // square-ish: nP/m > 1
+        let mut prev_w = f64::INFINITY;
+        let mut prev_s = 0.0;
+        for k in 0..=4 {
+            let delta = 0.5 + (k as f64 / 4.0) * (2.0 / 3.0 - 0.5);
+            let c = theorem1_cost(m, N, P, delta);
+            assert!(c.words <= prev_w);
+            assert!(c.msgs >= prev_s);
+            prev_w = c.words;
+            prev_s = c.msgs;
+        }
+    }
+
+    #[test]
+    fn theorem1_beats_2d_bandwidth_at_delta_two_thirds() {
+        let m = 4 * N;
+        let w3d = theorem1_cost(m, N, P, 2.0 / 3.0).words;
+        let w2d = caqr2d_cost(m, N, P).words;
+        assert!(w3d < w2d, "3D W={w3d} should beat 2D W={w2d}");
+    }
+
+    #[test]
+    fn eq11_matches_theorem2_when_b_substituted() {
+        // b = n/log P (ε = 1) in Eq. (11) reproduces Theorem 2's W shape:
+        // n² + n²  = Θ(n²).
+        let b = N / lg(P) as usize;
+        let c = caqr1d_cost(M, N, P, b);
+        assert!(c.words <= 3.0 * (N * N) as f64);
+        assert!(c.msgs >= lg(P) * lg(P) * 0.9);
+    }
+
+    #[test]
+    fn house1d_latency_dominates_everything() {
+        let h = house1d_cost(M, N, P);
+        let t = tsqr_cost(M, N, P);
+        assert!(h.msgs > 100.0 * t.msgs, "n log P ≫ log P");
+    }
+
+    #[test]
+    fn eq13_messages_scale_inversely_with_bstar() {
+        let c1 = caqr3d_cost(M, N, P, 256, 64);
+        let c2 = caqr3d_cost(M, N, P, 256, 32);
+        assert!((c2.msgs / c1.msgs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_always_contain_the_ideal_term() {
+        let ideal = (M as f64) * (N as f64) * (N as f64) / P as f64;
+        for c in [
+            tsqr_cost(M, N, P),
+            caqr1d_cost(M, N, P, 64),
+            caqr3d_cost(M, N, P, 128, 32),
+            house1d_cost(M, N, P),
+            house2d_cost(M, N, P),
+            caqr2d_cost(M, N, P),
+        ] {
+            assert!(c.flops >= ideal * 0.99);
+        }
+    }
+}

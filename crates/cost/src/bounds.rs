@@ -1,0 +1,77 @@
+//! Section 8.3 — communication lower bounds.
+//!
+//! "The algorithms studied there are all subject to an arithmetic lower
+//! bound of Ω(mn²/P) \[DGHL12\]. In the tall-skinny case, we have bandwidth
+//! and latency bounds Ω(n²) and Ω(log P). [...] In the (close to) square
+//! case, we have bandwidth and latency bounds Ω(n²/(nP/m)^{2/3}) and
+//! Ω((nP/m)^{1/2})."
+
+use crate::{lg, Cost3};
+
+/// Lower bounds for the tall-skinny regime (`m/n = Ω(P)`):
+/// `F ≥ mn²/P`, `W ≥ n²`, `S ≥ log P`.
+pub fn lower_bounds_tall(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf) = (m as f64, n as f64);
+    Cost3 { flops: mf * nf * nf / p as f64, words: nf * nf, msgs: lg(p) }
+}
+
+/// Lower bounds for the square-ish regime (`m/n = O(P)`):
+/// `F ≥ mn²/P`, `W ≥ n²/(nP/m)^{2/3}`, `S ≥ (nP/m)^{1/2}`.
+pub fn lower_bounds_square(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, pf) = (m as f64, n as f64, p as f64);
+    let aspect = (nf * pf / mf).max(1.0);
+    Cost3 {
+        flops: mf * nf * nf / pf,
+        words: nf * nf / aspect.powf(2.0 / 3.0),
+        msgs: aspect.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{theorem1_cost, theorem2_cost, tsqr_cost};
+
+    #[test]
+    fn theorem2_attains_tall_bounds_at_endpoints() {
+        let (m, n, p) = (1 << 20, 1 << 8, 64);
+        let lb = lower_bounds_tall(m, n, p);
+        // ε = 1: bandwidth-optimal.
+        assert_eq!(theorem2_cost(m, n, p, 1.0).words, lb.words);
+        // ε = 0: latency-optimal.
+        assert_eq!(theorem2_cost(m, n, p, 0.0).msgs, lb.msgs);
+        // tsqr misses both by Θ(log P).
+        let t = tsqr_cost(m, n, p);
+        assert_eq!(t.words / lb.words, lg(p));
+    }
+
+    #[test]
+    fn theorem1_attains_square_bandwidth_bound_at_two_thirds() {
+        let (n, p) = (1 << 10, 64);
+        let m = 4 * n;
+        let lb = lower_bounds_square(m, n, p);
+        let c = theorem1_cost(m, n, p, 2.0 / 3.0);
+        assert!((c.words / lb.words - 1.0).abs() < 1e-9, "δ = 2/3 attains Ω(n²/(nP/m)^{{2/3}})");
+        // δ = 1/2 misses latency only by polylog.
+        let c = theorem1_cost(m, n, p, 0.5);
+        let excess = c.msgs / lb.msgs;
+        assert!(excess <= lg(p) * lg(p) + 1e-9, "latency excess {excess} is polylog");
+    }
+
+    #[test]
+    fn bounds_monotone_in_problem_size() {
+        let b1 = lower_bounds_square(1 << 12, 1 << 10, 64);
+        let b2 = lower_bounds_square(1 << 13, 1 << 11, 64);
+        assert!(b2.flops > b1.flops);
+        assert!(b2.words > b1.words);
+    }
+
+    #[test]
+    fn tall_regime_aspect_floor() {
+        // With m ≥ nP the square formulas degenerate to the tall ones.
+        let (m, n, p) = (1 << 20, 1 << 8, 16);
+        let sq = lower_bounds_square(m, n, p);
+        let tall = lower_bounds_tall(m, n, p);
+        assert_eq!(sq.words, tall.words);
+    }
+}

@@ -1,0 +1,102 @@
+//! Table 1: asymptotic collective costs.
+//!
+//! `p` = processors involved, `b` = largest block size `B`, `bstar` = the
+//! all-to-all's `B*` (max words any processor holds before/after).
+
+use crate::{lg, Cost3};
+
+/// `scatter` / `gather`: `(P−1)B` words, `log P` messages.
+pub fn scatter(p: usize, b: usize) -> Cost3 {
+    Cost3 { flops: 0.0, words: (p.saturating_sub(1) * b) as f64, msgs: lg(p) }
+}
+
+/// See [`scatter`].
+pub fn gather(p: usize, b: usize) -> Cost3 {
+    scatter(p, b)
+}
+
+/// `broadcast`: `min(B log P, B + P)` words, `log P` messages.
+pub fn broadcast(p: usize, b: usize) -> Cost3 {
+    let words = (b as f64 * lg(p)).min((b + p) as f64);
+    Cost3 { flops: 0.0, words, msgs: lg(p) }
+}
+
+/// `reduce`: like broadcast plus the same number of flops.
+pub fn reduce(p: usize, b: usize) -> Cost3 {
+    let c = broadcast(p, b);
+    Cost3 { flops: c.words, ..c }
+}
+
+/// `all-gather`: `(P−1)B` words, `log P` messages.
+pub fn all_gather(p: usize, b: usize) -> Cost3 {
+    scatter(p, b)
+}
+
+/// `all-reduce`: `min(B log P, B + P)` words and flops, `log P` messages.
+pub fn all_reduce(p: usize, b: usize) -> Cost3 {
+    reduce(p, b)
+}
+
+/// `reduce-scatter`: `(P−1)B` words and flops, `log P` messages.
+pub fn reduce_scatter(p: usize, b: usize) -> Cost3 {
+    let c = scatter(p, b);
+    Cost3 { flops: c.words, ..c }
+}
+
+/// `all-to-all`: `min(BP log P, (B* + P²) log P)` words, `log P` messages.
+pub fn all_to_all(p: usize, b: usize, bstar: usize) -> Cost3 {
+    let index = (b * p) as f64 * lg(p);
+    let two_phase = (bstar + p * p) as f64 * lg(p);
+    Cost3 { flops: 0.0, words: index.min(two_phase), msgs: lg(p) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_picks_min_regime() {
+        // Small block: tree (B log P); large block: exchange (B + P).
+        assert_eq!(broadcast(16, 1).words, 4.0);
+        assert_eq!(broadcast(16, 1024).words, 1040.0);
+    }
+
+    #[test]
+    fn linear_collectives_scale_with_p() {
+        assert_eq!(scatter(8, 10).words, 70.0);
+        assert_eq!(all_gather(8, 10).words, 70.0);
+        assert_eq!(reduce_scatter(8, 10).flops, 70.0);
+    }
+
+    #[test]
+    fn all_to_all_two_phase_wins_on_skew() {
+        // One huge block (B = 10⁶) but small total (B* = 10⁶): two-phase's
+        // (B* + P²) log P beats index's B·P·log P.
+        let c = all_to_all(64, 1_000_000, 1_000_000);
+        assert!(c.words < 1_000_000.0 * 64.0 * 6.0);
+    }
+
+    #[test]
+    fn all_latencies_are_logarithmic() {
+        for p in [2usize, 16, 256] {
+            for c in [
+                scatter(p, 5),
+                gather(p, 5),
+                broadcast(p, 5),
+                reduce(p, 5),
+                all_gather(p, 5),
+                all_reduce(p, 5),
+                reduce_scatter(p, 5),
+                all_to_all(p, 5, 5 * p),
+            ] {
+                assert_eq!(c.msgs, lg(p), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_rank() {
+        assert_eq!(scatter(1, 100).words, 0.0);
+        assert_eq!(broadcast(1, 100).words.min(1.0), 1.0); // lg floors at 1
+    }
+}

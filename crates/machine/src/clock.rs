@@ -1,0 +1,219 @@
+//! Logical cost clocks implementing the α-β-γ model of the paper's Section 3.
+
+/// Machine cost parameters: the time of one arithmetic operation (`gamma`)
+/// and the latency (`alpha`) / inverse bandwidth (`beta`) of a message.
+///
+/// Section 3 of the paper: "Each operation takes time γ, while sending or
+/// receiving a message of w words takes time α + wβ".
+///
+/// The presets below are order-of-magnitude ratios typical of the machine
+/// classes the paper targets; only the *ratios* α/γ and β/γ matter for the
+/// modeled-time comparisons (who wins on which machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Per-message latency (seconds, or arbitrary time units).
+    pub alpha: f64,
+    /// Per-word transfer time (inverse bandwidth).
+    pub beta: f64,
+    /// Per-flop time.
+    pub gamma: f64,
+}
+
+impl CostParams {
+    /// All-ones parameters: modeled time equals `F + W + S`.
+    /// Useful in tests where only the counts matter.
+    pub fn unit() -> Self {
+        CostParams { alpha: 1.0, beta: 1.0, gamma: 1.0 }
+    }
+
+    /// A multicore-ish shared-memory machine: cheap messages, fast cores.
+    /// (α/γ = 1e3, β/γ = 10)
+    pub fn laptop() -> Self {
+        CostParams { alpha: 1e-6, beta: 1e-8, gamma: 1e-9 }
+    }
+
+    /// A commodity cluster with Ethernet-class interconnect:
+    /// latency-dominated (α/γ = 1e6, β/γ = 1e2).
+    pub fn cluster() -> Self {
+        CostParams { alpha: 1e-3, beta: 1e-7, gamma: 1e-9 }
+    }
+
+    /// A supercomputer with a fast custom interconnect:
+    /// bandwidth is relatively precious compared to latency
+    /// (α/γ = 1e4, β/γ = 20).
+    pub fn supercomputer() -> Self {
+        CostParams { alpha: 1e-5, beta: 2e-8, gamma: 1e-9 }
+    }
+
+    /// Modeled runtime `γF + βW + αS` for given path counts.
+    pub fn time(&self, flops: f64, words: f64, msgs: f64) -> f64 {
+        self.gamma * flops + self.beta * words + self.alpha * msgs
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+/// A logical clock tracking critical-path costs along one rank's task path.
+///
+/// Components:
+/// * `flops` — arithmetic operations (the paper's `F`),
+/// * `words` — words sent/received (`W`),
+/// * `msgs`  — messages sent/received (`S`),
+/// * `time`  — modeled runtime `γF + βW + αS` accumulated along the path.
+///
+/// Each component is merged with `max` at receive events, so at the end of a
+/// run each component equals the maximum over all DAG paths ending at this
+/// rank of that component's sum (see crate-level docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Clock {
+    /// Arithmetic operations along the worst path (paper's `F`).
+    pub flops: f64,
+    /// Words moved along the worst path (paper's `W`).
+    pub words: f64,
+    /// Messages along the worst path (paper's `S`).
+    pub msgs: f64,
+    /// Modeled time `γF + βW + αS` along the worst path.
+    pub time: f64,
+}
+
+impl Clock {
+    /// The zero clock.
+    pub fn zero() -> Self {
+        Clock::default()
+    }
+
+    /// Componentwise maximum — the merge applied at receive events.
+    pub fn merge_max(&mut self, other: &Clock) {
+        self.flops = self.flops.max(other.flops);
+        self.words = self.words.max(other.words);
+        self.msgs = self.msgs.max(other.msgs);
+        self.time = self.time.max(other.time);
+    }
+
+    /// Charge `n` arithmetic operations.
+    pub fn charge_flops(&mut self, n: f64, p: &CostParams) {
+        self.flops += n;
+        self.time += p.gamma * n;
+    }
+
+    /// Charge one message of `w` words (applied at *both* endpoints,
+    /// matching the model where send and receive are each tasks costing
+    /// α + wβ).
+    pub fn charge_msg(&mut self, w: f64, p: &CostParams) {
+        self.words += w;
+        self.msgs += 1.0;
+        self.time += p.alpha + p.beta * w;
+    }
+
+    /// Componentwise difference `self - earlier`; useful for phase deltas.
+    pub fn since(&self, earlier: &Clock) -> Clock {
+        Clock {
+            flops: self.flops - earlier.flops,
+            words: self.words - earlier.words,
+            msgs: self.msgs - earlier.msgs,
+            time: self.time - earlier.time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Clock::zero(), Clock::default());
+        assert_eq!(Clock::zero().flops, 0.0);
+    }
+
+    #[test]
+    fn charge_flops_accumulates() {
+        let p = CostParams { alpha: 0.0, beta: 0.0, gamma: 2.0 };
+        let mut c = Clock::zero();
+        c.charge_flops(10.0, &p);
+        c.charge_flops(5.0, &p);
+        assert_eq!(c.flops, 15.0);
+        assert_eq!(c.time, 30.0);
+        assert_eq!(c.words, 0.0);
+        assert_eq!(c.msgs, 0.0);
+    }
+
+    #[test]
+    fn charge_msg_counts_message_and_words() {
+        let p = CostParams { alpha: 100.0, beta: 1.0, gamma: 0.0 };
+        let mut c = Clock::zero();
+        c.charge_msg(8.0, &p);
+        assert_eq!(c.msgs, 1.0);
+        assert_eq!(c.words, 8.0);
+        assert_eq!(c.time, 108.0);
+    }
+
+    #[test]
+    fn zero_word_message_still_counts_latency() {
+        let p = CostParams::unit();
+        let mut c = Clock::zero();
+        c.charge_msg(0.0, &p);
+        assert_eq!(c.msgs, 1.0);
+        assert_eq!(c.words, 0.0);
+        assert_eq!(c.time, 1.0);
+    }
+
+    #[test]
+    fn merge_max_is_componentwise() {
+        let mut a = Clock { flops: 10.0, words: 1.0, msgs: 5.0, time: 2.0 };
+        let b = Clock { flops: 3.0, words: 9.0, msgs: 5.0, time: 7.0 };
+        a.merge_max(&b);
+        assert_eq!(a, Clock { flops: 10.0, words: 9.0, msgs: 5.0, time: 7.0 });
+    }
+
+    #[test]
+    fn merge_max_is_idempotent_and_commutative() {
+        let a = Clock { flops: 1.0, words: 2.0, msgs: 3.0, time: 4.0 };
+        let b = Clock { flops: 4.0, words: 3.0, msgs: 2.0, time: 1.0 };
+        let mut ab = a;
+        ab.merge_max(&b);
+        let mut ba = b;
+        ba.merge_max(&a);
+        assert_eq!(ab, ba);
+        let mut aa = a;
+        aa.merge_max(&a);
+        assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn since_gives_phase_delta() {
+        let p = CostParams::unit();
+        let mut c = Clock::zero();
+        c.charge_flops(7.0, &p);
+        let snap = c;
+        c.charge_msg(3.0, &p);
+        let d = c.since(&snap);
+        assert_eq!(d.flops, 0.0);
+        assert_eq!(d.words, 3.0);
+        assert_eq!(d.msgs, 1.0);
+    }
+
+    #[test]
+    fn presets_have_sane_orderings() {
+        for p in [CostParams::laptop(), CostParams::cluster(), CostParams::supercomputer()] {
+            assert!(p.alpha > p.beta, "latency should exceed per-word cost");
+            assert!(p.beta > p.gamma, "communication should cost more than arithmetic");
+        }
+        // The cluster is the most latency-dominated machine.
+        assert!(
+            CostParams::cluster().alpha / CostParams::cluster().gamma
+                > CostParams::supercomputer().alpha / CostParams::supercomputer().gamma
+        );
+    }
+
+    #[test]
+    fn time_formula_matches_components() {
+        let p = CostParams { alpha: 2.0, beta: 3.0, gamma: 5.0 };
+        assert_eq!(p.time(1.0, 1.0, 1.0), 10.0);
+        assert_eq!(p.time(2.0, 0.0, 0.0), 10.0);
+    }
+}

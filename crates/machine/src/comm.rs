@@ -1,0 +1,204 @@
+//! Communicators: views of a subset of the machine's ranks, with local
+//! numbering, in the spirit of MPI communicators.
+//!
+//! Unlike `MPI_Comm_split`, forming a sub-communicator here involves **no
+//! communication**: every use in the paper (processor-grid fibers, groups of
+//! representatives, …) is a deterministic function of parameters every rank
+//! already knows, so each member computes the same member list locally.
+//! Communicator setup therefore costs nothing, matching the paper's model in
+//! which data distributions and processor grids are given.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A communicator: an ordered list of global ranks plus this rank's position
+/// in it. Cloning is cheap (the member list is shared).
+///
+/// All collective operations on a communicator must be entered by every
+/// member in the same program order (the usual SPMD discipline); the
+/// per-communicator operation counter that sequences message tags relies
+/// on it.
+#[derive(Clone)]
+pub struct Comm {
+    /// Stable identifier mixed into message tags so that traffic on
+    /// different communicators cannot be confused.
+    pub(crate) id: u64,
+    /// Global ranks of the members, in local-rank order.
+    pub(crate) members: Arc<Vec<usize>>,
+    /// This rank's local rank (index into `members`).
+    pub(crate) me: usize,
+    /// Per-instance operation counter for tag sequencing. Shared between
+    /// clones so that a cloned handle continues the same sequence.
+    pub(crate) op_counter: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("id", &self.id)
+            .field("size", &self.members.len())
+            .field("me", &self.me)
+            .finish()
+    }
+}
+
+impl Comm {
+    /// The world communicator over ranks `0..p`, as seen from `me`.
+    pub(crate) fn world(p: usize, me: usize) -> Self {
+        Comm {
+            id: 0,
+            members: Arc::new((0..p).collect()),
+            me,
+            op_counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's local rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.me
+    }
+
+    /// The global (world) rank of local rank `local`.
+    pub fn global_of(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// The global ranks of all members, in local-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Form a sub-communicator from `locals`, a list of *local* ranks of
+    /// `self`, given in the local-rank order the new communicator should
+    /// use. Returns `None` if this rank is not among them.
+    ///
+    /// Every member must call `subset` with the identical list (computed
+    /// locally — see module docs). No messages are exchanged.
+    ///
+    /// # Panics
+    /// Panics if `locals` contains duplicates or out-of-range local ranks.
+    pub fn subset(&self, locals: &[usize]) -> Option<Comm> {
+        let mut seen = vec![false; self.size()];
+        for &l in locals {
+            assert!(l < self.size(), "subset: local rank {l} out of range");
+            assert!(!seen[l], "subset: duplicate local rank {l}");
+            seen[l] = true;
+        }
+        let globals: Vec<usize> = locals.iter().map(|&l| self.members[l]).collect();
+        let me = locals.iter().position(|&l| l == self.me)?;
+        let mut h = DefaultHasher::new();
+        self.id.hash(&mut h);
+        globals.hash(&mut h);
+        Some(Comm {
+            id: h.finish() | 1, // never collide with the world id 0
+            members: Arc::new(globals),
+            me,
+            op_counter: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Split into disjoint sub-communicators by `color` (like
+    /// `MPI_Comm_split` with `key` = current local rank), computed locally:
+    /// `colors[l]` must be the color of local rank `l`, and every member
+    /// must pass an identical `colors` slice. Returns the sub-communicator
+    /// containing this rank.
+    pub fn split_by_color(&self, colors: &[usize]) -> Comm {
+        assert_eq!(colors.len(), self.size(), "split_by_color: need one color per rank");
+        let mine = colors[self.me];
+        let locals: Vec<usize> =
+            (0..self.size()).filter(|&l| colors[l] == mine).collect();
+        self.subset(&locals)
+            .expect("split_by_color: this rank is always in its own color class")
+    }
+
+    /// Fetch-and-increment the operation counter; used by collectives to
+    /// sequence their message tags.
+    pub fn next_op(&self) -> u64 {
+        self.op_counter.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_numbering() {
+        let c = Comm::world(4, 2);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.rank(), 2);
+        assert_eq!(c.global_of(3), 3);
+        assert_eq!(c.members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn subset_renumbers_and_excludes() {
+        let c = Comm::world(6, 4);
+        let s = c.subset(&[1, 4, 5]).expect("rank 4 is a member");
+        assert_eq!(s.size(), 3);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.global_of(0), 1);
+        assert_eq!(s.global_of(2), 5);
+        assert!(c.subset(&[0, 2]).is_none(), "rank 4 not a member");
+    }
+
+    #[test]
+    fn subset_ids_agree_across_ranks_and_differ_across_member_lists() {
+        let a = Comm::world(6, 1).subset(&[1, 4, 5]).unwrap();
+        let b = Comm::world(6, 5).subset(&[1, 4, 5]).unwrap();
+        assert_eq!(a.id, b.id, "same member list must give the same id on all ranks");
+        let c = Comm::world(6, 1).subset(&[1, 2]).unwrap();
+        assert_ne!(a.id, c.id, "different member lists should get different ids");
+        assert_ne!(a.id, 0, "sub-communicator ids never collide with world");
+    }
+
+    #[test]
+    fn subset_order_defines_local_ranks() {
+        // Member order is meaningful: [4, 1] numbers global 4 as local 0.
+        let s = Comm::world(6, 4).subset(&[4, 1]).unwrap();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.global_of(0), 4);
+        assert_eq!(s.global_of(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn subset_rejects_duplicates() {
+        let _ = Comm::world(4, 0).subset(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subset_rejects_out_of_range() {
+        let _ = Comm::world(4, 0).subset(&[0, 7]);
+    }
+
+    #[test]
+    fn split_by_color_partitions() {
+        // Ranks 0..6 split by parity.
+        let colors = vec![0, 1, 0, 1, 0, 1];
+        let even = Comm::world(6, 2).split_by_color(&colors);
+        assert_eq!(even.members(), &[0, 2, 4]);
+        assert_eq!(even.rank(), 1);
+        let odd = Comm::world(6, 3).split_by_color(&colors);
+        assert_eq!(odd.members(), &[1, 3, 5]);
+        assert_eq!(odd.rank(), 1);
+    }
+
+    #[test]
+    fn op_counter_shared_between_clones_but_not_subsets() {
+        let c = Comm::world(4, 0);
+        let c2 = c.clone();
+        assert_eq!(c.next_op(), 0);
+        assert_eq!(c2.next_op(), 1);
+        let s = c.subset(&[0, 1]).unwrap();
+        assert_eq!(s.next_op(), 0, "subsets start their own sequence");
+    }
+}

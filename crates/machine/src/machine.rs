@@ -1,0 +1,525 @@
+//! The machine itself: spawns ranks as OS threads and runs an SPMD closure.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::clock::{Clock, CostParams};
+use crate::comm::Comm;
+use crate::mailbox::{Envelope, Mailbox};
+
+/// How long a rank may block in `recv` before the run is declared
+/// deadlocked. Legitimate waits are bounded by a peer's local compute,
+/// which is far below this at simulation scales.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A simulated distributed-memory machine with `p` processors and α-β-γ
+/// cost parameters (see [`CostParams`]).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    p: usize,
+    params: CostParams,
+}
+
+/// Aggregate (whole-execution, *not* critical-path) counters for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Totals {
+    /// Total arithmetic operations performed by this rank.
+    pub flops: f64,
+    /// Total words sent by this rank.
+    pub words_sent: f64,
+    /// Total messages sent by this rank.
+    pub msgs_sent: f64,
+    /// Total messages matched by a `recv` on this rank.
+    pub msgs_recv: f64,
+}
+
+/// Per-run statistics: the final logical clock and aggregate counters of
+/// every rank.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Final critical-path clock of each rank, indexed by world rank.
+    pub per_rank: Vec<Clock>,
+    /// Aggregate counters of each rank, indexed by world rank.
+    pub totals: Vec<Totals>,
+}
+
+impl RunStats {
+    /// The execution's critical-path costs: componentwise max over ranks.
+    /// These are the paper's `F`, `W`, `S` (and modeled time).
+    pub fn critical(&self) -> Clock {
+        let mut c = Clock::zero();
+        for r in &self.per_rank {
+            c.merge_max(r);
+        }
+        c
+    }
+
+    /// Total communication volume: words sent summed over all ranks.
+    pub fn total_volume(&self) -> f64 {
+        self.totals.iter().map(|t| t.words_sent).sum()
+    }
+
+    /// Total message count summed over all ranks.
+    pub fn total_messages(&self) -> f64 {
+        self.totals.iter().map(|t| t.msgs_sent).sum()
+    }
+
+    /// Total arithmetic summed over all ranks.
+    pub fn total_flops(&self) -> f64 {
+        self.totals.iter().map(|t| t.flops).sum()
+    }
+}
+
+/// The result of [`Machine::run`]: each rank's return value plus run
+/// statistics.
+#[derive(Debug)]
+pub struct RunOutput<T> {
+    /// Closure return values, indexed by world rank.
+    pub results: Vec<T>,
+    /// Cost statistics for the run.
+    pub stats: RunStats,
+}
+
+impl Machine {
+    /// A machine with `p` ranks. `p` must be at least 1.
+    pub fn new(p: usize, params: CostParams) -> Self {
+        assert!(p >= 1, "a machine needs at least one processor");
+        Machine { p, params }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.p
+    }
+
+    /// Cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Run `f` on every rank (SPMD) and collect results and statistics.
+    ///
+    /// Each rank is an OS thread; `f` receives a [`Rank`] giving its
+    /// identity, its communicators, and its messaging + cost-accounting
+    /// interface.
+    ///
+    /// # Panics
+    /// Propagates panics from rank closures; panics if any rank exits with
+    /// unconsumed messages in its mailbox (which indicates a communication
+    /// protocol bug) or if a receive blocks longer than an internal timeout
+    /// (deadlock).
+    pub fn run<T, F>(&self, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Sync,
+    {
+        let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
+            (0..self.p).map(|_| unbounded()).unzip();
+        let senders = Arc::new(senders);
+
+        let mut slots: Vec<Option<(T, Clock, Totals, usize)>> =
+            (0..self.p).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.p);
+            for (id, rx) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let params = self.params;
+                let p = self.p;
+                let f = &f;
+                let builder = std::thread::Builder::new()
+                    .name(format!("rank-{id}"))
+                    .stack_size(16 << 20);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut rank = Rank::new(id, p, params, senders, rx);
+                        let out = f(&mut rank);
+                        (out, rank.clock, rank.totals, rank.mailbox.len())
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for (id, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(tuple) => slots[id] = Some(tuple),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(self.p);
+        let mut per_rank = Vec::with_capacity(self.p);
+        let mut totals = Vec::with_capacity(self.p);
+        for (id, slot) in slots.into_iter().enumerate() {
+            let (out, clock, tot, leftover) = slot.expect("rank did not report");
+            assert_eq!(
+                leftover, 0,
+                "rank {id} exited with {leftover} unconsumed message(s) in its \
+                 mailbox: communication protocol bug"
+            );
+            results.push(out);
+            per_rank.push(clock);
+            totals.push(tot);
+        }
+        // Deterministic leak check: every send must have been matched by a
+        // receive once all ranks have exited.
+        let sent: f64 = totals.iter().map(|t| t.msgs_sent).sum();
+        let recvd: f64 = totals.iter().map(|t| t.msgs_recv).sum();
+        assert_eq!(
+            sent, recvd,
+            "{} message(s) were sent but never received: communication \
+             protocol bug",
+            sent - recvd
+        );
+        RunOutput { results, stats: RunStats { per_rank, totals } }
+    }
+}
+
+/// A rank's view of the machine: identity, messaging, and cost accounting.
+///
+/// Handed to the SPMD closure by [`Machine::run`]. All communication and
+/// arithmetic performed through this handle is charged to the rank's
+/// logical [`Clock`] under the α-β-γ model.
+pub struct Rank {
+    id: usize,
+    p: usize,
+    params: CostParams,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    receiver: Receiver<Envelope>,
+    mailbox: Mailbox,
+    world: Comm,
+    pub(crate) clock: Clock,
+    pub(crate) totals: Totals,
+}
+
+impl Rank {
+    fn new(
+        id: usize,
+        p: usize,
+        params: CostParams,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        receiver: Receiver<Envelope>,
+    ) -> Self {
+        Rank {
+            id,
+            p,
+            params,
+            senders,
+            receiver,
+            mailbox: Mailbox::new(),
+            world: Comm::world(p, id),
+            clock: Clock::zero(),
+            totals: Totals::default(),
+        }
+    }
+
+    /// This rank's world (global) rank.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total number of ranks on the machine.
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// The world communicator (all ranks). Clones share the operation
+    /// counter, so call sites may freely re-fetch it.
+    pub fn world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// The machine's cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Snapshot of this rank's critical-path clock (e.g. for phase deltas
+    /// via [`Clock::since`]).
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Charge `n` arithmetic operations to this rank.
+    pub fn charge_flops(&mut self, n: f64) {
+        self.clock.charge_flops(n, &self.params);
+        self.totals.flops += n;
+    }
+
+    /// Send `data` to `dst_local` (a local rank of `comm`) with message
+    /// tag `tag`. Asynchronous: never blocks. Costs α + wβ on this rank.
+    ///
+    /// Self-sends are allowed (they still cost a message at each end, so
+    /// algorithms should avoid them; collectives here do).
+    pub fn send(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: &[f64]) {
+        let w = data.len() as f64;
+        self.clock.charge_msg(w, &self.params);
+        self.totals.words_sent += w;
+        self.totals.msgs_sent += 1.0;
+        let env = Envelope {
+            src_global: self.id,
+            comm_id: comm.id,
+            tag,
+            payload: data.to_vec(),
+            clock: self.clock,
+        };
+        let dst_global = comm.global_of(dst_local);
+        self.senders[dst_global].send(env).expect("rank channel closed");
+    }
+
+    /// Like [`Rank::send`] but takes ownership of the payload, avoiding a
+    /// copy for large blocks.
+    pub fn send_vec(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: Vec<f64>) {
+        let w = data.len() as f64;
+        self.clock.charge_msg(w, &self.params);
+        self.totals.words_sent += w;
+        self.totals.msgs_sent += 1.0;
+        let env = Envelope {
+            src_global: self.id,
+            comm_id: comm.id,
+            tag,
+            payload: data,
+            clock: self.clock,
+        };
+        let dst_global = comm.global_of(dst_local);
+        self.senders[dst_global].send(env).expect("rank channel closed");
+    }
+
+    /// Receive the message sent by `src_local` (a local rank of `comm`)
+    /// with tag `tag`. Blocks until it arrives. Merges the sender's clock
+    /// (componentwise max) and then charges α + wβ.
+    pub fn recv(&mut self, comm: &Comm, src_local: usize, tag: u64) -> Vec<f64> {
+        let key = (comm.global_of(src_local), comm.id, tag);
+        loop {
+            if let Some(env) = self.mailbox.pop(&key) {
+                self.clock.merge_max(&env.clock);
+                self.clock.charge_msg(env.payload.len() as f64, &self.params);
+                self.totals.msgs_recv += 1.0;
+                return env.payload;
+            }
+            match self.receiver.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => self.mailbox.push(env),
+                Err(_) => panic!(
+                    "rank {} deadlocked waiting for message (src_global={}, comm={}, tag={})",
+                    self.id, key.0, key.1, key.2
+                ),
+            }
+        }
+    }
+
+    /// Simultaneous exchange with a partner: send `data` and receive the
+    /// partner's message with the same tag. The send is issued first, so a
+    /// symmetric pair never deadlocks. This is the primitive used by
+    /// bidirectional-exchange collectives.
+    pub fn sendrecv(
+        &mut self,
+        comm: &Comm,
+        partner_local: usize,
+        tag: u64,
+        data: &[f64],
+    ) -> Vec<f64> {
+        self.send(comm, partner_local, tag, data);
+        self.recv(comm, partner_local, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs_and_counts_flops() {
+        let m = Machine::new(1, CostParams::unit());
+        let out = m.run(|rank| {
+            rank.charge_flops(100.0);
+            rank.id()
+        });
+        assert_eq!(out.results, vec![0]);
+        assert_eq!(out.stats.critical().flops, 100.0);
+        assert_eq!(out.stats.critical().msgs, 0.0);
+        assert_eq!(out.stats.total_flops(), 100.0);
+    }
+
+    #[test]
+    fn ping_pong_costs_and_values() {
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send(&w, 1, 1, &[1.0, 2.0, 3.0]);
+                rank.recv(&w, 1, 2)
+            } else {
+                let v = rank.recv(&w, 0, 1);
+                let doubled: Vec<f64> = v.iter().map(|x| 2.0 * x).collect();
+                rank.send(&w, 0, 2, &doubled);
+                doubled
+            }
+        });
+        assert_eq!(out.results[0], vec![2.0, 4.0, 6.0]);
+        // Critical path: send(3) + recv(3) + send(3) + recv(3) = 4 msgs, 12 words.
+        let c = out.stats.critical();
+        assert_eq!(c.msgs, 4.0);
+        assert_eq!(c.words, 12.0);
+        // Volume counts each message once (at the sender).
+        assert_eq!(out.stats.total_volume(), 6.0);
+        assert_eq!(out.stats.total_messages(), 2.0);
+    }
+
+    #[test]
+    fn out_of_order_tags_match_correctly() {
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send(&w, 1, 10, &[10.0]);
+                rank.send(&w, 1, 20, &[20.0]);
+                0.0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = rank.recv(&w, 0, 20)[0];
+                let a = rank.recv(&w, 0, 10)[0];
+                a + b * 100.0
+            }
+        });
+        assert_eq!(out.results[1], 10.0 + 2000.0);
+    }
+
+    #[test]
+    fn clock_merge_tracks_dependency_chain() {
+        // Rank 0 computes 1000 flops, then sends to 1; rank 1's path must
+        // include rank 0's flops even though rank 1 computed none.
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.charge_flops(1000.0);
+                rank.send(&w, 1, 0, &[0.0]);
+            } else {
+                rank.recv(&w, 0, 0);
+            }
+        });
+        assert_eq!(out.stats.per_rank[1].flops, 1000.0);
+        // And rank 1's path has 2 message events (rank 0's send + own recv).
+        assert_eq!(out.stats.per_rank[1].msgs, 2.0);
+    }
+
+    #[test]
+    fn independent_work_does_not_inflate_critical_path() {
+        // Two disjoint pairs communicate; critical path sees one pair only.
+        let m = Machine::new(4, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            match rank.id() {
+                0 => rank.send(&w, 1, 0, &[1.0; 10]),
+                1 => drop(rank.recv(&w, 0, 0)),
+                2 => rank.send(&w, 3, 0, &[1.0; 10]),
+                3 => drop(rank.recv(&w, 2, 0)),
+                _ => unreachable!(),
+            }
+        });
+        let c = out.stats.critical();
+        assert_eq!(c.msgs, 2.0, "two pairs in parallel: path sees send+recv only");
+        assert_eq!(c.words, 20.0);
+        assert_eq!(out.stats.total_volume(), 20.0);
+    }
+
+    #[test]
+    fn sendrecv_is_symmetric_and_deadlock_free() {
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            let partner = 1 - rank.id();
+            let got = rank.sendrecv(&w, partner, 3, &[rank.id() as f64]);
+            got[0]
+        });
+        assert_eq!(out.results, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn subcommunicator_messaging_uses_local_ranks() {
+        let m = Machine::new(4, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            // Odd ranks form a communicator; local 0 = global 1, local 1 = global 3.
+            if rank.id() % 2 == 1 {
+                let odd = w.subset(&[1, 3]).expect("odd rank");
+                if odd.rank() == 0 {
+                    rank.send(&odd, 1, 0, &[99.0]);
+                    0.0
+                } else {
+                    rank.recv(&odd, 0, 0)[0]
+                }
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(out.results, vec![-1.0, 0.0, -1.0, 99.0]);
+    }
+
+    #[test]
+    fn send_vec_avoids_copy_same_semantics() {
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send_vec(&w, 1, 0, vec![5.0; 100]);
+                0.0
+            } else {
+                rank.recv(&w, 0, 0).iter().sum::<f64>()
+            }
+        });
+        assert_eq!(out.results[1], 500.0);
+        assert_eq!(out.stats.total_volume(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never received")]
+    fn leaked_message_is_detected() {
+        let m = Machine::new(2, CostParams::unit());
+        let _ = m.run(|rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send(&w, 1, 0, &[1.0]);
+                rank.send(&w, 1, 1, &[2.0]); // never received
+            } else {
+                rank.recv(&w, 0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn determinism_same_program_same_clocks() {
+        let run_once = || {
+            let m = Machine::new(8, CostParams::supercomputer());
+            let out = m.run(|rank| {
+                let w = rank.world();
+                // Binary-tree reduction pattern.
+                let mut val = rank.id() as f64;
+                let mut gap = 1;
+                while gap < rank.nprocs() {
+                    if rank.id() % (2 * gap) == 0 {
+                        let src = rank.id() + gap;
+                        if src < rank.nprocs() {
+                            val += rank.recv(&w, src, gap as u64)[0];
+                        }
+                    } else if rank.id() % (2 * gap) == gap {
+                        let dst = rank.id() - gap;
+                        rank.send(&w, dst, gap as u64, &[val]);
+                        break;
+                    }
+                    gap *= 2;
+                }
+                rank.charge_flops(10.0);
+                val
+            });
+            (out.results[0], out.stats.critical())
+        };
+        let (v1, c1) = run_once();
+        let (v2, c2) = run_once();
+        assert_eq!(v1, 28.0, "0+1+...+7");
+        assert_eq!(v1, v2);
+        assert_eq!(c1, c2, "logical clocks must be deterministic");
+    }
+}

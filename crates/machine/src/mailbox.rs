@@ -1,0 +1,103 @@
+//! Per-rank mailbox: out-of-order message arrival with in-order matching.
+//!
+//! Messages are matched by `(source global rank, communicator id, tag)`.
+//! Messages with the same key are delivered FIFO (channel order), which —
+//! together with the SPMD discipline that each pair of ranks agrees on the
+//! sequence of their mutual sends/receives — makes matching deterministic.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::clock::Clock;
+
+/// A message on the wire: payload of `f64` words plus the sender's clock
+/// snapshot taken *after* the send was charged.
+pub(crate) struct Envelope {
+    pub src_global: usize,
+    pub comm_id: u64,
+    pub tag: u64,
+    pub payload: Vec<f64>,
+    pub clock: Clock,
+}
+
+/// Match key for a pending receive.
+pub(crate) type Key = (usize, u64, u64);
+
+/// Buffers envelopes that arrived before the matching `recv` was posted.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    slots: HashMap<Key, VecDeque<Envelope>>,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Mailbox { slots: HashMap::new() }
+    }
+
+    /// Stash an arrived envelope.
+    pub fn push(&mut self, env: Envelope) {
+        let key = (env.src_global, env.comm_id, env.tag);
+        self.slots.entry(key).or_default().push_back(env);
+    }
+
+    /// Take the oldest envelope matching `key`, if any.
+    pub fn pop(&mut self, key: &Key) -> Option<Envelope> {
+        let q = self.slots.get_mut(key)?;
+        let env = q.pop_front();
+        if q.is_empty() {
+            self.slots.remove(key);
+        }
+        env
+    }
+
+    /// Number of buffered envelopes (used to detect leaked messages).
+    pub fn len(&self) -> usize {
+        self.slots.values().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, comm: u64, tag: u64, val: f64) -> Envelope {
+        Envelope {
+            src_global: src,
+            comm_id: comm,
+            tag,
+            payload: vec![val],
+            clock: Clock::zero(),
+        }
+    }
+
+    #[test]
+    fn fifo_per_key() {
+        let mut mb = Mailbox::new();
+        mb.push(env(1, 0, 5, 1.0));
+        mb.push(env(1, 0, 5, 2.0));
+        assert_eq!(mb.pop(&(1, 0, 5)).unwrap().payload, vec![1.0]);
+        assert_eq!(mb.pop(&(1, 0, 5)).unwrap().payload, vec![2.0]);
+        assert!(mb.pop(&(1, 0, 5)).is_none());
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let mut mb = Mailbox::new();
+        mb.push(env(1, 0, 5, 1.0));
+        mb.push(env(2, 0, 5, 2.0));
+        mb.push(env(1, 9, 5, 3.0));
+        mb.push(env(1, 0, 6, 4.0));
+        assert_eq!(mb.len(), 4);
+        assert_eq!(mb.pop(&(2, 0, 5)).unwrap().payload, vec![2.0]);
+        assert_eq!(mb.pop(&(1, 9, 5)).unwrap().payload, vec![3.0]);
+        assert_eq!(mb.pop(&(1, 0, 6)).unwrap().payload, vec![4.0]);
+        assert_eq!(mb.pop(&(1, 0, 5)).unwrap().payload, vec![1.0]);
+        assert_eq!(mb.len(), 0);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut mb = Mailbox::new();
+        assert!(mb.pop(&(0, 0, 0)).is_none());
+        assert_eq!(mb.len(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Arithmetic-cost formulas for the local kernels.
+//!
+//! The simulated machine charges flops explicitly (the kernels themselves
+//! are pure math); these formulas are the single source of truth for how
+//! much each kernel costs, matching the counts the paper uses (e.g.
+//! Lemma 2: `IJK` multiplications plus `IJ(K−1)` additions for `mm`).
+
+/// Flops of `C += op(A)·op(B)` with result `m × n` and inner dimension `k`
+/// (Lemma 2's `IJK + IJ(K−1) = O(IJK)`; we charge the standard `2mnk`).
+pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Flops of a Householder QR of an `m × n` panel (`m ≥ n`), including the
+/// compact-WY `T` assembly: the usual `2mn² − 2n³/3` for the factorization
+/// plus `≈ mn²` for `T` (LAPACK `geqrt` ≈ `larfg`+`larft` work).
+pub fn geqrt(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    2.0 * m * n * n - 2.0 * n * n * n / 3.0 + m * n * n
+}
+
+/// Flops of applying a block reflector `(I − V·T·Vᵀ)` (or its transpose)
+/// with `m × k` basis `V` to an `m × n` matrix `C`:
+/// `W = VᵀC` (2mkn) + `W = T·W` (2k²n) + `C −= V·W` (2mkn).
+pub fn apply_block_reflector(m: usize, k: usize, n: usize) -> f64 {
+    let (m, k, n) = (m as f64, k as f64, n as f64);
+    4.0 * m * k * n + 2.0 * k * k * n
+}
+
+/// Flops of a triangular solve with an `n × n` triangle and `r` right-hand
+/// sides (`n²r`).
+pub fn trsm(n: usize, r: usize) -> f64 {
+    (n * n * r) as f64
+}
+
+/// Flops of the sign-altered LU of an `n × n` matrix (`≈ 2n³/3`).
+pub fn lu_sign(n: usize) -> f64 {
+    2.0 * (n * n * n) as f64 / 3.0
+}
+
+/// Flops of an entrywise add/subtract of `m × n` matrices.
+pub fn matrix_add(m: usize, n: usize) -> f64 {
+    (m * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_count_is_2mnk() {
+        assert_eq!(gemm(2, 3, 4), 48.0);
+        assert_eq!(gemm(0, 3, 4), 0.0);
+    }
+
+    #[test]
+    fn geqrt_square_close_to_classic() {
+        // For m = n the classic QR cost is (4/3)n³; with T assembly ≈ (7/3)n³.
+        let n = 100;
+        let f = geqrt(n, n);
+        assert!((f - 7.0 / 3.0 * (n as f64).powi(3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_reflector_dominated_by_2mkn_terms() {
+        let f = apply_block_reflector(1000, 10, 10);
+        assert!(f > 4.0 * 1000.0 * 10.0 * 10.0 - 1.0);
+        assert!(f < 5.0 * 1000.0 * 10.0 * 10.0);
+    }
+
+    #[test]
+    fn all_formulas_nonnegative_and_monotone() {
+        for s in [1, 2, 5, 17] {
+            assert!(gemm(s, s, s) <= gemm(s + 1, s + 1, s + 1));
+            assert!(geqrt(2 * s, s) <= geqrt(2 * s + 2, s + 1));
+            assert!(trsm(s, s) <= trsm(s + 1, s + 1));
+            assert!(lu_sign(s) <= lu_sign(s + 1));
+            assert!(matrix_add(s, s) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! General matrix multiplication (the local `mm` of the paper's Lemma 2).
+//!
+//! "Directly evaluating the sums-of-products [...] involves IJK
+//! multiplications and IJ(K−1) additions; no communication is necessary."
+//! The [`crate::flops`] module exposes matching cost formulas so callers can
+//! charge the simulated machine.
+
+use crate::dense::Matrix;
+
+/// Transpose selector for [`gemm`] operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the operand's transpose.
+    Yes,
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`, the general multiply.
+///
+/// Uses the cache-friendly i-k-j loop order on the non-transposed layout.
+///
+/// # Panics
+/// On inner/outer dimension mismatches.
+pub fn gemm(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, ak) = match ta {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    };
+    let (bk, bn) = match tb {
+        Trans::No => (b.rows(), b.cols()),
+        Trans::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(ak, bk, "gemm: inner dimension mismatch ({ak} vs {bk})");
+    assert_eq!(c.rows(), am, "gemm: output rows mismatch");
+    assert_eq!(c.cols(), bn, "gemm: output cols mismatch");
+
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
+        return;
+    }
+
+    match (ta, tb) {
+        (Trans::No, Trans::No) => {
+            for i in 0..am {
+                for k in 0..ak {
+                    let aik = alpha * a[(i, k)];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(k);
+                    let crow = c.row_mut(i);
+                    for j in 0..bn {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            for i in 0..am {
+                for k in 0..ak {
+                    let aik = alpha * a[(k, i)];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(k);
+                    let crow = c.row_mut(i);
+                    for j in 0..bn {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            for i in 0..am {
+                for j in 0..bn {
+                    let arow = a.row(i);
+                    let brow = b.row(j);
+                    let mut s = 0.0;
+                    for k in 0..ak {
+                        s += arow[k] * brow[k];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            for i in 0..am {
+                for j in 0..bn {
+                    let mut s = 0.0;
+                    for k in 0..ak {
+                        s += a[(k, i)] * b[(j, k)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// `A * B` as a new matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `Aᵀ * B` as a new matrix.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm(Trans::Yes, Trans::No, 1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `A * Bᵀ` as a new matrix.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm(Trans::No, Trans::Yes, 1.0, a, b, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for k in 0..a.cols() {
+                    c[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.sub(b).max_abs() <= tol
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Matrix::random(5, 7, 1);
+        let b = Matrix::random(7, 4, 2);
+        assert!(close(&matmul(&a, &b), &naive(&a, &b), 1e-13));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(6, 6, 3);
+        assert!(close(&matmul(&a, &Matrix::identity(6)), &a, 0.0));
+        assert!(close(&matmul(&Matrix::identity(6), &a), &a, 0.0));
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = Matrix::random(5, 3, 4);
+        let b = Matrix::random(5, 4, 5);
+        assert!(close(&matmul_tn(&a, &b), &naive(&a.transpose(), &b), 1e-13));
+        let c = Matrix::random(3, 6, 6);
+        let d = Matrix::random(2, 6, 7);
+        assert!(close(&matmul_nt(&c, &d), &naive(&c, &d.transpose()), 1e-13));
+    }
+
+    #[test]
+    fn gemm_tt_matches() {
+        let a = Matrix::random(4, 3, 8);
+        let b = Matrix::random(5, 4, 9);
+        let mut c = Matrix::zeros(3, 5);
+        gemm(Trans::Yes, Trans::Yes, 1.0, &a, &b, 0.0, &mut c);
+        assert!(close(&c, &naive(&a.transpose(), &b.transpose()), 1e-13));
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = Matrix::random(3, 3, 10);
+        let b = Matrix::random(3, 3, 11);
+        let c0 = Matrix::random(3, 3, 12);
+        let mut c = c0.clone();
+        gemm(Trans::No, Trans::No, 2.0, &a, &b, 0.5, &mut c);
+        let mut expect = naive(&a, &b);
+        expect.scale(2.0);
+        let mut half_c0 = c0.clone();
+        half_c0.scale(0.5);
+        expect.add_assign(&half_c0);
+        assert!(close(&c, &expect, 1e-13));
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let a = Matrix::random(2, 2, 13);
+        let b = Matrix::random(2, 2, 14);
+        let mut c = Matrix::from_fn(2, 2, |_, _| f64::MAX / 4.0);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(close(&c, &naive(&a, &b), 1e-13));
+    }
+
+    #[test]
+    fn zero_dimensions_are_fine() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (0, 2));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+        assert_eq!(c.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn associativity_numerically() {
+        let a = Matrix::random(4, 4, 20);
+        let b = Matrix::random(4, 4, 21);
+        let c = Matrix::random(4, 4, 22);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(close(&left, &right, 1e-12));
+    }
+}

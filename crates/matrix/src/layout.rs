@@ -1,0 +1,413 @@
+//! Distributed data layouts.
+//!
+//! These descriptors map global matrix indices to owning ranks and local
+//! storage positions. They are *pure metadata* — every rank computes the
+//! same maps locally, so no communication is needed to agree on them
+//! (matching the paper, where data distributions are fixed in advance).
+//!
+//! * [`RowCyclic`] — "the m × n matrix A is partitioned across the P
+//!   processors row-cyclically" (3D-CAQR-EG input, Section 7).
+//! * [`BlockRow`] — each processor owns a contiguous band of rows
+//!   (TSQR / 1D-CAQR-EG input, Sections 5–6, where each of the P
+//!   processors owns `m_p ≥ n` rows and the root owns the top rows).
+//! * [`BlockCyclic2d`] — 2D block-cyclic with `b × b` blocks over an
+//!   `r × c` grid ("we distribute matrices (2D-)block-cyclically with
+//!   b × b blocks", Section 8.1, for the `2d-house` and `caqr` baselines).
+//!
+//! The `scatter_from_full` / `gather_to_full` helpers construct local
+//! pieces from (and reassemble) a replicated full matrix; they are used by
+//! harnesses and tests *outside* the simulated machine, so they carry no
+//! communication cost.
+
+use crate::dense::Matrix;
+use crate::partition::balanced_sizes;
+
+/// Row-cyclic layout of an `rows × cols` matrix over `p` ranks:
+/// global row `i` lives on rank `i mod p`, at local position `i div p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowCyclic {
+    rows: usize,
+    cols: usize,
+    p: usize,
+}
+
+impl RowCyclic {
+    /// Layout for an `rows × cols` matrix over `p` ranks.
+    pub fn new(rows: usize, cols: usize, p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        RowCyclic { rows, cols, p }
+    }
+
+    /// Matrix height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of ranks.
+    pub fn procs(&self) -> usize {
+        self.p
+    }
+
+    /// Owner of global row `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        i % self.p
+    }
+
+    /// Number of rows owned by `rank` (rows `rank, rank+p, rank+2p, …`).
+    pub fn local_count(&self, rank: usize) -> usize {
+        if rank >= self.p || rank >= self.rows {
+            return 0;
+        }
+        (self.rows - rank - 1) / self.p + 1
+    }
+
+    /// Global index of `rank`'s `l`-th local row.
+    pub fn global_row(&self, rank: usize, l: usize) -> usize {
+        rank + l * self.p
+    }
+
+    /// Local position of global row `i` on its owner.
+    pub fn local_of(&self, i: usize) -> usize {
+        i / self.p
+    }
+
+    /// All global rows owned by `rank`, ascending.
+    pub fn local_rows(&self, rank: usize) -> Vec<usize> {
+        (0..self.local_count(rank)).map(|l| self.global_row(rank, l)).collect()
+    }
+
+    /// Extract `rank`'s local piece from a full matrix.
+    pub fn scatter_from_full(&self, full: &Matrix, rank: usize) -> Matrix {
+        assert_eq!(full.rows(), self.rows);
+        assert_eq!(full.cols(), self.cols);
+        full.take_rows(&self.local_rows(rank))
+    }
+
+    /// Reassemble the full matrix from all ranks' local pieces
+    /// (`locals[r]` = rank `r`'s piece).
+    pub fn gather_to_full(&self, locals: &[Matrix]) -> Matrix {
+        assert_eq!(locals.len(), self.p);
+        let mut full = Matrix::zeros(self.rows, self.cols);
+        for (r, loc) in locals.iter().enumerate() {
+            full.put_rows(&self.local_rows(r), loc);
+        }
+        full
+    }
+}
+
+/// Block-row layout: rank `r` owns the contiguous rows
+/// `starts[r] .. starts[r] + counts[r]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRow {
+    counts: Vec<usize>,
+    cols: usize,
+}
+
+impl BlockRow {
+    /// Layout with explicit per-rank row counts.
+    pub fn new(counts: Vec<usize>, cols: usize) -> Self {
+        BlockRow { counts, cols }
+    }
+
+    /// Balanced contiguous layout of `rows` rows over `p` ranks.
+    pub fn balanced(rows: usize, cols: usize, p: usize) -> Self {
+        BlockRow { counts: balanced_sizes(rows, p), cols }
+    }
+
+    /// Matrix height.
+    pub fn rows(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Matrix width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of ranks.
+    pub fn procs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-rank row counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// First global row of each rank (prefix sums), plus the total as a
+    /// final sentinel.
+    pub fn starts(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.counts.len() + 1);
+        let mut acc = 0;
+        out.push(0);
+        for &c in &self.counts {
+            acc += c;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Owner of global row `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        let starts = self.starts();
+        assert!(i < *starts.last().unwrap(), "row {i} out of range");
+        // Linear scan is fine: P is small in all our uses.
+        (0..self.counts.len()).find(|&r| i < starts[r + 1]).unwrap()
+    }
+
+    /// All global rows owned by `rank`, ascending.
+    pub fn local_rows(&self, rank: usize) -> Vec<usize> {
+        let starts = self.starts();
+        (starts[rank]..starts[rank + 1]).collect()
+    }
+
+    /// Extract `rank`'s local piece from a full matrix.
+    pub fn scatter_from_full(&self, full: &Matrix, rank: usize) -> Matrix {
+        assert_eq!(full.rows(), self.rows());
+        assert_eq!(full.cols(), self.cols);
+        let starts = self.starts();
+        full.submatrix(starts[rank], starts[rank + 1], 0, self.cols)
+    }
+
+    /// Reassemble the full matrix from all ranks' local pieces.
+    pub fn gather_to_full(&self, locals: &[Matrix]) -> Matrix {
+        assert_eq!(locals.len(), self.procs());
+        let mut full = Matrix::zeros(self.rows(), self.cols);
+        let starts = self.starts();
+        for (r, loc) in locals.iter().enumerate() {
+            full.set_submatrix(starts[r], 0, loc);
+        }
+        full
+    }
+}
+
+/// 2D block-cyclic layout with `b × b` blocks over an `pr × pc` processor
+/// grid (grid rank = `grid_row * pc + grid_col`): global entry `(i, j)`
+/// lives on grid processor `((i/b) mod pr, (j/b) mod pc)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCyclic2d {
+    rows: usize,
+    cols: usize,
+    pr: usize,
+    pc: usize,
+    b: usize,
+}
+
+impl BlockCyclic2d {
+    /// Layout of an `rows × cols` matrix over a `pr × pc` grid with
+    /// `b × b` blocks.
+    pub fn new(rows: usize, cols: usize, pr: usize, pc: usize, b: usize) -> Self {
+        assert!(pr >= 1 && pc >= 1, "grid must be nonempty");
+        assert!(b >= 1, "block size must be positive");
+        BlockCyclic2d { rows, cols, pr, pc, b }
+    }
+
+    /// Matrix height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height.
+    pub fn grid_rows(&self) -> usize {
+        self.pr
+    }
+
+    /// Grid width.
+    pub fn grid_cols(&self) -> usize {
+        self.pc
+    }
+
+    /// Block size.
+    pub fn block(&self) -> usize {
+        self.b
+    }
+
+    /// Total ranks in the grid.
+    pub fn procs(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Grid coordinates of the owner of entry `(i, j)`.
+    pub fn owner_coords(&self, i: usize, j: usize) -> (usize, usize) {
+        ((i / self.b) % self.pr, (j / self.b) % self.pc)
+    }
+
+    /// Flat rank (`grid_row * pc + grid_col`) of the owner of `(i, j)`.
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        let (gi, gj) = self.owner_coords(i, j);
+        gi * self.pc + gj
+    }
+
+    /// Grid coordinates of flat `rank`.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// Global row indices stored by grid row `gi`, ascending.
+    pub fn rows_of_grid_row(&self, gi: usize) -> Vec<usize> {
+        (0..self.rows).filter(|&i| (i / self.b) % self.pr == gi).collect()
+    }
+
+    /// Global column indices stored by grid column `gj`, ascending.
+    pub fn cols_of_grid_col(&self, gj: usize) -> Vec<usize> {
+        (0..self.cols).filter(|&j| (j / self.b) % self.pc == gj).collect()
+    }
+
+    /// Extract `rank`'s local piece (rows/cols it owns, in ascending global
+    /// order) from a full matrix.
+    pub fn scatter_from_full(&self, full: &Matrix, rank: usize) -> Matrix {
+        assert_eq!(full.rows(), self.rows);
+        assert_eq!(full.cols(), self.cols);
+        let (gi, gj) = self.coords_of(rank);
+        let rs = self.rows_of_grid_row(gi);
+        let cs = self.cols_of_grid_col(gj);
+        let mut out = Matrix::zeros(rs.len(), cs.len());
+        for (li, &i) in rs.iter().enumerate() {
+            for (lj, &j) in cs.iter().enumerate() {
+                out[(li, lj)] = full[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Reassemble the full matrix from all ranks' local pieces.
+    pub fn gather_to_full(&self, locals: &[Matrix]) -> Matrix {
+        assert_eq!(locals.len(), self.procs());
+        let mut full = Matrix::zeros(self.rows, self.cols);
+        for (rank, loc) in locals.iter().enumerate() {
+            let (gi, gj) = self.coords_of(rank);
+            let rs = self.rows_of_grid_row(gi);
+            let cs = self.cols_of_grid_col(gj);
+            for (li, &i) in rs.iter().enumerate() {
+                for (lj, &j) in cs.iter().enumerate() {
+                    full[(i, j)] = loc[(li, lj)];
+                }
+            }
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_cyclic_ownership() {
+        let l = RowCyclic::new(10, 3, 4);
+        assert_eq!(l.owner(0), 0);
+        assert_eq!(l.owner(5), 1);
+        assert_eq!(l.owner(7), 3);
+        assert_eq!(l.local_count(0), 3); // rows 0, 4, 8
+        assert_eq!(l.local_count(1), 3); // rows 1, 5, 9
+        assert_eq!(l.local_count(2), 2); // rows 2, 6
+        assert_eq!(l.local_rows(2), vec![2, 6]);
+        assert_eq!(l.global_row(1, 2), 9);
+        assert_eq!(l.local_of(9), 2);
+    }
+
+    #[test]
+    fn row_cyclic_more_ranks_than_rows() {
+        let l = RowCyclic::new(2, 1, 5);
+        assert_eq!(l.local_count(0), 1);
+        assert_eq!(l.local_count(1), 1);
+        assert_eq!(l.local_count(2), 0);
+        assert_eq!(l.local_rows(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn row_cyclic_scatter_gather_roundtrip() {
+        let full = Matrix::from_fn(11, 4, |i, j| (i * 4 + j) as f64);
+        let l = RowCyclic::new(11, 4, 3);
+        let locals: Vec<Matrix> =
+            (0..3).map(|r| l.scatter_from_full(&full, r)).collect();
+        assert_eq!(l.gather_to_full(&locals), full);
+        // Local piece of rank 1 holds rows 1, 4, 7, 10 in order.
+        assert_eq!(locals[1].row(0), full.row(1));
+        assert_eq!(locals[1].row(3), full.row(10));
+    }
+
+    #[test]
+    fn block_row_ownership_and_roundtrip() {
+        let l = BlockRow::new(vec![3, 0, 2], 2);
+        assert_eq!(l.rows(), 5);
+        assert_eq!(l.owner(0), 0);
+        assert_eq!(l.owner(2), 0);
+        assert_eq!(l.owner(3), 2);
+        assert_eq!(l.local_rows(1), Vec::<usize>::new());
+        let full = Matrix::from_fn(5, 2, |i, j| (10 * i + j) as f64);
+        let locals: Vec<Matrix> =
+            (0..3).map(|r| l.scatter_from_full(&full, r)).collect();
+        assert_eq!(locals[1].rows(), 0);
+        assert_eq!(l.gather_to_full(&locals), full);
+    }
+
+    #[test]
+    fn block_row_balanced_matches_partition() {
+        let l = BlockRow::balanced(10, 1, 3);
+        assert_eq!(l.counts(), &[4, 3, 3]);
+        assert_eq!(l.starts(), vec![0, 4, 7, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_row_owner_bounds() {
+        let l = BlockRow::new(vec![2, 2], 1);
+        let _ = l.owner(4);
+    }
+
+    #[test]
+    fn block_cyclic_ownership() {
+        // 2×2 grid, block 2: rows 0-1 → grid row 0, rows 2-3 → grid row 1,
+        // rows 4-5 → grid row 0 again.
+        let l = BlockCyclic2d::new(6, 6, 2, 2, 2);
+        assert_eq!(l.owner_coords(0, 0), (0, 0));
+        assert_eq!(l.owner_coords(2, 0), (1, 0));
+        assert_eq!(l.owner_coords(4, 5), (0, 0));
+        assert_eq!(l.owner(3, 2), 2 + 1);
+        assert_eq!(l.rows_of_grid_row(0), vec![0, 1, 4, 5]);
+        assert_eq!(l.cols_of_grid_col(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn block_cyclic_roundtrip() {
+        let full = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64);
+        for (pr, pc, b) in [(2, 2, 2), (1, 3, 1), (3, 1, 2), (2, 3, 3)] {
+            let l = BlockCyclic2d::new(7, 5, pr, pc, b);
+            let locals: Vec<Matrix> =
+                (0..l.procs()).map(|r| l.scatter_from_full(&full, r)).collect();
+            assert_eq!(l.gather_to_full(&locals), full, "grid {pr}x{pc} b={b}");
+        }
+    }
+
+    #[test]
+    fn block_cyclic_local_sizes_cover_matrix() {
+        let l = BlockCyclic2d::new(9, 7, 2, 3, 2);
+        let total: usize = (0..l.procs())
+            .map(|r| {
+                let (gi, gj) = l.coords_of(r);
+                l.rows_of_grid_row(gi).len() * l.cols_of_grid_col(gj).len()
+            })
+            .sum();
+        assert_eq!(total, 9 * 7);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let l = BlockCyclic2d::new(4, 4, 3, 2, 1);
+        for rank in 0..6 {
+            let (gi, gj) = l.coords_of(rank);
+            assert_eq!(gi * 2 + gj, rank);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # qr3d-matrix — dense matrix kernels and data layouts
+//!
+//! The sequential linear-algebra substrate for the SPAA'18 QR reproduction:
+//! everything (Sca)LAPACK/PBLAS would provide on one node, built from
+//! scratch:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrices with the block operations
+//!   the paper's algorithms need (submatrices, stacking, norms).
+//! * [`gemm`] — general matrix multiply (all transpose combinations), the
+//!   workhorse of the qr-eg inductive case.
+//! * [`qr`] — Householder panel QR (`geqrt`) producing the compact
+//!   representation of Section 2.3: unit-lower-trapezoidal basis `V`,
+//!   upper-triangular kernel `T` (compact WY, \[SVL89\]/\[Pug92\]), and `R`.
+//! * [`tri`] — triangular solves and the sign-altered LU factorization of
+//!   [BDG+15, Lemma 6.2] used by TSQR's Householder reconstruction.
+//! * [`partition`] — balanced partitions ("parts differ in size by at most
+//!   one", Section 4).
+//! * [`layout`] — distributed data layouts: row-cyclic (3D-CAQR-EG input),
+//!   block-row (TSQR/1D-CAQR-EG input), and 2D block-cyclic (the `2d-house`
+//!   baseline of Section 8.1).
+//! * [`flops`] — arithmetic-cost formulas used to charge the simulated
+//!   machine's clocks.
+
+pub mod dense;
+pub mod flops;
+pub mod gemm;
+pub mod layout;
+pub mod partition;
+pub mod qr;
+pub mod tri;
+
+pub use dense::Matrix;
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::dense::Matrix;
+    pub use crate::gemm::{gemm, matmul, matmul_nt, matmul_tn, Trans};
+    pub use crate::layout::{BlockCyclic2d, BlockRow, RowCyclic};
+    pub use crate::partition::{balanced_ranges, balanced_sizes, part_of};
+    pub use crate::qr::{
+        apply_block_reflector, full_q, geqrt, q_times, qt_times, thin_q, Reflector,
+    };
+    pub use crate::tri::{lu_sign, trsm, Side, Uplo};
+}

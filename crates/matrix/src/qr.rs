@@ -1,0 +1,361 @@
+//! Householder QR with compact representations (paper Section 2.3).
+//!
+//! The factorization routine [`geqrt`] returns the *Householder
+//! representation* the paper standardizes on: `Q = I − V·T·Vᵀ` with `V`
+//! unit lower trapezoidal (`m × n`) and `T` upper triangular (`n × n`)
+//! — the compact WY form \[SVL89\] with the (Sca)LAPACK convention \[Pug92\].
+//! `R` is returned as the `n × n` upper triangle (the paper's convention
+//! (2) of Section 2.3), with nonnegative diagonal.
+
+use crate::dense::Matrix;
+use crate::gemm::{gemm, Trans};
+
+/// A QR factorization in Householder (compact WY) representation:
+/// `A = (I − V·T·Vᵀ)·[R; 0]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reflector {
+    /// The `m × n` unit-lower-trapezoidal Householder basis.
+    pub v: Matrix,
+    /// The `n × n` upper-triangular kernel.
+    pub t: Matrix,
+    /// The `n × n` upper-triangular R-factor.
+    pub r: Matrix,
+}
+
+/// Compute a Householder vector: given `x`, returns `(v, tau, mu)` with
+/// `v[0] = 1` such that `(I − tau·v·vᵀ)·x = mu·e₁` and `mu = ‖x‖ ≥ 0`
+/// (Golub & Van Loan, Algorithm 5.1.1).
+fn house(x: &[f64]) -> (Vec<f64>, f64, f64) {
+    let n = x.len();
+    assert!(n >= 1, "house: empty vector");
+    let sigma: f64 = x[1..].iter().map(|&a| a * a).sum();
+    let mut v = x.to_vec();
+    v[0] = 1.0;
+    if sigma == 0.0 {
+        if x[0] >= 0.0 {
+            (v, 0.0, x[0])
+        } else {
+            // x = x₀e₁ with x₀ < 0: reflect through e₁ to flip the sign.
+            (v, 2.0, -x[0])
+        }
+    } else {
+        let mu = (x[0] * x[0] + sigma).sqrt();
+        let v0 = if x[0] <= 0.0 { x[0] - mu } else { -sigma / (x[0] + mu) };
+        let tau = 2.0 * v0 * v0 / (sigma + v0 * v0);
+        for item in v.iter_mut().skip(1) {
+            *item /= v0;
+        }
+        (v, tau, mu)
+    }
+}
+
+/// Householder QR of an `m × n` matrix with `m ≥ n`: the paper's
+/// `local-QR` / LAPACK's `geqrt`. Returns the compact representation
+/// `(V, T, R)`.
+///
+/// # Panics
+/// If `m < n`.
+pub fn geqrt(a: &Matrix) -> Reflector {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "geqrt requires m ≥ n (got {m} × {n})");
+    let mut work = a.clone();
+    let mut v = Matrix::zeros(m, n);
+    let mut taus = vec![0.0; n];
+
+    for j in 0..n {
+        // Householder vector for column j below the diagonal.
+        let x: Vec<f64> = (j..m).map(|i| work[(i, j)]).collect();
+        let (hv, tau, mu) = house(&x);
+        taus[j] = tau;
+        for (k, &hvk) in hv.iter().enumerate() {
+            v[(j + k, j)] = hvk;
+        }
+        // Apply (I − tau·hv·hvᵀ) to the trailing columns j..n of rows j..m.
+        if tau != 0.0 {
+            for c in j..n {
+                let mut w = 0.0;
+                for (k, &hvk) in hv.iter().enumerate() {
+                    w += hvk * work[(j + k, c)];
+                }
+                let tw = tau * w;
+                for (k, &hvk) in hv.iter().enumerate() {
+                    work[(j + k, c)] -= tw * hvk;
+                }
+            }
+        }
+        // The new diagonal entry is mu = ‖x‖ by construction; store exactly.
+        work[(j, j)] = mu;
+    }
+
+    // R = leading n × n upper triangle of the reduced matrix.
+    let r = work.submatrix(0, n, 0, n).upper_triangular_part();
+
+    // T assembly (forward larft): T[j,j] = tau_j,
+    // T[0..j, j] = −tau_j · T[0..j,0..j] · (V[:,0..j]ᵀ · v_j).
+    let mut t = Matrix::zeros(n, n);
+    for j in 0..n {
+        let tau = taus[j];
+        t[(j, j)] = tau;
+        if j > 0 && tau != 0.0 {
+            // z = V[:, 0..j]ᵀ · v_j  (only rows j..m of v_j are nonzero).
+            let mut z = vec![0.0; j];
+            for (c, zc) in z.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for i in j..m {
+                    s += v[(i, c)] * v[(i, j)];
+                }
+                *zc = s;
+            }
+            // T[0..j, j] = −tau · T[0..j,0..j] · z (T block is upper tri).
+            for i in 0..j {
+                let mut s = 0.0;
+                for (k, &zk) in z.iter().enumerate().skip(i) {
+                    s += t[(i, k)] * zk;
+                }
+                t[(i, j)] = -tau * s;
+            }
+        }
+    }
+
+    Reflector { v, t, r }
+}
+
+/// Apply a block reflector: `C := (I − V·T'·Vᵀ)·C`, where `T' = Tᵀ` if
+/// `transpose` (i.e. apply `Qᵀ`) and `T' = T` otherwise (apply `Q`).
+///
+/// `V` is `m × k`, `T` is `k × k`, `C` is `m × n`.
+pub fn apply_block_reflector(v: &Matrix, t: &Matrix, c: &mut Matrix, transpose: bool) {
+    let k = v.cols();
+    assert_eq!(v.rows(), c.rows(), "apply_block_reflector: row mismatch");
+    assert_eq!(t.rows(), k, "apply_block_reflector: T shape");
+    assert_eq!(t.cols(), k, "apply_block_reflector: T shape");
+    if k == 0 || c.cols() == 0 {
+        return;
+    }
+    // W = Vᵀ C  (k × n)
+    let mut w = Matrix::zeros(k, c.cols());
+    gemm(Trans::Yes, Trans::No, 1.0, v, c, 0.0, &mut w);
+    // W = T' W
+    let mut w2 = Matrix::zeros(k, c.cols());
+    let tt = if transpose { Trans::Yes } else { Trans::No };
+    gemm(tt, Trans::No, 1.0, t, &w, 0.0, &mut w2);
+    // C -= V W
+    gemm(Trans::No, Trans::No, -1.0, v, &w2, 1.0, c);
+}
+
+/// `Q · C` for `Q = I − V·T·Vᵀ` (a new matrix).
+pub fn q_times(v: &Matrix, t: &Matrix, c: &Matrix) -> Matrix {
+    let mut out = c.clone();
+    apply_block_reflector(v, t, &mut out, false);
+    out
+}
+
+/// `Qᵀ · C` for `Q = I − V·T·Vᵀ` (a new matrix).
+pub fn qt_times(v: &Matrix, t: &Matrix, c: &Matrix) -> Matrix {
+    let mut out = c.clone();
+    apply_block_reflector(v, t, &mut out, true);
+    out
+}
+
+/// The leading `n` columns of `Q` (the "thin" Q-factor), `m × n`.
+pub fn thin_q(v: &Matrix, t: &Matrix) -> Matrix {
+    let (m, n) = (v.rows(), v.cols());
+    let mut e = Matrix::zeros(m, n);
+    for j in 0..n {
+        e[(j, j)] = 1.0;
+    }
+    apply_block_reflector(v, t, &mut e, false);
+    e
+}
+
+/// The full `m × m` Q-factor (for small-scale testing only).
+pub fn full_q(v: &Matrix, t: &Matrix) -> Matrix {
+    let m = v.rows();
+    let mut q = Matrix::identity(m);
+    apply_block_reflector(v, t, &mut q, false);
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tn};
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64, what: &str) {
+        let err = a.sub(b).max_abs();
+        assert!(err <= tol, "{what}: max abs err {err} > {tol}");
+    }
+
+    fn check_qr(a: &Matrix, tol: f64) {
+        let n = a.cols();
+        let f = geqrt(a);
+        assert!(f.v.is_unit_lower_trapezoidal(tol), "V not unit lower trapezoidal");
+        assert!(f.r.is_upper_triangular(0.0), "R not upper triangular");
+        for j in 0..n {
+            assert!(f.r[(j, j)] >= 0.0, "R diagonal must be nonnegative");
+        }
+        assert!(f.t.is_upper_triangular(0.0), "T not upper triangular");
+        // A = Q [R; 0]
+        let mut rn = Matrix::zeros(a.rows(), n);
+        rn.set_submatrix(0, 0, &f.r);
+        let qr = q_times(&f.v, &f.t, &rn);
+        assert_close(&qr, a, tol, "A = QR");
+        // Thin Q has orthonormal columns.
+        let q1 = thin_q(&f.v, &f.t);
+        let gram = matmul_tn(&q1, &q1);
+        assert_close(&gram, &Matrix::identity(n), tol, "QᵀQ = I");
+    }
+
+    #[test]
+    fn house_reflects_to_norm_e1() {
+        for seed in 0..5 {
+            let x = Matrix::random(7, 1, seed).into_vec();
+            let (v, tau, mu) = house(&x);
+            assert_eq!(v[0], 1.0);
+            let norm: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+            assert!((mu - norm).abs() < 1e-12 * norm.max(1.0));
+            // Hx = mu e1
+            let w: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
+            let hx: Vec<f64> = x.iter().zip(&v).map(|(xi, vi)| xi - tau * w * vi).collect();
+            assert!((hx[0] - mu).abs() < 1e-12);
+            for h in &hx[1..] {
+                assert!(h.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn house_zero_tail_positive_head_is_noop() {
+        let (v, tau, mu) = house(&[3.0, 0.0, 0.0]);
+        assert_eq!(tau, 0.0);
+        assert_eq!(mu, 3.0);
+        assert_eq!(v[0], 1.0);
+    }
+
+    #[test]
+    fn house_zero_tail_negative_head_flips() {
+        let (_, tau, mu) = house(&[-3.0, 0.0]);
+        assert_eq!(tau, 2.0);
+        assert_eq!(mu, 3.0);
+    }
+
+    #[test]
+    fn house_all_zero() {
+        let (_, tau, mu) = house(&[0.0, 0.0, 0.0]);
+        assert_eq!(tau, 0.0);
+        assert_eq!(mu, 0.0);
+    }
+
+    #[test]
+    fn qr_tall_random() {
+        check_qr(&Matrix::random(20, 5, 42), 1e-12);
+    }
+
+    #[test]
+    fn qr_square_random() {
+        check_qr(&Matrix::random(8, 8, 7), 1e-12);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        check_qr(&Matrix::random(10, 1, 9), 1e-13);
+    }
+
+    #[test]
+    fn qr_single_row_and_column() {
+        check_qr(&Matrix::from_vec(1, 1, vec![-2.5]), 1e-15);
+    }
+
+    #[test]
+    fn qr_zero_matrix() {
+        check_qr(&Matrix::zeros(6, 3), 1e-15);
+    }
+
+    #[test]
+    fn qr_already_triangular() {
+        let r = Matrix::from_fn(5, 5, |i, j| if j >= i { (1 + i + j) as f64 } else { 0.0 });
+        check_qr(&r, 1e-12);
+    }
+
+    #[test]
+    fn qr_rank_deficient() {
+        // Two identical columns: still a valid factorization.
+        let col = Matrix::random(12, 1, 3);
+        let a = col.hstack(&col);
+        check_qr(&a, 1e-12);
+    }
+
+    #[test]
+    fn qr_zero_cols() {
+        let f = geqrt(&Matrix::zeros(4, 0));
+        assert_eq!(f.v.cols(), 0);
+        assert_eq!(f.r.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ n")]
+    fn qr_wide_rejected() {
+        let _ = geqrt(&Matrix::zeros(2, 5));
+    }
+
+    #[test]
+    fn t_matches_product_of_reflectors() {
+        // Q from (V,T) must equal H₀H₁…H_{n−1} applied to the identity.
+        let a = Matrix::random(9, 4, 11);
+        let f = geqrt(&a);
+        let m = a.rows();
+        // Build Q directly from individual reflectors: H_j = I − tau_j v_j v_jᵀ.
+        let mut q = Matrix::identity(m);
+        for j in (0..a.cols()).rev() {
+            let tau = f.t[(j, j)];
+            let vj = f.v.submatrix(0, m, j, j + 1);
+            // q := (I − tau v vᵀ) q
+            let w = matmul_tn(&vj, &q);
+            let mut vw = matmul(&vj, &w);
+            vw.scale(tau);
+            q.sub_assign(&vw);
+        }
+        let q_wy = full_q(&f.v, &f.t);
+        assert_close(&q, &q_wy, 1e-12, "compact WY equals reflector product");
+    }
+
+    #[test]
+    fn apply_q_then_qt_roundtrips() {
+        let a = Matrix::random(10, 3, 13);
+        let f = geqrt(&a);
+        let c = Matrix::random(10, 6, 14);
+        let qc = q_times(&f.v, &f.t, &c);
+        let back = qt_times(&f.v, &f.t, &qc);
+        assert_close(&back, &c, 1e-12, "QᵀQC = C");
+    }
+
+    #[test]
+    fn qt_a_gives_r() {
+        let a = Matrix::random(12, 4, 15);
+        let f = geqrt(&a);
+        let qta = qt_times(&f.v, &f.t, &a);
+        let top = qta.submatrix(0, 4, 0, 4);
+        assert_close(&top, &f.r, 1e-12, "QᵀA = [R; 0] (top)");
+        let bottom = qta.submatrix(4, 12, 0, 4);
+        assert!(bottom.max_abs() < 1e-12, "QᵀA = [R; 0] (bottom)");
+    }
+
+    #[test]
+    fn full_q_is_orthogonal() {
+        let a = Matrix::random(7, 3, 16);
+        let f = geqrt(&a);
+        let q = full_q(&f.v, &f.t);
+        let gram = matmul_tn(&q, &q);
+        assert_close(&gram, &Matrix::identity(7), 1e-12, "full Q orthogonal");
+    }
+
+    #[test]
+    fn empty_reflector_is_identity() {
+        let v = Matrix::zeros(5, 0);
+        let t = Matrix::zeros(0, 0);
+        let c0 = Matrix::random(5, 2, 17);
+        let mut c = c0.clone();
+        apply_block_reflector(&v, &t, &mut c, false);
+        assert_eq!(c, c0);
+    }
+}

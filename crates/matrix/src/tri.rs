@@ -1,0 +1,289 @@
+//! Triangular solves and the sign-altered LU factorization used by TSQR's
+//! Householder reconstruction (paper Appendix C.2, [BDG+15, Lemma 6.2]).
+
+use crate::dense::Matrix;
+
+/// Which side the triangular matrix multiplies from in [`trsm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(A)·X = B`.
+    Left,
+    /// Solve `X·op(A) = B`.
+    Right,
+}
+
+/// Which triangle of `A` holds the data in [`trsm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    /// `A` is lower triangular.
+    Lower,
+    /// `A` is upper triangular.
+    Upper,
+}
+
+/// Triangular solve (BLAS `trsm`): returns `X` such that `op(A)·X = B`
+/// (`Side::Left`) or `X·op(A) = B` (`Side::Right`), where `op(A) = Aᵀ`
+/// if `transpose` and `A` otherwise; `unit_diag` treats `A`'s diagonal
+/// as ones without reading it.
+///
+/// # Panics
+/// On shape mismatch or a zero pivot (non-unit diagonal only).
+pub fn trsm(
+    side: Side,
+    uplo: Uplo,
+    transpose: bool,
+    unit_diag: bool,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "trsm: A must be square");
+    match side {
+        Side::Left => solve_left(uplo, transpose, unit_diag, a, b),
+        Side::Right => {
+            // X·op(A) = B  ⟺  op(A)ᵀ·Xᵀ = Bᵀ.
+            let xt = solve_left(uplo, !transpose, unit_diag, a, &b.transpose());
+            xt.transpose()
+        }
+    }
+}
+
+fn solve_left(uplo: Uplo, transpose: bool, unit_diag: bool, a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(b.rows(), n, "trsm: B row count must match A");
+    // The effective matrix op(A) is lower triangular iff (lower XOR transpose).
+    let eff_lower = matches!(uplo, Uplo::Lower) != transpose;
+    let at = |i: usize, k: usize| if transpose { a[(k, i)] } else { a[(i, k)] };
+    let mut x = b.clone();
+    let idx: Vec<usize> =
+        if eff_lower { (0..n).collect() } else { (0..n).rev().collect() };
+    for &i in &idx {
+        // Subtract contributions of already-solved rows.
+        let deps: Vec<usize> = if eff_lower { (0..i).collect() } else { (i + 1..n).collect() };
+        for &k in &deps {
+            let aik = at(i, k);
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                let xkj = x[(k, j)];
+                x[(i, j)] -= aik * xkj;
+            }
+        }
+        if !unit_diag {
+            let d = at(i, i);
+            assert!(d != 0.0, "trsm: zero pivot at {i}");
+            for j in 0..b.cols() {
+                x[(i, j)] /= d;
+            }
+        }
+    }
+    x
+}
+
+/// The sign-altered LU factorization of [BDG+15, Lemma 6.2], as described
+/// in the paper's Appendix C.2: given square `X`, produce unit lower
+/// triangular `L`, upper triangular `U`, and a diagonal sign matrix `S`
+/// (returned as a vector of ±1) such that `X + S = L·U`.
+///
+/// Before eliminating column `j`, `S_jj = sgn(X̂_jj)` is added to the
+/// diagonal, which makes the pivot magnitude `|X̂_jj| + 1 ≥ 1`: no pivoting
+/// is ever needed, and when `X` is the top block of a matrix with
+/// orthonormal columns the growth is provably benign.
+pub fn lu_sign(x: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
+    let n = x.rows();
+    assert_eq!(x.cols(), n, "lu_sign: X must be square");
+    let mut work = x.clone();
+    let mut l = Matrix::identity(n);
+    let mut s = vec![0.0; n];
+    for j in 0..n {
+        let sj = if work[(j, j)] >= 0.0 { 1.0 } else { -1.0 };
+        s[j] = sj;
+        work[(j, j)] += sj;
+        let pivot = work[(j, j)];
+        for i in j + 1..n {
+            let lij = work[(i, j)] / pivot;
+            l[(i, j)] = lij;
+            work[(i, j)] = 0.0;
+            for k in j + 1..n {
+                let wjk = work[(j, k)];
+                work[(i, k)] -= lij * wjk;
+            }
+        }
+    }
+    let u = work.upper_triangular_part();
+    (l, u, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tn};
+    use crate::qr::{geqrt, thin_q};
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64, what: &str) {
+        let err = a.sub(b).max_abs();
+        assert!(err <= tol, "{what}: max abs err {err} > {tol}");
+    }
+
+    /// A well-conditioned triangular test matrix.
+    fn tri(n: usize, uplo: Uplo, unit: bool, seed: u64) -> Matrix {
+        let r = Matrix::random(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            let keep = match uplo {
+                Uplo::Lower => j <= i,
+                Uplo::Upper => j >= i,
+            };
+            if i == j {
+                if unit {
+                    1.0
+                } else {
+                    2.0 + r[(i, j)].abs()
+                }
+            } else if keep {
+                0.5 * r[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn all_sixteen_trsm_variants_solve() {
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for transpose in [false, true] {
+                    for unit in [false, true] {
+                        let n = 6;
+                        let a = tri(n, uplo, unit, 42);
+                        let b = Matrix::random(n, 4, 43);
+                        // For Right, B must be r × n; reshape.
+                        let b = match side {
+                            Side::Left => b,
+                            Side::Right => b.transpose(),
+                        };
+                        let x = trsm(side, uplo, transpose, unit, &a, &b);
+                        let opa = if transpose { a.transpose() } else { a.clone() };
+                        let recovered = match side {
+                            Side::Left => matmul(&opa, &x),
+                            Side::Right => matmul(&x, &opa),
+                        };
+                        assert_close(
+                            &recovered,
+                            &b,
+                            1e-11,
+                            &format!("{side:?} {uplo:?} trans={transpose} unit={unit}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_identity_is_noop() {
+        let b = Matrix::random(5, 3, 1);
+        let x = trsm(Side::Left, Uplo::Upper, false, false, &Matrix::identity(5), &b);
+        assert_close(&x, &b, 0.0, "I X = B");
+    }
+
+    #[test]
+    fn trsm_unit_diag_ignores_stored_diagonal() {
+        // Store garbage on the diagonal; unit_diag must not read it.
+        let mut a = tri(4, Uplo::Lower, true, 2);
+        for i in 0..4 {
+            a[(i, i)] = f64::NAN;
+        }
+        let b = Matrix::random(4, 2, 3);
+        let x = trsm(Side::Left, Uplo::Lower, false, true, &a, &b);
+        assert!(x.max_abs().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn trsm_zero_pivot_detected() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = 0.0;
+        let _ = trsm(Side::Left, Uplo::Upper, false, false, &a, &Matrix::identity(3));
+    }
+
+    #[test]
+    fn trsm_empty_rhs() {
+        let a = tri(3, Uplo::Upper, false, 5);
+        let b = Matrix::zeros(3, 0);
+        let x = trsm(Side::Left, Uplo::Upper, false, false, &a, &b);
+        assert_eq!((x.rows(), x.cols()), (3, 0));
+    }
+
+    #[test]
+    fn lu_sign_reconstructs_x_plus_s() {
+        for seed in [1_u64, 2, 3] {
+            let n = 7;
+            let x = Matrix::random(n, n, seed);
+            let (l, u, s) = lu_sign(&x);
+            assert!(l.is_unit_lower_trapezoidal(0.0), "L unit lower");
+            assert!(u.is_upper_triangular(0.0), "U upper");
+            let mut xps = x.clone();
+            for i in 0..n {
+                assert!(s[i] == 1.0 || s[i] == -1.0, "S is ±1");
+                xps[(i, i)] += s[i];
+            }
+            assert_close(&matmul(&l, &u), &xps, 1e-12, "LU = X + S");
+        }
+    }
+
+    #[test]
+    fn lu_sign_on_orthonormal_top_block_is_stable() {
+        // X = top n × n block of an m × n orthonormal Q: the [BDG+15]
+        // guarantee is |L| entries ≤ 1 (implicit partial pivoting).
+        let a = Matrix::random(30, 8, 9);
+        let f = geqrt(&a);
+        let q1 = thin_q(&f.v, &f.t);
+        let x = q1.submatrix(0, 8, 0, 8);
+        let (l, u, s) = lu_sign(&x);
+        assert!(l.max_abs() <= 1.0 + 1e-12, "elimination growth bounded");
+        let mut xps = x.clone();
+        for i in 0..8 {
+            xps[(i, i)] += s[i];
+        }
+        assert_close(&matmul(&l, &u), &xps, 1e-13, "LU = X + S");
+    }
+
+    #[test]
+    fn lu_sign_zero_matrix() {
+        let (l, u, s) = lu_sign(&Matrix::zeros(4, 4));
+        assert_eq!(l, Matrix::identity(4));
+        assert_eq!(s, vec![1.0; 4]);
+        assert_eq!(u, Matrix::identity(4)); // 0 + I = I·I
+    }
+
+    #[test]
+    fn lu_sign_one_by_one() {
+        let (l, u, s) = lu_sign(&Matrix::from_vec(1, 1, vec![-0.25]));
+        assert_eq!(l[(0, 0)], 1.0);
+        assert_eq!(s[0], -1.0);
+        assert_eq!(u[(0, 0)], -1.25);
+    }
+
+    #[test]
+    fn trsm_right_with_unit_lower_transpose_matches_reconstruction_use() {
+        // The reconstruction computes T = (U·S)·L⁻ᵀ, i.e. solves X·Lᵀ = U·S.
+        let n = 6;
+        let l = tri(n, Uplo::Lower, true, 11);
+        let us = Matrix::random(n, n, 12);
+        let x = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
+        let lt = l.transpose();
+        assert_close(&matmul(&x, &lt), &us, 1e-11, "X Lᵀ = US");
+    }
+
+    #[test]
+    fn gram_solve_roundtrip() {
+        // Solve with both triangles of a Cholesky-like product.
+        let a = Matrix::random(5, 5, 20);
+        let g = matmul_tn(&a, &a); // SPD-ish
+        let f = geqrt(&g);
+        let b = Matrix::random(5, 2, 21);
+        // Solve R x = b via trsm and check residual.
+        let x = trsm(Side::Left, Uplo::Upper, false, false, &f.r, &b);
+        assert_close(&matmul(&f.r, &x), &b, 1e-10, "R x = b");
+    }
+}

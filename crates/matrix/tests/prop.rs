@@ -1,0 +1,152 @@
+//! Property tests on the dense kernels: algebraic identities that must
+//! hold for arbitrary shapes and inputs.
+
+use proptest::prelude::*;
+use qr3d_matrix::gemm::{gemm, matmul, matmul_nt, matmul_tn, Trans};
+use qr3d_matrix::partition::{balanced_ranges, balanced_sizes, part_of};
+use qr3d_matrix::qr::{geqrt, q_times, qt_times, thin_q};
+use qr3d_matrix::tri::{lu_sign, trsm, Side, Uplo};
+use qr3d_matrix::Matrix;
+
+fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.sub(b).max_abs() <= tol
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_distributes_over_addition(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8, seed in 0u64..500,
+    ) {
+        let a = Matrix::random(m, k, seed);
+        let b1 = Matrix::random(k, n, seed + 1);
+        let b2 = Matrix::random(k, n, seed + 2);
+        let mut bsum = b1.clone();
+        bsum.add_assign(&b2);
+        let mut lhs = matmul(&a, &b1);
+        lhs.add_assign(&matmul(&a, &b2));
+        prop_assert!(close(&lhs, &matmul(&a, &bsum), 1e-12));
+    }
+
+    #[test]
+    fn gemm_transpose_identity(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8, seed in 0u64..500,
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ, exercised through the Trans parameters.
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 9);
+        let ab_t = matmul(&a, &b).transpose();
+        let mut bt_at = Matrix::zeros(n, m);
+        gemm(Trans::Yes, Trans::Yes, 1.0, &b, &a, 0.0, &mut bt_at);
+        prop_assert!(close(&ab_t, &bt_at, 1e-12));
+        // Mixed forms agree with explicit transposes.
+        prop_assert!(close(&matmul_tn(&a, &a), &matmul(&a.transpose(), &a), 1e-12));
+        prop_assert!(close(&matmul_nt(&b, &b), &matmul(&b, &b.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn qr_invariants_any_shape(
+        n in 1usize..7, extra in 0usize..12, seed in 0u64..500,
+    ) {
+        let m = n + extra;
+        let a = Matrix::random(m, n, seed);
+        let f = geqrt(&a);
+        prop_assert!(f.v.is_unit_lower_trapezoidal(1e-11));
+        prop_assert!(f.r.is_upper_triangular(0.0));
+        for j in 0..n {
+            prop_assert!(f.r[(j, j)] >= 0.0, "geqrt keeps a nonnegative diagonal");
+        }
+        let mut rn = Matrix::zeros(m, n);
+        rn.set_submatrix(0, 0, &f.r);
+        prop_assert!(close(&q_times(&f.v, &f.t, &rn), &a, 1e-10));
+        let q1 = thin_q(&f.v, &f.t);
+        prop_assert!(close(&matmul_tn(&q1, &q1), &Matrix::identity(n), 1e-10));
+    }
+
+    #[test]
+    fn q_apply_preserves_norms(
+        n in 1usize..6, extra in 0usize..10, cols in 1usize..5, seed in 0u64..500,
+    ) {
+        // Orthogonal transforms are isometries.
+        let m = n + extra;
+        let a = Matrix::random(m, n, seed);
+        let f = geqrt(&a);
+        let c = Matrix::random(m, cols, seed + 7);
+        let qc = q_times(&f.v, &f.t, &c);
+        prop_assert!((qc.frobenius_norm() - c.frobenius_norm()).abs() < 1e-10);
+        let back = qt_times(&f.v, &f.t, &qc);
+        prop_assert!(close(&back, &c, 1e-10));
+    }
+
+    #[test]
+    fn trsm_inverts_multiplication(
+        n in 1usize..8, rhs in 1usize..5, seed in 0u64..500,
+        side_left in proptest::bool::ANY,
+        upper in proptest::bool::ANY,
+        transpose in proptest::bool::ANY,
+    ) {
+        // Build a well-conditioned triangle.
+        let r = Matrix::random(n, n, seed);
+        let uplo = if upper { Uplo::Upper } else { Uplo::Lower };
+        let tri_m = Matrix::from_fn(n, n, |i, j| {
+            let keep = if upper { j >= i } else { j <= i };
+            if i == j { 2.0 + r[(i, j)].abs() } else if keep { 0.3 * r[(i, j)] } else { 0.0 }
+        });
+        let side = if side_left { Side::Left } else { Side::Right };
+        let b = match side {
+            Side::Left => Matrix::random(n, rhs, seed + 3),
+            Side::Right => Matrix::random(rhs, n, seed + 3),
+        };
+        let x = trsm(side, uplo, transpose, false, &tri_m, &b);
+        let opa = if transpose { tri_m.transpose() } else { tri_m.clone() };
+        let recovered = match side {
+            Side::Left => matmul(&opa, &x),
+            Side::Right => matmul(&x, &opa),
+        };
+        prop_assert!(close(&recovered, &b, 1e-9));
+    }
+
+    #[test]
+    fn lu_sign_always_factors(n in 1usize..9, seed in 0u64..500) {
+        let x = Matrix::random(n, n, seed);
+        let (l, u, s) = lu_sign(&x);
+        prop_assert!(l.is_unit_lower_trapezoidal(0.0));
+        prop_assert!(u.is_upper_triangular(0.0));
+        let mut xps = x.clone();
+        for i in 0..n {
+            prop_assert!(s[i].abs() == 1.0);
+            xps[(i, i)] += s[i];
+        }
+        prop_assert!(close(&matmul(&l, &u), &xps, 1e-10));
+    }
+
+    #[test]
+    fn partitions_are_balanced_and_consistent(n in 0usize..200, p in 1usize..17) {
+        let sizes = balanced_sizes(n, p);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        let ranges = balanced_ranges(n, p);
+        for i in 0..n {
+            let part = part_of(i, n, p);
+            prop_assert!(ranges[part].contains(&i));
+        }
+    }
+
+    #[test]
+    fn submatrix_composition(
+        m in 2usize..12, n in 2usize..12, seed in 0u64..500,
+    ) {
+        // Taking a submatrix of a submatrix equals taking it directly.
+        let a = Matrix::random(m, n, seed);
+        let r1 = m / 2;
+        let c1 = n / 2;
+        let outer = a.submatrix(0, m, 0, n);
+        prop_assert_eq!(&outer, &a);
+        let inner = a.submatrix(1, m, 1, n).submatrix(0, r1.max(1), 0, c1.max(1));
+        let direct = a.submatrix(1, 1 + r1.max(1), 1, 1 + c1.max(1));
+        prop_assert_eq!(inner, direct);
+    }
+}

@@ -1,0 +1,198 @@
+//! 1D matrix multiplication (paper Section 4, Lemma 3).
+//!
+//! The two cases used by 1D-CAQR-EG's inductive step (Section 6.2):
+//!
+//! * **Reduce case** (`K = max(I,J,K)`): "matrices Aᵀ and B are initially
+//!   distributed in matching row-wise layouts [...] and matrix C is to be
+//!   finally owned by a single processor r. [...] each processor performs
+//!   a local mm and then all processors reduce to processor r."
+//!   This computes `M₁ = V_Lᵀ·[A₁₂; A₂₂]` (Line 6) and
+//!   `M₃ = V_Lᵀ·[0; V_R]` (Line 11).
+//! * **Broadcast case** (`I = max(I,J,K)`): "matrices A and C are
+//!   initially/finally distributed in matching row-wise layouts [...] and
+//!   matrix B is initially owned by a single processor r. [...] processor
+//!   r broadcasts B to all processors and then each processor performs a
+//!   local mm." This computes `V_L·M₂` in the right-panel update (Line 8).
+//!
+//! Both use the bidirectional-exchange (auto-dispatched) collectives,
+//! giving the `β·O(IJ)` / `β·O(JK)` bandwidth of Equation (8) when `P` is
+//! not too large — the savings tsqr itself cannot achieve (end of
+//! Section 5).
+
+use qr3d_collectives::auto::{broadcast, reduce};
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::gemm::Trans;
+use qr3d_matrix::Matrix;
+
+use crate::local::mm_local;
+
+/// Lemma 3, reduce case: computes `C = Σ_p left_pᵀ · right_p` where every
+/// rank owns matching row slices `left_p` (`m_p × I`) and `right_p`
+/// (`m_p × J`) of the operands. The `I × J` product is returned on `root`
+/// only.
+///
+/// Ranks owning zero rows contribute a zero partial product.
+pub fn dmm1d_reduce(
+    rank: &mut Rank,
+    comm: &Comm,
+    left_local: &Matrix,
+    right_local: &Matrix,
+    root: usize,
+) -> Option<Matrix> {
+    assert_eq!(left_local.rows(), right_local.rows(), "dmm1d: row slices must match");
+    let i = left_local.cols();
+    let j = right_local.cols();
+    let partial = mm_local(rank, Trans::Yes, Trans::No, left_local, right_local);
+    let reduced = reduce(rank, comm, root, partial.into_vec());
+    reduced.map(|v| Matrix::from_vec(i, j, v))
+}
+
+/// Lemma 3, broadcast case: computes this rank's row slice of
+/// `C = A·B_root`, where `A` is row-distributed (`a_local` is `m_p × K`)
+/// and `B` (`K × J`) lives on `root` before the call. Every rank receives
+/// `B` via broadcast and multiplies locally; the returned slice matches
+/// `a_local`'s rows.
+pub fn dmm1d_broadcast(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    b_root: Option<Matrix>,
+    k: usize,
+    j: usize,
+    root: usize,
+) -> Matrix {
+    assert_eq!(a_local.cols(), k, "dmm1d: inner dimension mismatch");
+    if let Some(b) = &b_root {
+        assert_eq!((b.rows(), b.cols()), (k, j), "dmm1d: B shape mismatch");
+    }
+    let b_flat = broadcast(rank, comm, root, b_root.map(Matrix::into_vec), k * j);
+    let b = Matrix::from_vec(k, j, b_flat);
+    mm_local(rank, Trans::No, Trans::No, a_local, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::gemm::{matmul, matmul_tn};
+    use qr3d_matrix::layout::BlockRow;
+
+    #[test]
+    fn reduce_case_matches_serial() {
+        for p in [1usize, 2, 4, 5] {
+            let (m, i, j) = (20, 4, 3);
+            let left = Matrix::random(m, i, 1);
+            let right = Matrix::random(m, j, 2);
+            let expect = matmul_tn(&left, &right);
+            let lay = BlockRow::balanced(m, 1, p);
+            let machine = Machine::new(p, CostParams::unit());
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let me = w.rank();
+                let rows = lay.local_rows(me);
+                let l = left.take_rows(&rows);
+                let r = right.take_rows(&rows);
+                dmm1d_reduce(rank, &w, &l, &r, 0)
+            });
+            let got = out.results[0].as_ref().expect("root owns C");
+            assert!(got.sub(&expect).max_abs() < 1e-12, "p={p}");
+            for r in 1..p {
+                assert!(out.results[r].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_case_with_empty_rank() {
+        // One rank owns zero rows (as happens at 1D-CAQR-EG's root after
+        // recursion shrinks its share).
+        let p = 3;
+        let (i, j) = (3, 2);
+        let left = Matrix::random(10, i, 3);
+        let right = Matrix::random(10, j, 4);
+        let expect = matmul_tn(&left, &right);
+        let counts = [6usize, 0, 4];
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let start: usize = counts[..me].iter().sum();
+            let l = left.submatrix(start, start + counts[me], 0, i);
+            let r = right.submatrix(start, start + counts[me], 0, j);
+            dmm1d_reduce(rank, &w, &l, &r, 1)
+        });
+        let got = out.results[1].as_ref().unwrap();
+        assert!(got.sub(&expect).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_case_matches_serial() {
+        for p in [1usize, 3, 4] {
+            let (m, k, j) = (18, 3, 5);
+            let a = Matrix::random(m, k, 5);
+            let b = Matrix::random(k, j, 6);
+            let expect = matmul(&a, &b);
+            let lay = BlockRow::balanced(m, 1, p);
+            let machine = Machine::new(p, CostParams::unit());
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let me = w.rank();
+                let a_loc = a.take_rows(&lay.local_rows(me));
+                let b_root = (me == 0).then(|| b.clone());
+                dmm1d_broadcast(rank, &w, &a_loc, b_root, k, j, 0)
+            });
+            // Assemble and compare.
+            let mut c = Matrix::zeros(m, j);
+            let starts = lay.starts();
+            for r in 0..p {
+                c.set_submatrix(starts[r], 0, &out.results[r]);
+            }
+            assert!(c.sub(&expect).max_abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_case_bandwidth_is_output_size() {
+        // Lemma 3: β·O(IJ) independent of P (bidir reduce), for P = O(I·J).
+        let (m, i, j) = (512, 16, 16);
+        let left = Matrix::random(m, i, 7);
+        let right = Matrix::random(m, j, 8);
+        let mut words = Vec::new();
+        for p in [4usize, 8, 16] {
+            let lay = BlockRow::balanced(m, 1, p);
+            let machine = Machine::new(p, CostParams::unit());
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let rows = lay.local_rows(w.rank());
+                let l = left.take_rows(&rows);
+                let r = right.take_rows(&rows);
+                dmm1d_reduce(rank, &w, &l, &r, 0)
+            });
+            words.push(out.stats.critical().words);
+        }
+        // Bandwidth should stay O(I·J): allow slow growth, forbid ∝ log P
+        // doubling (binomial would give 2× from P=4 to P=16).
+        let ij = (i * j) as f64;
+        for w in &words {
+            assert!(*w <= 6.0 * ij, "W={w} should be O(IJ)={ij}");
+        }
+    }
+
+    #[test]
+    fn broadcast_case_flops_balanced() {
+        let (m, k, j, p) = (64, 4, 4, 8);
+        let a = Matrix::random(m, k, 9);
+        let b = Matrix::random(k, j, 10);
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+            let b_root = (w.rank() == 0).then(|| b.clone());
+            dmm1d_broadcast(rank, &w, &a_loc, b_root, k, j, 0)
+        });
+        // Each rank multiplies (m/P)×K by K×J: 2·(m/P)·K·J flops.
+        let per_rank = 2.0 * (m / p * k * j) as f64;
+        assert_eq!(out.stats.total_flops(), per_rank * p as f64);
+    }
+}

@@ -1,0 +1,129 @@
+//! Failure-injection and misuse tests: the library must fail loudly and
+//! legibly on contract violations, and tolerate every degenerate-but-legal
+//! input.
+
+use qr3d::matrix::layout::BlockRow;
+use qr3d::prelude::*;
+
+/// Degenerate-but-legal inputs the full pipelines must handle.
+#[test]
+fn degenerate_inputs_are_handled() {
+    // Single column, single rank.
+    let a = Matrix::random(5, 1, 1);
+    let machine = Machine::new(1, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        tsqr_factor(rank, &w, &a)
+    });
+    assert!(out.results[0].r.is_some());
+
+    // 1×1 matrix through 3D-CAQR-EG.
+    let a = Matrix::from_vec(1, 1, vec![-3.0]);
+    let machine = Machine::new(1, CostParams::unit());
+    let cfg = Caqr3dConfig::new(1, 1);
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        caqr3d_factor(rank, &w, &a, 1, 1, &cfg)
+    });
+    let fac = assemble_factorization(&out.results, 1, 1, 1);
+    assert!(fac.residual(&a) < 1e-14);
+
+    // Ranks owning zero rows (P > m) through 3D-CAQR-EG.
+    let (m, n, p) = (6usize, 2usize, 8usize);
+    let a = Matrix::random(m, n, 2);
+    let lay = ShiftedRowCyclic::new(m, n, p, 0);
+    let machine = Machine::new(p, CostParams::unit());
+    let cfg = Caqr3dConfig::new(2, 1);
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        caqr3d_factor(rank, &w, &lay.scatter_from_full(&a, rank.id()), m, n, &cfg)
+    });
+    let fac = assemble_factorization(&out.results, m, n, p);
+    assert!(fac.residual(&a) < 1e-12, "residual {}", fac.residual(&a));
+
+    // Thresholds far larger than n (clamped internally, still correct).
+    let machine = Machine::new(2, CostParams::unit());
+    let cfg = Caqr3dConfig::new(1000, 1000);
+    let a = Matrix::random(8, 4, 3);
+    let lay = ShiftedRowCyclic::new(8, 4, 2, 0);
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        caqr3d_factor(rank, &w, &lay.scatter_from_full(&a, rank.id()), 8, 4, &cfg)
+    });
+    let fac = assemble_factorization(&out.results, 8, 4, 2);
+    assert!(fac.residual(&a) < 1e-12);
+}
+
+/// A rank passing a wrongly-shaped local block must abort with a clear
+/// message, not deadlock or silently corrupt.
+#[test]
+#[should_panic(expected = "local row count")]
+fn wrong_local_shape_is_rejected() {
+    let machine = Machine::new(2, CostParams::unit());
+    let cfg = Caqr3dConfig::new(2, 2);
+    let _ = machine.run(|rank| {
+        let w = rank.world();
+        // Both ranks pass the *full* matrix instead of their slice.
+        let a = Matrix::random(8, 4, 9);
+        caqr3d_factor(rank, &w, &a, 8, 4, &cfg)
+    });
+}
+
+/// tsqr's contract: each rank at least n rows.
+#[test]
+#[should_panic(expected = "at least n rows")]
+fn tsqr_contract_enforced() {
+    let machine = Machine::new(4, CostParams::unit());
+    let _ = machine.run(|rank| {
+        let w = rank.world();
+        // 4 ranks × 2 rows each, but n = 3: violates m_p ≥ n.
+        tsqr_factor(rank, &w, &Matrix::random(2, 3, 4))
+    });
+}
+
+/// Zero-sized payloads through every collective: legal, no deadlock.
+#[test]
+fn zero_sized_collectives() {
+    use qr3d::collectives::prelude::*;
+    let p = 5;
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let b = broadcast(rank, &w, 0, (w.rank() == 0).then(Vec::new), 0);
+        let r = reduce(rank, &w, 0, vec![]);
+        let ag = all_gather(rank, &w, vec![], &vec![0; p]);
+        let sizes = BlockSizes::uniform(p, 0);
+        let blocks: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+        let a2a = all_to_all(rank, &w, blocks, &sizes);
+        (b.len(), r.map(|v| v.len()), ag.len(), a2a.len())
+    });
+    for (r, res) in out.results.iter().enumerate() {
+        assert_eq!(res.0, 0);
+        assert_eq!(res.1, (r == 0).then_some(0));
+        assert_eq!(res.2, p);
+        assert_eq!(res.3, p);
+    }
+}
+
+/// Cost clocks survive extreme parameter regimes without NaN/inf.
+#[test]
+fn extreme_cost_params_stay_finite() {
+    let params = CostParams { alpha: 1e30, beta: 1e-30, gamma: 0.0 };
+    let machine = Machine::new(2, params);
+    let a = Matrix::random(8, 2, 5);
+    let lay = BlockRow::balanced(8, 1, 2);
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
+    });
+    let c = out.stats.critical();
+    assert!(c.time.is_finite());
+    assert!(c.flops.is_finite() && c.words.is_finite() && c.msgs.is_finite());
+}
+
+/// The machine rejects nonsense configurations.
+#[test]
+#[should_panic(expected = "at least one processor")]
+fn zero_rank_machine_rejected() {
+    let _ = Machine::new(0, CostParams::unit());
+}
