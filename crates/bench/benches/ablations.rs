@@ -31,7 +31,10 @@ fn measure(p: usize, f: impl Fn(&mut Rank, &Comm) + Sync) -> Clock {
 
 fn main() {
     header("Ablation 1 — broadcast/reduce: binomial tree vs bidirectional exchange");
-    println!("{:<10} {:>6} | {:>10} {:>8} | {:>10} {:>8}", "op", "B", "tree W", "tree S", "exch W", "exch S");
+    println!(
+        "{:<10} {:>6} | {:>10} {:>8} | {:>10} {:>8}",
+        "op", "B", "tree W", "tree S", "exch W", "exch S"
+    );
     let p = 16;
     for b in [64usize, 1024, 8192] {
         let tree = measure(p, |rank, w| {
@@ -47,7 +50,10 @@ fn main() {
             "broadcast", b, tree.words, tree.msgs, exch.words, exch.msgs
         );
         if b >= 1024 {
-            assert!(exch.words < tree.words, "B={b}: exchange must win bandwidth");
+            assert!(
+                exch.words < tree.words,
+                "B={b}: exchange must win bandwidth"
+            );
         }
         let tree = measure(p, |rank, w| {
             let _ = reduce_binomial(rank, w, 0, vec![1.0; b]);
@@ -64,7 +70,8 @@ fn main() {
     header("Ablation 2 — all-to-all algorithms (P = 16, uniform B = 64)");
     let b = 64;
     let sizes = BlockSizes::uniform(p, b);
-    let mk_blocks = |me: usize| -> Vec<Vec<f64>> { (0..p).map(|d| vec![(me + d) as f64; b]).collect() };
+    let mk_blocks =
+        |me: usize| -> Vec<Vec<f64>> { (0..p).map(|d| vec![(me + d) as f64; b]).collect() };
     let direct = measure(p, |rank, w| {
         let _ = all_to_all_direct(rank, w, mk_blocks(w.rank()), &sizes);
     });
@@ -75,10 +82,17 @@ fn main() {
         let _ = all_to_all(rank, w, mk_blocks(w.rank()), &sizes);
     });
     println!("{:<12} {:>10} {:>8}", "variant", "W", "S");
-    for (name, c) in [("direct", &direct), ("index", &index), ("two-phase", &two_phase)] {
+    for (name, c) in [
+        ("direct", &direct),
+        ("index", &index),
+        ("two-phase", &two_phase),
+    ] {
         println!("{:<12} {:>10.0} {:>8.0}", name, c.words, c.msgs);
     }
-    assert!(index.msgs < direct.msgs, "index algorithm must use fewer messages");
+    assert!(
+        index.msgs < direct.msgs,
+        "index algorithm must use fewer messages"
+    );
     assert!(
         direct.words < index.words,
         "the latency saving costs bandwidth (blocks hop log P times)"
@@ -91,8 +105,14 @@ fn main() {
         let m = n * p;
         let t = run_tsqr(m, n, p, 41);
         let c = run_caqr1d(m, n, p, caqr1d_block(n, p, 1.0), 41);
-        println!("{:<22} {:>4} | {:>10.0} {:>8.0}", "tsqr", p, t.words, t.msgs);
-        println!("{:<22} {:>4} | {:>10.0} {:>8.0}", "1d-caqr-eg (ε=1)", p, c.words, c.msgs);
+        println!(
+            "{:<22} {:>4} | {:>10.0} {:>8.0}",
+            "tsqr", p, t.words, t.msgs
+        );
+        println!(
+            "{:<22} {:>4} | {:>10.0} {:>8.0}",
+            "1d-caqr-eg (ε=1)", p, c.words, c.msgs
+        );
         println!(
             "    P={p}: bandwidth saving ×{:.2} for ×{:.2} more messages",
             t.words / c.words,

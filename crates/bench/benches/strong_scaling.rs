@@ -29,7 +29,10 @@ fn main() {
         let algos: Vec<(String, Clock)> = vec![
             ("1d-house".into(), run_house1d(m, n, p, 1, 31)),
             ("tsqr".into(), run_tsqr(m, n, p, 31)),
-            ("1d-caqr-eg (ε=1)".into(), run_caqr1d(m, n, p, caqr1d_block(n, p, 1.0), 31)),
+            (
+                "1d-caqr-eg (ε=1)".into(),
+                run_caqr1d(m, n, p, caqr1d_block(n, p, 1.0), 31),
+            ),
         ];
         let cluster = CostParams::cluster();
         let superc = CostParams::supercomputer();
@@ -49,8 +52,10 @@ fn main() {
                 name, p, c.words, c.msgs, tc, ts
             );
         }
-        println!("    P={p}: cluster winner = {}, supercomputer winner = {}",
-            best_cluster.1, best_super.1);
+        println!(
+            "    P={p}: cluster winner = {}, supercomputer winner = {}",
+            best_cluster.1, best_super.1
+        );
         // 1d-house must never win on either machine at meaningful P.
         if p >= 8 {
             assert_ne!(best_cluster.1, "1d-house");

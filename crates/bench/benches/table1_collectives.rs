@@ -29,7 +29,7 @@ fn run_collective(name: &str, p: usize, b: usize) -> Clock {
         }),
         "gather" => measure(p, |rank, w| {
             let sizes = vec![b; p];
-            let _ = gather(rank, w, 0, vec![1.0; b], &sizes);
+            let _ = gather(rank, w, 0, &vec![1.0; b], &sizes);
         }),
         "broadcast" => measure(p, |rank, w| {
             let data = (w.rank() == 0).then(|| vec![1.0; b]);
@@ -114,7 +114,10 @@ fn main() {
     }
 
     header("Table 1 — broadcast/reduce regime switch, B sweep (P = 16)");
-    println!("{:<16} {:>6} {:>12} {:>14}", "collective", "B", "measured W", "min-bound ratio");
+    println!(
+        "{:<16} {:>6} {:>12} {:>14}",
+        "collective", "B", "measured W", "min-bound ratio"
+    );
     for name in ["broadcast", "reduce", "all-reduce"] {
         for b in [4usize, 64, 1024, 8192] {
             let c = run_collective(name, 16, b);
@@ -139,8 +142,7 @@ fn main() {
         let out = machine.run(|rank| {
             let w = rank.world();
             let me = w.rank();
-            let blocks: Vec<Vec<f64>> =
-                (0..p).map(|d| vec![d as f64; sz.get(me, d)]).collect();
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| vec![d as f64; sz.get(me, d)]).collect();
             let _ = all_to_all(rank, &w, blocks, &sz);
         });
         let c = out.stats.critical();

@@ -36,7 +36,10 @@ fn main() {
                 house2d_cost(m, n, p),
             ),
             (
-                format!("caqr-2d  ({}x{} b={})", caqr_grid.pr, caqr_grid.pc, caqr_grid.b),
+                format!(
+                    "caqr-2d  ({}x{} b={})",
+                    caqr_grid.pr, caqr_grid.pc, caqr_grid.b
+                ),
                 run_caqr2d(m, n, p, caqr_grid, 3),
                 caqr2d_cost(m, n, p),
             ),
@@ -93,8 +96,14 @@ fn main() {
     let rows = [
         ("2d-house".to_string(), house2d_cost(m, n, p)),
         ("caqr-2d".to_string(), caqr2d_cost(m, n, p)),
-        ("3d-caqr-eg (δ=1/2)".to_string(), theorem1_cost(m, n, p, 0.5)),
-        ("3d-caqr-eg (δ=2/3)".to_string(), theorem1_cost(m, n, p, 2.0 / 3.0)),
+        (
+            "3d-caqr-eg (δ=1/2)".to_string(),
+            theorem1_cost(m, n, p, 0.5),
+        ),
+        (
+            "3d-caqr-eg (δ=2/3)".to_string(),
+            theorem1_cost(m, n, p, 2.0 / 3.0),
+        ),
     ];
     for (name, c) in &rows {
         println!("{:<24} {:>14.3e} {:>14.3e}", name, c.words, c.msgs);

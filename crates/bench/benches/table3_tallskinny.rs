@@ -27,7 +27,11 @@ fn main() {
     for p in [4usize, 8, 16] {
         let m = n * p;
         let rows: Vec<(String, qr3d_machine::Clock, Cost3)> = vec![
-            ("1d-house (b=1)".into(), run_house1d(m, n, p, 1, 7), house1d_cost(m, n, p)),
+            (
+                "1d-house (b=1)".into(),
+                run_house1d(m, n, p, 1, 7),
+                house1d_cost(m, n, p),
+            ),
             ("tsqr".into(), run_tsqr(m, n, p, 7), tsqr_cost(m, n, p)),
             (
                 "1d-caqr-eg (ε=1/2)".into(),

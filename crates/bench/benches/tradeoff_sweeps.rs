@@ -16,7 +16,10 @@ fn main() {
     header("Theorem 2 tradeoff — 1D-CAQR-EG, ε sweep (m = 16n, n = 32, P = 16)");
     let (n, p) = (32usize, 16usize);
     let m = n * p;
-    println!("{:>6} {:>6} {:>12} {:>10} {:>14}", "ε", "b", "W", "S", "W·S / n²");
+    println!(
+        "{:>6} {:>6} {:>12} {:>10} {:>14}",
+        "ε", "b", "W", "S", "W·S / n²"
+    );
     let mut prev_w = f64::INFINITY;
     let mut prev_s = 0.0;
     for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
@@ -30,8 +33,14 @@ fn main() {
             c.msgs,
             c.words * c.msgs / (n * n) as f64
         );
-        assert!(c.words <= prev_w * 1.05, "ε={eps}: W must not grow along the sweep");
-        assert!(c.msgs >= prev_s * 0.95, "ε={eps}: S must not shrink along the sweep");
+        assert!(
+            c.words <= prev_w * 1.05,
+            "ε={eps}: W must not grow along the sweep"
+        );
+        assert!(
+            c.msgs >= prev_s * 0.95,
+            "ε={eps}: S must not shrink along the sweep"
+        );
         prev_w = c.words;
         prev_s = c.msgs;
     }
@@ -44,7 +53,10 @@ fn main() {
     // would produce for growing δ, holding the recursion depth comparable.
     let (n, p) = (128usize, 8usize);
     let m = 4 * n;
-    println!("{:>12} {:>6} {:>6} {:>12} {:>10} {:>16}", "point", "b", "b*", "W", "S", "W·S/(n² log²P)");
+    println!(
+        "{:>12} {:>6} {:>6} {:>12} {:>10} {:>16}",
+        "point", "b", "b*", "W", "S", "W·S/(n² log²P)"
+    );
     let lg2 = (p as f64).log2().powi(2);
     let mut curve = Vec::new();
     for (label, b, bstar) in [

@@ -37,7 +37,10 @@ fn main() {
     let spread = w_ratios.iter().cloned().fold(f64::MIN, f64::max)
         / w_ratios.iter().cloned().fold(f64::MAX, f64::min);
     println!("W ratio spread across the b sweep: ×{spread:.2} (constant band expected)");
-    assert!(spread < 8.0, "Eq. (11) W term tracks the measurement only loosely");
+    assert!(
+        spread < 8.0,
+        "Eq. (11) W term tracks the measurement only loosely"
+    );
 
     header("Eq. (13) — 3D-CAQR-EG cost recurrence, (b, b*) sweep (m = 4n, n = 64, P = 8)");
     let (n, p) = (64usize, 8usize);

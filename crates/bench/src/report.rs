@@ -80,8 +80,11 @@ mod tests {
     #[test]
     fn noisy_fit_close() {
         let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
-        let ys: Vec<f64> =
-            xs.iter().enumerate().map(|(i, x)| x * x * (1.0 + 0.05 * (i as f64 % 2.0))).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * x * (1.0 + 0.05 * (i as f64 % 2.0)))
+            .collect();
         let slope = exponent_fit(&xs, &ys);
         assert!((slope - 2.0).abs() < 0.1);
     }

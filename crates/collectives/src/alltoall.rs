@@ -1,4 +1,4 @@
-//! All-to-all algorithms (paper Appendix A.3).
+//! All-to-all algorithms (paper Appendix A.3), zero-copy.
 //!
 //! * [`all_to_all_index`] — the radix-2 **index algorithm** [BHK+97]:
 //!   blocks are labeled `(q − p) mod P`; at step `i` every processor
@@ -13,34 +13,43 @@
 //! * [`all_to_all_direct`] — pairwise exchange reference (`P−1` messages
 //!   of one block each); used for correctness checks and ablations.
 //!
+//! Blocks travel as [`Payload`]s: the direct algorithm moves only `Arc`s,
+//! and in the index algorithm an arriving message is *split by slicing* —
+//! each contained block becomes an O(1) view of the message buffer, so
+//! the only copies are the per-step packing of outgoing labels (which
+//! genuinely combines words from different buffers into one message).
+//!
 //! Because every rank can compute the full [`BlockSizes`] matrix locally,
 //! no size or label headers are transmitted; the charged words are exactly
 //! the blocks'.
 
-use qr3d_machine::{Comm, Rank};
+use qr3d_machine::{Comm, Payload, Rank};
 
 use crate::sizes::BlockSizes;
 use crate::{ceil_log2, tag_of};
 
 /// Pairwise-exchange all-to-all: `blocks[d]` goes to local rank `d`;
-/// returns the received blocks indexed by source. `P−1` rounds.
+/// returns the received blocks indexed by source. `P−1` rounds, all
+/// transfers zero-copy.
 pub fn all_to_all_direct(
     rank: &mut Rank,
     comm: &Comm,
-    mut blocks: Vec<Vec<f64>>,
+    blocks: Vec<Vec<f64>>,
     sizes: &BlockSizes,
-) -> Vec<Vec<f64>> {
+) -> Vec<Payload> {
     let p = comm.size();
     let me = comm.rank();
     check_outgoing(&blocks, sizes, me, p);
     let op = comm.next_op();
 
-    let mut out: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
-    out[me] = std::mem::take(&mut blocks[me]);
+    let mut blocks: Vec<Payload> = blocks.into_iter().map(Payload::new).collect();
+    let mut out: Vec<Payload> = (0..p).map(|_| Payload::empty()).collect();
+    out[me] = std::mem::replace(&mut blocks[me], Payload::empty());
     for k in 1..p {
         let dst = (me + k) % p;
         let src = (me + p - k) % p;
-        rank.send_vec(comm, dst, tag_of(op, k as u64), std::mem::take(&mut blocks[dst]));
+        let outgoing = std::mem::replace(&mut blocks[dst], Payload::empty());
+        rank.send(comm, dst, tag_of(op, k as u64), &outgoing);
         let incoming = rank.recv(comm, src, tag_of(op, k as u64));
         assert_eq!(incoming.len(), sizes.get(src, me), "direct: size mismatch");
         out[src] = incoming;
@@ -49,25 +58,26 @@ pub fn all_to_all_direct(
 }
 
 /// Radix-2 index-algorithm all-to-all [BHK+97]: `blocks[d]` goes to local
-/// rank `d`; returns received blocks indexed by source. `⌈log₂P⌉` rounds.
+/// rank `d`; returns received blocks indexed by source. `⌈log₂P⌉` rounds;
+/// received messages are split into blocks by O(1) slicing.
 pub fn all_to_all_index(
     rank: &mut Rank,
     comm: &Comm,
     blocks: Vec<Vec<f64>>,
     sizes: &BlockSizes,
-) -> Vec<Vec<f64>> {
+) -> Vec<Payload> {
     let p = comm.size();
     let me = comm.rank();
     check_outgoing(&blocks, sizes, me, p);
     if p == 1 {
-        return blocks;
+        return blocks.into_iter().map(Payload::new).collect();
     }
     let op = comm.next_op();
 
     // held[l] = current content of the block labeled l = (dest − holder) mod P.
-    let mut held: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut held: Vec<Payload> = (0..p).map(|_| Payload::empty()).collect();
     for (d, b) in blocks.into_iter().enumerate() {
-        held[(d + p - me) % p] = b;
+        held[(d + p - me) % p] = Payload::new(b);
     }
 
     let steps = ceil_log2(p);
@@ -75,17 +85,20 @@ pub fn all_to_all_index(
         let bit = 1usize << i;
         let to = (me + bit) % p;
         let from = (me + p - bit) % p;
-        // Outgoing: all labels with bit i set, ascending.
-        let mut payload = Vec::new();
+        // Outgoing: all labels with bit i set, ascending. Combining blocks
+        // from different buffers into one message is the one real copy.
+        let mut payload =
+            Vec::with_capacity((0..p).filter(|l| l & bit != 0).map(|l| held[l].len()).sum());
         for l in 0..p {
             if l & bit != 0 {
-                payload.extend(std::mem::take(&mut held[l]));
+                payload.extend_from_slice(&std::mem::replace(&mut held[l], Payload::empty()));
             }
         }
         rank.send_vec(comm, to, tag_of(op, i as u64), payload);
         // Incoming: the same label set; the block labeled l has traveled
         // the lower set bits of l so far, so its origin (and hence size)
-        // is known: src = from − (l & (bit−1)), dest = src + l.
+        // is known: src = from − (l & (bit−1)), dest = src + l. Each
+        // block becomes a view of the arrived buffer.
         let payload = rank.recv(comm, from, tag_of(op, i as u64));
         let mut off = 0;
         for l in 0..p {
@@ -94,18 +107,22 @@ pub fn all_to_all_index(
                 let src = (from + p - traveled % p) % p;
                 let dst = (src + l) % p;
                 let sz = sizes.get(src, dst);
-                held[l] = payload[off..off + sz].to_vec();
+                held[l] = payload.slice(off..off + sz);
                 off += sz;
             }
         }
-        assert_eq!(off, payload.len(), "index: payload size mismatch at step {i}");
+        assert_eq!(
+            off,
+            payload.len(),
+            "index: payload size mismatch at step {i}"
+        );
     }
 
     // The block labeled l now held here originated at (me − l) mod P.
-    let mut out: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut out: Vec<Payload> = (0..p).map(|_| Payload::empty()).collect();
     for l in 0..p {
         let src = (me + p - l) % p;
-        out[src] = std::mem::take(&mut held[l]);
+        out[src] = std::mem::replace(&mut held[l], Payload::empty());
         debug_assert_eq!(out[src].len(), sizes.get(src, me));
     }
     out
@@ -147,12 +164,12 @@ pub fn all_to_all(
     comm: &Comm,
     blocks: Vec<Vec<f64>>,
     sizes: &BlockSizes,
-) -> Vec<Vec<f64>> {
+) -> Vec<Payload> {
     let p = comm.size();
     let me = comm.rank();
     check_outgoing(&blocks, sizes, me, p);
     if p == 1 {
-        return blocks;
+        return blocks.into_iter().map(Payload::new).collect();
     }
 
     // Intermediate of piece j of block (s → q) is (s + q + j) mod P;
@@ -163,11 +180,13 @@ pub fn all_to_all(
     // Phase 1 payloads: to intermediate t, concat over destinations q
     // (ascending) of piece (t−s−q) of my block for q.
     let phase1_sizes = BlockSizes::from_fn(p, |s, t| {
-        (0..p).map(|q| piece_size(sizes.get(s, q), p, piece_of(s, q, t))).sum()
+        (0..p)
+            .map(|q| piece_size(sizes.get(s, q), p, piece_of(s, q, t)))
+            .sum()
     });
     let mut phase1_blocks: Vec<Vec<f64>> = Vec::with_capacity(p);
     for t in 0..p {
-        let mut payload = Vec::new();
+        let mut payload = Vec::with_capacity(phase1_sizes.get(me, t));
         for (q, block) in blocks.iter().enumerate() {
             let j = piece_of(me, q, t);
             let off = piece_offset(block.len(), p, j);
@@ -183,9 +202,13 @@ pub fn all_to_all(
     // piece (me−s−q). Phase 2 sends to q the concat over sources s
     // (ascending) of their (s → q) pieces.
     let phase2_sizes = BlockSizes::from_fn(p, |t, q| {
-        (0..p).map(|s| piece_size(sizes.get(s, q), p, piece_of(s, q, t))).sum()
+        (0..p)
+            .map(|s| piece_size(sizes.get(s, q), p, piece_of(s, q, t)))
+            .sum()
     });
-    let mut phase2_blocks: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut phase2_blocks: Vec<Vec<f64>> = (0..p)
+        .map(|q| Vec::with_capacity(phase2_sizes.get(me, q)))
+        .collect();
     for (s, bundle) in from_sources.iter().enumerate() {
         let mut off = 0;
         for (q, out) in phase2_blocks.iter_mut().enumerate() {
@@ -216,8 +239,12 @@ pub fn all_to_all(
             let sz = piece_size(len, p, j);
             block.extend_from_slice(&bundle[off..off + sz]);
         }
-        assert_eq!(block.len(), len, "two-phase: reassembled block size mismatch");
-        out.push(block);
+        assert_eq!(
+            block.len(),
+            len,
+            "two-phase: reassembled block size mismatch"
+        );
+        out.push(Payload::new(block));
     }
     out
 }
@@ -226,7 +253,11 @@ fn check_outgoing(blocks: &[Vec<f64>], sizes: &BlockSizes, me: usize, p: usize) 
     assert_eq!(blocks.len(), p, "all-to-all: one block per destination");
     assert_eq!(sizes.procs(), p, "all-to-all: size matrix shape");
     for (d, b) in blocks.iter().enumerate() {
-        assert_eq!(b.len(), sizes.get(me, d), "all-to-all: block for {d} size mismatch");
+        assert_eq!(
+            b.len(),
+            sizes.get(me, d),
+            "all-to-all: block for {d} size mismatch"
+        );
     }
 }
 
@@ -241,22 +272,19 @@ mod tests {
 
     /// Payload that encodes (src, dst, index) so routing errors surface.
     fn marked(src: usize, dst: usize, len: usize) -> Vec<f64> {
-        (0..len).map(|k| (src * 1_000_000 + dst * 1_000 + k) as f64).collect()
+        (0..len)
+            .map(|k| (src * 1_000_000 + dst * 1_000 + k) as f64)
+            .collect()
     }
 
-    fn run_and_check(
-        p: usize,
-        sizes: BlockSizes,
-        algo: fn(&mut Rank, &Comm, Vec<Vec<f64>>, &BlockSizes) -> Vec<Vec<f64>>,
-    ) {
-        use qr3d_machine::{Comm, Rank};
-        let _ = |_: &Comm, _: &Rank| {}; // silence unused-import pedantry in closures
+    type AllToAllFn = fn(&mut Rank, &Comm, Vec<Vec<f64>>, &BlockSizes) -> Vec<Payload>;
+
+    fn run_and_check(p: usize, sizes: BlockSizes, algo: AllToAllFn) {
         let sz = sizes.clone();
         let out = machine(p).run(move |rank| {
             let w = rank.world();
             let me = w.rank();
-            let blocks: Vec<Vec<f64>> =
-                (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
             algo(rank, &w, blocks, &sz)
         });
         for (me, res) in out.results.iter().enumerate() {
@@ -267,12 +295,39 @@ mod tests {
         }
     }
 
-    use qr3d_machine::{Comm, Rank};
-
     #[test]
     fn direct_uniform() {
         for p in [1usize, 2, 3, 4, 7] {
             run_and_check(p, BlockSizes::uniform(p, 3), all_to_all_direct);
+        }
+    }
+
+    #[test]
+    fn direct_is_zero_copy() {
+        // Wrapping an owned block is zero-copy: the self block (and, by
+        // the same mechanism, every sent block) keeps its original heap
+        // allocation through the collective.
+        let p = 4;
+        let out = machine(p).run(|rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let sizes = BlockSizes::uniform(p, 8);
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| marked(me, d, 8)).collect();
+            let own_ptr = blocks[me].as_ptr();
+            let got = all_to_all_direct(rank, &w, blocks, &sizes);
+            (
+                got[me].as_ptr() == own_ptr,
+                got.iter().map(|b| b.to_vec()).collect::<Vec<_>>(),
+            )
+        });
+        for (me, (own_zero_copy, res)) in out.results.iter().enumerate() {
+            assert!(
+                own_zero_copy,
+                "rank {me}: own block must keep its allocation"
+            );
+            for (s, b) in res.iter().enumerate() {
+                assert_eq!(b, &marked(s, me, 8));
+            }
         }
     }
 
@@ -288,6 +343,32 @@ mod tests {
         for p in [2usize, 3, 6, 9] {
             let sizes = BlockSizes::from_fn(p, |s, d| (3 * s + 2 * d) % 7);
             run_and_check(p, sizes, all_to_all_index);
+        }
+    }
+
+    #[test]
+    fn index_splits_messages_by_slicing() {
+        // After the final step, blocks that arrived in the same message
+        // must be views of one shared buffer (split = slice, not copy).
+        let p = 4;
+        let sizes = BlockSizes::uniform(p, 4);
+        let sz = sizes.clone();
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+            all_to_all_index(rank, &w, blocks, &sz)
+        });
+        // For p = 4, labels 2 and 3 both have bit 1 set: at the last step
+        // they travel in the same message, so their final blocks share a
+        // buffer. Label l at rank me originated at (me − l) mod p.
+        for (me, res) in out.results.iter().enumerate() {
+            let src2 = (me + p - 2) % p;
+            let src3 = (me + p - 3) % p;
+            assert!(
+                res[src2].same_buffer(&res[src3]),
+                "rank {me}: blocks from {src2} and {src3} should share an arrival buffer"
+            );
         }
     }
 
@@ -332,8 +413,7 @@ mod tests {
             let out = machine(p).run(move |rank| {
                 let w = rank.world();
                 let me = w.rank();
-                let blocks: Vec<Vec<f64>> =
-                    (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+                let blocks: Vec<Vec<f64>> = (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
                 all_to_all_index(rank, &w, blocks, &sz)
             });
             let lg = (p as f64).log2().ceil();
@@ -354,8 +434,7 @@ mod tests {
         let out = machine(p).run(move |rank| {
             let w = rank.world();
             let me = w.rank();
-            let blocks: Vec<Vec<f64>> =
-                (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| marked(me, d, sz.get(me, d))).collect();
             all_to_all(rank, &w, blocks, &sz)
         });
         let c = out.stats.critical();
@@ -399,7 +478,12 @@ mod tests {
                 let sizes = BlockSizes::uniform(3, 2);
                 let me = sub.rank();
                 let blocks: Vec<Vec<f64>> = (0..3).map(|d| marked(me, d, 2)).collect();
-                Some(all_to_all_index(rank, &sub, blocks, &sizes))
+                Some(
+                    all_to_all_index(rank, &sub, blocks, &sizes)
+                        .iter()
+                        .map(|b| b.to_vec())
+                        .collect::<Vec<_>>(),
+                )
             } else {
                 None
             }

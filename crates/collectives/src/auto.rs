@@ -8,7 +8,7 @@
 //! message count, so they win exactly when the block is large relative to
 //! the processor count.
 
-use qr3d_machine::{Comm, Rank};
+use qr3d_machine::{Comm, Payload, Rank};
 
 use crate::bidir::{all_reduce_bidir, broadcast_bidir, reduce_bidir};
 use crate::binomial::{all_reduce_binomial, broadcast_binomial, reduce_binomial};
@@ -24,14 +24,16 @@ fn bidir_wins(block: usize, p: usize) -> bool {
 }
 
 /// **broadcast** with automatic algorithm selection
-/// (`min(B log P, B + P)` words, Table 1 row 3).
+/// (`min(B log P, B + P)` words, Table 1 row 3). The result is a shared
+/// [`Payload`] view (the binomial variant delivers every rank a view of
+/// one buffer).
 pub fn broadcast(
     rank: &mut Rank,
     comm: &Comm,
     root: usize,
     data: Option<Vec<f64>>,
     size: usize,
-) -> Vec<f64> {
+) -> Payload {
     if bidir_wins(size, comm.size()) {
         broadcast_bidir(rank, comm, root, data, size)
     } else {
@@ -89,7 +91,10 @@ mod tests {
                 let data = (w.rank() == 0).then(|| vec![2.5; b]);
                 broadcast(rank, &w, 0, data, b)
             });
-            assert!(out.results.iter().all(|r| r == &vec![2.5; b]), "p={p} b={b}");
+            assert!(
+                out.results.iter().all(|r| r == &vec![2.5; b]),
+                "p={p} b={b}"
+            );
         }
     }
 
@@ -112,7 +117,10 @@ mod tests {
                 let w = rank.world();
                 all_reduce(rank, &w, vec![1.0; b])
             });
-            assert!(out.results.iter().all(|r| r == &vec![p as f64; b]), "p={p} b={b}");
+            assert!(
+                out.results.iter().all(|r| r == &vec![p as f64; b]),
+                "p={p} b={b}"
+            );
         }
     }
 
@@ -128,6 +136,10 @@ mod tests {
         });
         let c = out.stats.critical();
         let tree_cost = b as f64 * (p as f64).log2();
-        assert!(c.words < tree_cost, "auto should beat the tree: W={}", c.words);
+        assert!(
+            c.words < tree_cost,
+            "auto should beat the tree: W={}",
+            c.words
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Bidirectional-exchange collectives (paper Appendix A.2).
+//! Bidirectional-exchange collectives (paper Appendix A.2), zero-copy.
 //!
 //! `reduce-scatter` recursively halves the processor range, pairing each
 //! processor with one in the opposite set; paired processors exchange the
@@ -8,18 +8,27 @@
 //! partners ("processor p only sends to one of the two, but receives from
 //! both" — and, reversed, sends to both / receives from one).
 //!
+//! Both work in a single rank-ordered buffer: because the recursion's
+//! ranges nest and blocks are kept in local-rank order, every exchanged
+//! range is contiguous, so `reduce-scatter` folds incoming payload views
+//! straight into its accumulator buffer ([`reduce_scatter_flat`]) and
+//! `all-gather` lands ranges in their final position via
+//! [`Rank::recv_into`] ([`all_gather_flat`]) — no per-level concat/split
+//! buffers exist.
+//!
 //! On top of these, the paper builds the large-block variants:
 //!
 //! * `broadcast` = scatter + all-gather — `O(B + P)` words,
 //! * `reduce` = reduce-scatter + gather — `O(B + P)` words and flops,
 //! * `all-reduce` = reduce-scatter + all-gather,
 //!
-//! each splitting the original block into `P` chunks of `⌈B/P⌉`.
+//! each splitting the original block into `P` chunks of `⌈B/P⌉` — which,
+//! with flat buffers, is pure index arithmetic: no chunk is materialized.
 
-use qr3d_machine::{Comm, Rank};
+use qr3d_machine::{Comm, Payload, Rank};
 
 use crate::binomial::{gather, scatter};
-use crate::tag_of;
+use crate::{prefix_offsets, tag_of};
 
 /// One level of the bidirectional-exchange recursion for this rank:
 /// my partners in the opposite set, and the opposite set's range.
@@ -85,8 +94,7 @@ fn levels(me: usize, p: usize) -> Vec<Level> {
             next_hi = mid;
         } else {
             let j = me - mid;
-            let extra_in =
-                (j == rsize - 1 && lsize > rsize).then(|| lo + lsize - 1);
+            let extra_in = (j == rsize - 1 && lsize > rsize).then(|| lo + lsize - 1);
             level = Level {
                 partner: lo + j,
                 extra_in,
@@ -108,17 +116,60 @@ fn levels(me: usize, p: usize) -> Vec<Level> {
     out
 }
 
-fn concat_range(held: &[Vec<f64>], lo: usize, hi: usize) -> Vec<f64> {
-    let mut payload = Vec::new();
-    for b in &held[lo..hi] {
-        payload.extend_from_slice(b);
+/// Bidirectional-exchange **reduce-scatter** on a flat buffer: `buf`
+/// holds one block per destination rank, concatenated in local-rank
+/// order (`sizes[i]` words for rank `i`); blocks are summed entrywise
+/// across ranks and rank `i` ends with the fully reduced block `i`.
+///
+/// The buffer is the accumulator: incoming contributions are folded into
+/// it in place, and each level sends one contiguous range of it.
+pub fn reduce_scatter_flat(
+    rank: &mut Rank,
+    comm: &Comm,
+    mut buf: Vec<f64>,
+    sizes: &[usize],
+) -> Vec<f64> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert_eq!(sizes.len(), p, "reduce_scatter: one size per rank");
+    let off = prefix_offsets(sizes);
+    assert_eq!(buf.len(), off[p], "reduce_scatter: buffer/sizes mismatch");
+    let op = comm.next_op();
+
+    for lv in levels(me, p) {
+        // Send everything destined for the opposite set to my partner.
+        rank.send_slice(
+            comm,
+            lv.partner,
+            tag_of(op, lv.depth),
+            &buf[off[lv.olo]..off[lv.ohi]],
+        );
+        // Receive and fold contributions for my set, in place.
+        let fold = |rank: &mut Rank, buf: &mut [f64], src: usize| {
+            let payload = rank.recv(comm, src, tag_of(op, lv.depth));
+            let mine = &mut buf[off[lv.mlo]..off[lv.mhi]];
+            assert_eq!(
+                payload.len(),
+                mine.len(),
+                "reduce_scatter: payload size mismatch"
+            );
+            for (a, b) in mine.iter_mut().zip(payload.iter()) {
+                *a += b;
+            }
+            rank.charge_flops(payload.len() as f64);
+        };
+        if !lv.send_only {
+            fold(rank, &mut buf, lv.partner);
+        }
+        if let Some(extra) = lv.extra_in {
+            fold(rank, &mut buf, extra);
+        }
     }
-    payload
+    buf[off[me]..off[me + 1]].to_vec()
 }
 
-/// Bidirectional-exchange **reduce-scatter**: every rank contributes one
-/// block per destination (`blocks[i]` of size `sizes[i]`, entrywise
-/// summed); rank `i` ends with the fully reduced block `i`.
+/// [`reduce_scatter_flat`] with per-destination blocks (compatibility
+/// surface: concatenates once, then runs flat).
 pub fn reduce_scatter(
     rank: &mut Rank,
     comm: &Comm,
@@ -126,62 +177,34 @@ pub fn reduce_scatter(
     sizes: &[usize],
 ) -> Vec<f64> {
     let p = comm.size();
-    let me = comm.rank();
     assert_eq!(blocks.len(), p, "reduce_scatter: one block per rank");
-    assert_eq!(sizes.len(), p, "reduce_scatter: one size per rank");
     for (i, b) in blocks.iter().enumerate() {
         assert_eq!(b.len(), sizes[i], "reduce_scatter: block {i} size mismatch");
     }
-    let op = comm.next_op();
-    let mut held = blocks;
-
-    for lv in levels(me, p) {
-        // Send everything destined for the opposite set to my partner.
-        let payload = concat_range(&held, lv.olo, lv.ohi);
-        rank.send_vec(comm, lv.partner, tag_of(op, lv.depth), payload);
-        for b in &mut held[lv.olo..lv.ohi] {
-            b.clear();
-        }
-        // Receive and fold contributions for my set.
-        let mut fold = |rank: &mut Rank, src: usize| {
-            let payload = rank.recv(comm, src, tag_of(op, lv.depth));
-            let mut off = 0;
-            for t in lv.mlo..lv.mhi {
-                for k in 0..sizes[t] {
-                    held[t][k] += payload[off + k];
-                }
-                off += sizes[t];
-            }
-            assert_eq!(off, payload.len(), "reduce_scatter: payload size mismatch");
-            rank.charge_flops(payload.len() as f64);
-        };
-        if !lv.send_only {
-            fold(rank, lv.partner);
-        }
-        if let Some(extra) = lv.extra_in {
-            fold(rank, extra);
-        }
-    }
-    std::mem::take(&mut held[me])
+    let buf = blocks.concat();
+    reduce_scatter_flat(rank, comm, buf, sizes)
 }
 
-/// Bidirectional-exchange **all-gather**: every rank contributes `block`
-/// (of size `sizes[rank]`); every rank ends with all blocks (indexed by
-/// local rank).
-pub fn all_gather(
-    rank: &mut Rank,
-    comm: &Comm,
-    block: Vec<f64>,
-    sizes: &[usize],
-) -> Vec<Vec<f64>> {
+/// Bidirectional-exchange **all-gather** on a flat buffer: every rank
+/// contributes `block` (of size `sizes[rank]`); every rank ends with all
+/// blocks concatenated in local-rank order.
+///
+/// Each incoming range lands directly at its final offset
+/// ([`Rank::recv_into`]); nothing is assembled per level.
+pub fn all_gather_flat(rank: &mut Rank, comm: &Comm, block: &[f64], sizes: &[usize]) -> Vec<f64> {
     let p = comm.size();
     let me = comm.rank();
     assert_eq!(sizes.len(), p, "all_gather: one size per rank");
-    assert_eq!(block.len(), sizes[me], "all_gather: own block size mismatch");
+    assert_eq!(
+        block.len(),
+        sizes[me],
+        "all_gather: own block size mismatch"
+    );
     let op = comm.next_op();
+    let off = prefix_offsets(sizes);
 
-    let mut held: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
-    held[me] = block;
+    let mut buf = vec![0.0; off[p]];
+    buf[off[me]..off[me + 1]].copy_from_slice(block);
 
     // Head recursion: exchanges happen deepest level first. Roles are the
     // exact reverse of reduce-scatter: the send_only rank becomes
@@ -190,33 +213,53 @@ pub fn all_gather(
         // Send all blocks of my set to my partner(s) — unless I'm the
         // reverse-direction "receive only" extra.
         if !lv.send_only {
-            let payload = concat_range(&held, lv.mlo, lv.mhi);
-            rank.send_vec(comm, lv.partner, tag_of(op, lv.depth), payload.clone());
+            rank.send_slice(
+                comm,
+                lv.partner,
+                tag_of(op, lv.depth),
+                &buf[off[lv.mlo]..off[lv.mhi]],
+            );
             if let Some(extra) = lv.extra_in {
-                rank.send_vec(comm, extra, tag_of(op, lv.depth), payload);
+                rank.send_slice(
+                    comm,
+                    extra,
+                    tag_of(op, lv.depth),
+                    &buf[off[lv.mlo]..off[lv.mhi]],
+                );
             }
         }
-        // Receive the opposite set's blocks from my (single) source.
-        let payload = rank.recv(comm, lv.partner, tag_of(op, lv.depth));
-        let mut off = 0;
-        for t in lv.olo..lv.ohi {
-            held[t] = payload[off..off + sizes[t]].to_vec();
-            off += sizes[t];
-        }
-        assert_eq!(off, payload.len(), "all_gather: payload size mismatch");
+        // Receive the opposite set's blocks straight into place.
+        rank.recv_into(
+            comm,
+            lv.partner,
+            tag_of(op, lv.depth),
+            &mut buf[off[lv.olo]..off[lv.ohi]],
+        );
     }
-    held
+    buf
+}
+
+/// [`all_gather_flat`] with a per-block result (compatibility surface:
+/// splits the flat buffer once at the end).
+pub fn all_gather(rank: &mut Rank, comm: &Comm, block: Vec<f64>, sizes: &[usize]) -> Vec<Vec<f64>> {
+    let flat = all_gather_flat(rank, comm, &block, sizes);
+    let off = prefix_offsets(sizes);
+    (0..comm.size())
+        .map(|i| flat[off[i]..off[i + 1]].to_vec())
+        .collect()
 }
 
 /// Bidirectional-exchange **broadcast** (scatter + all-gather): `O(B + P)`
 /// words — cheaper than the binomial tree's `B log P` for large blocks.
+/// The chunking into `⌈B/P⌉` pieces is pure index arithmetic on the flat
+/// buffer; no chunk is materialized.
 pub fn broadcast_bidir(
     rank: &mut Rank,
     comm: &Comm,
     root: usize,
     data: Option<Vec<f64>>,
     size: usize,
-) -> Vec<f64> {
+) -> Payload {
     let p = comm.size();
     let chunk_sizes = chunk_sizes(size, p);
     let chunks = data.map(|d| {
@@ -224,35 +267,24 @@ pub fn broadcast_bidir(
         split_chunks(&d, &chunk_sizes)
     });
     let mine = scatter(rank, comm, root, chunks, &chunk_sizes);
-    let all = all_gather(rank, comm, mine, &chunk_sizes);
-    all.concat()
+    Payload::new(all_gather_flat(rank, comm, &mine, &chunk_sizes))
 }
 
 /// Bidirectional-exchange **reduce** (reduce-scatter + gather): `O(B + P)`
 /// words and flops.
-pub fn reduce_bidir(
-    rank: &mut Rank,
-    comm: &Comm,
-    root: usize,
-    data: Vec<f64>,
-) -> Option<Vec<f64>> {
+pub fn reduce_bidir(rank: &mut Rank, comm: &Comm, root: usize, data: Vec<f64>) -> Option<Vec<f64>> {
     let p = comm.size();
-    let size = data.len();
-    let chunk_sizes = chunk_sizes(size, p);
-    let chunks = split_chunks(&data, &chunk_sizes);
-    let mine = reduce_scatter(rank, comm, chunks, &chunk_sizes);
-    gather(rank, comm, root, mine, &chunk_sizes).map(|blocks| blocks.concat())
+    let chunk_sizes = chunk_sizes(data.len(), p);
+    let mine = reduce_scatter_flat(rank, comm, data, &chunk_sizes);
+    gather(rank, comm, root, &mine, &chunk_sizes)
 }
 
 /// Bidirectional-exchange **all-reduce** (reduce-scatter + all-gather).
 pub fn all_reduce_bidir(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
     let p = comm.size();
-    let size = data.len();
-    let chunk_sizes = chunk_sizes(size, p);
-    let chunks = split_chunks(&data, &chunk_sizes);
-    let mine = reduce_scatter(rank, comm, chunks, &chunk_sizes);
-    let all = all_gather(rank, comm, mine, &chunk_sizes);
-    all.concat()
+    let chunk_sizes = chunk_sizes(data.len(), p);
+    let mine = reduce_scatter_flat(rank, comm, data, &chunk_sizes);
+    all_gather_flat(rank, comm, &mine, &chunk_sizes)
 }
 
 /// Balanced chunk sizes for splitting a block of `size` words into `p`
@@ -304,6 +336,29 @@ mod tests {
     }
 
     #[test]
+    fn reduce_scatter_flat_matches_blocked_form() {
+        let p = 5;
+        let sizes = vec![2usize, 1, 0, 3, 2];
+        let sz = sizes.clone();
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let buf: Vec<f64> = (0..sz.iter().sum::<usize>())
+                .map(|k| (me * 100 + k) as f64)
+                .collect();
+            reduce_scatter_flat(rank, &w, buf, &sz)
+        });
+        let total_ranks: f64 = (0..p).map(|r| (r * 100) as f64).sum();
+        let off = prefix_offsets(&sizes);
+        for (d, b) in out.results.iter().enumerate() {
+            let expect: Vec<f64> = (off[d]..off[d + 1])
+                .map(|k| total_ranks + (p * k) as f64)
+                .collect();
+            assert_eq!(b, &expect, "dest {d}");
+        }
+    }
+
+    #[test]
     fn reduce_scatter_zero_blocks() {
         let p = 4;
         let sizes = vec![0, 2, 0, 1];
@@ -337,13 +392,30 @@ mod tests {
     }
 
     #[test]
+    fn all_gather_flat_is_rank_ordered() {
+        let p = 7;
+        let sizes: Vec<usize> = (0..p).map(|i| 1 + i % 3).collect();
+        let off = prefix_offsets(&sizes);
+        let sz = sizes.clone();
+        let out = machine(p).run(move |rank| {
+            let w = rank.world();
+            let mine = vec![w.rank() as f64; sz[w.rank()]];
+            all_gather_flat(rank, &w, &mine, &sz)
+        });
+        for res in &out.results {
+            for i in 0..p {
+                assert_eq!(&res[off[i]..off[i + 1]], &vec![i as f64; sizes[i]][..]);
+            }
+        }
+    }
+
+    #[test]
     fn bidir_broadcast_correct_and_cheap() {
         for p in [2usize, 4, 7, 16] {
             let b = 256;
             let out = machine(p).run(move |rank| {
                 let w = rank.world();
-                let data =
-                    (w.rank() == 1).then(|| (0..b).map(|i| i as f64).collect::<Vec<_>>());
+                let data = (w.rank() == 1).then(|| (0..b).map(|i| i as f64).collect::<Vec<_>>());
                 broadcast_bidir(rank, &w, 1, data, b)
             });
             let expect: Vec<f64> = (0..b).map(|i| i as f64).collect();

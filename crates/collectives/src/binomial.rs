@@ -1,4 +1,4 @@
-//! Binomial-tree collectives (paper Appendix A.1).
+//! Binomial-tree collectives (paper Appendix A.1), zero-copy.
 //!
 //! The recursion splits the processors of a range into two sets of sizes
 //! `⌈P/2⌉` and `⌊P/2⌋`; the root's counterpart `r'` in the opposite set
@@ -6,17 +6,30 @@
 //! *down* the recursion (tail recursion), `gather`/`reduce` on the way *up*
 //! (head recursion).
 //!
+//! Data movement is view-based: because blocks are kept in local-rank
+//! order and the recursion's ranges nest, every hop of `scatter` ships a
+//! contiguous *sub-view* of an already-shared buffer ([`Rank::send_view`])
+//! — the root packs its blocks exactly once and no other copy happens on
+//! the way down. `broadcast` forwards one shared payload (an `Arc` clone
+//! per hop). `gather` assembles directly into a single rank-ordered
+//! buffer via [`Rank::recv_into`] — the buffer it later sends whole — and
+//! `reduce` folds incoming payload views straight into its accumulator.
+//!
 //! Costs (Table 1): `scatter`/`gather` move `(P−1)B` words in `log P`
 //! messages; `broadcast`/`reduce` move `B log P` words in `log P` messages
 //! (`reduce` also adds `B log P` flops).
 
-use qr3d_machine::{Comm, Rank};
+use qr3d_machine::{Comm, Payload, Rank};
 
-use crate::tag_of;
 use crate::tree::binomial_frames as frames;
+use crate::{prefix_offsets, tag_of};
 
 /// Binomial-tree **scatter**: the root supplies one block per local rank
-/// (`blocks[i]` of size `sizes[i]`); every rank receives its own block.
+/// (`blocks[i]` of size `sizes[i]`); every rank receives its own block as
+/// a [`Payload`] view.
+///
+/// The root concatenates its blocks once; every transfer afterwards is a
+/// contiguous sub-view of a shared buffer (no per-hop packing).
 ///
 /// Every member must pass the same `sizes`; only the root passes `blocks`.
 pub fn scatter(
@@ -25,110 +38,128 @@ pub fn scatter(
     root: usize,
     blocks: Option<Vec<Vec<f64>>>,
     sizes: &[usize],
-) -> Vec<f64> {
+) -> Payload {
     let p = comm.size();
     let me = comm.rank();
     assert!(root < p, "scatter: root out of range");
     assert_eq!(sizes.len(), p, "scatter: need one size per rank");
     let op = comm.next_op();
+    let off = prefix_offsets(sizes);
 
-    let mut held: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
-    if me == root {
+    // The view I currently hold and the local-rank range it covers.
+    let mut held: Option<(Payload, usize)> = if me == root {
         let blocks = blocks.expect("scatter: root must supply blocks");
-        assert_eq!(blocks.len(), p, "scatter: root must supply one block per rank");
-        for (i, b) in blocks.into_iter().enumerate() {
+        assert_eq!(
+            blocks.len(),
+            p,
+            "scatter: root must supply one block per rank"
+        );
+        let mut buf = Vec::with_capacity(off[p]);
+        for (i, b) in blocks.iter().enumerate() {
             assert_eq!(b.len(), sizes[i], "scatter: block {i} size mismatch");
-            held[i] = Some(b);
+            buf.extend_from_slice(b);
         }
-    }
+        Some((Payload::new(buf), 0))
+    } else {
+        None
+    };
 
     for f in frames(me, p, root) {
         if me == f.rt {
-            // Send everything destined for the opposite set to r'.
-            let mut payload = Vec::new();
-            for t in f.olo..f.ohi {
-                payload.extend(held[t].take().expect("scatter: missing block at root"));
-            }
-            rank.send_vec(comm, f.ort, tag_of(op, f.depth), payload);
+            // Ship the opposite set's blocks: a contiguous sub-view.
+            let (payload, lo) = held.as_ref().expect("scatter: rt holds data");
+            let s = off[f.olo] - off[*lo];
+            let e = off[f.ohi] - off[*lo];
+            rank.send_view(comm, f.ort, tag_of(op, f.depth), payload, s..e);
         } else {
-            // me == f.ort: receive and split by the (globally known) sizes.
+            // me == f.ort: receive my set's blocks as one shared view.
             let payload = rank.recv(comm, f.rt, tag_of(op, f.depth));
-            let mut off = 0;
-            for t in f.olo..f.ohi {
-                held[t] = Some(payload[off..off + sizes[t]].to_vec());
-                off += sizes[t];
-            }
-            assert_eq!(off, payload.len(), "scatter: payload size mismatch");
+            assert_eq!(
+                payload.len(),
+                off[f.ohi] - off[f.olo],
+                "scatter: payload size mismatch"
+            );
+            held = Some((payload, f.olo));
         }
     }
-    held[me].take().expect("scatter: own block missing")
+
+    let (payload, lo) = held.expect("scatter: own block missing");
+    let s = off[me] - off[lo];
+    payload.slice(s..s + sizes[me])
 }
 
 /// Binomial-tree **gather**: every rank contributes `block` (of size
-/// `sizes[rank]`); the root receives all blocks (indexed by local rank).
+/// `sizes[rank]`); the root receives all blocks concatenated in
+/// local-rank order (split with `sizes` if per-block access is needed).
+///
+/// Each rank assembles incoming ranges directly into the single buffer it
+/// later sends whole — no per-hop concatenation.
 pub fn gather(
     rank: &mut Rank,
     comm: &Comm,
     root: usize,
-    block: Vec<f64>,
+    block: &[f64],
     sizes: &[usize],
-) -> Option<Vec<Vec<f64>>> {
+) -> Option<Vec<f64>> {
     let p = comm.size();
     let me = comm.rank();
     assert!(root < p, "gather: root out of range");
     assert_eq!(sizes.len(), p, "gather: need one size per rank");
     assert_eq!(block.len(), sizes[me], "gather: own block size mismatch");
     let op = comm.next_op();
+    let off = prefix_offsets(sizes);
+    let all = frames(me, p, root);
 
-    let mut held: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
-    held[me] = Some(block);
+    // The widest range this rank ever holds: the whole range for the
+    // root; for others, the opposite set of the frame where it is `ort`
+    // (the one frame at which it sends and finishes).
+    let (lo, hi) = if me == root {
+        (0, p)
+    } else {
+        let f = all
+            .iter()
+            .find(|f| f.ort == me)
+            .expect("non-root is ort once");
+        (f.olo, f.ohi)
+    };
+    let mut buf = vec![0.0; off[hi] - off[lo]];
+    buf[off[me] - off[lo]..off[me] - off[lo] + sizes[me]].copy_from_slice(block);
 
     // Reverse of scatter: transfers happen deepest-frame-first.
-    for f in frames(me, p, root).into_iter().rev() {
+    for f in all.iter().rev() {
         if me == f.ort {
-            // Send everything from my (opposite) set up to rt.
-            let mut payload = Vec::new();
-            for t in f.olo..f.ohi {
-                payload.extend(held[t].take().expect("gather: missing block"));
-            }
-            rank.send_vec(comm, f.rt, tag_of(op, f.depth), payload);
-        } else {
-            // me == f.rt: receive the opposite set's blocks.
-            let payload = rank.recv(comm, f.ort, tag_of(op, f.depth));
-            let mut off = 0;
-            for t in f.olo..f.ohi {
-                held[t] = Some(payload[off..off + sizes[t]].to_vec());
-                off += sizes[t];
-            }
-            assert_eq!(off, payload.len(), "gather: payload size mismatch");
+            // My buffer is exactly blocks [olo, ohi) — send it whole.
+            rank.send_vec(comm, f.rt, tag_of(op, f.depth), buf);
+            return None;
         }
+        // me == f.rt: land the opposite set's blocks in place.
+        let s = off[f.olo] - off[lo];
+        let e = off[f.ohi] - off[lo];
+        rank.recv_into(comm, f.ort, tag_of(op, f.depth), &mut buf[s..e]);
     }
-
-    if me == root {
-        Some(held.into_iter().map(|b| b.expect("gather: missing block at root")).collect())
-    } else {
-        None
-    }
+    debug_assert_eq!(me, root);
+    Some(buf)
 }
 
 /// Binomial-tree **broadcast**: the root's block (of size `size`) is
-/// delivered to every rank. `B log P` words, `log P` messages.
+/// delivered to every rank. `B log P` words, `log P` messages — and zero
+/// copies: every hop forwards the same shared payload.
 pub fn broadcast_binomial(
     rank: &mut Rank,
     comm: &Comm,
     root: usize,
     data: Option<Vec<f64>>,
     size: usize,
-) -> Vec<f64> {
+) -> Payload {
     let p = comm.size();
     let me = comm.rank();
     assert!(root < p, "broadcast: root out of range");
     let op = comm.next_op();
 
-    let mut held: Option<Vec<f64>> = if me == root {
+    let mut held: Option<Payload> = if me == root {
         let d = data.expect("broadcast: root must supply data");
         assert_eq!(d.len(), size, "broadcast: size mismatch");
-        Some(d)
+        Some(Payload::new(d))
     } else {
         None
     };
@@ -146,7 +177,8 @@ pub fn broadcast_binomial(
 
 /// Binomial-tree **reduce** (entrywise sum): every rank contributes `data`
 /// (all the same length); the root receives the sum. Adds are charged one
-/// flop per word.
+/// flop per word. Incoming payloads are folded straight into the
+/// accumulator (no intermediate buffers).
 pub fn reduce_binomial(
     rank: &mut Rank,
     comm: &Comm,
@@ -165,14 +197,13 @@ pub fn reduce_binomial(
             rank.send_vec(comm, f.rt, tag_of(op, f.depth), acc);
             // This rank's contribution is folded in upstream; it is done.
             return None;
-        } else {
-            let incoming = rank.recv(comm, f.ort, tag_of(op, f.depth));
-            assert_eq!(incoming.len(), acc.len(), "reduce: length mismatch");
-            for (a, b) in acc.iter_mut().zip(&incoming) {
-                *a += b;
-            }
-            rank.charge_flops(incoming.len() as f64);
         }
+        let incoming = rank.recv(comm, f.ort, tag_of(op, f.depth));
+        assert_eq!(incoming.len(), acc.len(), "reduce: length mismatch");
+        for (a, b) in acc.iter_mut().zip(incoming.iter()) {
+            *a += b;
+        }
+        rank.charge_flops(incoming.len() as f64);
     }
     if me == root {
         Some(acc)
@@ -186,7 +217,7 @@ pub fn reduce_binomial(
 pub fn all_reduce_binomial(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
     let size = data.len();
     let reduced = reduce_binomial(rank, comm, 0, data);
-    broadcast_binomial(rank, comm, 0, reduced, size)
+    broadcast_binomial(rank, comm, 0, reduced, size).into_vec()
 }
 
 #[cfg(test)]
@@ -206,12 +237,18 @@ mod tests {
                 let out = machine(p).run(|rank| {
                     let w = rank.world();
                     let blocks = (w.rank() == root).then(|| {
-                        (0..p).map(|i| vec![(100 * root + i) as f64; i + 1]).collect()
+                        (0..p)
+                            .map(|i| vec![(100 * root + i) as f64; i + 1])
+                            .collect()
                     });
                     scatter(rank, &w, root, blocks, &sizes)
                 });
                 for (i, b) in out.results.iter().enumerate() {
-                    assert_eq!(b, &vec![(100 * root + i) as f64; i + 1], "p={p} root={root}");
+                    assert_eq!(
+                        b,
+                        &vec![(100 * root + i) as f64; i + 1],
+                        "p={p} root={root}"
+                    );
                 }
             }
         }
@@ -223,8 +260,7 @@ mod tests {
         let sizes = vec![2, 0, 3, 0];
         let out = machine(p).run(|rank| {
             let w = rank.world();
-            let blocks = (w.rank() == 0)
-                .then(|| vec![vec![1.0; 2], vec![], vec![2.0; 3], vec![]]);
+            let blocks = (w.rank() == 0).then(|| vec![vec![1.0; 2], vec![], vec![2.0; 3], vec![]]);
             scatter(rank, &w, 0, blocks, &sizes)
         });
         assert_eq!(out.results[0], vec![1.0; 2]);
@@ -233,21 +269,47 @@ mod tests {
     }
 
     #[test]
+    fn scatter_forwards_views_not_copies() {
+        // Every rank's received block must alias the root's single packed
+        // buffer: the tree forwarded views, never copies.
+        let p = 8;
+        let sizes = vec![16usize; p];
+        let out = machine(p).run(|rank| {
+            let w = rank.world();
+            let blocks = (w.rank() == 0).then(|| (0..p).map(|i| vec![i as f64; 16]).collect());
+            scatter(rank, &w, 0, blocks, &sizes)
+        });
+        let root_block = &out.results[0];
+        for (i, b) in out.results.iter().enumerate() {
+            assert_eq!(b, &vec![i as f64; 16]);
+            assert!(
+                b.same_buffer(root_block),
+                "rank {i}'s block must view the root's packed buffer"
+            );
+        }
+    }
+
+    #[test]
     fn gather_reverses_scatter() {
         for p in [1usize, 3, 6, 7] {
             let root = p / 3;
             let sizes: Vec<usize> = (0..p).map(|i| 2 * i % 5).collect();
+            let off = prefix_offsets(&sizes);
             let sz = sizes.clone();
             let out = machine(p).run(move |rank| {
                 let w = rank.world();
                 let mine = vec![w.rank() as f64; sz[w.rank()]];
-                gather(rank, &w, root, mine, &sz)
+                gather(rank, &w, root, &mine, &sz)
             });
             for (r, res) in out.results.iter().enumerate() {
                 if r == root {
-                    let blocks = res.as_ref().expect("root gets blocks");
-                    for (i, b) in blocks.iter().enumerate() {
-                        assert_eq!(b, &vec![i as f64; sizes[i]], "p={p}");
+                    let buf = res.as_ref().expect("root gets the concatenation");
+                    for i in 0..p {
+                        assert_eq!(
+                            &buf[off[i]..off[i + 1]],
+                            &vec![i as f64; sizes[i]][..],
+                            "p={p}"
+                        );
                     }
                 } else {
                     assert!(res.is_none());
@@ -266,6 +328,23 @@ mod tests {
                 broadcast_binomial(rank, &w, root, data, 10)
             });
             assert!(out.results.iter().all(|b| b == &vec![3.25; 10]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_shares_one_allocation() {
+        let p = 16;
+        let out = machine(p).run(|rank| {
+            let w = rank.world();
+            let data = (w.rank() == 0).then(|| vec![2.0; 1024]);
+            broadcast_binomial(rank, &w, 0, data, 1024)
+        });
+        let root = &out.results[0];
+        for (r, b) in out.results.iter().enumerate() {
+            assert!(
+                b.same_buffer(root),
+                "rank {r} must hold a view of the root buffer"
+            );
         }
     }
 
@@ -337,7 +416,7 @@ mod tests {
     #[test]
     fn scatter_total_volume_is_table1_bound() {
         // Binomial scatter moves each block once per level it descends:
-        // total volume ≤ B·(P−1) for uniform blocks... exactly Σ levels.
+        // the Table 1 *critical path* bound is (P−1)B words.
         let p = 8;
         let b = 10;
         let sizes = vec![b; p];
@@ -346,11 +425,13 @@ mod tests {
             let blocks = (w.rank() == 0).then(|| vec![vec![1.0; b]; p]);
             scatter(rank, &w, 0, blocks, &sizes)
         });
-        // Volume: level 0 sends 4 blocks, level 1 sends 2+2, level 2 sends 1×4:
-        // total = (P−1)·B? 4+4 = no: 4B + 4B + 4B = 12B... bound is ≤ B·P·log/2.
-        // The Table 1 *critical path* bound is (P−1)B words:
         let c = out.stats.critical();
-        assert!(c.words <= 2.0 * ((p - 1) * b) as f64, "W={} bound={}", c.words, (p - 1) * b);
+        assert!(
+            c.words <= 2.0 * ((p - 1) * b) as f64,
+            "W={} bound={}",
+            c.words,
+            (p - 1) * b
+        );
         assert!(c.msgs <= 2.0 * 3.0 + 1.0);
     }
 
@@ -360,7 +441,11 @@ mod tests {
         let p = 8;
         let out = machine(p).run(|rank| {
             let w = rank.world();
-            let half: Vec<usize> = if rank.id() < 4 { (0..4).collect() } else { (4..8).collect() };
+            let half: Vec<usize> = if rank.id() < 4 {
+                (0..4).collect()
+            } else {
+                (4..8).collect()
+            };
             let sub = w.subset(&half).unwrap();
             let data = (sub.rank() == 0).then(|| vec![half[0] as f64]);
             broadcast_binomial(rank, &sub, 0, data, 1)

@@ -26,6 +26,15 @@
 //!   the charged words are exactly the paper's. Pass them explicitly
 //!   (`sizes[i]` = size of the block associated with local rank `i`;
 //!   [`BlockSizes`] for the all-to-all's `B_pq` matrix).
+//! * Data movement is **view-based** (zero-copy): blocks are kept
+//!   concatenated in local-rank order, and because the recursions' rank
+//!   ranges nest, every transfer is a contiguous range — shipped as a
+//!   [`qr3d_machine::Payload`] view on the way down (scatter/broadcast)
+//!   and landed in place with `recv_into` on the way up
+//!   (gather/all-gather). Results that are ranges of shared buffers are
+//!   returned as `Payload`s; accumulators (reductions) are owned `Vec`s.
+//!   The `*_flat` variants take/return the rank-ordered concatenation
+//!   directly and are what the `mm`/`core` layers use.
 //! * Reductions are entrywise sums of equal-length blocks (the only
 //!   reduction the paper needs), charged one flop per added word.
 //! * Every member of the communicator must enter the collective (SPMD);
@@ -46,17 +55,32 @@ pub mod prelude {
     pub use crate::alltoall::{all_to_all, all_to_all_direct, all_to_all_index};
     pub use crate::auto::{all_reduce, broadcast, reduce};
     pub use crate::bidir::{
-        all_gather, all_reduce_bidir, broadcast_bidir, reduce_bidir, reduce_scatter,
+        all_gather, all_gather_flat, all_reduce_bidir, broadcast_bidir, reduce_bidir,
+        reduce_scatter, reduce_scatter_flat,
     };
     pub use crate::binomial::{
         all_reduce_binomial, broadcast_binomial, gather, reduce_binomial, scatter,
     };
     pub use crate::sizes::BlockSizes;
+    pub use qr3d_machine::Payload;
 }
 
 #[inline]
 pub(crate) fn tag_of(op: u64, step: u64) -> u64 {
     (op << 8) | step
+}
+
+/// Prefix offsets of rank-ordered blocks: `off[t]` is where block `t`
+/// starts in a buffer holding blocks `0..p` back to back.
+pub(crate) fn prefix_offsets(sizes: &[usize]) -> Vec<usize> {
+    let mut off = Vec::with_capacity(sizes.len() + 1);
+    let mut acc = 0;
+    off.push(0);
+    for &s in sizes {
+        acc += s;
+        off.push(acc);
+    }
+    off
 }
 
 /// `⌈log₂ p⌉` (0 for p ≤ 1).
@@ -70,7 +94,13 @@ pub(crate) fn ceil_log2(p: usize) -> u32 {
 
 #[cfg(test)]
 mod tests {
-    use super::ceil_log2;
+    use super::{ceil_log2, prefix_offsets};
+
+    #[test]
+    fn prefix_offsets_sums() {
+        assert_eq!(prefix_offsets(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(prefix_offsets(&[]), vec![0]);
+    }
 
     #[test]
     fn ceil_log2_values() {

@@ -29,7 +29,10 @@ impl BlockSizes {
 
     /// All blocks the same size `b`.
     pub fn uniform(p: usize, b: usize) -> Self {
-        BlockSizes { p, sizes: vec![b; p * p] }
+        BlockSizes {
+            p,
+            sizes: vec![b; p * p],
+        }
     }
 
     /// Number of ranks.

@@ -42,7 +42,13 @@ pub fn binomial_frames(me: usize, p: usize, root: usize) -> Vec<TreeFrame> {
         let (olo, ohi) = if rt < mid { (mid, hi) } else { (lo, mid) };
         let ort = if rt < mid { mid } else { lo };
         if me == rt || me == ort {
-            out.push(TreeFrame { rt, olo, ohi, ort, depth });
+            out.push(TreeFrame {
+                rt,
+                olo,
+                ohi,
+                ort,
+                depth,
+            });
         }
         if me < mid {
             hi = mid;

@@ -92,12 +92,16 @@ proptest! {
             });
             let mine = scatter(rank, &w, root, blocks, &sz);
             // Gather back: root must recover exactly what it scattered.
-            gather(rank, &w, root, mine, &sz)
+            gather(rank, &w, root, &mine, &sz)
         });
-        let blocks = out.results[root].as_ref().unwrap();
-        for (d, b) in blocks.iter().enumerate() {
-            prop_assert_eq!(b, &vec![(d * 7) as f64; sizes[d]]);
+        // The root's gather result is the rank-ordered concatenation.
+        let flat = out.results[root].as_ref().unwrap();
+        let mut off = 0;
+        for (d, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(&flat[off..off + s], &vec![(d * 7) as f64; s][..]);
+            off += s;
         }
+        prop_assert_eq!(off, flat.len());
     }
 
     #[test]

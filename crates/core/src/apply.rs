@@ -22,23 +22,13 @@ use crate::tsqr::QrFactors;
 
 /// Apply `Qᵀ` to a row-distributed matrix: returns this rank's rows of
 /// `QᵀC = C − V·(Tᵀ·(VᵀC))`. `factors.t` must be present on local rank 0.
-pub fn apply_qt_1d(
-    rank: &mut Rank,
-    comm: &Comm,
-    factors: &QrFactors,
-    c_local: &Matrix,
-) -> Matrix {
+pub fn apply_qt_1d(rank: &mut Rank, comm: &Comm, factors: &QrFactors, c_local: &Matrix) -> Matrix {
     apply_1d(rank, comm, factors, c_local, true)
 }
 
 /// Apply `Q` to a row-distributed matrix: returns this rank's rows of
 /// `QC = C − V·(T·(VᵀC))`.
-pub fn apply_q_1d(
-    rank: &mut Rank,
-    comm: &Comm,
-    factors: &QrFactors,
-    c_local: &Matrix,
-) -> Matrix {
+pub fn apply_q_1d(rank: &mut Rank, comm: &Comm, factors: &QrFactors, c_local: &Matrix) -> Matrix {
     apply_1d(rank, comm, factors, c_local, false)
 }
 
@@ -144,7 +134,15 @@ fn apply_3d(
             &small,
         )
     } else {
-        dmm3d_redistributed(rank, comm, factors.t_local.as_slice(), &t_lay, &m1, &small, &small)
+        dmm3d_redistributed(
+            rank,
+            comm,
+            factors.t_local.as_slice(),
+            &t_lay,
+            &m1,
+            &small,
+            &small,
+        )
     };
     // C − V·M₂.
     let vm2 = dmm3d_redistributed(
@@ -268,7 +266,14 @@ mod tests {
         let machine = Machine::new(p, CostParams::unit());
         let out = machine.run(|rank| {
             let w = rank.world();
-            let f = caqr3d_factor(rank, &w, &cyc_a.scatter_from_full(&a, rank.id()), m, n, &cfg);
+            let f = caqr3d_factor(
+                rank,
+                &w,
+                &cyc_a.scatter_from_full(&a, rank.id()),
+                m,
+                n,
+                &cfg,
+            );
             let qc = apply_qt_3d(rank, &w, &f, &cyc_c.scatter_from_full(&c, rank.id()), m, j);
             let back = apply_q_3d(rank, &w, &f, &qc, m, j);
             (f, qc, back)
@@ -278,7 +283,10 @@ mod tests {
         let qcs: Vec<Matrix> = out.results.iter().map(|(_, qc, _)| qc.clone()).collect();
         let got = cyc_c.gather_to_full(&qcs);
         let expect = qt_times(&fac.v, &fac.t, &c);
-        assert!(got.sub(&expect).max_abs() < 1e-12, "Qᵀ apply (3D) matches serial");
+        assert!(
+            got.sub(&expect).max_abs() < 1e-12,
+            "Qᵀ apply (3D) matches serial"
+        );
         // Roundtrip: Q(QᵀC) = C.
         let backs: Vec<Matrix> = out.results.iter().map(|(_, _, b)| b.clone()).collect();
         let back = cyc_c.gather_to_full(&backs);
@@ -309,13 +317,7 @@ mod tests {
         );
     }
 
-    fn machine_factor_cost(
-        m: usize,
-        n: usize,
-        p: usize,
-        a: &Matrix,
-        lay: &BlockRow,
-    ) -> f64 {
+    fn machine_factor_cost(m: usize, n: usize, p: usize, a: &Matrix, lay: &BlockRow) -> f64 {
         let machine = Machine::new(p, CostParams::unit());
         let out = machine.run(|rank| {
             let w = rank.world();

@@ -44,7 +44,9 @@ impl Caqr1dConfig {
     /// The paper's choice `b = Θ(n/(log P)^ε)` (Equation (10)); `ε = 1`
     /// yields Theorem 2's bounds.
     pub fn auto(n: usize, p: usize, epsilon: f64) -> Self {
-        Caqr1dConfig { b: caqr1d_block(n, p, epsilon) }
+        Caqr1dConfig {
+            b: caqr1d_block(n, p, epsilon),
+        }
     }
 }
 
@@ -102,8 +104,11 @@ fn recurse(rank: &mut Rank, comm: &Comm, a_local: &Matrix, b: usize) -> QrFactor
 
     // Line 9: right recursion on B₂₂ (the root's share shrinks by nl rows,
     // preserving "root owns the top rows" for the sub-panel).
-    let b22_local =
-        if me == 0 { b_panel.submatrix(nl, mp, 0, nr) } else { b_panel.clone() };
+    let b22_local = if me == 0 {
+        b_panel.submatrix(nl, mp, 0, nr)
+    } else {
+        b_panel.clone()
+    };
     let right = recurse(rank, comm, &b22_local, b);
 
     // Line 10: assemble local rows of V = [V_L  [0; V_R]].
@@ -141,9 +146,17 @@ fn recurse(rank: &mut Rank, comm: &Comm, a_local: &Matrix, b: usize) -> QrFactor
         r.set_submatrix(0, 0, &rl);
         r.set_submatrix(0, nl, &b12);
         r.set_submatrix(nl, nl, &rr);
-        QrFactors { v_local, t: Some(t), r: Some(r) }
+        QrFactors {
+            v_local,
+            t: Some(t),
+            r: Some(r),
+        }
     } else {
-        QrFactors { v_local, t: None, r: None }
+        QrFactors {
+            v_local,
+            t: None,
+            r: None,
+        }
     }
 }
 
@@ -173,17 +186,22 @@ mod tests {
         }
         let t = out.results[0].t.clone().unwrap();
         let r = out.results[0].r.clone().unwrap();
-        assert!(v.is_unit_lower_trapezoidal(1e-11), "V structure (m={m} n={n} p={p} b={b})");
+        assert!(
+            v.is_unit_lower_trapezoidal(1e-11),
+            "V structure (m={m} n={n} p={p} b={b})"
+        );
         assert!(t.is_upper_triangular(1e-13), "T structure");
         assert!(r.is_upper_triangular(1e-13), "R structure");
         let mut rn = Matrix::zeros(m, n);
         rn.set_submatrix(0, 0, &r);
-        let resid =
-            q_times(&v, &t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
+        let resid = q_times(&v, &t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
         assert!(resid < 1e-11, "m={m} n={n} p={p} b={b}: residual {resid}");
         let q1 = thin_q(&v, &t);
         let orth = matmul_tn(&q1, &q1).sub(&Matrix::identity(n)).max_abs();
-        assert!(orth < 1e-11, "m={m} n={n} p={p} b={b}: orthogonality {orth}");
+        assert!(
+            orth < 1e-11,
+            "m={m} n={n} p={p} b={b}: orthogonality {orth}"
+        );
     }
 
     #[test]

@@ -90,10 +90,18 @@ pub fn caqr3d_factor(
     assert!(m >= n, "caqr3d: need m ≥ n (got {m} × {n})");
     assert!(n >= 1, "caqr3d: need at least one column");
     let lay = ShiftedRowCyclic::new(m, n, comm.size(), 0);
-    assert_eq!(a_local.rows(), lay.local_count(comm.rank()), "local row count");
+    assert_eq!(
+        a_local.rows(),
+        lay.local_count(comm.rank()),
+        "local row count"
+    );
     assert_eq!(a_local.cols(), n, "local col count");
     let (v_local, t_local, r_local) = recurse(rank, comm, a_local, &lay, cfg);
-    QrFactorsCyclic { v_local, t_local, r_local }
+    QrFactorsCyclic {
+        v_local,
+        t_local,
+        r_local,
+    }
 }
 
 /// Inductive recursion. `a_local` holds this rank's rows of the current
@@ -209,7 +217,15 @@ fn recurse(
     );
 
     // Line 13: T₁₂ = −T_L·M₄ — 3D dmm (I=nl, J=nr, K=nl), negated locally.
-    let t12 = dmm3d_redistributed(rank, comm, tl_local.as_slice(), &tl_lay, &m4, &small_lay, &small_lay);
+    let t12 = dmm3d_redistributed(
+        rank,
+        comm,
+        tl_local.as_slice(),
+        &tl_lay,
+        &m4,
+        &small_lay,
+        &small_lay,
+    );
     let mut t12 = Matrix::from_vec(small_lay.local_count(me), nr, t12);
     t12.scale(-1.0);
     rank.charge_flops((t12.rows() * t12.cols()) as f64);
@@ -313,24 +329,24 @@ impl ConversionPlan {
         }
         let p_dd = p_star.min(n);
         let rank_of_cyclic: Vec<usize> = (0..p_prime).map(|k| (k + shift) % p).collect();
-        let rows_of_cyclic =
-            |k: usize| -> Vec<usize> { (k..m).step_by(p).collect() };
+        let rows_of_cyclic = |k: usize| -> Vec<usize> { (k..m).step_by(p).collect() };
         let groups: Vec<Vec<usize>> = (0..p_star)
             .map(|g| (g..p_prime).step_by(p_star).collect())
             .collect();
         let held_after_gather: Vec<Vec<usize>> = groups
             .iter()
-            .map(|members| {
-                members.iter().flat_map(|&k| rows_of_cyclic(k)).collect()
-            })
+            .map(|members| members.iter().flat_map(|&k| rows_of_cyclic(k)).collect())
             .collect();
         let tops: Vec<Vec<usize>> = held_after_gather
             .iter()
             .map(|rows| rows.iter().copied().filter(|&i| i < n).collect())
             .collect();
         // Rep 0's spare (non-top) rows, handed out front-first.
-        let non_top_0: Vec<usize> =
-            held_after_gather[0].iter().copied().filter(|&i| i >= n).collect();
+        let non_top_0: Vec<usize> = held_after_gather[0]
+            .iter()
+            .copied()
+            .filter(|&i| i >= n)
+            .collect();
         let mut spares: Vec<Vec<usize>> = vec![Vec::new(); p_star];
         let mut cursor = 0;
         for j in 1..p_dd {
@@ -410,7 +426,11 @@ fn base_case(
         // Trivial machine: the local rows are already the whole matrix in
         // global order.
         let f = caqr1d_factor(rank, comm, a_local, &cfg1d);
-        return (f.v_local, f.t.expect("single rank"), f.r.expect("single rank"));
+        return (
+            f.v_local,
+            f.t.expect("single rank"),
+            f.r.expect("single rank"),
+        );
     }
 
     let plan = ConversionPlan::new(m, n, p, shift);
@@ -425,22 +445,17 @@ fn base_case(
     let mut held: HashMap<usize, Vec<f64>> = HashMap::new();
     if let (Some(_), Some(g)) = (my_cyclic, my_group) {
         let members = &plan.groups[g];
-        let member_ranks: Vec<usize> =
-            members.iter().map(|&k| plan.rank_of_cyclic[k]).collect();
+        let member_ranks: Vec<usize> = members.iter().map(|&k| plan.rank_of_cyclic[k]).collect();
         let sub = comm.subset(&member_ranks).expect("group member");
         let sizes: Vec<usize> = members
             .iter()
             .map(|&k| ((k..m).step_by(p).count()) * n)
             .collect();
-        let gathered = qr3d_collectives::binomial::gather(
-            rank,
-            &sub,
-            0,
-            a_local.as_slice().to_vec(),
-            &sizes,
-        );
-        if let Some(blocks) = gathered {
-            let all: Vec<f64> = blocks.concat();
+        let gathered =
+            qr3d_collectives::binomial::gather(rank, &sub, 0, a_local.as_slice(), &sizes);
+        if let Some(all) = gathered {
+            // The flat gather result is the member-ordered concatenation —
+            // exactly `held_after_gather`'s row order.
             for (idx, &row) in plan.held_after_gather[g].iter().enumerate() {
                 held.insert(row, all[idx * n..(idx + 1) * n].to_vec());
             }
@@ -453,11 +468,11 @@ fn base_case(
     if is_rep && plan.p_dd > 1 {
         let g = my_group.unwrap();
         if g < plan.p_dd {
-            let reps: Vec<usize> =
-                (0..plan.p_dd).map(|j| plan.rank_of_cyclic[j]).collect();
+            let reps: Vec<usize> = (0..plan.p_dd).map(|j| plan.rank_of_cyclic[j]).collect();
             let sub = comm.subset(&reps).expect("swap representative");
-            let top_sizes: Vec<usize> =
-                (0..plan.p_dd).map(|j| if j == 0 { 0 } else { plan.tops[j].len() * n }).collect();
+            let top_sizes: Vec<usize> = (0..plan.p_dd)
+                .map(|j| if j == 0 { 0 } else { plan.tops[j].len() * n })
+                .collect();
             let my_tops: Vec<f64> = if g == 0 {
                 Vec::new()
             } else {
@@ -466,20 +481,21 @@ fn base_case(
                     .flat_map(|row| held.remove(row).expect("top row held"))
                     .collect()
             };
-            let gathered =
-                qr3d_collectives::binomial::gather(rank, &sub, 0, my_tops, &top_sizes);
+            let gathered = qr3d_collectives::binomial::gather(rank, &sub, 0, &my_tops, &top_sizes);
             let spare_sizes: Vec<usize> =
                 (0..plan.p_dd).map(|j| plan.spares[j].len() * n).collect();
             let spare_blocks = if g == 0 {
-                // Stash incoming top rows, then hand out spares.
-                let blocks = gathered.expect("rep 0 receives tops");
-                for (j, block) in blocks.iter().enumerate() {
-                    for (idx, &row) in plan.tops[j].iter().enumerate() {
-                        if j > 0 {
-                            held.insert(row, block[idx * n..(idx + 1) * n].to_vec());
-                        }
+                // Stash incoming top rows, then hand out spares. The flat
+                // gather concatenates rep order; rep 0 contributed nothing.
+                let flat = gathered.expect("rep 0 receives tops");
+                let mut off = 0;
+                for j in 1..plan.p_dd {
+                    for &row in &plan.tops[j] {
+                        held.insert(row, flat[off..off + n].to_vec());
+                        off += n;
                     }
                 }
+                debug_assert_eq!(off, flat.len());
                 Some(
                     (0..plan.p_dd)
                         .map(|j| {
@@ -509,8 +525,7 @@ fn base_case(
     let mut t_r_at_rep0: Option<(Matrix, Matrix)> = None;
     if is_rep {
         let g = my_group.unwrap();
-        let reps: Vec<usize> =
-            (0..plan.p_star).map(|j| plan.rank_of_cyclic[j]).collect();
+        let reps: Vec<usize> = (0..plan.p_star).map(|j| plan.rank_of_cyclic[j]).collect();
         let sub = comm.subset(&reps).expect("representative");
         let rows = &plan.held_final[g];
         let mut a_sub = Matrix::zeros(rows.len(), n);
@@ -533,13 +548,13 @@ fn base_case(
     if is_rep && plan.p_dd > 1 {
         let g = my_group.unwrap();
         if g < plan.p_dd {
-            let reps: Vec<usize> =
-                (0..plan.p_dd).map(|j| plan.rank_of_cyclic[j]).collect();
+            let reps: Vec<usize> = (0..plan.p_dd).map(|j| plan.rank_of_cyclic[j]).collect();
             let sub = comm.subset(&reps).expect("swap representative");
             // Rep 0 scatters each rep's top-row V parts; reps return the
             // spares' V parts by gather.
-            let top_sizes: Vec<usize> =
-                (0..plan.p_dd).map(|j| if j == 0 { 0 } else { plan.tops[j].len() * n }).collect();
+            let top_sizes: Vec<usize> = (0..plan.p_dd)
+                .map(|j| if j == 0 { 0 } else { plan.tops[j].len() * n })
+                .collect();
             let top_blocks = (g == 0).then(|| {
                 (0..plan.p_dd)
                     .map(|j| {
@@ -572,13 +587,16 @@ fn base_case(
                     .collect()
             };
             let gathered =
-                qr3d_collectives::binomial::gather(rank, &sub, 0, my_spares, &spare_sizes);
-            if let Some(blocks) = gathered {
-                for (j, block) in blocks.iter().enumerate() {
-                    for (idx, &row) in plan.spares[j].iter().enumerate() {
-                        v_held.insert(row, block[idx * n..(idx + 1) * n].to_vec());
+                qr3d_collectives::binomial::gather(rank, &sub, 0, &my_spares, &spare_sizes);
+            if let Some(flat) = gathered {
+                let mut off = 0;
+                for j in 0..plan.p_dd {
+                    for &row in &plan.spares[j] {
+                        v_held.insert(row, flat[off..off + n].to_vec());
+                        off += n;
                     }
                 }
+                debug_assert_eq!(off, flat.len());
             }
         }
     }
@@ -587,11 +605,12 @@ fn base_case(
     let mut v_local = Matrix::zeros(lay.local_count(me), n);
     if let (Some(k), Some(g)) = (my_cyclic, my_group) {
         let members = &plan.groups[g];
-        let member_ranks: Vec<usize> =
-            members.iter().map(|&kk| plan.rank_of_cyclic[kk]).collect();
+        let member_ranks: Vec<usize> = members.iter().map(|&kk| plan.rank_of_cyclic[kk]).collect();
         let sub = comm.subset(&member_ranks).expect("group member");
-        let sizes: Vec<usize> =
-            members.iter().map(|&kk| ((kk..m).step_by(p).count()) * n).collect();
+        let sizes: Vec<usize> = members
+            .iter()
+            .map(|&kk| ((kk..m).step_by(p).count()) * n)
+            .collect();
         let blocks = is_rep.then(|| {
             members
                 .iter()
@@ -607,15 +626,16 @@ fn base_case(
         let my_rows: Vec<usize> = (k..m).step_by(p).collect();
         assert_eq!(mine.len(), my_rows.len() * n);
         for idx in 0..my_rows.len() {
-            v_local.row_mut(idx).copy_from_slice(&mine[idx * n..(idx + 1) * n]);
+            v_local
+                .row_mut(idx)
+                .copy_from_slice(&mine[idx * n..(idx + 1) * n]);
         }
     }
 
     // --- Scatter T and R rows from rep 0 to the shifted row-cyclic
     // layout over the whole communicator. ---
     let out_lay = ShiftedRowCyclic::new(n, n, p, shift);
-    let tr_sizes: Vec<usize> =
-        (0..p).map(|r| out_lay.local_count(r) * n * 2).collect();
+    let tr_sizes: Vec<usize> = (0..p).map(|r| out_lay.local_count(r) * n * 2).collect();
     let rep0_rank = plan.rank_of_cyclic[0];
     let blocks = t_r_at_rep0.map(|(t, r)| {
         (0..p)
@@ -631,8 +651,7 @@ fn base_case(
             })
             .collect::<Vec<Vec<f64>>>()
     });
-    let mine =
-        qr3d_collectives::binomial::scatter(rank, comm, rep0_rank, blocks, &tr_sizes);
+    let mine = qr3d_collectives::binomial::scatter(rank, comm, rep0_rank, blocks, &tr_sizes);
     let cnt = out_lay.local_count(me);
     let t_local = Matrix::from_vec(cnt, n, mine[..cnt * n].to_vec());
     let r_local = Matrix::from_vec(cnt, n, mine[cnt * n..].to_vec());
@@ -663,7 +682,10 @@ mod tests {
         let resid = fac.residual(&a);
         assert!(resid < 1e-10, "m={m} n={n} p={p} {cfg:?}: residual {resid}");
         let orth = fac.orthogonality();
-        assert!(orth < 1e-10, "m={m} n={n} p={p} {cfg:?}: orthogonality {orth}");
+        assert!(
+            orth < 1e-10,
+            "m={m} n={n} p={p} {cfg:?}: orthogonality {orth}"
+        );
     }
 
     #[test]

@@ -72,8 +72,7 @@ pub fn house1d_factor(
     let my_lo = starts[me];
     let my_count = counts[me];
     // First local row with global index ≥ g.
-    let local_from =
-        |g: usize| g.saturating_sub(my_lo).min(my_count);
+    let local_from = |g: usize| g.saturating_sub(my_lo).min(my_count);
 
     let mut work = a_local.clone();
     let mut v_local = Matrix::zeros(my_count, n);
@@ -87,7 +86,11 @@ pub fn house1d_factor(
         // Panel = rows ≥ j0, columns j0..j1, distributed with shrunken
         // counts (global row order is preserved by the block-row layout).
         let sub_counts: Vec<usize> = (0..comm.size())
-            .map(|r| starts[r + 1].saturating_sub(starts[r].max(j0)).min(counts[r]))
+            .map(|r| {
+                starts[r + 1]
+                    .saturating_sub(starts[r].max(j0))
+                    .min(counts[r])
+            })
             .collect();
         let mut panel = work.submatrix(lo, my_count, j0, j1);
         let (t, r_panel) = house_panel(rank, comm, &mut panel, &sub_counts);
@@ -111,7 +114,15 @@ pub fn house1d_factor(
             let w = Matrix::from_vec(b, nt, all_reduce(rank, comm, w_partial.into_vec()));
             let m_mat = mm_local(rank, Trans::Yes, Trans::No, &t, &w);
             let mut a_trail = a_trail;
-            mm_local_acc(rank, Trans::No, Trans::No, -1.0, &panel, &m_mat, &mut a_trail);
+            mm_local_acc(
+                rank,
+                Trans::No,
+                Trans::No,
+                -1.0,
+                &panel,
+                &m_mat,
+                &mut a_trail,
+            );
             work.set_submatrix(lo, j1, &a_trail);
             rank.charge_flops(flops::matrix_add(my_count - lo, nt));
         }
@@ -121,8 +132,7 @@ pub fn house1d_factor(
 
     // Collect R on rank 0: each rank packs its rows with global index < n
     // (upper-triangular parts), gathered by one collective.
-    let my_r_rows: Vec<usize> =
-        (my_lo..my_lo + my_count).filter(|&g| g < n).collect();
+    let my_r_rows: Vec<usize> = (my_lo..my_lo + my_count).filter(|&g| g < n).collect();
     let mut packed = Vec::new();
     for &g in &my_r_rows {
         packed.extend_from_slice(&work.row(g - my_lo)[g..n]);
@@ -135,18 +145,21 @@ pub fn house1d_factor(
                 .sum()
         })
         .collect();
-    let gathered = qr3d_collectives::binomial::gather(rank, comm, 0, packed, &sizes);
-    let r = gathered.map(|blocks| {
+    let gathered = qr3d_collectives::binomial::gather(rank, comm, 0, &packed, &sizes);
+    let r = gathered.map(|flat| {
+        // The flat gather result is the rank-ordered concatenation of the
+        // packed upper-triangular row tails.
         let mut r = Matrix::zeros(n, n);
-        for (src, block) in blocks.iter().enumerate() {
-            let mut off = 0;
+        let mut off = 0;
+        for src in 0..comm.size() {
             for g in (starts[src]..starts[src + 1]).filter(|&g| g < n) {
                 for (k, c) in (g..n).enumerate() {
-                    r[(g, c)] = block[off + k];
+                    r[(g, c)] = flat[off + k];
                 }
                 off += n - g;
             }
         }
+        debug_assert_eq!(off, flat.len());
         r
     });
 
@@ -189,14 +202,16 @@ mod tests {
         }
         let r = out.results[0].r.clone().expect("rank 0 holds R");
         assert!(out.results.iter().skip(1).all(|o| o.r.is_none()));
-        assert!(v.is_unit_lower_trapezoidal(1e-11), "V structure m={m} n={n} p={p} b={b}");
+        assert!(
+            v.is_unit_lower_trapezoidal(1e-11),
+            "V structure m={m} n={n} p={p} b={b}"
+        );
         assert!(r.is_upper_triangular(0.0), "R structure");
         // Monolithic T from V (Section 2.3 formula), then the identities.
         let t = t_from_v(&v);
         let mut rn = Matrix::zeros(m, n);
         rn.set_submatrix(0, 0, &r);
-        let resid =
-            q_times(&v, &t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
+        let resid = q_times(&v, &t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
         assert!(resid < 1e-10, "m={m} n={n} p={p} b={b}: residual {resid}");
     }
 

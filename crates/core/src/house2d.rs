@@ -167,18 +167,19 @@ pub fn qr2d_driver(
 
     // Fiber communicators (pure metadata).
     let row_comm = coords.map(|(pi, _)| {
-        comm.subset(&(0..cfg.pc).map(|c| cfg.flat(pi, c)).collect::<Vec<_>>()).unwrap()
+        comm.subset(&(0..cfg.pc).map(|c| cfg.flat(pi, c)).collect::<Vec<_>>())
+            .unwrap()
     });
     let col_comm = coords.map(|(_, pj)| {
-        comm.subset(&(0..cfg.pr).map(|r| cfg.flat(r, pj)).collect::<Vec<_>>()).unwrap()
+        comm.subset(&(0..cfg.pr).map(|r| cfg.flat(r, pj)).collect::<Vec<_>>())
+            .unwrap()
     });
 
     let mut work = a_local.clone();
     // Active local rows (indices into `work`), identical across a grid row.
     let mut active: Vec<usize> = (0..my_rows.len()).collect();
     // Global active counts per grid row (all ranks track identically).
-    let mut active_counts: Vec<usize> =
-        (0..cfg.pr).map(|gi| cfg.rows_of(m, gi).len()).collect();
+    let mut active_counts: Vec<usize> = (0..cfg.pr).map(|gi| cfg.rows_of(m, gi).len()).collect();
     // Frozen pivots: (R row index ρ, grid row of its physical row,
     // local row index on that grid row's ranks).
     let mut pivots: Vec<(usize, usize, usize)> = Vec::new();
@@ -216,37 +217,38 @@ pub fn qr2d_driver(
         let mut r_panel = Matrix::zeros(0, 0);
         if coords.is_some() && pj == fc {
             let cc = col_comm.as_ref().unwrap();
-            let col_off = my_cols.iter().position(|&c| c == j0).expect("panel cols owned");
+            let col_off = my_cols
+                .iter()
+                .position(|&c| c == j0)
+                .expect("panel cols owned");
             let mut panel = Matrix::zeros(active.len(), bk);
             for (la, &lr) in active.iter().enumerate() {
                 for c in 0..bk {
                     panel[(la, c)] = work[(lr, col_off + c)];
                 }
             }
-            let use_tsqr = kind == PanelKind::Tsqr
-                && active_counts.iter().all(|&c| c >= bk)
-                && bk > 0;
+            let use_tsqr =
+                kind == PanelKind::Tsqr && active_counts.iter().all(|&c| c >= bk) && bk > 0;
             if use_tsqr {
                 let f = tsqr_factor(rank, cc, &panel);
                 v_panel = f.v_local;
                 // T and R live on fiber root; replicate (small blocks).
-                let t_flat =
-                    broadcast(rank, cc, 0, f.t.map(Matrix::into_vec), bk * bk);
-                t_panel = Matrix::from_vec(bk, bk, t_flat);
-                let r_flat =
-                    broadcast(rank, cc, 0, f.r.map(Matrix::into_vec), bk * bk);
-                r_panel = Matrix::from_vec(bk, bk, r_flat);
+                let t_flat = broadcast(rank, cc, 0, f.t.map(Matrix::into_vec), bk * bk);
+                t_panel = Matrix::from_slice(bk, bk, &t_flat);
+                let r_flat = broadcast(rank, cc, 0, f.r.map(Matrix::into_vec), bk * bk);
+                r_panel = Matrix::from_slice(bk, bk, &r_flat);
             } else if kind == PanelKind::Tsqr {
                 // Fallback: gather the short panel to the fiber root,
                 // factor locally, scatter V back.
-                let sizes: Vec<usize> =
-                    active_counts.iter().map(|&c| c * bk).collect();
-                let blocks = gather(rank, cc, 0, panel.into_vec(), &sizes);
+                let sizes: Vec<usize> = active_counts.iter().map(|&c| c * bk).collect();
+                let panel_flat = panel.into_vec();
+                let gathered = gather(rank, cc, 0, &panel_flat, &sizes);
                 let mut v_blocks: Option<Vec<Vec<f64>>> = None;
                 let mut tr = None;
-                if let Some(blocks) = blocks {
+                if let Some(flat) = gathered {
+                    // The flat gather result is already the stacked panel.
                     let total: usize = active_counts.iter().sum();
-                    let stacked = Matrix::from_vec(total, bk, blocks.concat());
+                    let stacked = Matrix::from_vec(total, bk, flat);
                     let f = geqrt(&stacked);
                     rank.charge_flops(flops::geqrt(total, bk));
                     let mut vb = Vec::new();
@@ -259,7 +261,7 @@ pub fn qr2d_driver(
                     tr = Some((f.t, f.r));
                 }
                 let mine = scatter(rank, cc, 0, v_blocks, &sizes);
-                v_panel = Matrix::from_vec(active.len(), bk, mine);
+                v_panel = Matrix::from_slice(active.len(), bk, &mine);
                 let t_flat = broadcast(
                     rank,
                     cc,
@@ -267,10 +269,9 @@ pub fn qr2d_driver(
                     tr.as_ref().map(|(t, _)| t.clone().into_vec()),
                     bk * bk,
                 );
-                t_panel = Matrix::from_vec(bk, bk, t_flat);
-                let r_flat =
-                    broadcast(rank, cc, 0, tr.map(|(_, r)| r.into_vec()), bk * bk);
-                r_panel = Matrix::from_vec(bk, bk, r_flat);
+                t_panel = Matrix::from_slice(bk, bk, &t_flat);
+                let r_flat = broadcast(rank, cc, 0, tr.map(|(_, r)| r.into_vec()), bk * bk);
+                r_panel = Matrix::from_slice(bk, bk, &r_flat);
             } else {
                 let (t, r) = house_panel(rank, cc, &mut panel, &active_counts);
                 v_panel = panel;
@@ -299,8 +300,7 @@ pub fn qr2d_driver(
             });
             let data = broadcast(rank, rc, fc, payload, vt_len);
             if pj != fc {
-                v_panel =
-                    Matrix::from_vec(active.len(), bk, data[..active.len() * bk].to_vec());
+                v_panel = Matrix::from_vec(active.len(), bk, data[..active.len() * bk].to_vec());
                 t_panel = Matrix::from_vec(bk, bk, data[active.len() * bk..].to_vec());
             }
         }
@@ -317,13 +317,18 @@ pub fn qr2d_driver(
                     }
                 }
                 let w_partial = mm_local(rank, Trans::Yes, Trans::No, &v_panel, &a_act);
-                let w = Matrix::from_vec(
-                    bk,
-                    trail.len(),
-                    all_reduce(rank, cc, w_partial.into_vec()),
-                );
+                let w =
+                    Matrix::from_vec(bk, trail.len(), all_reduce(rank, cc, w_partial.into_vec()));
                 let m_mat = mm_local(rank, Trans::Yes, Trans::No, &t_panel, &w);
-                mm_local_acc(rank, Trans::No, Trans::No, -1.0, &v_panel, &m_mat, &mut a_act);
+                mm_local_acc(
+                    rank,
+                    Trans::No,
+                    Trans::No,
+                    -1.0,
+                    &v_panel,
+                    &m_mat,
+                    &mut a_act,
+                );
                 rank.charge_flops(flops::matrix_add(active.len(), trail.len()));
                 for (la, &lr) in active.iter().enumerate() {
                     for (lt, &lc) in trail.iter().enumerate() {
@@ -338,7 +343,11 @@ pub fn qr2d_driver(
         for gi in 0..cfg.pr {
             for k in 0..plan[gi] {
                 // The k-th active local row of grid row gi.
-                let lr = if coords.is_some() && gi == pi { active[k] } else { usize::MAX };
+                let lr = if coords.is_some() && gi == pi {
+                    active[k]
+                } else {
+                    usize::MAX
+                };
                 pivots.push((rho, gi, lr));
                 rho += 1;
             }
@@ -358,7 +367,11 @@ pub fn qr2d_driver(
     // Each rank holding parts of pivot row ρ (it is in the pivot's grid
     // row) contributes its owned columns ≥ ρ, ascending (ρ, then column).
     let pack_cols = |rho: usize, cols: &[usize]| -> Vec<usize> {
-        cols.iter().enumerate().filter(|&(_, &c)| c >= rho).map(|(lc, _)| lc).collect()
+        cols.iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= rho)
+            .map(|(lc, _)| lc)
+            .collect()
     };
     let mut packed = Vec::new();
     if coords.is_some() {
@@ -384,23 +397,28 @@ pub fn qr2d_driver(
             }
         })
         .collect();
-    let gathered = gather(rank, comm, 0, packed, &sizes);
-    let r = gathered.map(|blocks| {
+    let gathered = gather(rank, comm, 0, &packed, &sizes);
+    let r = gathered.map(|flat| {
+        // The flat gather result concatenates every rank's packed words in
+        // rank order; walk it with one running offset.
         let mut r = Matrix::zeros(n, n);
-        for (flat, block) in blocks.iter().enumerate() {
-            let Some((gi2, gj2)) = cfg.coords(flat) else { continue };
+        let mut off = 0;
+        for flat_rank in 0..comm.size() {
+            let Some((gi2, gj2)) = cfg.coords(flat_rank) else {
+                continue;
+            };
             let cols = cfg.cols_of(n, gj2);
-            let mut off = 0;
             for &(rho, gi, _) in &pivots {
                 if gi != gi2 {
                     continue;
                 }
                 for &c in cols.iter().filter(|&&c| c >= rho) {
-                    r[(rho, c)] = block[off];
+                    r[(rho, c)] = flat[off];
                     off += 1;
                 }
             }
         }
+        debug_assert_eq!(off, flat.len());
         r
     });
 
@@ -434,7 +452,10 @@ pub(crate) mod tests {
         }
         let err = r_gram_error(&a, &r);
         assert!(r.is_upper_triangular(0.0), "R upper triangular");
-        assert!(err < 1e-10, "RᵀR = AᵀA violated: {err} (m={m} n={n} {cfg:?} {kind:?})");
+        assert!(
+            err < 1e-10,
+            "RᵀR = AᵀA violated: {err} (m={m} n={n} {cfg:?} {kind:?})"
+        );
         (r, out.stats.critical())
     }
 

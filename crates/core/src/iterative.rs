@@ -94,7 +94,11 @@ pub fn caqr1d_iterative(
                 r.set_submatrix(j0, j1, &top);
             }
         }
-        panels.push(PanelQr { j0, width: bk, factors: f.clone() });
+        panels.push(PanelQr {
+            j0,
+            width: bk,
+            factors: f.clone(),
+        });
         j0 = j1;
     }
 
@@ -156,14 +160,9 @@ mod tests {
             // Residual check inside the machine, using the panel-wise
             // apply: Q·[R; 0] must reconstruct A's local rows.
             let r = qr.r.clone();
-            let r_bcast = qr3d_collectives::auto::broadcast(
-                rank,
-                &w,
-                0,
-                r.map(|r| r.into_vec()),
-                n * n,
-            );
-            let r_full = Matrix::from_vec(n, n, r_bcast);
+            let r_bcast =
+                qr3d_collectives::auto::broadcast(rank, &w, 0, r.map(|r| r.into_vec()), n * n);
+            let r_full = Matrix::from_slice(n, n, &r_bcast);
             let mut rn_local = Matrix::zeros(a_loc.rows(), n);
             if w.rank() == 0 {
                 rn_local.set_submatrix(0, 0, &r_full);
@@ -189,7 +188,10 @@ mod tests {
             caqr1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &cfg)
         });
         let r2 = out2.results[0].r.as_ref().unwrap();
-        assert!(r.sub(r2).max_abs() < 1e-10, "iterative and recursive R agree");
+        assert!(
+            r.sub(r2).max_abs() < 1e-10,
+            "iterative and recursive R agree"
+        );
     }
 
     #[test]
@@ -224,7 +226,10 @@ mod tests {
             let c_loc = c.take_rows(&rows);
             let qc = apply_qt_iterative(rank, &w, &qr, &c_loc);
             let back = apply_q_iterative(rank, &w, &qr, &qc);
-            (back.sub(&c_loc).max_abs(), (qc.frobenius_norm() - c_loc.frobenius_norm()).abs())
+            (
+                back.sub(&c_loc).max_abs(),
+                (qc.frobenius_norm() - c_loc.frobenius_norm()).abs(),
+            )
         });
         for (roundtrip, _) in &out.results {
             assert!(*roundtrip < 1e-11, "Q·QᵀC = C violated: {roundtrip}");
@@ -242,7 +247,13 @@ mod tests {
         let machine = Machine::new(p, CostParams::unit());
         let out = machine.run(|rank| {
             let w = rank.world();
-            caqr1d_iterative(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), b_outer, &inner)
+            caqr1d_iterative(
+                rank,
+                &w,
+                &a.take_rows(&lay.local_rows(w.rank())),
+                b_outer,
+                &inner,
+            )
         });
         let qr = &out.results[0];
         assert_eq!(qr.panels.len(), n.div_ceil(b_outer));

@@ -28,8 +28,8 @@ pub mod caqr1d;
 pub mod caqr2d;
 pub mod caqr3d;
 pub mod house1d;
-pub mod iterative;
 pub mod house2d;
+pub mod iterative;
 pub mod panel;
 pub mod params;
 pub mod shifted;
@@ -47,13 +47,15 @@ pub mod prelude {
     pub use crate::caqr3d::{caqr3d_factor, Caqr3dConfig, QrFactorsCyclic};
     pub use crate::house1d::{house1d_factor, House1dConfig};
     pub use crate::house2d::house2d_factor;
-    pub use crate::iterative::{apply_q_iterative, apply_qt_iterative, caqr1d_iterative, IterativeQr};
+    pub use crate::iterative::{
+        apply_q_iterative, apply_qt_iterative, caqr1d_iterative, IterativeQr,
+    };
     pub use crate::params::{caqr1d_block, caqr3d_blocks};
     pub use crate::shifted::ShiftedRowCyclic;
     pub use crate::tsqr::{tsqr_factor, QrFactors};
-    pub use crate::wide::{qr_wide, WideQr};
     pub use crate::verify::{
         assemble_factorization, factorization_error, orthogonality_error, r_gram_error,
         Factorization,
     };
+    pub use crate::wide::{qr_wide, WideQr};
 }

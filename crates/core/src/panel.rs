@@ -38,7 +38,12 @@ pub(crate) fn locate(counts: &[usize], g: usize) -> (usize, usize) {
 /// unit-lower-trapezoidal `V` (explicit ones/zeros), and the `b × b`
 /// upper-triangular `T` and `R` are returned **replicated on every
 /// rank**.
-pub fn house_panel(rank: &mut Rank, comm: &Comm, panel: &mut Matrix, counts: &[usize]) -> (Matrix, Matrix) {
+pub fn house_panel(
+    rank: &mut Rank,
+    comm: &Comm,
+    panel: &mut Matrix,
+    counts: &[usize],
+) -> (Matrix, Matrix) {
     let b = panel.cols();
     let me = comm.rank();
     assert_eq!(counts.len(), comm.size(), "one count per rank");
@@ -88,7 +93,11 @@ pub fn house_panel(rank: &mut Rank, comm: &Comm, panel: &mut Matrix, counts: &[u
             (2.0, -x0, 1.0)
         } else {
             let mu = (x0 * x0 + sigma).sqrt();
-            let v0 = if x0 <= 0.0 { x0 - mu } else { -sigma / (x0 + mu) };
+            let v0 = if x0 <= 0.0 {
+                x0 - mu
+            } else {
+                -sigma / (x0 + mu)
+            };
             (2.0 * v0 * v0 / (sigma + v0 * v0), mu, v0)
         };
         taus[j] = tau;
@@ -210,8 +219,7 @@ mod tests {
         assert!(r.is_upper_triangular(0.0));
         let mut rn = Matrix::zeros(m, b);
         rn.set_submatrix(0, 0, r);
-        let resid = q_times(&v, t, &rn).sub(&a).frobenius_norm()
-            / a.frobenius_norm().max(1e-300);
+        let resid = q_times(&v, t, &rn).sub(&a).frobenius_norm() / a.frobenius_norm().max(1e-300);
         assert!(resid < 1e-12, "m={m} b={b} p={p}: residual {resid}");
         let q1 = thin_q(&v, t);
         let orth = matmul_tn(&q1, &q1).sub(&Matrix::identity(b)).max_abs();

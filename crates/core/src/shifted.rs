@@ -27,7 +27,12 @@ impl ShiftedRowCyclic {
     /// row shift (reduced mod `p`).
     pub fn new(rows: usize, cols: usize, p: usize, shift: usize) -> Self {
         assert!(p >= 1, "need at least one rank");
-        ShiftedRowCyclic { rows, cols, p, shift: shift % p }
+        ShiftedRowCyclic {
+            rows,
+            cols,
+            p,
+            shift: shift % p,
+        }
     }
 
     /// Matrix height.
@@ -192,8 +197,7 @@ mod tests {
         let full = Matrix::from_fn(11, 3, |i, j| (i * 3 + j) as f64);
         for shift in 0..4 {
             let l = ShiftedRowCyclic::new(11, 3, 4, shift);
-            let locals: Vec<Matrix> =
-                (0..4).map(|r| l.scatter_from_full(&full, r)).collect();
+            let locals: Vec<Matrix> = (0..4).map(|r| l.scatter_from_full(&full, r)).collect();
             assert_eq!(l.gather_to_full(&locals), full, "shift={shift}");
         }
     }

@@ -76,7 +76,10 @@ pub(crate) fn unpack_upper(data: &[f64], n: usize) -> Matrix {
 pub fn tsqr_factor(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> QrFactors {
     let n = a_local.cols();
     let mp = a_local.rows();
-    assert!(mp >= n, "tsqr: every rank needs at least n rows (got {mp} × {n})");
+    assert!(
+        mp >= n,
+        "tsqr: every rank needs at least n rows (got {mp} × {n})"
+    );
     let me = comm.rank();
     let op = comm.next_op();
     let tag = |depth: u64, phase: u64| (op << 8) | (depth << 1) | phase;
@@ -117,10 +120,14 @@ pub fn tsqr_factor(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> QrFactors 
     // The root starts with B = I_n; at each level (shallowest first) the
     // receiver-side rank computes [B_me; B_q] = (I − V T Vᵀ)[B_me; 0] and
     // sends B_q down to q.
-    let mut b_cur = if me == 0 { Matrix::identity(n) } else { Matrix::zeros(0, 0) };
+    let mut b_cur = if me == 0 {
+        Matrix::identity(n)
+    } else {
+        Matrix::zeros(0, 0)
+    };
     for f in frames.iter() {
         if me == f.ort {
-            b_cur = Matrix::from_vec(n, n, rank.recv(comm, f.rt, tag(f.depth, 1)));
+            b_cur = Matrix::from_slice(n, n, &rank.recv(comm, f.rt, tag(f.depth, 1)));
         } else {
             let (v, t) = tree.pop().expect("tree Q-factor per frame");
             let mut stacked = b_cur.vstack(&Matrix::zeros(n, n));
@@ -168,12 +175,20 @@ pub fn tsqr_factor(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> QrFactors 
         rank.charge_flops((n * n) as f64);
         // Broadcast U so the other ranks can solve for their V rows.
         broadcast(rank, comm, 0, Some(u.into_vec()), n * n);
-        QrFactors { v_local, t: Some(t), r: Some(r) }
+        QrFactors {
+            v_local,
+            t: Some(t),
+            r: Some(r),
+        }
     } else {
-        let u = Matrix::from_vec(n, n, broadcast(rank, comm, 0, None, n * n));
+        let u = Matrix::from_slice(n, n, &broadcast(rank, comm, 0, None, n * n));
         let v_local = trsm(Side::Right, Uplo::Upper, false, false, &u, &w);
         rank.charge_flops(flops::trsm(n, mp));
-        QrFactors { v_local, t: None, r: None }
+        QrFactors {
+            v_local,
+            t: None,
+            r: None,
+        }
     }
 }
 
@@ -190,7 +205,10 @@ mod tests {
     fn check_tsqr(m: usize, n: usize, p: usize, seed: u64) {
         let a = Matrix::random(m, n, seed);
         let lay = BlockRow::balanced(m, 1, p);
-        assert!(lay.counts().iter().all(|&c| c >= n), "layout must give every rank ≥ n rows");
+        assert!(
+            lay.counts().iter().all(|&c| c >= n),
+            "layout must give every rank ≥ n rows"
+        );
         let machine = Machine::new(p, CostParams::unit());
         let out = machine.run(|rank| {
             let w = rank.world();
@@ -211,7 +229,10 @@ mod tests {
             assert!(out.results[other].r.is_none());
         }
         // Structure.
-        assert!(v.is_unit_lower_trapezoidal(1e-12), "V unit lower trapezoidal");
+        assert!(
+            v.is_unit_lower_trapezoidal(1e-12),
+            "V unit lower trapezoidal"
+        );
         assert!(t.is_upper_triangular(1e-14), "T upper triangular");
         assert!(r.is_upper_triangular(1e-14), "R upper triangular");
         // A = Q[R; 0].
@@ -335,7 +356,11 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let r = Matrix::from_fn(4, 4, |i, j| if j >= i { (i * 4 + j + 1) as f64 } else { 0.0 });
+        let r = Matrix::from_fn(
+            4,
+            4,
+            |i, j| if j >= i { (i * 4 + j + 1) as f64 } else { 0.0 },
+        );
         let packed = pack_upper(&r);
         assert_eq!(packed.len(), 10);
         assert_eq!(unpack_upper(&packed, 4), r);

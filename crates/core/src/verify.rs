@@ -89,7 +89,14 @@ pub fn t_from_v(v: &Matrix) -> Matrix {
             0.0
         }
     });
-    trsm(Side::Left, Uplo::Upper, false, false, &tinv, &Matrix::identity(n))
+    trsm(
+        Side::Left,
+        Uplo::Upper,
+        false,
+        false,
+        &tinv,
+        &Matrix::identity(n),
+    )
 }
 
 /// Assemble per-rank [`QrFactors`] from a block-row distribution
@@ -147,7 +154,11 @@ mod tests {
         assert!(factorization_error(&a, &f.v, &f.t, &f.r) < 1e-13);
         assert!(orthogonality_error(&f.v, &f.t) < 1e-13);
         assert!(r_gram_error(&a, &f.r) < 1e-13);
-        let fac = Factorization { v: f.v, t: f.t, r: f.r };
+        let fac = Factorization {
+            v: f.v,
+            t: f.t,
+            r: f.r,
+        };
         assert!(fac.structure_ok(1e-12));
         assert!(fac.residual(&a) < 1e-13);
         assert!(fac.orthogonality() < 1e-13);

@@ -35,14 +35,20 @@ pub fn qr_wide(
     n: usize,
     cfg: &Caqr3dConfig,
 ) -> WideQr {
-    assert!(n >= m, "qr_wide is for wide matrices (n ≥ m), got {m} × {n}");
+    assert!(
+        n >= m,
+        "qr_wide is for wide matrices (n ≥ m), got {m} × {n}"
+    );
     let mp = a_local.rows();
     assert_eq!(a_local.cols(), n, "local column count");
     let a1 = a_local.submatrix(0, mp, 0, m);
     let a2 = a_local.submatrix(0, mp, m, n);
     let left = caqr3d_factor(rank, comm, &a1, m, m, cfg);
     let r_right_local = apply_qt_3d(rank, comm, &left, &a2, m, n - m);
-    WideQr { left, r_right_local }
+    WideQr {
+        left,
+        r_right_local,
+    }
 }
 
 #[cfg(test)]
@@ -65,11 +71,13 @@ mod tests {
             let a_loc = lay.scatter_from_full(&a, rank.id());
             qr_wide(rank, &w, &a_loc, m, n, &cfg)
         });
-        let lefts: Vec<QrFactorsCyclic> =
-            out.results.iter().map(|r| r.left.clone()).collect();
+        let lefts: Vec<QrFactorsCyclic> = out.results.iter().map(|r| r.left.clone()).collect();
         let fac = assemble_factorization(&lefts, m, m, p);
-        let r2s: Vec<Matrix> =
-            out.results.iter().map(|r| r.r_right_local.clone()).collect();
+        let r2s: Vec<Matrix> = out
+            .results
+            .iter()
+            .map(|r| r.r_right_local.clone())
+            .collect();
         let r2 = lay_r2.gather_to_full(&r2s);
         assert!(fac.r.is_upper_triangular(1e-12), "R₁ upper triangular");
         // A = Q·[R₁ R₂].

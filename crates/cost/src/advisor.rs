@@ -70,7 +70,14 @@ pub fn candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
 }
 
 /// The cheapest candidate under `γF + βW + αS`.
-pub fn recommend(m: usize, n: usize, p: usize, alpha: f64, beta: f64, gamma: f64) -> Recommendation {
+pub fn recommend(
+    m: usize,
+    n: usize,
+    p: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> Recommendation {
     let mut best: Option<Recommendation> = None;
     for (choice, cost) in candidates(m, n, p) {
         let time = cost.time(alpha, beta, gamma);
@@ -145,8 +152,7 @@ mod tests {
         // extremes land at the two δ endpoints.
         let n = 1 << 16;
         let (m, p) = (4 * n, 1 << 10);
-        let delta_of = |alpha: f64, beta: f64| match recommend(m, n, p, alpha, beta, GAMMA).choice
-        {
+        let delta_of = |alpha: f64, beta: f64| match recommend(m, n, p, alpha, beta, GAMMA).choice {
             Choice::Caqr3d { delta } => delta,
             Choice::Caqr2d | Choice::House2d => 0.5, // 2D sits at the latency end's W
             other => panic!("expected a square-ish algorithm, got {other:?}"),
@@ -156,18 +162,23 @@ mod tests {
         let bandwidth_heavy = delta_of(1e-9, 1e-3);
         assert!(latency_heavy <= balanced + 1e-12);
         assert!(balanced <= bandwidth_heavy + 1e-12);
-        assert!(latency_heavy <= 0.51, "α-dominated ⇒ δ → 1/2, got {latency_heavy}");
-        assert!(bandwidth_heavy >= 0.66, "β-dominated ⇒ δ → 2/3, got {bandwidth_heavy}");
+        assert!(
+            latency_heavy <= 0.51,
+            "α-dominated ⇒ δ → 1/2, got {latency_heavy}"
+        );
+        assert!(
+            bandwidth_heavy >= 0.66,
+            "β-dominated ⇒ δ → 2/3, got {bandwidth_heavy}"
+        );
     }
 
     #[test]
     fn candidates_respect_aspect_gate() {
         // Square problem: no tall-skinny candidates.
         let c = candidates(1024, 1024, 64);
-        assert!(c.iter().all(|(ch, _)| !matches!(
-            ch,
-            Choice::Tsqr | Choice::House1d | Choice::Caqr1d { .. }
-        )));
+        assert!(c
+            .iter()
+            .all(|(ch, _)| !matches!(ch, Choice::Tsqr | Choice::House1d | Choice::Caqr1d { .. })));
         // Very tall: both families present.
         let c = candidates(1 << 20, 16, 64);
         assert!(c.iter().any(|(ch, _)| matches!(ch, Choice::Tsqr)));

@@ -88,7 +88,11 @@ pub fn theorem1_cost(m: usize, n: usize, p: usize, delta: f64) -> Cost3 {
 /// `F = mn²/P`, `W = n² log P`, `S = n log P`.
 pub fn house1d_cost(m: usize, n: usize, p: usize) -> Cost3 {
     let (mf, nf, l) = (m as f64, n as f64, lg(p));
-    Cost3 { flops: mf * nf * nf / p as f64, words: nf * nf * l, msgs: nf * l }
+    Cost3 {
+        flops: mf * nf * nf / p as f64,
+        words: nf * nf * l,
+        msgs: nf * l,
+    }
 }
 
 /// Table 2, row 1 — `2d-house` (with the paper's grid/block choices):

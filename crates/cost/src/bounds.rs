@@ -12,7 +12,11 @@ use crate::{lg, Cost3};
 /// `F ≥ mn²/P`, `W ≥ n²`, `S ≥ log P`.
 pub fn lower_bounds_tall(m: usize, n: usize, p: usize) -> Cost3 {
     let (mf, nf) = (m as f64, n as f64);
-    Cost3 { flops: mf * nf * nf / p as f64, words: nf * nf, msgs: lg(p) }
+    Cost3 {
+        flops: mf * nf * nf / p as f64,
+        words: nf * nf,
+        msgs: lg(p),
+    }
 }
 
 /// Lower bounds for the square-ish regime (`m/n = O(P)`):
@@ -51,11 +55,17 @@ mod tests {
         let m = 4 * n;
         let lb = lower_bounds_square(m, n, p);
         let c = theorem1_cost(m, n, p, 2.0 / 3.0);
-        assert!((c.words / lb.words - 1.0).abs() < 1e-9, "δ = 2/3 attains Ω(n²/(nP/m)^{{2/3}})");
+        assert!(
+            (c.words / lb.words - 1.0).abs() < 1e-9,
+            "δ = 2/3 attains Ω(n²/(nP/m)^{{2/3}})"
+        );
         // δ = 1/2 misses latency only by polylog.
         let c = theorem1_cost(m, n, p, 0.5);
         let excess = c.msgs / lb.msgs;
-        assert!(excess <= lg(p) * lg(p) + 1e-9, "latency excess {excess} is polylog");
+        assert!(
+            excess <= lg(p) * lg(p) + 1e-9,
+            "latency excess {excess} is polylog"
+        );
     }
 
     #[test]

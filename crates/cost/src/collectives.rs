@@ -7,7 +7,11 @@ use crate::{lg, Cost3};
 
 /// `scatter` / `gather`: `(P−1)B` words, `log P` messages.
 pub fn scatter(p: usize, b: usize) -> Cost3 {
-    Cost3 { flops: 0.0, words: (p.saturating_sub(1) * b) as f64, msgs: lg(p) }
+    Cost3 {
+        flops: 0.0,
+        words: (p.saturating_sub(1) * b) as f64,
+        msgs: lg(p),
+    }
 }
 
 /// See [`scatter`].
@@ -18,13 +22,20 @@ pub fn gather(p: usize, b: usize) -> Cost3 {
 /// `broadcast`: `min(B log P, B + P)` words, `log P` messages.
 pub fn broadcast(p: usize, b: usize) -> Cost3 {
     let words = (b as f64 * lg(p)).min((b + p) as f64);
-    Cost3 { flops: 0.0, words, msgs: lg(p) }
+    Cost3 {
+        flops: 0.0,
+        words,
+        msgs: lg(p),
+    }
 }
 
 /// `reduce`: like broadcast plus the same number of flops.
 pub fn reduce(p: usize, b: usize) -> Cost3 {
     let c = broadcast(p, b);
-    Cost3 { flops: c.words, ..c }
+    Cost3 {
+        flops: c.words,
+        ..c
+    }
 }
 
 /// `all-gather`: `(P−1)B` words, `log P` messages.
@@ -40,14 +51,21 @@ pub fn all_reduce(p: usize, b: usize) -> Cost3 {
 /// `reduce-scatter`: `(P−1)B` words and flops, `log P` messages.
 pub fn reduce_scatter(p: usize, b: usize) -> Cost3 {
     let c = scatter(p, b);
-    Cost3 { flops: c.words, ..c }
+    Cost3 {
+        flops: c.words,
+        ..c
+    }
 }
 
 /// `all-to-all`: `min(BP log P, (B* + P²) log P)` words, `log P` messages.
 pub fn all_to_all(p: usize, b: usize, bstar: usize) -> Cost3 {
     let index = (b * p) as f64 * lg(p);
     let two_phase = (bstar + p * p) as f64 * lg(p);
-    Cost3 { flops: 0.0, words: index.min(two_phase), msgs: lg(p) }
+    Cost3 {
+        flops: 0.0,
+        words: index.min(two_phase),
+        msgs: lg(p),
+    }
 }
 
 #[cfg(test)]

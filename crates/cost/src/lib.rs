@@ -33,7 +33,11 @@ pub struct Cost3 {
 impl Cost3 {
     /// The zero cost.
     pub fn zero() -> Self {
-        Cost3 { flops: 0.0, words: 0.0, msgs: 0.0 }
+        Cost3 {
+            flops: 0.0,
+            words: 0.0,
+            msgs: 0.0,
+        }
     }
 
     /// Componentwise sum.
@@ -63,10 +67,25 @@ mod tests {
 
     #[test]
     fn cost3_algebra() {
-        let a = Cost3 { flops: 1.0, words: 2.0, msgs: 3.0 };
-        let b = Cost3 { flops: 10.0, words: 20.0, msgs: 30.0 };
+        let a = Cost3 {
+            flops: 1.0,
+            words: 2.0,
+            msgs: 3.0,
+        };
+        let b = Cost3 {
+            flops: 10.0,
+            words: 20.0,
+            msgs: 30.0,
+        };
         let c = a.plus(b);
-        assert_eq!(c, Cost3 { flops: 11.0, words: 22.0, msgs: 33.0 });
+        assert_eq!(
+            c,
+            Cost3 {
+                flops: 11.0,
+                words: 22.0,
+                msgs: 33.0
+            }
+        );
         assert_eq!(c.time(1.0, 1.0, 1.0), 66.0);
         assert_eq!(Cost3::zero().time(5.0, 5.0, 5.0), 0.0);
     }
@@ -81,11 +100,11 @@ mod tests {
 
 /// Glob-import surface.
 pub mod prelude {
+    pub use crate::advisor::{candidates, recommend, Choice, Recommendation};
     pub use crate::algorithms::{
         caqr1d_cost, caqr2d_cost, caqr3d_cost, house1d_cost, house2d_cost, theorem1_cost,
         theorem2_cost, tsqr_cost,
     };
-    pub use crate::advisor::{candidates, recommend, Choice, Recommendation};
     pub use crate::bounds::{lower_bounds_square, lower_bounds_tall};
     pub use crate::collectives::{self as collective_costs};
     pub use crate::{lg, Cost3};

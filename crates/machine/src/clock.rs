@@ -23,26 +23,42 @@ impl CostParams {
     /// All-ones parameters: modeled time equals `F + W + S`.
     /// Useful in tests where only the counts matter.
     pub fn unit() -> Self {
-        CostParams { alpha: 1.0, beta: 1.0, gamma: 1.0 }
+        CostParams {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+        }
     }
 
     /// A multicore-ish shared-memory machine: cheap messages, fast cores.
     /// (α/γ = 1e3, β/γ = 10)
     pub fn laptop() -> Self {
-        CostParams { alpha: 1e-6, beta: 1e-8, gamma: 1e-9 }
+        CostParams {
+            alpha: 1e-6,
+            beta: 1e-8,
+            gamma: 1e-9,
+        }
     }
 
     /// A commodity cluster with Ethernet-class interconnect:
     /// latency-dominated (α/γ = 1e6, β/γ = 1e2).
     pub fn cluster() -> Self {
-        CostParams { alpha: 1e-3, beta: 1e-7, gamma: 1e-9 }
+        CostParams {
+            alpha: 1e-3,
+            beta: 1e-7,
+            gamma: 1e-9,
+        }
     }
 
     /// A supercomputer with a fast custom interconnect:
     /// bandwidth is relatively precious compared to latency
     /// (α/γ = 1e4, β/γ = 20).
     pub fn supercomputer() -> Self {
-        CostParams { alpha: 1e-5, beta: 2e-8, gamma: 1e-9 }
+        CostParams {
+            alpha: 1e-5,
+            beta: 2e-8,
+            gamma: 1e-9,
+        }
     }
 
     /// Modeled runtime `γF + βW + αS` for given path counts.
@@ -132,7 +148,11 @@ mod tests {
 
     #[test]
     fn charge_flops_accumulates() {
-        let p = CostParams { alpha: 0.0, beta: 0.0, gamma: 2.0 };
+        let p = CostParams {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 2.0,
+        };
         let mut c = Clock::zero();
         c.charge_flops(10.0, &p);
         c.charge_flops(5.0, &p);
@@ -144,7 +164,11 @@ mod tests {
 
     #[test]
     fn charge_msg_counts_message_and_words() {
-        let p = CostParams { alpha: 100.0, beta: 1.0, gamma: 0.0 };
+        let p = CostParams {
+            alpha: 100.0,
+            beta: 1.0,
+            gamma: 0.0,
+        };
         let mut c = Clock::zero();
         c.charge_msg(8.0, &p);
         assert_eq!(c.msgs, 1.0);
@@ -164,16 +188,44 @@ mod tests {
 
     #[test]
     fn merge_max_is_componentwise() {
-        let mut a = Clock { flops: 10.0, words: 1.0, msgs: 5.0, time: 2.0 };
-        let b = Clock { flops: 3.0, words: 9.0, msgs: 5.0, time: 7.0 };
+        let mut a = Clock {
+            flops: 10.0,
+            words: 1.0,
+            msgs: 5.0,
+            time: 2.0,
+        };
+        let b = Clock {
+            flops: 3.0,
+            words: 9.0,
+            msgs: 5.0,
+            time: 7.0,
+        };
         a.merge_max(&b);
-        assert_eq!(a, Clock { flops: 10.0, words: 9.0, msgs: 5.0, time: 7.0 });
+        assert_eq!(
+            a,
+            Clock {
+                flops: 10.0,
+                words: 9.0,
+                msgs: 5.0,
+                time: 7.0
+            }
+        );
     }
 
     #[test]
     fn merge_max_is_idempotent_and_commutative() {
-        let a = Clock { flops: 1.0, words: 2.0, msgs: 3.0, time: 4.0 };
-        let b = Clock { flops: 4.0, words: 3.0, msgs: 2.0, time: 1.0 };
+        let a = Clock {
+            flops: 1.0,
+            words: 2.0,
+            msgs: 3.0,
+            time: 4.0,
+        };
+        let b = Clock {
+            flops: 4.0,
+            words: 3.0,
+            msgs: 2.0,
+            time: 1.0,
+        };
         let mut ab = a;
         ab.merge_max(&b);
         let mut ba = b;
@@ -199,9 +251,16 @@ mod tests {
 
     #[test]
     fn presets_have_sane_orderings() {
-        for p in [CostParams::laptop(), CostParams::cluster(), CostParams::supercomputer()] {
+        for p in [
+            CostParams::laptop(),
+            CostParams::cluster(),
+            CostParams::supercomputer(),
+        ] {
             assert!(p.alpha > p.beta, "latency should exceed per-word cost");
-            assert!(p.beta > p.gamma, "communication should cost more than arithmetic");
+            assert!(
+                p.beta > p.gamma,
+                "communication should cost more than arithmetic"
+            );
         }
         // The cluster is the most latency-dominated machine.
         assert!(
@@ -212,7 +271,11 @@ mod tests {
 
     #[test]
     fn time_formula_matches_components() {
-        let p = CostParams { alpha: 2.0, beta: 3.0, gamma: 5.0 };
+        let p = CostParams {
+            alpha: 2.0,
+            beta: 3.0,
+            gamma: 5.0,
+        };
         assert_eq!(p.time(1.0, 1.0, 1.0), 10.0);
         assert_eq!(p.time(2.0, 0.0, 0.0), 10.0);
     }

@@ -110,10 +110,13 @@ impl Comm {
     /// must pass an identical `colors` slice. Returns the sub-communicator
     /// containing this rank.
     pub fn split_by_color(&self, colors: &[usize]) -> Comm {
-        assert_eq!(colors.len(), self.size(), "split_by_color: need one color per rank");
+        assert_eq!(
+            colors.len(),
+            self.size(),
+            "split_by_color: need one color per rank"
+        );
         let mine = colors[self.me];
-        let locals: Vec<usize> =
-            (0..self.size()).filter(|&l| colors[l] == mine).collect();
+        let locals: Vec<usize> = (0..self.size()).filter(|&l| colors[l] == mine).collect();
         self.subset(&locals)
             .expect("split_by_color: this rank is always in its own color class")
     }
@@ -153,9 +156,15 @@ mod tests {
     fn subset_ids_agree_across_ranks_and_differ_across_member_lists() {
         let a = Comm::world(6, 1).subset(&[1, 4, 5]).unwrap();
         let b = Comm::world(6, 5).subset(&[1, 4, 5]).unwrap();
-        assert_eq!(a.id, b.id, "same member list must give the same id on all ranks");
+        assert_eq!(
+            a.id, b.id,
+            "same member list must give the same id on all ranks"
+        );
         let c = Comm::world(6, 1).subset(&[1, 2]).unwrap();
-        assert_ne!(a.id, c.id, "different member lists should get different ids");
+        assert_ne!(
+            a.id, c.id,
+            "different member lists should get different ids"
+        );
         assert_ne!(a.id, 0, "sub-communicator ids never collide with world");
     }
 

@@ -17,6 +17,19 @@
 //! communication, mirroring the paper's assumption that processor grids are
 //! given).
 //!
+//! ## Zero-copy message fabric
+//!
+//! Message data travels as [`Payload`]s — `Arc`-shared buffers with
+//! offset/length view windows. A send moves a reference, not words: the
+//! model charges α + wβ for a message of `w` words, and the simulator's
+//! wall-clock matches that shape because no memcpy happens at send,
+//! mailbox buffering, or receive. [`Rank::send_view`] ships a sub-range of
+//! a buffer in O(1), and [`Rank::recv_into`] lands a message directly in a
+//! caller buffer when owned storage is required (the single copy such a
+//! receive fundamentally needs). Each rank also carries a [`Workspace`]
+//! scratch arena so kernel inner loops can recycle buffers instead of
+//! allocating.
+//!
 //! ## Critical-path cost accounting
 //!
 //! Every rank carries a logical [`Clock`] with four components: flops `F`,
@@ -49,7 +62,7 @@
 //!     let world = rank.world();
 //!     if rank.id() == 0 {
 //!         for dst in 1..world.size() {
-//!             rank.send(&world, dst, 7, &[42.0]);
+//!             rank.send_slice(&world, dst, 7, &[42.0]);
 //!         }
 //!         42.0
 //!     } else {
@@ -65,7 +78,11 @@ mod clock;
 mod comm;
 mod machine;
 mod mailbox;
+mod payload;
+mod workspace;
 
 pub use clock::{Clock, CostParams};
 pub use comm::Comm;
-pub use machine::{Machine, Rank, RunOutput, RunStats};
+pub use machine::{Machine, Rank, RunOutput, RunStats, Totals};
+pub use payload::Payload;
+pub use workspace::Workspace;

@@ -1,13 +1,14 @@
 //! The machine itself: spawns ranks as OS threads and runs an SPMD closure.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::clock::{Clock, CostParams};
 use crate::comm::Comm;
 use crate::mailbox::{Envelope, Mailbox};
+use crate::payload::Payload;
+use crate::workspace::Workspace;
 
 /// How long a rank may block in `recv` before the run is declared
 /// deadlocked. Legitimate waits are bounded by a peer's local compute,
@@ -116,11 +117,10 @@ impl Machine {
         F: Fn(&mut Rank) -> T + Sync,
     {
         let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
-            (0..self.p).map(|_| unbounded()).unzip();
+            (0..self.p).map(|_| channel()).unzip();
         let senders = Arc::new(senders);
 
-        let mut slots: Vec<Option<(T, Clock, Totals, usize)>> =
-            (0..self.p).map(|_| None).collect();
+        let mut slots: Vec<Option<(T, Clock, Totals, usize)>> = (0..self.p).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.p);
@@ -168,12 +168,16 @@ impl Machine {
         let sent: f64 = totals.iter().map(|t| t.msgs_sent).sum();
         let recvd: f64 = totals.iter().map(|t| t.msgs_recv).sum();
         assert_eq!(
-            sent, recvd,
+            sent,
+            recvd,
             "{} message(s) were sent but never received: communication \
              protocol bug",
             sent - recvd
         );
-        RunOutput { results, stats: RunStats { per_rank, totals } }
+        RunOutput {
+            results,
+            stats: RunStats { per_rank, totals },
+        }
     }
 }
 
@@ -182,6 +186,11 @@ impl Machine {
 /// Handed to the SPMD closure by [`Machine::run`]. All communication and
 /// arithmetic performed through this handle is charged to the rank's
 /// logical [`Clock`] under the α-β-γ model.
+///
+/// Message data moves as [`Payload`]s: [`Rank::send`] performs no copy of
+/// the words (an `Arc` clone crosses the channel), and [`Rank::send_view`]
+/// ships a sub-range of a payload without materializing it. Borrowed data
+/// enters shared storage exactly once, at [`Rank::send_slice`].
 pub struct Rank {
     id: usize,
     p: usize,
@@ -190,6 +199,7 @@ pub struct Rank {
     receiver: Receiver<Envelope>,
     mailbox: Mailbox,
     world: Comm,
+    scratch: Workspace,
     pub(crate) clock: Clock,
     pub(crate) totals: Totals,
 }
@@ -210,6 +220,7 @@ impl Rank {
             receiver,
             mailbox: Mailbox::new(),
             world: Comm::world(p, id),
+            scratch: Workspace::new(),
             clock: Clock::zero(),
             totals: Totals::default(),
         }
@@ -236,6 +247,11 @@ impl Rank {
         &self.params
     }
 
+    /// This rank's scratch-buffer arena (see [`Workspace`]).
+    pub fn workspace(&mut self) -> &mut Workspace {
+        &mut self.scratch
+    }
+
     /// Snapshot of this rank's critical-path clock (e.g. for phase deltas
     /// via [`Clock::since`]).
     pub fn clock(&self) -> Clock {
@@ -248,56 +264,71 @@ impl Rank {
         self.totals.flops += n;
     }
 
-    /// Send `data` to `dst_local` (a local rank of `comm`) with message
+    fn post(&mut self, comm: &Comm, dst_local: usize, tag: u64, payload: Payload) {
+        let w = payload.len() as f64;
+        self.clock.charge_msg(w, &self.params);
+        self.totals.words_sent += w;
+        self.totals.msgs_sent += 1.0;
+        let env = Envelope {
+            src_global: self.id,
+            comm_id: comm.id,
+            tag,
+            payload,
+            clock: self.clock,
+        };
+        let dst_global = comm.global_of(dst_local);
+        self.senders[dst_global]
+            .send(env)
+            .expect("rank channel closed");
+    }
+
+    /// Send `payload` to `dst_local` (a local rank of `comm`) with message
     /// tag `tag`. Asynchronous: never blocks. Costs α + wβ on this rank.
+    ///
+    /// **Zero-copy**: only the `Arc` reference crosses the channel; the
+    /// receiver's [`Payload`] views the same allocation.
     ///
     /// Self-sends are allowed (they still cost a message at each end, so
     /// algorithms should avoid them; collectives here do).
-    pub fn send(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: &[f64]) {
-        let w = data.len() as f64;
-        self.clock.charge_msg(w, &self.params);
-        self.totals.words_sent += w;
-        self.totals.msgs_sent += 1.0;
-        let env = Envelope {
-            src_global: self.id,
-            comm_id: comm.id,
-            tag,
-            payload: data.to_vec(),
-            clock: self.clock,
-        };
-        let dst_global = comm.global_of(dst_local);
-        self.senders[dst_global].send(env).expect("rank channel closed");
+    pub fn send(&mut self, comm: &Comm, dst_local: usize, tag: u64, payload: &Payload) {
+        self.post(comm, dst_local, tag, payload.clone());
     }
 
-    /// Like [`Rank::send`] but takes ownership of the payload, avoiding a
-    /// copy for large blocks.
+    /// Send a sub-range of `payload` without materializing it (O(1) view
+    /// formation; the words are never copied).
+    pub fn send_view(
+        &mut self,
+        comm: &Comm,
+        dst_local: usize,
+        tag: u64,
+        payload: &Payload,
+        range: std::ops::Range<usize>,
+    ) {
+        self.post(comm, dst_local, tag, payload.slice(range));
+    }
+
+    /// Send an owned buffer — zero-copy (the `Vec` moves into shared
+    /// storage without its words being touched).
     pub fn send_vec(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: Vec<f64>) {
-        let w = data.len() as f64;
-        self.clock.charge_msg(w, &self.params);
-        self.totals.words_sent += w;
-        self.totals.msgs_sent += 1.0;
-        let env = Envelope {
-            src_global: self.id,
-            comm_id: comm.id,
-            tag,
-            payload: data,
-            clock: self.clock,
-        };
-        let dst_global = comm.global_of(dst_local);
-        self.senders[dst_global].send(env).expect("rank channel closed");
+        self.post(comm, dst_local, tag, Payload::new(data));
     }
 
-    /// Receive the message sent by `src_local` (a local rank of `comm`)
-    /// with tag `tag`. Blocks until it arrives. Merges the sender's clock
-    /// (componentwise max) and then charges α + wβ.
-    pub fn recv(&mut self, comm: &Comm, src_local: usize, tag: u64) -> Vec<f64> {
+    /// Send borrowed words, copying them once into a fresh payload. For
+    /// repeated sends of the same data, build a [`Payload`] and use
+    /// [`Rank::send`] instead.
+    pub fn send_slice(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: &[f64]) {
+        self.post(comm, dst_local, tag, Payload::from_slice(data));
+    }
+
+    fn recv_envelope(&mut self, comm: &Comm, src_local: usize, tag: u64) -> Envelope {
         let key = (comm.global_of(src_local), comm.id, tag);
         loop {
             if let Some(env) = self.mailbox.pop(&key) {
                 self.clock.merge_max(&env.clock);
-                self.clock.charge_msg(env.payload.len() as f64, &self.params);
+                self.clock
+                    .charge_msg(env.payload.len() as f64, &self.params);
                 self.totals.msgs_recv += 1.0;
-                return env.payload;
+                return env;
             }
             match self.receiver.recv_timeout(RECV_TIMEOUT) {
                 Ok(env) => self.mailbox.push(env),
@@ -309,18 +340,41 @@ impl Rank {
         }
     }
 
-    /// Simultaneous exchange with a partner: send `data` and receive the
-    /// partner's message with the same tag. The send is issued first, so a
-    /// symmetric pair never deadlocks. This is the primitive used by
+    /// Receive the message sent by `src_local` (a local rank of `comm`)
+    /// with tag `tag`. Blocks until it arrives. Merges the sender's clock
+    /// (componentwise max) and then charges α + wβ.
+    ///
+    /// The returned [`Payload`] views the sender's buffer — no words were
+    /// copied in transit.
+    pub fn recv(&mut self, comm: &Comm, src_local: usize, tag: u64) -> Payload {
+        self.recv_envelope(comm, src_local, tag).payload
+    }
+
+    /// Receive directly into a caller-provided buffer (the one copy a
+    /// receive that must own its words performs). `out.len()` must equal
+    /// the message length.
+    pub fn recv_into(&mut self, comm: &Comm, src_local: usize, tag: u64, out: &mut [f64]) {
+        let env = self.recv_envelope(comm, src_local, tag);
+        assert_eq!(
+            out.len(),
+            env.payload.len(),
+            "recv_into: buffer/message length mismatch"
+        );
+        out.copy_from_slice(&env.payload);
+    }
+
+    /// Simultaneous exchange with a partner: send `payload` and receive
+    /// the partner's message with the same tag. The send is issued first,
+    /// so a symmetric pair never deadlocks. This is the primitive used by
     /// bidirectional-exchange collectives.
     pub fn sendrecv(
         &mut self,
         comm: &Comm,
         partner_local: usize,
         tag: u64,
-        data: &[f64],
-    ) -> Vec<f64> {
-        self.send(comm, partner_local, tag, data);
+        payload: &Payload,
+    ) -> Payload {
+        self.send(comm, partner_local, tag, payload);
         self.recv(comm, partner_local, tag)
     }
 }
@@ -348,12 +402,12 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send(&w, 1, 1, &[1.0, 2.0, 3.0]);
-                rank.recv(&w, 1, 2)
+                rank.send_slice(&w, 1, 1, &[1.0, 2.0, 3.0]);
+                rank.recv(&w, 1, 2).to_vec()
             } else {
                 let v = rank.recv(&w, 0, 1);
                 let doubled: Vec<f64> = v.iter().map(|x| 2.0 * x).collect();
-                rank.send(&w, 0, 2, &doubled);
+                rank.send_slice(&w, 0, 2, &doubled);
                 doubled
             }
         });
@@ -368,13 +422,79 @@ mod tests {
     }
 
     #[test]
+    fn send_is_zero_copy_pointer_identity() {
+        // The acceptance test for the zero-copy fabric: a large buffer is
+        // wrapped once; after send → mailbox → recv the receiver's payload
+        // views the *same allocation* — no memcpy happened anywhere.
+        let big = Payload::new((0..1_000_000).map(|i| i as f64).collect());
+        let m = Machine::new(2, CostParams::unit());
+        let big_ref = &big;
+        let out = m.run(move |rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send(&w, 1, 7, big_ref);
+                true
+            } else {
+                let got = rank.recv(&w, 0, 7);
+                got.same_buffer(big_ref)
+                    && got.as_ptr() == big_ref.as_ptr()
+                    && got.len() == big_ref.len()
+            }
+        });
+        assert!(
+            out.results[1],
+            "received payload must alias the sent buffer"
+        );
+        assert_eq!(out.stats.total_volume(), 1_000_000.0);
+    }
+
+    #[test]
+    fn send_view_ships_subranges_zero_copy() {
+        let base = Payload::new((0..100).map(|i| i as f64).collect());
+        let m = Machine::new(2, CostParams::unit());
+        let base_ref = &base;
+        let out = m.run(move |rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send_view(&w, 1, 0, base_ref, 10..20);
+                None
+            } else {
+                let got = rank.recv(&w, 0, 0);
+                Some((got.same_buffer(base_ref), got.to_vec()))
+            }
+        });
+        let (aliases, vals) = out.results[1].clone().unwrap();
+        assert!(aliases, "view must alias the base buffer");
+        assert_eq!(vals, (10..20).map(|i| i as f64).collect::<Vec<_>>());
+        // Only the view's words are charged.
+        assert_eq!(out.stats.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn recv_into_fills_caller_buffer() {
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send_vec(&w, 1, 0, vec![1.0, 2.0, 3.0]);
+                vec![]
+            } else {
+                let mut buf = vec![0.0; 5];
+                rank.recv_into(&w, 0, 0, &mut buf[1..4]);
+                buf
+            }
+        });
+        assert_eq!(out.results[1], vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
     fn out_of_order_tags_match_correctly() {
         let m = Machine::new(2, CostParams::unit());
         let out = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send(&w, 1, 10, &[10.0]);
-                rank.send(&w, 1, 20, &[20.0]);
+                rank.send_slice(&w, 1, 10, &[10.0]);
+                rank.send_slice(&w, 1, 20, &[20.0]);
                 0.0
             } else {
                 // Receive in the opposite order of sending.
@@ -395,7 +515,7 @@ mod tests {
             let w = rank.world();
             if rank.id() == 0 {
                 rank.charge_flops(1000.0);
-                rank.send(&w, 1, 0, &[0.0]);
+                rank.send_slice(&w, 1, 0, &[0.0]);
             } else {
                 rank.recv(&w, 0, 0);
             }
@@ -412,15 +532,18 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             match rank.id() {
-                0 => rank.send(&w, 1, 0, &[1.0; 10]),
+                0 => rank.send_slice(&w, 1, 0, &[1.0; 10]),
                 1 => drop(rank.recv(&w, 0, 0)),
-                2 => rank.send(&w, 3, 0, &[1.0; 10]),
+                2 => rank.send_slice(&w, 3, 0, &[1.0; 10]),
                 3 => drop(rank.recv(&w, 2, 0)),
                 _ => unreachable!(),
             }
         });
         let c = out.stats.critical();
-        assert_eq!(c.msgs, 2.0, "two pairs in parallel: path sees send+recv only");
+        assert_eq!(
+            c.msgs, 2.0,
+            "two pairs in parallel: path sees send+recv only"
+        );
         assert_eq!(c.words, 20.0);
         assert_eq!(out.stats.total_volume(), 20.0);
     }
@@ -431,7 +554,8 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             let partner = 1 - rank.id();
-            let got = rank.sendrecv(&w, partner, 3, &[rank.id() as f64]);
+            let mine = Payload::new(vec![rank.id() as f64]);
+            let got = rank.sendrecv(&w, partner, 3, &mine);
             got[0]
         });
         assert_eq!(out.results, vec![1.0, 0.0]);
@@ -446,7 +570,7 @@ mod tests {
             if rank.id() % 2 == 1 {
                 let odd = w.subset(&[1, 3]).expect("odd rank");
                 if odd.rank() == 0 {
-                    rank.send(&odd, 1, 0, &[99.0]);
+                    rank.send_slice(&odd, 1, 0, &[99.0]);
                     0.0
                 } else {
                     rank.recv(&odd, 0, 0)[0]
@@ -475,14 +599,30 @@ mod tests {
     }
 
     #[test]
+    fn workspace_is_per_rank_and_reuses() {
+        let m = Machine::new(2, CostParams::unit());
+        let out = m.run(|rank| {
+            for _ in 0..10 {
+                let buf = rank.workspace().take(256);
+                rank.workspace().put(buf);
+            }
+            rank.workspace().stats()
+        });
+        for (hits, misses) in out.results {
+            assert_eq!(misses, 1, "one cold allocation, then reuse");
+            assert_eq!(hits, 9);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "never received")]
     fn leaked_message_is_detected() {
         let m = Machine::new(2, CostParams::unit());
         let _ = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send(&w, 1, 0, &[1.0]);
-                rank.send(&w, 1, 1, &[2.0]); // never received
+                rank.send_slice(&w, 1, 0, &[1.0]);
+                rank.send_slice(&w, 1, 1, &[2.0]); // never received
             } else {
                 rank.recv(&w, 0, 0);
             }
@@ -506,7 +646,7 @@ mod tests {
                         }
                     } else if rank.id() % (2 * gap) == gap {
                         let dst = rank.id() - gap;
-                        rank.send(&w, dst, gap as u64, &[val]);
+                        rank.send_slice(&w, dst, gap as u64, &[val]);
                         break;
                     }
                     gap *= 2;

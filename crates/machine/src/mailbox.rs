@@ -4,18 +4,22 @@
 //! Messages with the same key are delivered FIFO (channel order), which —
 //! together with the SPMD discipline that each pair of ranks agrees on the
 //! sequence of their mutual sends/receives — makes matching deterministic.
+//!
+//! Buffering an envelope is free of data movement: the payload is a
+//! shared [`Payload`] view, so the mailbox only moves an `Arc`.
 
 use std::collections::{HashMap, VecDeque};
 
 use crate::clock::Clock;
+use crate::payload::Payload;
 
-/// A message on the wire: payload of `f64` words plus the sender's clock
+/// A message on the wire: a shared payload view plus the sender's clock
 /// snapshot taken *after* the send was charged.
 pub(crate) struct Envelope {
     pub src_global: usize,
     pub comm_id: u64,
     pub tag: u64,
-    pub payload: Vec<f64>,
+    pub payload: Payload,
     pub clock: Clock,
 }
 
@@ -26,23 +30,30 @@ pub(crate) type Key = (usize, u64, u64);
 #[derive(Default)]
 pub(crate) struct Mailbox {
     slots: HashMap<Key, VecDeque<Envelope>>,
+    /// Running envelope count, so the run-exit leak check is O(1) instead
+    /// of a sum over keys.
+    count: usize,
 }
 
 impl Mailbox {
     pub fn new() -> Self {
-        Mailbox { slots: HashMap::new() }
+        Mailbox::default()
     }
 
     /// Stash an arrived envelope.
     pub fn push(&mut self, env: Envelope) {
         let key = (env.src_global, env.comm_id, env.tag);
         self.slots.entry(key).or_default().push_back(env);
+        self.count += 1;
     }
 
     /// Take the oldest envelope matching `key`, if any.
     pub fn pop(&mut self, key: &Key) -> Option<Envelope> {
         let q = self.slots.get_mut(key)?;
         let env = q.pop_front();
+        if env.is_some() {
+            self.count -= 1;
+        }
         if q.is_empty() {
             self.slots.remove(key);
         }
@@ -50,8 +61,9 @@ impl Mailbox {
     }
 
     /// Number of buffered envelopes (used to detect leaked messages).
+    /// O(1): maintained on push/pop.
     pub fn len(&self) -> usize {
-        self.slots.values().map(|q| q.len()).sum()
+        self.count
     }
 }
 
@@ -64,7 +76,7 @@ mod tests {
             src_global: src,
             comm_id: comm,
             tag,
-            payload: vec![val],
+            payload: Payload::new(vec![val]),
             clock: Clock::zero(),
         }
     }
@@ -99,5 +111,37 @@ mod tests {
         let mut mb = Mailbox::new();
         assert!(mb.pop(&(0, 0, 0)).is_none());
         assert_eq!(mb.len(), 0);
+    }
+
+    #[test]
+    fn len_tracks_interleaved_push_pop() {
+        let mut mb = Mailbox::new();
+        for i in 0..10 {
+            mb.push(env(i % 3, 0, i as u64 % 2, i as f64));
+        }
+        assert_eq!(mb.len(), 10);
+        let mut left = 10;
+        for i in 0..10 {
+            if mb.pop(&(i % 3, 0, i as u64 % 2)).is_some() {
+                left -= 1;
+            }
+            assert_eq!(mb.len(), left);
+        }
+        assert_eq!(mb.len(), 0);
+    }
+
+    #[test]
+    fn buffering_shares_the_payload_allocation() {
+        let mut mb = Mailbox::new();
+        let p = Payload::new(vec![1.0; 4096]);
+        mb.push(Envelope {
+            src_global: 0,
+            comm_id: 0,
+            tag: 0,
+            payload: p.clone(),
+            clock: Clock::zero(),
+        });
+        let got = mb.pop(&(0, 0, 0)).unwrap().payload;
+        assert!(got.same_buffer(&p), "mailbox must not copy payloads");
     }
 }

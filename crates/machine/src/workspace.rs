@@ -1,0 +1,150 @@
+//! Per-rank scratch arena: reusable `f64` buffers for inner loops.
+//!
+//! Distributed kernels (SUMMA panels, dmm gathers, TSQR downsweeps) need
+//! short-lived buffers every iteration. Allocating them fresh each time
+//! makes the simulator's wall-clock measure the allocator instead of the
+//! algorithm, so every [`crate::Rank`] carries a [`Workspace`]: a small
+//! pool of buffers that [`Workspace::take`]/[`Workspace::put`] recycle.
+//! After warm-up, steady-state inner loops allocate nothing.
+
+/// A pool of reusable `Vec<f64>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Buffers retained at most; returning more drops the smallest.
+const POOL_CAP: usize = 16;
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Pop the best-fit pooled buffer (smallest sufficient capacity),
+    /// cleared, or a fresh one with at least `cap` capacity.
+    fn take_empty(&mut self, cap: usize) -> Vec<f64> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            if b.capacity() >= cap && best.is_none_or(|j| b.capacity() < self.pool[j].capacity()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                self.hits += 1;
+                let mut v = self.pool.swap_remove(i);
+                v.clear();
+                v
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Borrow a zeroed buffer of exactly `len` words, reusing pooled
+    /// capacity when possible. Return it with [`Workspace::put`].
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut v = self.take_empty(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Borrow a buffer holding a copy of `src`, reusing pooled capacity.
+    /// Each word is written exactly once (no zero-fill before the copy).
+    pub fn take_copy_of(&mut self, src: &[f64]) -> Vec<f64> {
+        let mut v = self.take_empty(src.len());
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn put(&mut self, v: Vec<f64>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.pool.push(v);
+        if self.pool.len() > POOL_CAP {
+            // Drop the smallest buffer to keep the big ones around.
+            let min = self
+                .pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("pool nonempty");
+            self.pool.swap_remove(min);
+        }
+    }
+
+    /// `(reuses, fresh allocations)` served so far — lets tests assert
+    /// that steady-state loops stopped allocating.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_exact_len() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take(5);
+        assert_eq!(b, vec![0.0; 5]);
+        b[0] = 9.0;
+        ws.put(b);
+        let b2 = ws.take(3);
+        assert_eq!(b2, vec![0.0; 3], "reused buffers are re-zeroed");
+    }
+
+    #[test]
+    fn reuse_avoids_allocation() {
+        let mut ws = Workspace::new();
+        let b = ws.take(100);
+        let ptr = b.as_ptr();
+        ws.put(b);
+        let b2 = ws.take(64);
+        assert_eq!(b2.as_ptr(), ptr, "smaller request reuses the pooled buffer");
+        assert_eq!(ws.stats(), (1, 1));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut ws = Workspace::new();
+        let small = ws.take(10);
+        let big = ws.take(1000);
+        let small_ptr = small.as_ptr();
+        ws.put(big);
+        ws.put(small);
+        let got = ws.take(8);
+        assert_eq!(got.as_ptr(), small_ptr, "should not burn the big buffer");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for i in 1..POOL_CAP + 10 {
+            let v = ws.take(i);
+            ws.put(v);
+            let v = vec![0.0; i];
+            ws.put(v);
+        }
+        assert!(ws.pool.len() <= POOL_CAP);
+    }
+
+    #[test]
+    fn zero_len_take_and_put() {
+        let mut ws = Workspace::new();
+        let v = ws.take(0);
+        assert!(v.is_empty());
+        ws.put(v); // capacity 0: silently dropped
+        assert_eq!(ws.pool.len(), 0);
+    }
+}

@@ -2,8 +2,35 @@
 
 use std::ops::{Index, IndexMut};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic SplitMix64 generator for reproducible test
+/// matrices (replaces the external `rand` dependency; only uniformity and
+/// reproducibility matter here).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform on (-1, 1).
+    fn next_unit(&mut self) -> f64 {
+        // 53 random mantissa bits → [0, 1), then map to (-1, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        2.0 * u - 1.0
+    }
+}
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -21,7 +48,11 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -57,9 +88,22 @@ impl Matrix {
     /// `seed`. (Uniform suffices for the paper's workloads; these are
     /// generic dense test matrices.)
     pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * cols).map(|_| rng.next_unit()).collect();
         Matrix { rows, cols, data }
+    }
+
+    /// Copy a borrowed row-major buffer into a matrix.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -141,7 +185,11 @@ impl Matrix {
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Stack horizontally: `[self other]`.
@@ -168,7 +216,11 @@ impl Matrix {
 
     /// `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -176,7 +228,11 @@ impl Matrix {
 
     /// `self -= other`.
     pub fn sub_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a -= b;
         }
@@ -209,7 +265,13 @@ impl Matrix {
     /// Keep only the upper triangle (entries below the main diagonal
     /// zeroed). Works for rectangular matrices too.
     pub fn upper_triangular_part(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if j >= i { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if j >= i {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// True if all entries strictly below the main diagonal are ≤ `tol`
@@ -247,7 +309,10 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -255,7 +320,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

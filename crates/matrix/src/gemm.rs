@@ -4,6 +4,25 @@
 //! multiplications and IJ(K−1) additions; no communication is necessary."
 //! The [`crate::flops`] module exposes matching cost formulas so callers can
 //! charge the simulated machine.
+//!
+//! ## Blocked kernel
+//!
+//! [`gemm`] is a cache-blocked, register-tiled kernel in the standard BLIS
+//! structure: operands are packed into contiguous panels (`MC × KC` of
+//! `op(A)`, `KC × NC` of `op(B)`), and an `MR × NR` microkernel accumulates
+//! a register tile over the packed panels. Packing makes the inner loops
+//! stride-1 regardless of transposition, edge tiles are zero-padded so the
+//! microkernel is branch-free, and the pack buffers live in a per-thread
+//! scratch (ranks are threads, so each simulated rank reuses its own
+//! buffers; steady-state multiplies allocate nothing).
+//!
+//! [`gemm_reference`] keeps the seed's scalar triple loop for correctness
+//! checks and as the benchmark baseline. Neither kernel short-circuits
+//! zero entries: `0 · NaN` must stay `NaN` (IEEE semantics), so there is
+//! deliberately no sparse fast path here — a sparse-aware multiply would
+//! be a separate entry point.
+
+use std::cell::RefCell;
 
 use crate::dense::Matrix;
 
@@ -16,29 +35,58 @@ pub enum Trans {
     Yes,
 }
 
+/// Microkernel tile rows.
+const MR: usize = 8;
+/// Microkernel tile columns (one AVX-512 register of f64, two AVX2).
+const NR: usize = 8;
+/// Rows of `op(A)` packed per block (`MC × KC` ≈ 256 KiB, L2-resident).
+const MC: usize = 128;
+/// Contraction depth per block.
+const KC: usize = 256;
+/// Columns of `op(B)` packed per block.
+const NC: usize = 2048;
+
+/// Below this many multiply-adds the packing overhead is not worth it and
+/// the scalar path runs instead.
+const BLOCK_THRESHOLD: usize = 8 * 1024;
+
+/// Reusable pack buffers for the blocked kernel.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    pack_a: Vec<f64>,
+    pack_b: Vec<f64>,
+}
+
+impl GemmScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        GemmScratch::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::new());
+}
+
+#[inline(always)]
+fn op_dims(t: Trans, m: &Matrix) -> (usize, usize) {
+    match t {
+        Trans::No => (m.rows(), m.cols()),
+        Trans::Yes => (m.cols(), m.rows()),
+    }
+}
+
 /// `C = alpha * op(A) * op(B) + beta * C`, the general multiply.
 ///
-/// Uses the cache-friendly i-k-j loop order on the non-transposed layout.
+/// Cache-blocked and register-tiled (see module docs); falls back to the
+/// scalar loops for small products. Fully IEEE: zeros and NaNs in the
+/// operands propagate exactly as unblocked arithmetic would.
 ///
 /// # Panics
 /// On inner/outer dimension mismatches.
-pub fn gemm(
-    ta: Trans,
-    tb: Trans,
-    alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
-    beta: f64,
-    c: &mut Matrix,
-) {
-    let (am, ak) = match ta {
-        Trans::No => (a.rows(), a.cols()),
-        Trans::Yes => (a.cols(), a.rows()),
-    };
-    let (bk, bn) = match tb {
-        Trans::No => (b.rows(), b.cols()),
-        Trans::Yes => (b.cols(), b.rows()),
-    };
+pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let (am, ak) = op_dims(ta, a);
+    let (bk, bn) = op_dims(tb, b);
     assert_eq!(ak, bk, "gemm: inner dimension mismatch ({ak} vs {bk})");
     assert_eq!(c.rows(), am, "gemm: output rows mismatch");
     assert_eq!(c.cols(), bn, "gemm: output cols mismatch");
@@ -50,14 +98,75 @@ pub fn gemm(
         return;
     }
 
+    if am * bn * ak < BLOCK_THRESHOLD {
+        scalar_kernel(ta, tb, alpha, a, b, c);
+    } else {
+        SCRATCH.with(|s| {
+            blocked_kernel(&mut s.borrow_mut(), ta, tb, alpha, a, b, c);
+        });
+    }
+}
+
+/// The blocked path with caller-provided pack buffers (for callers that
+/// manage scratch explicitly; [`gemm`] itself uses a per-thread scratch).
+pub fn gemm_with_scratch(
+    scratch: &mut GemmScratch,
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, ak) = op_dims(ta, a);
+    let (bk, bn) = op_dims(tb, b);
+    assert_eq!(ak, bk, "gemm: inner dimension mismatch ({ak} vs {bk})");
+    assert_eq!(c.rows(), am, "gemm: output rows mismatch");
+    assert_eq!(c.cols(), bn, "gemm: output cols mismatch");
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
+        return;
+    }
+    blocked_kernel(scratch, ta, tb, alpha, a, b, c);
+}
+
+/// The seed's scalar triple-loop kernel, kept as the reference baseline
+/// for correctness tests and the `kernels` benchmark. No zero
+/// short-circuit: `0 · NaN = NaN` is preserved.
+pub fn gemm_reference(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, ak) = op_dims(ta, a);
+    let (bk, bn) = op_dims(tb, b);
+    assert_eq!(ak, bk, "gemm: inner dimension mismatch ({ak} vs {bk})");
+    assert_eq!(c.rows(), am, "gemm: output rows mismatch");
+    assert_eq!(c.cols(), bn, "gemm: output cols mismatch");
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
+        return;
+    }
+    scalar_kernel(ta, tb, alpha, a, b, c);
+}
+
+fn scalar_kernel(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (am, ak) = op_dims(ta, a);
+    let bn = op_dims(tb, b).1;
     match (ta, tb) {
         (Trans::No, Trans::No) => {
             for i in 0..am {
                 for k in 0..ak {
                     let aik = alpha * a[(i, k)];
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let brow = b.row(k);
                     let crow = c.row_mut(i);
                     for j in 0..bn {
@@ -70,9 +179,6 @@ pub fn gemm(
             for i in 0..am {
                 for k in 0..ak {
                     let aik = alpha * a[(k, i)];
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let brow = b.row(k);
                     let crow = c.row_mut(i);
                     for j in 0..bn {
@@ -102,6 +208,140 @@ pub fn gemm(
                         s += a[(k, i)] * b[(j, k)];
                     }
                     c[(i, j)] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into MR-row panels: panel `ip`
+/// holds `kc` columns of `MR` consecutive values, zero-padded past `mc`.
+fn pack_a(ta: Trans, a: &Matrix, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [f64]) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(out.len() >= panels * kc * MR);
+    for ip in 0..panels {
+        let base = ip * kc * MR;
+        let i0 = ic + ip * MR;
+        let rows = MR.min(mc - ip * MR);
+        match ta {
+            Trans::No => {
+                for kk in 0..kc {
+                    let dst = &mut out[base + kk * MR..base + kk * MR + MR];
+                    for r in 0..rows {
+                        dst[r] = a[(i0 + r, pc + kk)];
+                    }
+                    dst[rows..].fill(0.0);
+                }
+            }
+            Trans::Yes => {
+                // op(A)(i, k) = A(k, i): read rows of A, stride-1.
+                for kk in 0..kc {
+                    let src = a.row(pc + kk);
+                    let dst = &mut out[base + kk * MR..base + kk * MR + MR];
+                    dst[..rows].copy_from_slice(&src[i0..i0 + rows]);
+                    dst[rows..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into NR-column panels: panel `jp`
+/// holds `kc` rows of `NR` consecutive values, zero-padded past `nc`.
+fn pack_b(tb: Trans, b: &Matrix, pc: usize, kc: usize, jc: usize, nc: usize, out: &mut [f64]) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(out.len() >= panels * kc * NR);
+    for jp in 0..panels {
+        let base = jp * kc * NR;
+        let j0 = jc + jp * NR;
+        let cols = NR.min(nc - jp * NR);
+        match tb {
+            Trans::No => {
+                for kk in 0..kc {
+                    let src = b.row(pc + kk);
+                    let dst = &mut out[base + kk * NR..base + kk * NR + NR];
+                    dst[..cols].copy_from_slice(&src[j0..j0 + cols]);
+                    dst[cols..].fill(0.0);
+                }
+            }
+            Trans::Yes => {
+                // op(B)(k, j) = B(j, k): column reads of B.
+                for kk in 0..kc {
+                    let dst = &mut out[base + kk * NR..base + kk * NR + NR];
+                    for r in 0..cols {
+                        dst[r] = b[(j0 + r, pc + kk)];
+                    }
+                    dst[cols..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: `acc += Apanel · Bpanel` over `kc` steps. `a` is
+/// `kc × MR` (column-major tiles), `b` is `kc × NR` (row-major tiles);
+/// both stride-1, so this compiles to a dense FMA loop.
+#[inline(always)]
+fn microkernel(a: &[f64], b: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+}
+
+fn blocked_kernel(
+    scratch: &mut GemmScratch,
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+) {
+    let (m, k) = op_dims(ta, a);
+    let n = op_dims(tb, b).1;
+
+    let a_panels_cap = MC.div_ceil(MR) * KC * MR;
+    let b_panels_cap = NC.div_ceil(NR).min(n.div_ceil(NR)) * KC * NR;
+    if scratch.pack_a.len() < a_panels_cap {
+        scratch.pack_a.resize(a_panels_cap, 0.0);
+    }
+    if scratch.pack_b.len() < b_panels_cap {
+        scratch.pack_b.resize(b_panels_cap, 0.0);
+    }
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let n_panels = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(tb, b, pc, kc, jc, nc, &mut scratch.pack_b);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let m_panels = mc.div_ceil(MR);
+                pack_a(ta, a, ic, mc, pc, kc, &mut scratch.pack_a);
+                for jp in 0..n_panels {
+                    let bp = &scratch.pack_b[jp * kc * NR..(jp + 1) * kc * NR];
+                    let j0 = jc + jp * NR;
+                    let cols = NR.min(n - j0);
+                    for ip in 0..m_panels {
+                        let ap = &scratch.pack_a[ip * kc * MR..(ip + 1) * kc * MR];
+                        let mut acc = [[0.0f64; NR]; MR];
+                        microkernel(ap, bp, &mut acc);
+                        // Write the valid part of the tile back into C.
+                        let i0 = ic + ip * MR;
+                        let rows = MR.min(m - i0);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            let crow = &mut c.row_mut(i0 + r)[j0..j0 + cols];
+                            for (dst, &v) in crow.iter_mut().zip(acc_row.iter()) {
+                                *dst += alpha * v;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -235,5 +475,99 @@ mod tests {
         let left = matmul(&matmul(&a, &b), &c);
         let right = matmul(&a, &matmul(&b, &c));
         assert!(close(&left, &right, 1e-12));
+    }
+
+    #[test]
+    fn nan_propagates_through_zero_entries() {
+        // 0 · NaN must be NaN: the seed's `aik == 0.0` fast path broke
+        // IEEE semantics; neither kernel may short-circuit zeros.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let mut b = Matrix::zeros(2, 2);
+        b[(0, 0)] = f64::NAN;
+        b[(1, 1)] = 2.0;
+        let c = matmul(&a, &b);
+        assert!(c[(0, 0)].is_nan(), "0·NaN + 1·0 must be NaN");
+        assert!(c[(1, 0)].is_nan(), "1·NaN + 0·0 must be NaN");
+        let mut cr = Matrix::zeros(2, 2);
+        gemm_reference(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut cr);
+        assert!(cr[(0, 0)].is_nan() && cr[(1, 0)].is_nan());
+    }
+
+    #[test]
+    fn infinity_propagates() {
+        let mut a = Matrix::zeros(1, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        let mut b = Matrix::zeros(2, 1);
+        b[(0, 0)] = f64::INFINITY;
+        b[(1, 0)] = 1.0;
+        // 0·∞ = NaN; NaN + 1 = NaN.
+        assert!(matmul(&a, &b)[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_edge_shapes() {
+        // Shapes straddling MR/NR/MC/KC boundaries, all four transposes.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (4, 8, 16),
+            (5, 9, 17),
+            (31, 33, 40),
+            (64, 24, 129),
+            (130, 70, 65),
+            (129, 257, 30),
+        ];
+        for &(m, n, k) in &shapes {
+            for (ta, tb) in [
+                (Trans::No, Trans::No),
+                (Trans::Yes, Trans::No),
+                (Trans::No, Trans::Yes),
+                (Trans::Yes, Trans::Yes),
+            ] {
+                let (ar, ac) = if ta == Trans::No { (m, k) } else { (k, m) };
+                let (br, bc) = if tb == Trans::No { (k, n) } else { (n, k) };
+                let a = Matrix::random(ar, ac, (m * 31 + n) as u64);
+                let b = Matrix::random(br, bc, (k * 17 + n) as u64);
+                let c0 = Matrix::random(m, n, 77);
+                let mut c_blocked = c0.clone();
+                let mut scratch = GemmScratch::new();
+                gemm_with_scratch(&mut scratch, ta, tb, 1.5, &a, &b, -0.5, &mut c_blocked);
+                let mut c_ref = c0.clone();
+                gemm_reference(ta, tb, 1.5, &a, &b, -0.5, &mut c_ref);
+                assert!(
+                    close(&c_blocked, &c_ref, 1e-10 * (k as f64).max(1.0)),
+                    "blocked != reference for {m}x{n}x{k} {ta:?}/{tb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_product_uses_blocked_path_and_matches() {
+        // Big enough to cross BLOCK_THRESHOLD through the public `gemm`.
+        let (m, n, k) = (100, 90, 80);
+        let a = Matrix::random(m, k, 1);
+        let b = Matrix::random(k, n, 2);
+        let got = matmul(&a, &b);
+        let mut expect = Matrix::zeros(m, n);
+        gemm_reference(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut expect);
+        assert!(close(&got, &expect, 1e-10));
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        // Same scratch across differently-shaped calls must stay correct.
+        let mut scratch = GemmScratch::new();
+        for (m, n, k) in [(40usize, 30usize, 20usize), (20, 64, 33), (7, 7, 300)] {
+            let a = Matrix::random(m, k, (m + n) as u64);
+            let b = Matrix::random(k, n, (n + k) as u64);
+            let mut c = Matrix::zeros(m, n);
+            gemm_with_scratch(&mut scratch, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+            assert!(close(&c, &naive(&a, &b), 1e-10));
+        }
     }
 }

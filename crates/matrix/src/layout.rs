@@ -78,7 +78,9 @@ impl RowCyclic {
 
     /// All global rows owned by `rank`, ascending.
     pub fn local_rows(&self, rank: usize) -> Vec<usize> {
-        (0..self.local_count(rank)).map(|l| self.global_row(rank, l)).collect()
+        (0..self.local_count(rank))
+            .map(|l| self.global_row(rank, l))
+            .collect()
     }
 
     /// Extract `rank`'s local piece from a full matrix.
@@ -116,7 +118,10 @@ impl BlockRow {
 
     /// Balanced contiguous layout of `rows` rows over `p` ranks.
     pub fn balanced(rows: usize, cols: usize, p: usize) -> Self {
-        BlockRow { counts: balanced_sizes(rows, p), cols }
+        BlockRow {
+            counts: balanced_sizes(rows, p),
+            cols,
+        }
     }
 
     /// Matrix height.
@@ -204,7 +209,13 @@ impl BlockCyclic2d {
     pub fn new(rows: usize, cols: usize, pr: usize, pc: usize, b: usize) -> Self {
         assert!(pr >= 1 && pc >= 1, "grid must be nonempty");
         assert!(b >= 1, "block size must be positive");
-        BlockCyclic2d { rows, cols, pr, pc, b }
+        BlockCyclic2d {
+            rows,
+            cols,
+            pr,
+            pc,
+            b,
+        }
     }
 
     /// Matrix height.
@@ -255,12 +266,16 @@ impl BlockCyclic2d {
 
     /// Global row indices stored by grid row `gi`, ascending.
     pub fn rows_of_grid_row(&self, gi: usize) -> Vec<usize> {
-        (0..self.rows).filter(|&i| (i / self.b) % self.pr == gi).collect()
+        (0..self.rows)
+            .filter(|&i| (i / self.b) % self.pr == gi)
+            .collect()
     }
 
     /// Global column indices stored by grid column `gj`, ascending.
     pub fn cols_of_grid_col(&self, gj: usize) -> Vec<usize> {
-        (0..self.cols).filter(|&j| (j / self.b) % self.pc == gj).collect()
+        (0..self.cols)
+            .filter(|&j| (j / self.b) % self.pc == gj)
+            .collect()
     }
 
     /// Extract `rank`'s local piece (rows/cols it owns, in ascending global
@@ -329,8 +344,7 @@ mod tests {
     fn row_cyclic_scatter_gather_roundtrip() {
         let full = Matrix::from_fn(11, 4, |i, j| (i * 4 + j) as f64);
         let l = RowCyclic::new(11, 4, 3);
-        let locals: Vec<Matrix> =
-            (0..3).map(|r| l.scatter_from_full(&full, r)).collect();
+        let locals: Vec<Matrix> = (0..3).map(|r| l.scatter_from_full(&full, r)).collect();
         assert_eq!(l.gather_to_full(&locals), full);
         // Local piece of rank 1 holds rows 1, 4, 7, 10 in order.
         assert_eq!(locals[1].row(0), full.row(1));
@@ -346,8 +360,7 @@ mod tests {
         assert_eq!(l.owner(3), 2);
         assert_eq!(l.local_rows(1), Vec::<usize>::new());
         let full = Matrix::from_fn(5, 2, |i, j| (10 * i + j) as f64);
-        let locals: Vec<Matrix> =
-            (0..3).map(|r| l.scatter_from_full(&full, r)).collect();
+        let locals: Vec<Matrix> = (0..3).map(|r| l.scatter_from_full(&full, r)).collect();
         assert_eq!(locals[1].rows(), 0);
         assert_eq!(l.gather_to_full(&locals), full);
     }
@@ -384,8 +397,9 @@ mod tests {
         let full = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64);
         for (pr, pc, b) in [(2, 2, 2), (1, 3, 1), (3, 1, 2), (2, 3, 3)] {
             let l = BlockCyclic2d::new(7, 5, pr, pc, b);
-            let locals: Vec<Matrix> =
-                (0..l.procs()).map(|r| l.scatter_from_full(&full, r)).collect();
+            let locals: Vec<Matrix> = (0..l.procs())
+                .map(|r| l.scatter_from_full(&full, r))
+                .collect();
             assert_eq!(l.gather_to_full(&locals), full, "grid {pr}x{pc} b={b}");
         }
     }

@@ -40,7 +40,11 @@ fn house(x: &[f64]) -> (Vec<f64>, f64, f64) {
         }
     } else {
         let mu = (x[0] * x[0] + sigma).sqrt();
-        let v0 = if x[0] <= 0.0 { x[0] - mu } else { -sigma / (x[0] + mu) };
+        let v0 = if x[0] <= 0.0 {
+            x[0] - mu
+        } else {
+            -sigma / (x[0] + mu)
+        };
         let tau = 2.0 * v0 * v0 / (sigma + v0 * v0);
         for item in v.iter_mut().skip(1) {
             *item /= v0;
@@ -189,7 +193,10 @@ mod tests {
     fn check_qr(a: &Matrix, tol: f64) {
         let n = a.cols();
         let f = geqrt(a);
-        assert!(f.v.is_unit_lower_trapezoidal(tol), "V not unit lower trapezoidal");
+        assert!(
+            f.v.is_unit_lower_trapezoidal(tol),
+            "V not unit lower trapezoidal"
+        );
         assert!(f.r.is_upper_triangular(0.0), "R not upper triangular");
         for j in 0..n {
             assert!(f.r[(j, j)] >= 0.0, "R diagonal must be nonnegative");

@@ -54,11 +54,18 @@ fn solve_left(uplo: Uplo, transpose: bool, unit_diag: bool, a: &Matrix, b: &Matr
     let eff_lower = matches!(uplo, Uplo::Lower) != transpose;
     let at = |i: usize, k: usize| if transpose { a[(k, i)] } else { a[(i, k)] };
     let mut x = b.clone();
-    let idx: Vec<usize> =
-        if eff_lower { (0..n).collect() } else { (0..n).rev().collect() };
+    let idx: Vec<usize> = if eff_lower {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
     for &i in &idx {
         // Subtract contributions of already-solved rows.
-        let deps: Vec<usize> = if eff_lower { (0..i).collect() } else { (i + 1..n).collect() };
+        let deps: Vec<usize> = if eff_lower {
+            (0..i).collect()
+        } else {
+            (i + 1..n).collect()
+        };
         for &k in &deps {
             let aik = at(i, k);
             if aik == 0.0 {
@@ -182,7 +189,14 @@ mod tests {
     #[test]
     fn trsm_identity_is_noop() {
         let b = Matrix::random(5, 3, 1);
-        let x = trsm(Side::Left, Uplo::Upper, false, false, &Matrix::identity(5), &b);
+        let x = trsm(
+            Side::Left,
+            Uplo::Upper,
+            false,
+            false,
+            &Matrix::identity(5),
+            &b,
+        );
         assert_close(&x, &b, 0.0, "I X = B");
     }
 
@@ -203,7 +217,14 @@ mod tests {
     fn trsm_zero_pivot_detected() {
         let mut a = Matrix::identity(3);
         a[(1, 1)] = 0.0;
-        let _ = trsm(Side::Left, Uplo::Upper, false, false, &a, &Matrix::identity(3));
+        let _ = trsm(
+            Side::Left,
+            Uplo::Upper,
+            false,
+            false,
+            &a,
+            &Matrix::identity(3),
+        );
     }
 
     #[test]

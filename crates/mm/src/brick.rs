@@ -107,7 +107,11 @@ impl<L: DistLayout> DistLayout for TransposedDist<L> {
         self.0.owner(j, i)
     }
     fn entries(&self, rank: usize) -> Vec<(usize, usize)> {
-        self.0.entries(rank).into_iter().map(|(i, j)| (j, i)).collect()
+        self.0
+            .entries(rank)
+            .into_iter()
+            .map(|(i, j)| (j, i))
+            .collect()
     }
     fn local_count(&self, rank: usize) -> usize {
         self.0.local_count(rank)

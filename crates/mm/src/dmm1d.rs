@@ -39,7 +39,11 @@ pub fn dmm1d_reduce(
     right_local: &Matrix,
     root: usize,
 ) -> Option<Matrix> {
-    assert_eq!(left_local.rows(), right_local.rows(), "dmm1d: row slices must match");
+    assert_eq!(
+        left_local.rows(),
+        right_local.rows(),
+        "dmm1d: row slices must match"
+    );
     let i = left_local.cols();
     let j = right_local.cols();
     let partial = mm_local(rank, Trans::Yes, Trans::No, left_local, right_local);
@@ -65,8 +69,10 @@ pub fn dmm1d_broadcast(
     if let Some(b) = &b_root {
         assert_eq!((b.rows(), b.cols()), (k, j), "dmm1d: B shape mismatch");
     }
+    // The broadcast returns a shared view; materialize it once into the
+    // Matrix the local multiply reads.
     let b_flat = broadcast(rank, comm, root, b_root.map(Matrix::into_vec), k * j);
-    let b = Matrix::from_vec(k, j, b_flat);
+    let b = Matrix::from_slice(k, j, &b_flat);
     mm_local(rank, Trans::No, Trans::No, a_local, &b)
 }
 

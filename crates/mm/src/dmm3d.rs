@@ -9,7 +9,7 @@
 //! algorithm — at latency `O(log P)`. This is what 3D-CAQR-EG leverages
 //! for its Theorem 1 bandwidth bound.
 
-use qr3d_collectives::bidir::{all_gather, reduce_scatter};
+use qr3d_collectives::bidir::{all_gather_flat, reduce_scatter_flat};
 use qr3d_machine::{Comm, Rank};
 use qr3d_matrix::gemm::Trans;
 use qr3d_matrix::partition::balanced_ranges;
@@ -66,7 +66,9 @@ impl Grid3 {
     /// `Q·R·S ≤ p`.
     pub fn choose(i: usize, j: usize, k: usize, p: usize) -> Grid3 {
         assert!(i >= 1 && j >= 1 && k >= 1 && p >= 1);
-        let rho = ((i as f64 * j as f64 * k as f64) / p as f64).cbrt().max(1.0);
+        let rho = ((i as f64 * j as f64 * k as f64) / p as f64)
+            .cbrt()
+            .max(1.0);
         let clamp = |d: usize| (((d as f64) / rho).floor() as usize).clamp(1, d);
         let (mut q, mut r, mut s) = (clamp(i), clamp(j), clamp(k));
         // Enforce Q·R·S ≤ p by shrinking the largest extent.
@@ -132,14 +134,15 @@ pub fn dmm3d(
     let ks = balanced_ranges(k, grid.s)[s].clone();
 
     // All-gather A[I_q, K_s] along the R fiber (blocks are contiguous row
-    // slices of I_q, stacked in r order).
+    // slices of I_q, stacked in r order — so the flat rank-ordered result
+    // *is* the gathered matrix, no reassembly).
     let a_fiber = fiber(comm, grid, 1).expect("active rank has a fiber");
     let a_row_parts = balanced_ranges(iq.len(), grid.r);
     let a_sizes: Vec<usize> = a_row_parts.iter().map(|p| p.len() * ks.len()).collect();
     assert_eq!(a_local.rows(), a_row_parts[r].len(), "A block row count");
     assert_eq!(a_local.cols(), ks.len(), "A block col count");
-    let a_blocks = all_gather(rank, &a_fiber, a_local.as_slice().to_vec(), &a_sizes);
-    let a_full = Matrix::from_vec(iq.len(), ks.len(), a_blocks.concat());
+    let a_flat = all_gather_flat(rank, &a_fiber, a_local.as_slice(), &a_sizes);
+    let a_full = Matrix::from_vec(iq.len(), ks.len(), a_flat);
 
     // All-gather B[K_s, J_r] along the Q fiber.
     let b_fiber = fiber(comm, grid, 0).expect("active rank has a fiber");
@@ -147,21 +150,18 @@ pub fn dmm3d(
     let b_sizes: Vec<usize> = b_row_parts.iter().map(|p| p.len() * jr.len()).collect();
     assert_eq!(b_local.rows(), b_row_parts[q].len(), "B block row count");
     assert_eq!(b_local.cols(), jr.len(), "B block col count");
-    let b_blocks = all_gather(rank, &b_fiber, b_local.as_slice().to_vec(), &b_sizes);
-    let b_full = Matrix::from_vec(ks.len(), jr.len(), b_blocks.concat());
+    let b_flat = all_gather_flat(rank, &b_fiber, b_local.as_slice(), &b_sizes);
+    let b_full = Matrix::from_vec(ks.len(), jr.len(), b_flat);
 
     // Local multiply: Z_{I_q, J_r, s} = A[I_q, K_s] · B[K_s, J_r].
     let z = mm_local(rank, Trans::No, Trans::No, &a_full, &b_full);
 
-    // Reduce-scatter Z along the S fiber (row slices of I_q by s).
+    // Reduce-scatter Z along the S fiber: the per-s blocks are contiguous
+    // row ranges of Z, so Z's own buffer is the rank-ordered input.
     let c_fiber = fiber(comm, grid, 2).expect("active rank has a fiber");
     let c_row_parts = balanced_ranges(iq.len(), grid.s);
     let c_sizes: Vec<usize> = c_row_parts.iter().map(|p| p.len() * jr.len()).collect();
-    let c_blocks: Vec<Vec<f64>> = c_row_parts
-        .iter()
-        .map(|part| z.submatrix(part.start, part.end, 0, jr.len()).into_vec())
-        .collect();
-    let mine = reduce_scatter(rank, &c_fiber, c_blocks, &c_sizes);
+    let mine = reduce_scatter_flat(rank, &c_fiber, z.into_vec(), &c_sizes);
     Matrix::from_vec(c_row_parts[s].len(), jr.len(), mine)
 }
 
@@ -232,9 +232,13 @@ mod tests {
 
     #[test]
     fn grid_choose_respects_bounds() {
-        for (i, j, k, p) in
-            [(64, 64, 64, 8), (64, 64, 64, 27), (1000, 10, 10, 16), (4, 4, 4, 64), (1, 1, 1, 5)]
-        {
+        for (i, j, k, p) in [
+            (64, 64, 64, 8),
+            (64, 64, 64, 27),
+            (1000, 10, 10, 16),
+            (4, 4, 4, 64),
+            (1, 1, 1, 5),
+        ] {
             let g = Grid3::choose(i, j, k, p);
             assert!(g.procs() <= p, "grid {g:?} exceeds p={p}");
             assert!(g.q <= i && g.r <= j && g.s <= k, "grid {g:?} exceeds dims");
@@ -273,8 +277,10 @@ mod tests {
                 Some((q, r, s)) => {
                     let (ar, ac) = brick_a.block_of(q, r, s);
                     let (br, bc) = brick_b.block_of(q, r, s);
-                    (a.submatrix(ar.start, ar.end, ac.start, ac.end),
-                     b.submatrix(br.start, br.end, bc.start, bc.end))
+                    (
+                        a.submatrix(ar.start, ar.end, ac.start, ac.end),
+                        b.submatrix(br.start, br.end, bc.start, bc.end),
+                    )
                 }
                 None => (Matrix::zeros(0, 0), Matrix::zeros(0, 0)),
             };

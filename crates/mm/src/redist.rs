@@ -95,13 +95,15 @@ mod tests {
         let out = machine.run(|rank| {
             let w = rank.world();
             let me = w.rank();
-            let local: Vec<f64> =
-                from.entries(me).iter().map(|&(i, j)| full[(i, j)]).collect();
+            let local: Vec<f64> = from
+                .entries(me)
+                .iter()
+                .map(|&(i, j)| full[(i, j)])
+                .collect();
             redistribute(rank, &w, &local, from, to)
         });
         for (r, res) in out.results.iter().enumerate() {
-            let expect: Vec<f64> =
-                to.entries(r).iter().map(|&(i, j)| full[(i, j)]).collect();
+            let expect: Vec<f64> = to.entries(r).iter().map(|&(i, j)| full[(i, j)]).collect();
             assert_eq!(res, &expect, "rank {r} local buffer");
         }
     }
@@ -174,8 +176,11 @@ mod tests {
         let out = machine.run(|rank| {
             let w = rank.world();
             let me = w.rank();
-            let local: Vec<f64> =
-                from.entries(me).iter().map(|&(i, j)| full[(i, j)]).collect();
+            let local: Vec<f64> = from
+                .entries(me)
+                .iter()
+                .map(|&(i, j)| full[(i, j)])
+                .collect();
             redistribute(rank, &w, &local, &from, &to)
         });
         // Two-phase all-to-all moves each word at most twice (to the

@@ -45,13 +45,15 @@ impl Grid2 {
         for pr in 1..=p {
             let pc = p / pr;
             if pr * pc > best.0 * best.1
-                || (pr * pc == best.0 * best.1
-                    && pr.abs_diff(pc) < best.0.abs_diff(best.1))
+                || (pr * pc == best.0 * best.1 && pr.abs_diff(pc) < best.0.abs_diff(best.1))
             {
                 best = (pr, pc);
             }
         }
-        Grid2 { pr: best.0, pc: best.1 }
+        Grid2 {
+            pr: best.0,
+            pc: best.1,
+        }
     }
 
     /// Number of active ranks.
@@ -83,7 +85,9 @@ impl Grid2 {
 /// rows `I_pi`, and the columns of every panel `K_t` with `t ≡ pj (mod
 /// Pc)`, concatenated in ascending `t`.
 pub fn summa_local_a(full: &Matrix, grid: Grid2, flat: usize) -> Matrix {
-    let Some((pi, pj)) = grid.coords(flat) else { return Matrix::zeros(0, 0) };
+    let Some((pi, pj)) = grid.coords(flat) else {
+        return Matrix::zeros(0, 0);
+    };
     let rows = balanced_ranges(full.rows(), grid.pr)[pi].clone();
     let panels = balanced_ranges(full.cols(), grid.panels());
     let mut out = Matrix::zeros(rows.len(), 0);
@@ -99,7 +103,9 @@ pub fn summa_local_a(full: &Matrix, grid: Grid2, flat: usize) -> Matrix {
 /// columns `J_pj`, and the rows of every panel `K_t` with `t ≡ pi (mod
 /// Pr)`, stacked in ascending `t`.
 pub fn summa_local_b(full: &Matrix, grid: Grid2, flat: usize) -> Matrix {
-    let Some((pi, pj)) = grid.coords(flat) else { return Matrix::zeros(0, 0) };
+    let Some((pi, pj)) = grid.coords(flat) else {
+        return Matrix::zeros(0, 0);
+    };
     let cols = balanced_ranges(full.cols(), grid.pc)[pj].clone();
     let panels = balanced_ranges(full.rows(), grid.panels());
     let mut out = Matrix::zeros(0, cols.len());
@@ -160,7 +166,10 @@ pub fn summa2d(
             a_panel.map(Matrix::into_vec),
             my_rows.len() * kt.len(),
         );
-        let a_panel = Matrix::from_vec(my_rows.len(), kt.len(), a_flat);
+        // Materialize the shared view into a recycled workspace buffer
+        // (one write per word; the buffers are reused across panels).
+        let a_buf = rank.workspace().take_copy_of(&a_flat);
+        let a_panel = Matrix::from_vec(my_rows.len(), kt.len(), a_buf);
 
         // B panel travels along the grid column from row t mod Pr.
         let b_root = t % grid.pr;
@@ -178,9 +187,14 @@ pub fn summa2d(
             b_panel.map(Matrix::into_vec),
             kt.len() * my_cols.len(),
         );
-        let b_panel = Matrix::from_vec(kt.len(), my_cols.len(), b_flat);
+        let b_buf = rank.workspace().take_copy_of(&b_flat);
+        let b_panel = Matrix::from_vec(kt.len(), my_cols.len(), b_buf);
 
         mm_local_acc(rank, Trans::No, Trans::No, 1.0, &a_panel, &b_panel, &mut c);
+
+        // Recycle the panel buffers for the next iteration.
+        rank.workspace().put(a_panel.into_vec());
+        rank.workspace().put(b_panel.into_vec());
     }
     c
 }

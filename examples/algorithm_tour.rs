@@ -10,7 +10,10 @@ use qr3d::prelude::*;
 fn main() {
     let (m, n, p) = (512usize, 32usize, 8usize);
     let a = Matrix::random(m, n, 123);
-    println!("factoring {m} × {n} (aspect {}) on P = {p} with every algorithm:\n", m / n);
+    println!(
+        "factoring {m} × {n} (aspect {}) on P = {p} with every algorithm:\n",
+        m / n
+    );
     println!(
         "{:<24} {:>12} {:>12} {:>10}  residual check",
         "algorithm", "F", "W", "S"
@@ -34,7 +37,11 @@ fn main() {
         caqr1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &cfg)
     });
     let fac = qr3d::core::verify::assemble_block_row(&out.results, lay.counts());
-    report(&format!("1d-caqr-eg (b={})", cfg.b), &out.stats.critical(), fac.residual(&a));
+    report(
+        &format!("1d-caqr-eg (b={})", cfg.b),
+        &out.stats.critical(),
+        fac.residual(&a),
+    );
 
     // --- 1d-house ---
     let counts = lay.counts().to_vec();
@@ -42,7 +49,13 @@ fn main() {
     let machine = Machine::new(p, CostParams::unit());
     let out = machine.run(|rank| {
         let w = rank.world();
-        house1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &counts, &hcfg)
+        house1d_factor(
+            rank,
+            &w,
+            &a.take_rows(&lay.local_rows(w.rank())),
+            &counts,
+            &hcfg,
+        )
     });
     let r = out.results[0].r.as_ref().unwrap();
     report("1d-house (b=4)", &out.stats.critical(), r_gram_error(&a, r));
@@ -67,7 +80,14 @@ fn main() {
     let machine = Machine::new(p, CostParams::unit());
     let out = machine.run(|rank| {
         let w = rank.world();
-        house2d_factor(rank, &w, &grid.scatter_from_full(&a, rank.id()), m, n, &grid)
+        house2d_factor(
+            rank,
+            &w,
+            &grid.scatter_from_full(&a, rank.id()),
+            m,
+            n,
+            &grid,
+        )
     });
     let r = out.results[0].r.as_ref().unwrap();
     report(
@@ -81,7 +101,14 @@ fn main() {
     let machine = Machine::new(p, CostParams::unit());
     let out = machine.run(|rank| {
         let w = rank.world();
-        caqr2d_factor(rank, &w, &grid.scatter_from_full(&a, rank.id()), m, n, &grid)
+        caqr2d_factor(
+            rank,
+            &w,
+            &grid.scatter_from_full(&a, rank.id()),
+            m,
+            n,
+            &grid,
+        )
     });
     let r = out.results[0].r.as_ref().unwrap();
     report(

@@ -15,7 +15,10 @@ use qr3d::prelude::*;
 
 fn main() {
     let (m, n, p) = (2048usize, 32usize, 16usize);
-    println!("least squares: {m} × {n} over {p} ranks (aspect m/n = {} ≥ P)", m / n);
+    println!(
+        "least squares: {m} × {n} over {p} ranks (aspect m/n = {} ≥ P)",
+        m / n
+    );
 
     // Build a consistent-plus-noise system with a known generating model:
     // b = A·x_true + noise.
@@ -84,7 +87,10 @@ fn main() {
     let x = out.results[0].as_ref().expect("root solved");
     let err = x.sub(&x_true).frobenius_norm() / x_true.frobenius_norm();
     println!("recovered x with relative error {err:.3e} (noise floor ≈ 1e-6)");
-    assert!(err < 1e-3, "least-squares solution should recover the model");
+    assert!(
+        err < 1e-3,
+        "least-squares solution should recover the model"
+    );
 
     // Residual check: ‖Ax − b‖ should be at the noise level.
     let ax = qr3d::matrix::gemm::matmul(&a, x);

@@ -17,10 +17,14 @@ use qr3d::prelude::*;
 
 fn main() {
     let (m, nb, blocks, p) = (1536usize, 8usize, 3usize, 8usize);
-    println!("building an orthonormal basis of {m} × {} over P = {p} ranks", nb * blocks);
+    println!(
+        "building an orthonormal basis of {m} × {} over P = {p} ranks",
+        nb * blocks
+    );
 
-    let a_blocks: Vec<Matrix> =
-        (0..blocks).map(|k| Matrix::random(m, nb, 300 + k as u64)).collect();
+    let a_blocks: Vec<Matrix> = (0..blocks)
+        .map(|k| Matrix::random(m, nb, 300 + k as u64))
+        .collect();
     let lay = BlockRow::balanced(m, 1, p);
 
     let machine = Machine::new(p, CostParams::supercomputer());
@@ -52,10 +56,7 @@ fn main() {
                         q_local.cols(),
                     ));
                     block.sub_assign(&correction);
-                    rank.charge_flops(qr3d::matrix::flops::matrix_add(
-                        rows.len(),
-                        block.cols(),
-                    ));
+                    rank.charge_flops(qr3d::matrix::flops::matrix_add(rows.len(), block.cols()));
                 }
             }
             // Internal orthogonalization: tsqr, then apply Q to identity

@@ -16,7 +16,10 @@ fn main() {
 
     // Block sizes per Equation (12): δ navigates bandwidth vs latency.
     let cfg = Caqr3dConfig::auto(m, n, p, 0.5);
-    println!("3D-CAQR-EG with b = {}, b* = {} (δ = 1/2, ε = 1)", cfg.b, cfg.bstar);
+    println!(
+        "3D-CAQR-EG with b = {}, b* = {} (δ = 1/2, ε = 1)",
+        cfg.b, cfg.bstar
+    );
 
     // The input is row-cyclic (Section 7): rank r owns rows r, r+P, …
     let layout = ShiftedRowCyclic::new(m, n, p, 0);
@@ -35,7 +38,10 @@ fn main() {
 
     // The paper's quantities: critical-path flops / words / messages.
     let c = out.stats.critical();
-    println!("\ncritical path:  F = {:.0} flops, W = {:.0} words, S = {:.0} messages", c.flops, c.words, c.msgs);
+    println!(
+        "\ncritical path:  F = {:.0} flops, W = {:.0} words, S = {:.0} messages",
+        c.flops, c.words, c.msgs
+    );
     println!("modeled time on this machine: {:.6} s", c.time);
     println!(
         "total volume {:.0} words in {:.0} messages across all ranks",

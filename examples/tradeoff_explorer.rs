@@ -30,8 +30,7 @@ fn main() {
                 let a_local = a.take_rows(&lay.local_rows(world.rank()));
                 caqr1d_factor(rank, &world, &a_local, &cfg)
             });
-            let fac =
-                qr3d::core::verify::assemble_block_row(&out.results, lay.counts());
+            let fac = qr3d::core::verify::assemble_block_row(&out.results, lay.counts());
             assert!(fac.residual(&a) < 1e-10);
             (eps, b, out.stats.critical())
         })
@@ -39,7 +38,10 @@ fn main() {
 
     println!("{:>6} {:>6} {:>12} {:>12} {:>10}", "ε", "b", "F", "W", "S");
     for (eps, b, c) in &sweep {
-        println!("{:>6.2} {:>6} {:>12.0} {:>12.0} {:>10.0}", eps, b, c.flops, c.words, c.msgs);
+        println!(
+            "{:>6.2} {:>6} {:>12.0} {:>12.0} {:>10.0}",
+            eps, b, c.flops, c.words, c.msgs
+        );
     }
 
     let machines = [

@@ -1,0 +1,137 @@
+//! Integration test locking the simulator to the analytic cost model:
+//! the machine's *measured* critical-path costs (flops, words, messages)
+//! for 1D-CAQR-EG and 3D-CAQR-EG must match the `qr3d-cost` predictions
+//! (Equation (11) and Equation (13)) up to the stated constant-factor
+//! slack, and the measured-to-predicted ratio must stay stable across a
+//! processor sweep (the formulas are O(·) bounds: constants are free,
+//! *shape* is not).
+
+use qr3d::cost::algorithms::{caqr1d_cost, caqr3d_cost};
+use qr3d::cost::Cost3;
+use qr3d::machine::Clock;
+use qr3d::prelude::*;
+use qr3d_bench::{run_caqr1d, run_caqr3d};
+
+/// Constant-factor slack per component (flops, words, msgs): measured
+/// must lie within `[predicted / SLACK, predicted * SLACK]`. The formulas
+/// drop constants — and every message is charged at *both* endpoints and
+/// composed collectives each contribute their own log-factor of hops, so
+/// the message constant is the largest (measured ≈ 16–40× the bare
+/// formula at these shapes; see `print_ratio_table_for_calibration`).
+const SLACK: [f64; 3] = [16.0, 16.0, 64.0];
+
+/// Across a P sweep the per-component ratio may drift by at most this
+/// factor (constants must stay constants — this is the sharp check: a
+/// simulator bug that loses or gains a log-factor breaks it, since
+/// log₂P doubles across the sweep).
+const DRIFT: f64 = 2.5;
+
+fn ratios(measured: &Clock, predicted: &Cost3) -> [f64; 3] {
+    [
+        measured.flops / predicted.flops.max(1.0),
+        measured.words / predicted.words.max(1.0),
+        measured.msgs / predicted.msgs.max(1.0),
+    ]
+}
+
+fn assert_within_slack(name: &str, r: &[f64; 3]) {
+    for ((comp, v), slack) in ["flops", "words", "msgs"].iter().zip(r).zip(SLACK) {
+        assert!(
+            (1.0 / slack..=slack).contains(v),
+            "{name}: measured/predicted {comp} ratio {v:.3} outside [{:.3}, {slack}]",
+            1.0 / slack
+        );
+    }
+}
+
+fn assert_stable(name: &str, all: &[[f64; 3]]) {
+    for (c, comp) in ["flops", "words", "msgs"].iter().enumerate() {
+        let max = all.iter().map(|r| r[c]).fold(f64::MIN, f64::max);
+        let min = all.iter().map(|r| r[c]).fold(f64::MAX, f64::min);
+        assert!(
+            max / min <= DRIFT,
+            "{name}: {comp} ratio drifts {max:.3}/{min:.3} = {:.2}x across the P sweep \
+             (> {DRIFT}x): simulator scaling shape departs from the model",
+            max / min
+        );
+    }
+}
+
+#[test]
+fn caqr1d_measured_costs_match_eq11() {
+    // Equation (11): F = mn²/P + nb²logP, W = n² + nb logP, S = (n/b)logP.
+    let n = 32;
+    let b = 8;
+    let mut seen = Vec::new();
+    for p in [4usize, 8, 16] {
+        let m = 32 * p.max(4); // keep every rank ≥ n rows
+        let measured = run_caqr1d(m, n, p, b, 7);
+        let predicted = caqr1d_cost(m, n, p, b);
+        let r = ratios(&measured, &predicted);
+        assert_within_slack(&format!("caqr1d p={p}"), &r);
+        seen.push(r);
+    }
+    assert_stable("caqr1d", &seen);
+}
+
+#[test]
+fn caqr3d_measured_costs_match_eq13() {
+    // Equation (13) with thresholds (b, b*).
+    let n = 24;
+    let (b, bstar) = (12, 6);
+    let mut seen = Vec::new();
+    for p in [4usize, 8, 16] {
+        let m = 48 * p;
+        let measured = run_caqr3d(m, n, p, Caqr3dConfig::new(b, bstar), 9);
+        let predicted = caqr3d_cost(m, n, p, b, bstar);
+        let r = ratios(&measured, &predicted);
+        assert_within_slack(&format!("caqr3d p={p}"), &r);
+        seen.push(r);
+    }
+    assert_stable("caqr3d", &seen);
+}
+
+#[test]
+fn caqr1d_flop_term_scales_with_matrix_size() {
+    // Doubling m at fixed n, P, b must roughly double the measured flops
+    // (the mn²/P term dominates at these shapes).
+    let (n, p, b) = (16, 4, 4);
+    let f1 = run_caqr1d(64 * 4, n, p, b, 3).flops;
+    let f2 = run_caqr1d(128 * 4, n, p, b, 3).flops;
+    let ratio = f2 / f1;
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "flops should ≈ double when m doubles; got {ratio:.2}"
+    );
+}
+
+#[test]
+fn caqr1d_latency_tracks_inverse_block_size() {
+    // S = (n/b) log P: halving b should ≈ double the message count.
+    let (m, n, p) = (512, 32, 8);
+    let s_b8 = run_caqr1d(m, n, p, 8, 5).msgs;
+    let s_b4 = run_caqr1d(m, n, p, 4, 5).msgs;
+    let ratio = s_b4 / s_b8;
+    assert!(
+        (1.4..=2.8).contains(&ratio),
+        "messages should ≈ double when b halves; got {ratio:.2}"
+    );
+}
+
+#[test]
+fn print_ratio_table_for_calibration() {
+    // Not an assertion: documents the measured/predicted constants so
+    // slack changes are informed. Run with `--nocapture` to see it.
+    for p in [4usize, 8, 16] {
+        let m = 32 * p.max(4);
+        let measured = run_caqr1d(m, 32, p, 8, 7);
+        let predicted = caqr1d_cost(m, 32, p, 8);
+        println!("caqr1d p={p:<3} ratios {:?}", ratios(&measured, &predicted));
+    }
+    for p in [4usize, 8, 16] {
+        let m = 48 * p;
+        let measured = run_caqr3d(m, 24, p, Caqr3dConfig::new(12, 6), 9);
+        let predicted = caqr3d_cost(m, 24, p, 12, 6);
+        println!("caqr3d p={p:<3} ratios {:?}", ratios(&measured, &predicted));
+    }
+}

@@ -62,7 +62,14 @@ fn all_algorithms_factor_the_same_matrix() {
     let machine = Machine::new(p, CostParams::unit());
     let out = machine.run(|rank| {
         let w = rank.world();
-        caqr2d_factor(rank, &w, &grid.scatter_from_full(&a, rank.id()), m, n, &grid)
+        caqr2d_factor(
+            rank,
+            &w,
+            &grid.scatter_from_full(&a, rank.id()),
+            m,
+            n,
+            &grid,
+        )
     });
     assert!(r_gram_error(&a, out.results[0].r.as_ref().unwrap()) < 1e-11);
 }
@@ -139,7 +146,11 @@ fn factors_compose_with_downstream_multiplies() {
 /// full 3D pipeline.
 #[test]
 fn odd_everything() {
-    for (m, n, p, b, bstar) in [(70usize, 10usize, 3usize, 5usize, 2usize), (54, 9, 5, 3, 3), (45, 7, 7, 7, 2)] {
+    for (m, n, p, b, bstar) in [
+        (70usize, 10usize, 3usize, 5usize, 2usize),
+        (54, 9, 5, 3, 3),
+        (45, 7, 7, 7, 2),
+    ] {
         let a = Matrix::random(m, n, (m + n + p) as u64);
         let cyc = ShiftedRowCyclic::new(m, n, p, 0);
         let cfg = Caqr3dConfig::new(b, bstar);
@@ -169,10 +180,20 @@ fn nested_subcommunicator_collectives() {
         // 3 × 4 grid: reduce along rows, then broadcast along columns.
         let me = w.rank();
         let (row, col) = (me / 4, me % 4);
-        let row_comm = w.subset(&(0..4).map(|c| row * 4 + c).collect::<Vec<_>>()).unwrap();
-        let col_comm = w.subset(&(0..3).map(|r| r * 4 + col).collect::<Vec<_>>()).unwrap();
+        let row_comm = w
+            .subset(&(0..4).map(|c| row * 4 + c).collect::<Vec<_>>())
+            .unwrap();
+        let col_comm = w
+            .subset(&(0..3).map(|r| r * 4 + col).collect::<Vec<_>>())
+            .unwrap();
         let s = reduce(rank, &row_comm, 0, vec![me as f64]);
-        let val = broadcast(rank, &col_comm, 0, (col_comm.rank() == 0).then(|| s.unwrap_or(vec![-1.0])), 1);
+        let val = broadcast(
+            rank,
+            &col_comm,
+            0,
+            (col_comm.rank() == 0).then(|| s.unwrap_or(vec![-1.0])),
+            1,
+        );
         val[0]
     });
     // Row sums land on column 0 ranks, then broadcast down each column...

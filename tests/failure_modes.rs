@@ -108,7 +108,11 @@ fn zero_sized_collectives() {
 /// Cost clocks survive extreme parameter regimes without NaN/inf.
 #[test]
 fn extreme_cost_params_stay_finite() {
-    let params = CostParams { alpha: 1e30, beta: 1e-30, gamma: 0.0 };
+    let params = CostParams {
+        alpha: 1e30,
+        beta: 1e-30,
+        gamma: 0.0,
+    };
     let machine = Machine::new(2, params);
     let a = Matrix::random(8, 2, 5);
     let lay = BlockRow::balanced(8, 1, 2);

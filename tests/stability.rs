@@ -10,7 +10,9 @@ use qr3d::prelude::*;
 /// Columns spanning 12 orders of magnitude in scale.
 fn graded(m: usize, n: usize, seed: u64) -> Matrix {
     let base = Matrix::random(m, n, seed);
-    Matrix::from_fn(m, n, |i, j| base[(i, j)] * 10f64.powi(-(12 * j as i32) / n as i32))
+    Matrix::from_fn(m, n, |i, j| {
+        base[(i, j)] * 10f64.powi(-(12 * j as i32) / n as i32)
+    })
 }
 
 /// Nearly dependent columns: each column = previous + 1e-10 · noise.
@@ -113,7 +115,10 @@ fn caqr1d_stable_on_huge_scale_differences() {
     });
     let fac = qr3d::core::verify::assemble_block_row(&out.results, lay.counts());
     let resid = fac.residual(&a);
-    assert!(resid.is_finite() && resid < 1e-12, "huge-scale residual {resid}");
+    assert!(
+        resid.is_finite() && resid < 1e-12,
+        "huge-scale residual {resid}"
+    );
 }
 
 #[test]
