@@ -1,0 +1,175 @@
+//! CI's bench-regression gate.
+//!
+//! ```text
+//! bench_gate emit [--out FILE]       # measure, print/write a JSON report
+//! bench_gate check BASELINE CURRENT  # diff two reports; exit 1 on regression
+//! ```
+//!
+//! The report mixes two kinds of records:
+//!
+//! * **Deterministic cost counts** (`cost/…`, mode `eq`, tight tolerance):
+//!   critical-path `(F, W, S)` of real simulated factorizations. The
+//!   simulator's logical clocks are bit-for-bit reproducible, so *any*
+//!   drift means an algorithm or collective changed its communication
+//!   pattern — exactly what a communication-avoiding library must gate.
+//! * **Wall-clock sanity** (`time/…` mode `le`, `speedup/…` mode `ge`,
+//!   generous tolerances): catches order-of-magnitude kernel regressions
+//!   without flaking on noisy CI runners.
+//!
+//! The committed `BENCH_baseline.json` carries the tolerances; `check`
+//! applies the *baseline's* policy to the current measurements.
+
+use std::time::Instant;
+
+use qr3d_bench::report::{BenchReport, GateMode};
+use qr3d_bench::{run_caqr1d, run_caqr3d, run_cholqr2, run_tsqr};
+use qr3d_core::prelude::Caqr3dConfig;
+use qr3d_matrix::gemm::{gemm, gemm_reference, Trans};
+use qr3d_matrix::Matrix;
+
+fn push_cost(report: &mut BenchReport, name: &str, c: qr3d_machine::Clock) {
+    // Logical clocks are deterministic; 0.1% absorbs only float noise in
+    // the (already deterministic) accumulation, effectively exact.
+    report.push(format!("cost/{name}/flops"), c.flops, GateMode::Eq, 1e-3);
+    report.push(format!("cost/{name}/words"), c.words, GateMode::Eq, 1e-3);
+    report.push(format!("cost/{name}/msgs"), c.msgs, GateMode::Eq, 1e-3);
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn emit() -> BenchReport {
+    let mut report = BenchReport::default();
+
+    // -- Deterministic communication/arithmetic counts. --
+    let tsqr = run_tsqr(512, 16, 8, 7);
+    let cholqr2 = run_cholqr2(512, 16, 8, 7);
+    push_cost(&mut report, "tsqr_512x16x8", tsqr);
+    push_cost(&mut report, "cholqr2_512x16x8", cholqr2);
+    push_cost(
+        &mut report,
+        "caqr1d_256x16x4_b4",
+        run_caqr1d(256, 16, 4, 4, 7),
+    );
+    push_cost(
+        &mut report,
+        "caqr3d_96x24x4",
+        run_caqr3d(96, 24, 4, Caqr3dConfig::new(12, 6), 7),
+    );
+
+    // The headline relation this PR's backend exists for: CholeskyQR2
+    // must keep beating TSQR on critical-path words at the same latency
+    // scale. Stored as a ratio so the gate survives retuned constants.
+    report.push(
+        "ratio/tsqr_words_over_cholqr2_words",
+        tsqr.words / cholqr2.words,
+        GateMode::Ge,
+        0.25,
+    );
+
+    // -- Wall-clock sanity. Only the blocked/reference *ratio* is gated:
+    // both kernels run on the same machine in the same process, so the
+    // ratio survives CI runners whose absolute throughput (and codegen —
+    // CI pins RUSTFLAGS="" where dev builds use target-cpu=native) bears
+    // no relation to the committing machine's. --
+    let n = 192usize;
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let mut cm = Matrix::zeros(n, n);
+    let blocked = time_median(5, || gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut cm));
+    let reference = time_median(3, || {
+        gemm_reference(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut cm)
+    });
+    report.push(
+        "speedup/gemm_blocked_over_reference_192",
+        reference / blocked,
+        GateMode::Ge,
+        0.6,
+    );
+
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => {
+            let report = emit();
+            let json = report.to_json();
+            match args.iter().position(|a| a == "--out") {
+                Some(i) => {
+                    let path = args.get(i + 1).unwrap_or_else(|| {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    });
+                    std::fs::write(path, &json).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    eprintln!("wrote {} records to {path}", report.records.len());
+                }
+                None => print!("{json}"),
+            }
+        }
+        Some("check") => {
+            let (Some(base_path), Some(cur_path)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: bench_gate check BASELINE CURRENT");
+                std::process::exit(2);
+            };
+            let read = |p: &String| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("cannot read {p}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            let parse = |p: &String, text: String| {
+                BenchReport::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {p}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            let base = parse(base_path, read(base_path));
+            let cur = parse(cur_path, read(cur_path));
+            // Ungated metrics are failures, not warnings: a new record
+            // whose baseline was never regenerated must not merge
+            // silently unchecked.
+            let mut violations: Vec<String> = base
+                .ungated(&cur)
+                .into_iter()
+                .map(|name| {
+                    format!(
+                        "{name}: measured but not in {base_path} — regenerate \
+                         the baseline (emit --out {base_path}) to gate it"
+                    )
+                })
+                .collect();
+            violations.extend(base.compare(&cur));
+            if violations.is_empty() {
+                println!(
+                    "bench gate: OK ({} baseline records checked)",
+                    base.records.len()
+                );
+            } else {
+                eprintln!("bench gate: {} violation(s)", violations.len());
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: bench_gate emit [--out FILE] | bench_gate check BASELINE CURRENT");
+            std::process::exit(2);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 use qr3d_core::prelude::*;
 use qr3d_machine::{Clock, CostParams, Machine};
+use qr3d_matrix::gemm::{matmul, matmul_tn};
 use qr3d_matrix::layout::BlockRow;
 use qr3d_matrix::Matrix;
 
@@ -43,6 +44,30 @@ pub fn run_tsqr(m: usize, n: usize, p: usize, seed: u64) -> Clock {
     });
     let fac = qr3d_core::verify::assemble_block_row(&out.results, lay.counts());
     assert!(fac.residual(&a) < TOL, "tsqr residual");
+    out.stats.critical()
+}
+
+/// Run CholeskyQR2 on an `m × n` matrix over `p` ranks; verify explicit-Q
+/// orthogonality and the residual; return the critical-path costs.
+pub fn run_cholqr2(m: usize, n: usize, p: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        cholqr2_factor(rank, &w, &a_loc).expect("uniform random inputs are well-conditioned")
+    });
+    let starts = lay.starts();
+    let mut q = Matrix::zeros(m, n);
+    for (rk, fac) in out.results.iter().enumerate() {
+        q.set_submatrix(starts[rk], 0, &fac.q_local);
+    }
+    let r = &out.results[0].r;
+    let resid = matmul(&q, r).sub(&a).frobenius_norm() / a.frobenius_norm();
+    assert!(resid < TOL, "cholqr2 residual");
+    let orth = matmul_tn(&q, &q).sub(&Matrix::identity(n)).max_abs();
+    assert!(orth < TOL, "cholqr2 orthogonality");
     out.stats.critical()
 }
 
@@ -142,6 +167,8 @@ mod tests {
     #[test]
     fn runners_verify_and_measure() {
         let c = run_tsqr(64, 8, 4, 1);
+        assert!(c.flops > 0.0 && c.words > 0.0 && c.msgs > 0.0);
+        let c = run_cholqr2(64, 8, 4, 1);
         assert!(c.flops > 0.0 && c.words > 0.0 && c.msgs > 0.0);
         let c = run_caqr1d(64, 8, 4, 4, 2);
         assert!(c.msgs > 0.0);

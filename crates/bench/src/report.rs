@@ -1,7 +1,350 @@
-//! Reporting utilities: table formatting and log-log scaling-exponent
-//! fits, used to compare measured costs against the paper's formulas.
+//! Reporting utilities: table formatting, log-log scaling-exponent fits,
+//! and the machine-readable [`BenchReport`] format behind CI's
+//! bench-regression gate (`bench_gate` emits a report, CI diffs it
+//! against the committed `BENCH_baseline.json`).
 
 use qr3d_machine::Clock;
+
+/// How a [`BenchRecord`] is compared against its baseline value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Two-sided: `|cur − base| ≤ tol·|base|`. For deterministic
+    /// quantities (the simulator's logical cost counts), where *any*
+    /// drift means the algorithm changed.
+    Eq,
+    /// Upper gate: `cur ≤ base·(1 + tol)`. For wall times — getting
+    /// faster is never a regression.
+    Le,
+    /// Lower gate: `cur ≥ base·(1 − tol)`. For speedup ratios — getting
+    /// better is never a regression.
+    Ge,
+}
+
+impl GateMode {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GateMode::Eq => "eq",
+            GateMode::Le => "le",
+            GateMode::Ge => "ge",
+        }
+    }
+
+    /// Inverse of [`GateMode::as_str`].
+    pub fn parse(s: &str) -> Result<GateMode, String> {
+        match s {
+            "eq" => Ok(GateMode::Eq),
+            "le" => Ok(GateMode::Le),
+            "ge" => Ok(GateMode::Ge),
+            other => Err(format!("unknown gate mode {other:?}")),
+        }
+    }
+}
+
+/// One gated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable identifier (also the join key against the baseline).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Comparison direction.
+    pub mode: GateMode,
+    /// Relative tolerance (`0.01` = 1%). Stored in the *baseline*; the
+    /// baseline's tolerance governs the comparison.
+    pub tolerance: f64,
+}
+
+/// A set of gated measurements, serializable to a small JSON subset
+/// (objects, arrays, strings, finite numbers — hand-rolled; the
+/// workspace is deliberately dependency-free).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// The measurements, in emission order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Add a measurement.
+    pub fn push(&mut self, name: impl Into<String>, value: f64, mode: GateMode, tolerance: f64) {
+        self.records.push(BenchRecord {
+            name: name.into(),
+            value,
+            mode,
+            tolerance,
+        });
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"value\": {}, \"mode\": \"{}\", \"tolerance\": {}}}{comma}\n",
+                json_string(&r.name),
+                json_number(r.value),
+                r.mode.as_str(),
+                json_number(r.tolerance),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a report emitted by [`BenchReport::to_json`] (tolerant of
+    /// whitespace and key order).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let tokens = lex_json(text)?;
+        parse_report(&tokens)
+    }
+
+    /// Names of records present in `current` but absent from this
+    /// baseline — measurements that exist but are *not gated*. The
+    /// `bench_gate` binary treats these as check failures so a new
+    /// metric whose baseline was never regenerated cannot ship silently
+    /// unchecked.
+    pub fn ungated(&self, current: &BenchReport) -> Vec<String> {
+        current
+            .records
+            .iter()
+            .filter(|c| !self.records.iter().any(|b| b.name == c.name))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// Compare `current` against this baseline. Returns one human-readable
+    /// violation per failed gate (empty = pass). Every baseline record
+    /// must be present in `current`; records present only in `current`
+    /// are not failures — list them with [`BenchReport::ungated`].
+    pub fn compare(&self, current: &BenchReport) -> Vec<String> {
+        let mut violations = Vec::new();
+        for base in &self.records {
+            let Some(cur) = current.records.iter().find(|r| r.name == base.name) else {
+                violations.push(format!("{}: missing from current report", base.name));
+                continue;
+            };
+            let (b, c, tol) = (base.value, cur.value, base.tolerance);
+            let rel = |x: f64| x * b.abs().max(f64::MIN_POSITIVE);
+            let ok = match base.mode {
+                GateMode::Eq => (c - b).abs() <= rel(tol),
+                GateMode::Le => c <= b + rel(tol),
+                GateMode::Ge => c >= b - rel(tol),
+            };
+            if !ok {
+                violations.push(format!(
+                    "{}: {} {:.6e} violates baseline {:.6e} (mode {}, tolerance {})",
+                    base.name,
+                    "current",
+                    c,
+                    b,
+                    base.mode.as_str(),
+                    tol
+                ));
+            }
+        }
+        violations
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    assert!(x.is_finite(), "JSON numbers must be finite");
+    // Round-trippable without scientific-notation parsing surprises.
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Str(String),
+    Num(f64),
+}
+
+fn lex_json(text: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    let Some(&c) = bytes.get(i) else {
+                        return Err("unterminated string".into());
+                    };
+                    i += 1;
+                    match c {
+                        '"' => break,
+                        '\\' => {
+                            let Some(&e) = bytes.get(i) else {
+                                return Err("dangling escape".into());
+                            };
+                            i += 1;
+                            match e {
+                                '"' => s.push('"'),
+                                '\\' => s.push('\\'),
+                                '/' => s.push('/'),
+                                'n' => s.push('\n'),
+                                't' => s.push('\t'),
+                                'u' => {
+                                    let hex: String =
+                                        bytes.get(i..i + 4).unwrap_or(&[]).iter().collect();
+                                    let code = u32::from_str_radix(&hex, 16)
+                                        .map_err(|_| "bad \\u escape".to_string())?;
+                                    s.push(char::from_u32(code).ok_or("bad codepoint")?);
+                                    i += 4;
+                                }
+                                other => return Err(format!("unsupported escape \\{other}")),
+                            }
+                        }
+                        c => s.push(c),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && matches!(bytes[i], '-' | '+' | '.' | 'e' | 'E' | '0'..='9')
+                {
+                    i += 1;
+                }
+                let lit: String = bytes[start..i].iter().collect();
+                let v: f64 = lit.parse().map_err(|_| format!("bad number {lit:?}"))?;
+                toks.push(Tok::Num(v));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+/// Parse the `{"version": …, "records": [{…}, …]}` shape, ignoring
+/// unknown top-level keys (forward compatibility).
+fn parse_report(toks: &[Tok]) -> Result<BenchReport, String> {
+    let mut i = 0;
+    expect(toks, &mut i, Tok::LBrace)?;
+    let mut report = BenchReport::default();
+    loop {
+        let key = match toks.get(i) {
+            Some(Tok::Str(k)) => k.clone(),
+            Some(Tok::RBrace) => break,
+            other => return Err(format!("expected key, got {other:?}")),
+        };
+        i += 1;
+        expect(toks, &mut i, Tok::Colon)?;
+        if key == "records" {
+            expect(toks, &mut i, Tok::LBracket)?;
+            while toks.get(i) != Some(&Tok::RBracket) {
+                report.records.push(parse_record(toks, &mut i)?);
+                if toks.get(i) == Some(&Tok::Comma) {
+                    i += 1;
+                }
+            }
+            i += 1; // consume ]
+        } else {
+            // Skip a scalar value (version etc.).
+            match toks.get(i) {
+                Some(Tok::Num(_)) | Some(Tok::Str(_)) => i += 1,
+                other => return Err(format!("unsupported value for {key:?}: {other:?}")),
+            }
+        }
+        if toks.get(i) == Some(&Tok::Comma) {
+            i += 1;
+        }
+    }
+    Ok(report)
+}
+
+fn parse_record(toks: &[Tok], i: &mut usize) -> Result<BenchRecord, String> {
+    expect(toks, i, Tok::LBrace)?;
+    let (mut name, mut value, mut mode, mut tolerance) = (None, None, None, None);
+    while toks.get(*i) != Some(&Tok::RBrace) {
+        let key = match toks.get(*i) {
+            Some(Tok::Str(k)) => k.clone(),
+            other => return Err(format!("expected record key, got {other:?}")),
+        };
+        *i += 1;
+        expect(toks, i, Tok::Colon)?;
+        match (key.as_str(), toks.get(*i)) {
+            ("name", Some(Tok::Str(s))) => name = Some(s.clone()),
+            ("value", Some(Tok::Num(v))) => value = Some(*v),
+            ("mode", Some(Tok::Str(s))) => mode = Some(GateMode::parse(s)?),
+            ("tolerance", Some(Tok::Num(v))) => tolerance = Some(*v),
+            (k, v) => return Err(format!("unexpected record field {k:?}: {v:?}")),
+        }
+        *i += 1;
+        if toks.get(*i) == Some(&Tok::Comma) {
+            *i += 1;
+        }
+    }
+    *i += 1; // consume }
+    Ok(BenchRecord {
+        name: name.ok_or("record missing name")?,
+        value: value.ok_or("record missing value")?,
+        mode: mode.ok_or("record missing mode")?,
+        tolerance: tolerance.ok_or("record missing tolerance")?,
+    })
+}
+
+fn expect(toks: &[Tok], i: &mut usize, want: Tok) -> Result<(), String> {
+    if toks.get(*i) == Some(&want) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {want:?}, got {:?}", toks.get(*i)))
+    }
+}
 
 /// Least-squares slope of `log(y)` against `log(x)` — the empirical
 /// scaling exponent of `y ∝ x^slope`.
@@ -99,5 +442,103 @@ mod tests {
     fn ratio_handles_zero() {
         assert_eq!(ratio(5.0, 0.0), 0.0);
         assert_eq!(ratio(6.0, 2.0), 3.0);
+    }
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::default();
+        r.push("cost/tsqr/words", 1536.0, GateMode::Eq, 0.01);
+        r.push("time/gemm_192", 2.5e-3, GateMode::Le, 10.0);
+        r.push("speedup/\"quoted\\name\"", 3.75, GateMode::Ge, 0.6);
+        r
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_report();
+        let parsed = BenchReport::from_json(&r.to_json()).expect("own output parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn json_tolerates_whitespace_and_key_order() {
+        let text = r#"
+            { "version": 1, "records": [
+                { "tolerance": 0.5, "mode": "ge", "value": 3.0, "name": "x" }
+            ] }
+        "#;
+        let r = BenchReport::from_json(text).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].name, "x");
+        assert_eq!(r.records[0].mode, GateMode::Ge);
+    }
+
+    #[test]
+    fn json_rejects_malformed() {
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json(r#"{"records": [{"name": "x"}]}"#).is_err());
+        assert!(BenchReport::from_json(
+            r#"{"records": [{"name": "x", "value": 1.0, "mode": "zz", "tolerance": 0.1}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compare_passes_identical_reports() {
+        let r = sample_report();
+        assert!(r.compare(&r).is_empty());
+    }
+
+    #[test]
+    fn compare_modes_gate_in_the_right_direction() {
+        let mut base = BenchReport::default();
+        base.push("exact", 100.0, GateMode::Eq, 0.01);
+        base.push("wall", 1.0, GateMode::Le, 0.5);
+        base.push("speedup", 4.0, GateMode::Ge, 0.25);
+
+        // Within tolerance / improving directions: pass.
+        let mut ok = BenchReport::default();
+        ok.push("exact", 100.5, GateMode::Eq, 0.0);
+        ok.push("wall", 0.1, GateMode::Le, 0.0); // faster is fine
+        ok.push("speedup", 9.0, GateMode::Ge, 0.0); // better is fine
+        assert!(base.compare(&ok).is_empty(), "{:?}", base.compare(&ok));
+
+        // Violations in each direction.
+        let mut bad = BenchReport::default();
+        bad.push("exact", 110.0, GateMode::Eq, 0.0);
+        bad.push("wall", 2.0, GateMode::Le, 0.0);
+        bad.push("speedup", 2.0, GateMode::Ge, 0.0);
+        let v = base.compare(&bad);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn compare_flags_missing_records() {
+        let base = sample_report();
+        let v = base.compare(&BenchReport::default());
+        assert_eq!(v.len(), base.records.len());
+        assert!(v[0].contains("missing"));
+    }
+
+    #[test]
+    fn ungated_lists_current_only_records() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.push("brand/new_metric", 1.0, GateMode::Eq, 0.1);
+        // Not a gate failure…
+        assert!(base.compare(&cur).is_empty());
+        // …but surfaced for the caller to warn about.
+        assert_eq!(base.ungated(&cur), vec!["brand/new_metric".to_string()]);
+        assert!(base.ungated(&base).is_empty());
+    }
+
+    #[test]
+    fn baseline_tolerance_governs() {
+        // Current's tolerance field is ignored; the committed baseline
+        // decides the policy.
+        let mut base = BenchReport::default();
+        base.push("x", 100.0, GateMode::Eq, 0.5);
+        let mut cur = BenchReport::default();
+        cur.push("x", 140.0, GateMode::Eq, 0.0);
+        assert!(base.compare(&cur).is_empty());
     }
 }

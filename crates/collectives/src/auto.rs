@@ -10,8 +10,8 @@
 
 use qr3d_machine::{Comm, Payload, Rank};
 
-use crate::bidir::{all_reduce_bidir, broadcast_bidir, reduce_bidir};
-use crate::binomial::{all_reduce_binomial, broadcast_binomial, reduce_binomial};
+use crate::bidir::{all_reduce_bidir, all_reduce_doubling, broadcast_bidir, reduce_bidir};
+use crate::binomial::{broadcast_binomial, reduce_binomial};
 
 /// True when the bidirectional-exchange variant's `B + P` bound beats the
 /// binomial tree's `B log P` (with `log P ≥ 1`).
@@ -51,13 +51,43 @@ pub fn reduce(rank: &mut Rank, comm: &Comm, root: usize, data: Vec<f64>) -> Opti
     }
 }
 
-/// **all-reduce** with automatic algorithm selection
-/// (`min(B log P, B + P)` words and flops, Table 1 row 6).
+/// True when the recursive-doubling butterfly's modeled time
+/// `(α + Bβ)·log P` beats reduce-scatter + all-gather's
+/// `2α·log P + 2β(B + P)` on this machine. Unlike the words-only
+/// [`bidir_wins`] bound, this weighs the latency halving against the
+/// extra words with the machine's real `α/β` — on latency-dominated
+/// machines (`α/β ≫ B`) the butterfly wins even for `n × n` Gram blocks
+/// whose word count alone would favor the exchange. The predicate reads
+/// only global machine parameters, so every rank picks the same variant.
+fn doubling_wins(block: usize, p: usize, cp: &qr3d_machine::CostParams) -> bool {
+    if p <= 2 {
+        return true; // identical patterns; skip the chunking bookkeeping
+    }
+    let lg = (p as f64).log2();
+    let b = block as f64;
+    let t_doubling = lg * (cp.alpha + cp.beta * b);
+    let t_bidir = 2.0 * lg * cp.alpha + 2.0 * cp.beta * (b + p as f64);
+    t_doubling <= t_bidir
+}
+
+/// **all-reduce** with automatic algorithm selection, Table 1 row 6.
+///
+/// Picks whichever of the two variants minimizes modeled time on this
+/// machine: the **recursive-doubling** butterfly (`B log P` words but
+/// only `log P` messages — the latency-lean choice, e.g. for
+/// CholeskyQR2's replicated `n × n` Gram reduction on a cluster) or the
+/// **reduce-scatter + all-gather** composition (`O(B + P)` words at
+/// `2 log P` messages — the bandwidth-lean choice). Both variants
+/// deliver bitwise-identical results on every rank (each element is
+/// either combined in a commutative balanced tree, or summed once on a
+/// single owner and forwarded verbatim), so replicated decisions on the
+/// result are safe under either.
 pub fn all_reduce(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
-    if bidir_wins(data.len(), comm.size()) {
-        all_reduce_bidir(rank, comm, data)
+    let params = *rank.params();
+    if doubling_wins(data.len(), comm.size(), &params) {
+        all_reduce_doubling(rank, comm, data)
     } else {
-        all_reduce_binomial(rank, comm, data)
+        all_reduce_bidir(rank, comm, data)
     }
 }
 
@@ -141,5 +171,65 @@ mod tests {
             "auto should beat the tree: W={}",
             c.words
         );
+    }
+
+    #[test]
+    fn all_reduce_selector_weighs_latency_against_bandwidth() {
+        // On a latency-dominated cluster (α/β = 1e4) an n × n Gram block
+        // (n = 16 ⇒ B = 256) must take the butterfly: halving log P
+        // messages saves more than the extra words cost. On a
+        // bandwidth-priced unit machine the same block takes the
+        // exchange.
+        let cluster = CostParams::cluster();
+        assert!(doubling_wins(256, 16, &cluster), "Gram block on a cluster");
+        assert!(doubling_wins(4096, 16, &cluster), "α/β = 1e4 ≫ B still");
+        let unit = CostParams::unit();
+        assert!(!doubling_wins(256, 16, &unit), "words-priced machine");
+        assert!(doubling_wins(4, 16, &unit), "tiny block: latency rules");
+        // p ≤ 2: either pattern is one exchange; doubling skips chunking.
+        assert!(doubling_wins(1000, 2, &unit));
+    }
+
+    #[test]
+    fn auto_all_reduce_latency_lean_on_cluster() {
+        // End to end: the auto path on a cluster machine must spend at
+        // most ~2·⌈log₂P⌉ messages (butterfly send+recv at both
+        // endpoints), not the exchange's ~4·⌈log₂P⌉.
+        let p = 16usize;
+        let out = Machine::new(p, CostParams::cluster()).run(|rank| {
+            let w = rank.world();
+            all_reduce(rank, &w, vec![1.0; 256])
+        });
+        assert!(out.results.iter().all(|r| r == &vec![p as f64; 256]));
+        let lg = (p as f64).log2().ceil();
+        assert!(
+            out.stats.critical().msgs <= 2.0 * lg + 2.0,
+            "S={} should be the butterfly's, not the exchange's",
+            out.stats.critical().msgs
+        );
+    }
+
+    #[test]
+    fn auto_all_reduce_bitwise_replicated_in_both_regimes() {
+        // The CholeskyQR2 safety contract documented in core::cholqr:
+        // whatever variant auto picks, every rank must hold identical
+        // bits, or replicated decisions (Cholesky breakdown) diverge.
+        // Cover the doubling pick (cluster params) and the bidir pick
+        // (unit params, large block).
+        for (params, b) in [
+            (CostParams::cluster(), 256usize),
+            (CostParams::unit(), 4096),
+        ] {
+            let out = Machine::new(12, params).run(move |rank| {
+                let w = rank.world();
+                let x = (rank.id() as f64 + 1.0).sqrt() * 1e-3;
+                all_reduce(rank, &w, vec![x; b])
+            });
+            let first: Vec<u64> = out.results[0].iter().map(|v| v.to_bits()).collect();
+            for (r, res) in out.results.iter().enumerate() {
+                let bits: Vec<u64> = res.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits, first, "rank {r} diverged (b={b})");
+            }
+        }
     }
 }

@@ -287,6 +287,73 @@ pub fn all_reduce_bidir(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64
     all_gather_flat(rank, comm, &mine, &chunk_sizes)
 }
 
+/// Recursive-doubling (butterfly) **all-reduce**: `log P` exchange rounds
+/// of the *whole* block — `B log P` words but only `log P` messages on
+/// every rank's path, versus `2 log P` for the reduce + broadcast
+/// composition. This is the latency-optimal variant for small blocks
+/// (e.g. the replicated `n × n` Gram matrices of CholeskyQR2, where
+/// `B = n² ≪ P·n²/log P`).
+///
+/// Non-powers of two fold the top `P − 2^⌊log P⌋` ranks into their
+/// counterparts before the butterfly and unfold after (+2 messages on
+/// those ranks only).
+///
+/// Every rank returns the **bitwise-identical** result: each butterfly
+/// level combines the same two subtree sums on both partners (in opposite
+/// operand order, and IEEE addition is commutative), so replicated
+/// decisions taken on the result — like CholeskyQR2's Cholesky breakdown
+/// test — cannot diverge across ranks.
+pub fn all_reduce_doubling(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
+    let p = comm.size();
+    let me = comm.rank();
+    if p <= 1 {
+        return data;
+    }
+    let op = comm.next_op();
+    let b = data.len();
+    // Largest power of two ≤ p; ranks ≥ p2 fold into me − p2 first.
+    let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let extra = p - p2;
+    const FOLD: u64 = 0;
+    const UNFOLD: u64 = 63;
+
+    if me >= p2 {
+        rank.send_vec(comm, me - p2, tag_of(op, FOLD), data);
+        return rank.recv(comm, me - p2, tag_of(op, UNFOLD)).into_vec();
+    }
+
+    let mut acc = data;
+    if me < extra {
+        let incoming = rank.recv(comm, me + p2, tag_of(op, FOLD));
+        assert_eq!(incoming.len(), b, "all-reduce: length mismatch");
+        for (a, v) in acc.iter_mut().zip(incoming.iter()) {
+            *a += v;
+        }
+        rank.charge_flops(b as f64);
+    }
+
+    let mut bit = 1usize;
+    let mut level = 1u64;
+    while bit < p2 {
+        let own = Payload::new(acc);
+        let incoming = rank.sendrecv(comm, me ^ bit, tag_of(op, level), &own);
+        assert_eq!(incoming.len(), b, "all-reduce: length mismatch");
+        acc = own
+            .iter()
+            .zip(incoming.iter())
+            .map(|(a, v)| a + v)
+            .collect();
+        rank.charge_flops(b as f64);
+        bit <<= 1;
+        level += 1;
+    }
+
+    if me < extra {
+        rank.send_slice(comm, me + p2, tag_of(op, UNFOLD), &acc);
+    }
+    acc
+}
+
 /// Balanced chunk sizes for splitting a block of `size` words into `p`
 /// pieces ("splitting the original blocks into new blocks of size at most
 /// ⌈B/P⌉").
@@ -525,5 +592,72 @@ mod tests {
         let d: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let c = split_chunks(&d, &chunk_sizes(10, 3));
         assert_eq!(c.concat(), d);
+    }
+
+    #[test]
+    fn doubling_all_reduce_sums_any_p() {
+        for p in [1usize, 2, 3, 5, 6, 8, 13] {
+            let out = machine(p).run(|rank| {
+                let w = rank.world();
+                all_reduce_doubling(rank, &w, vec![1.0, rank.id() as f64])
+            });
+            let s = (p * (p - 1) / 2) as f64;
+            assert!(out.results.iter().all(|r| r == &vec![p as f64, s]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn doubling_all_reduce_is_bitwise_replicated() {
+        // The CholeskyQR2 contract: every rank must see the *identical*
+        // floats, so a replicated breakdown test cannot diverge. Use
+        // irrational-ish values whose sum order would matter if the
+        // butterfly combined different groupings.
+        for p in [3usize, 7, 8, 12] {
+            let out = machine(p).run(|rank| {
+                let w = rank.world();
+                let x = (rank.id() as f64 + 1.0).sqrt() * 1e-3;
+                all_reduce_doubling(rank, &w, vec![x, 1.0 / (x + 0.1)])
+            });
+            let first = &out.results[0];
+            for (r, res) in out.results.iter().enumerate() {
+                assert_eq!(
+                    res.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "p={p} rank {r} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_all_reduce_halves_binomial_latency() {
+        // Butterfly: ~2·log₂P messages on the critical path (send+recv at
+        // both endpoints), vs ~4·log₂P for binomial reduce + broadcast.
+        use crate::binomial::all_reduce_binomial;
+        let p = 16;
+        let out_d = machine(p).run(|rank| {
+            let w = rank.world();
+            all_reduce_doubling(rank, &w, vec![1.0; 4])
+        });
+        let out_b = machine(p).run(|rank| {
+            let w = rank.world();
+            all_reduce_binomial(rank, &w, vec![1.0; 4])
+        });
+        let (sd, sb) = (out_d.stats.critical().msgs, out_b.stats.critical().msgs);
+        assert!(
+            sd <= 0.7 * sb,
+            "doubling S={sd} should clearly beat binomial S={sb}"
+        );
+        let lg = (p as f64).log2();
+        assert!(sd <= 2.0 * lg + 2.0, "S={sd} not O(log P)");
+    }
+
+    #[test]
+    fn doubling_all_reduce_empty_block() {
+        let out = machine(4).run(|rank| {
+            let w = rank.world();
+            all_reduce_doubling(rank, &w, Vec::new())
+        });
+        assert!(out.results.iter().all(|r| r.is_empty()));
     }
 }

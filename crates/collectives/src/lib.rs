@@ -55,8 +55,8 @@ pub mod prelude {
     pub use crate::alltoall::{all_to_all, all_to_all_direct, all_to_all_index};
     pub use crate::auto::{all_reduce, broadcast, reduce};
     pub use crate::bidir::{
-        all_gather, all_gather_flat, all_reduce_bidir, broadcast_bidir, reduce_bidir,
-        reduce_scatter, reduce_scatter_flat,
+        all_gather, all_gather_flat, all_reduce_bidir, all_reduce_doubling, broadcast_bidir,
+        reduce_bidir, reduce_scatter, reduce_scatter_flat,
     };
     pub use crate::binomial::{
         all_reduce_binomial, broadcast_binomial, gather, reduce_binomial, scatter,

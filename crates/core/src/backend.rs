@@ -1,0 +1,423 @@
+//! The unified QR entry point: one `factor` call over every algorithm in
+//! the workspace, with the backend either named explicitly or chosen at
+//! runtime by the cost model — the first place the
+//! [`qr3d_cost::advisor`] recommendations actually *drive execution*
+//! instead of just printing tables.
+//!
+//! ```text
+//!        ┌───────────────┐   explicit    ┌─────────────────────────┐
+//! caller │ QrBackend::…  ├──────────────▶│ factor(a, p, backend, …) │
+//!        └───────────────┘               │  scatter → simulate →    │
+//!        ┌───────────────┐   advised     │  assemble (Q, R, Clock)  │
+//!        │ QrBackend::auto├─────────────▶└─────────────────────────┘
+//!        └───────▲───────┘
+//!                │ recommend_with_kappa(m, n, P, κ?, α, β, γ)
+//!        ┌───────┴───────┐
+//!        │ qr3d_cost      │  CholeskyQR2 offered only under the κ guard
+//!        └───────────────┘
+//! ```
+//!
+//! Every backend runs its native data layout on the simulated machine and
+//! is normalized to the same output: an explicit thin `Q` (`m × n`), the
+//! `n × n` upper-triangular `R`, and the critical-path [`Clock`].
+//! Householder-based backends build `Q` from their assembled `(V, T)`
+//! representation (orthonormal to `O(ε)` at any κ); CholeskyQR2 produces
+//! an explicit `Q` natively (`O(ε)` under its κ guard). The 2D baselines
+//! (whose internal row permutations keep `(V, T)` distributed beyond
+//! reach) recover `Q = A·R⁻¹` — mathematically orthonormal given
+//! `RᵀR = AᵀA`, but the triangular solve amplifies rounding by `κ(A)`,
+//! so their normalized `Q` loses orthogonality as `O(κ(A)·ε)`. Callers
+//! who need machine-ε orthogonality on ill-conditioned square-ish inputs
+//! should run the 2D/3D algorithms directly for `R` and apply the
+//! implicit `Q` via their own representations.
+
+use qr3d_cost::advisor::{recommend_with_kappa, Choice};
+use qr3d_machine::{Clock, CostParams, Machine};
+use qr3d_matrix::gemm::{matmul, matmul_tn};
+use qr3d_matrix::layout::BlockRow;
+use qr3d_matrix::qr::thin_q;
+use qr3d_matrix::tri::{trsm, Side, Uplo};
+use qr3d_matrix::Matrix;
+
+use crate::caqr1d::{caqr1d_factor, Caqr1dConfig};
+use crate::caqr2d::{caqr2d_block, caqr2d_factor};
+use crate::caqr3d::{caqr3d_factor, Caqr3dConfig};
+use crate::cholqr::{cholqr2_factor, CholQrError};
+use crate::house1d::{house1d_factor, House1dConfig};
+use crate::house2d::{house2d_factor, Grid2Config};
+use crate::shifted::ShiftedRowCyclic;
+use crate::tsqr::tsqr_factor;
+use crate::verify::{assemble_block_row, assemble_factorization, t_from_v};
+
+/// Which QR algorithm the unified entry point runs. Mirrors
+/// [`qr3d_cost::advisor::Choice`] (the advisor's vocabulary), plus the
+/// execution-side defaults each algorithm needs.
+#[derive(Debug, Clone, Copy)]
+pub enum QrBackend {
+    /// Unblocked-ish distributed Householder (1D block-row).
+    House1d,
+    /// TSQR with Householder reconstruction (1D block-row).
+    Tsqr,
+    /// 1D-CAQR-EG with tradeoff parameter ε ∈ [0, 1].
+    Caqr1d {
+        /// The Theorem 2 tradeoff parameter.
+        epsilon: f64,
+    },
+    /// Blocked Householder on a 2D grid.
+    House2d,
+    /// 2D CAQR (tsqr panels on a 2D grid).
+    Caqr2d,
+    /// 3D-CAQR-EG with tradeoff parameter δ ∈ [1/2, 2/3].
+    Caqr3d {
+        /// The Theorem 1 tradeoff parameter.
+        delta: f64,
+    },
+    /// CholeskyQR2 — only valid for κ(A) within the advisor's guard.
+    CholQr2,
+}
+
+impl From<Choice> for QrBackend {
+    fn from(c: Choice) -> Self {
+        match c {
+            Choice::House1d => QrBackend::House1d,
+            Choice::Tsqr => QrBackend::Tsqr,
+            Choice::Caqr1d { epsilon } => QrBackend::Caqr1d { epsilon },
+            Choice::House2d => QrBackend::House2d,
+            Choice::Caqr2d => QrBackend::Caqr2d,
+            Choice::Caqr3d { delta } => QrBackend::Caqr3d { delta },
+            Choice::CholQr2 => QrBackend::CholQr2,
+        }
+    }
+}
+
+impl QrBackend {
+    /// Ask the cost model for the cheapest backend for an `m × n` problem
+    /// on `P` ranks of the given machine. CholeskyQR2 is considered only
+    /// when [`FactorParams::kappa`] asserts a condition number within
+    /// [`qr3d_cost::advisor::CHOLQR2_KAPPA_GUARD`].
+    pub fn auto(m: usize, n: usize, p: usize, params: &FactorParams) -> QrBackend {
+        let mc = &params.machine;
+        recommend_with_kappa(m, n, p, params.kappa, mc.alpha, mc.beta, mc.gamma)
+            .choice
+            .into()
+    }
+}
+
+/// Caller-side context for backend selection: the machine the cost model
+/// should price communication for, and an optional condition-number
+/// estimate (`κ(A)`) enabling the Gram-based backend.
+#[derive(Debug, Clone, Copy)]
+pub struct FactorParams {
+    /// The machine's `(α, β, γ)` used both to advise and to clock the run.
+    pub machine: CostParams,
+    /// The caller's estimate (or assertion) of `κ(A)`; `None` = unknown,
+    /// which conservatively disables CholeskyQR2.
+    pub kappa: Option<f64>,
+}
+
+impl FactorParams {
+    /// Selection on the given machine with κ unknown.
+    pub fn new(machine: CostParams) -> Self {
+        FactorParams {
+            machine,
+            kappa: None,
+        }
+    }
+
+    /// Assert a condition-number estimate (see [`FactorParams::kappa`]).
+    pub fn with_kappa(mut self, kappa: f64) -> Self {
+        self.kappa = Some(kappa);
+        self
+    }
+}
+
+impl Default for FactorParams {
+    /// A commodity cluster with κ unknown — the conservative default.
+    fn default() -> Self {
+        FactorParams::new(CostParams::cluster())
+    }
+}
+
+/// The normalized result of a dispatched factorization.
+#[derive(Debug, Clone)]
+pub struct FactorOutput {
+    /// The backend that ran.
+    pub backend: QrBackend,
+    /// The explicit thin Q-factor (`m × n`). Orthonormal to `O(ε)` for
+    /// the Householder backends at any κ and for CholeskyQR2 under its
+    /// κ guard; `O(κ(A)·ε)` for `House2d`/`Caqr2d`, whose `Q` is
+    /// recovered as `A·R⁻¹` (see the module docs).
+    pub q: Matrix,
+    /// The `n × n` upper-triangular R-factor.
+    pub r: Matrix,
+    /// Critical-path costs of the simulated run.
+    pub critical: Clock,
+}
+
+impl FactorOutput {
+    /// Relative residual `‖A − Q·R‖_F / ‖A‖_F`.
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        matmul(&self.q, &self.r).sub(a).frobenius_norm() / a.frobenius_norm().max(f64::MIN_POSITIVE)
+    }
+
+    /// Orthogonality defect `‖QᵀQ − I‖_max`.
+    pub fn orthogonality(&self) -> f64 {
+        let n = self.q.cols();
+        matmul_tn(&self.q, &self.q)
+            .sub(&Matrix::identity(n))
+            .max_abs()
+    }
+}
+
+/// Dispatch failure. Today the only recoverable failure is CholeskyQR2
+/// breakdown (the caller's κ assertion was wrong); shape violations
+/// panic like the per-algorithm entry points do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactorError {
+    /// CholeskyQR2 hit a non-positive Cholesky pivot. Retry with a
+    /// Householder backend ([`QrBackend::Tsqr`] is always safe for
+    /// `m/n ≥ P`).
+    CholeskyBreakdown(CholQrError),
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::CholeskyBreakdown(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Factor `a` on `p` simulated ranks of `params.machine` with the backend
+/// the cost model recommends (see [`QrBackend::auto`]).
+pub fn factor_auto(
+    a: &Matrix,
+    p: usize,
+    params: &FactorParams,
+) -> Result<FactorOutput, FactorError> {
+    let backend = QrBackend::auto(a.rows(), a.cols(), p, params);
+    factor(a, p, backend, params)
+}
+
+/// Factor `a` (`m × n`, `m ≥ n ≥ 1`) on `p` simulated ranks of
+/// `params.machine` with an explicit backend. Scatters `a` into the
+/// backend's native layout, runs the real distributed algorithm, and
+/// assembles the normalized [`FactorOutput`].
+///
+/// # Panics
+/// On shape violations — e.g. a tall-skinny backend (`House1d`, `Tsqr`,
+/// `Caqr1d`) with `m/P < n`, the constraint the advisor's aspect gate
+/// enforces for advised picks.
+pub fn factor(
+    a: &Matrix,
+    p: usize,
+    backend: QrBackend,
+    params: &FactorParams,
+) -> Result<FactorOutput, FactorError> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n && n >= 1, "factor: need m ≥ n ≥ 1 (got {m} × {n})");
+    assert!(p >= 1, "factor: need at least one rank");
+    let machine = Machine::new(p, params.machine);
+
+    let (q, r, critical) = match backend {
+        QrBackend::Tsqr => {
+            let lay = BlockRow::balanced(m, 1, p);
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
+            });
+            let fac = assemble_block_row(&out.results, lay.counts());
+            (thin_q(&fac.v, &fac.t), fac.r, out.stats.critical())
+        }
+        QrBackend::Caqr1d { epsilon } => {
+            let lay = BlockRow::balanced(m, 1, p);
+            let cfg = Caqr1dConfig::auto(n, p, epsilon);
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                caqr1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &cfg)
+            });
+            let fac = assemble_block_row(&out.results, lay.counts());
+            (thin_q(&fac.v, &fac.t), fac.r, out.stats.critical())
+        }
+        QrBackend::House1d => {
+            let lay = BlockRow::balanced(m, 1, p);
+            let counts = lay.counts().to_vec();
+            let cfg = House1dConfig::new(n.min(8));
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                house1d_factor(
+                    rank,
+                    &w,
+                    &a.take_rows(&lay.local_rows(w.rank())),
+                    &counts,
+                    &cfg,
+                )
+            });
+            // Assemble V, recover the full-size T from it (Section 2.3;
+            // 1d-house never materializes one).
+            let mut v = Matrix::zeros(m, n);
+            let starts = lay.starts();
+            for (rk, res) in out.results.iter().enumerate() {
+                v.set_submatrix(starts[rk], 0, &res.v_local);
+            }
+            let t = t_from_v(&v);
+            let r = out.results[0].r.clone().expect("rank 0 holds R");
+            (thin_q(&v, &t), r, out.stats.critical())
+        }
+        QrBackend::Caqr3d { delta } => {
+            let lay = ShiftedRowCyclic::new(m, n, p, 0);
+            let cfg = Caqr3dConfig::auto(m, n, p, delta);
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                caqr3d_factor(rank, &w, &lay.scatter_from_full(a, w.rank()), m, n, &cfg)
+            });
+            let fac = assemble_factorization(&out.results, m, n, p);
+            (thin_q(&fac.v, &fac.t), fac.r, out.stats.critical())
+        }
+        QrBackend::House2d | QrBackend::Caqr2d => {
+            let b = caqr2d_block(m, n, p);
+            let cfg = Grid2Config::auto(m, n, p, b);
+            let is_house = matches!(backend, QrBackend::House2d);
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let a_loc = cfg.scatter_from_full(a, w.rank());
+                if is_house {
+                    house2d_factor(rank, &w, &a_loc, m, n, &cfg)
+                } else {
+                    caqr2d_factor(rank, &w, &a_loc, m, n, &cfg)
+                }
+            });
+            let r = out.results[0].r.clone().expect("rank 0 holds R");
+            // The 2D drivers' internal permutations keep (V, T) out of
+            // reach; Q = A·R⁻¹ is orthonormal given RᵀR = AᵀA, up to an
+            // O(κ(A)·ε) rounding loss from the solve (module docs).
+            let q = trsm(Side::Right, Uplo::Upper, false, false, &r, a);
+            (q, r, out.stats.critical())
+        }
+        QrBackend::CholQr2 => {
+            let lay = BlockRow::balanced(m, 1, p);
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                cholqr2_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
+            });
+            // Breakdown is replicated (bitwise-identical Gram matrices):
+            // rank 0 speaks for everyone.
+            let first = match &out.results[0] {
+                Ok(f) => f,
+                Err(e) => return Err(FactorError::CholeskyBreakdown(*e)),
+            };
+            let mut q = Matrix::zeros(m, n);
+            let starts = lay.starts();
+            for (rk, res) in out.results.iter().enumerate() {
+                let fac = res.as_ref().expect("breakdown is replicated");
+                q.set_submatrix(starts[rk], 0, &fac.q_local);
+            }
+            (q, first.r.clone(), out.stats.critical())
+        }
+    };
+
+    Ok(FactorOutput {
+        backend,
+        q,
+        r,
+        critical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_matrix::qr::random_with_condition;
+
+    fn check_output(out: &FactorOutput, a: &Matrix, tol: f64) {
+        assert_eq!(out.q.rows(), a.rows());
+        assert_eq!(out.q.cols(), a.cols());
+        assert!(out.r.is_upper_triangular(1e-13), "R upper triangular");
+        let resid = out.residual(a);
+        assert!(resid < tol, "{:?}: residual {resid}", out.backend);
+        let orth = out.orthogonality();
+        assert!(orth < tol, "{:?}: orthogonality {orth}", out.backend);
+    }
+
+    #[test]
+    fn every_backend_factors_through_the_unified_entry_point() {
+        let (m, n, p) = (128usize, 16usize, 4usize);
+        let a = Matrix::random(m, n, 1);
+        let params = FactorParams::default();
+        for backend in [
+            QrBackend::House1d,
+            QrBackend::Tsqr,
+            QrBackend::Caqr1d { epsilon: 0.5 },
+            QrBackend::House2d,
+            QrBackend::Caqr2d,
+            QrBackend::Caqr3d { delta: 0.5 },
+            QrBackend::CholQr2,
+        ] {
+            let out = factor(&a, p, backend, &params).expect("well-conditioned input");
+            check_output(&out, &a, 1e-11);
+            assert!(out.critical.msgs > 0.0, "{backend:?} communicated");
+        }
+    }
+
+    #[test]
+    fn auto_picks_cholqr2_for_asserted_well_conditioned_tall_skinny() {
+        let params = FactorParams::default().with_kappa(100.0);
+        let backend = QrBackend::auto(4096, 64, 16, &params);
+        assert!(
+            matches!(backend, QrBackend::CholQr2),
+            "expected CholeskyQR2, got {backend:?}"
+        );
+    }
+
+    #[test]
+    fn auto_without_kappa_never_picks_cholqr2() {
+        let params = FactorParams::default();
+        let backend = QrBackend::auto(4096, 64, 16, &params);
+        assert!(
+            !matches!(backend, QrBackend::CholQr2),
+            "unknown κ must not dispatch to CholeskyQR2"
+        );
+    }
+
+    #[test]
+    fn explicit_cholqr2_on_bad_input_reports_breakdown() {
+        // κ ≫ 1/√ε: the advisor would refuse; forcing the backend must
+        // surface the error, not wrong answers.
+        let a = random_with_condition(96, 8, 1e12, 2);
+        let res = factor(&a, 4, QrBackend::CholQr2, &FactorParams::default());
+        match res {
+            Err(FactorError::CholeskyBreakdown(e)) => {
+                assert!(e.pass >= 1);
+            }
+            Ok(out) => {
+                // Numerically possible to squeak through without a
+                // negative pivot — but then orthogonality must be junk,
+                // which is why the advisor's guard exists.
+                assert!(
+                    out.orthogonality() > 1e-10,
+                    "κ=1e12 cannot yield an orthonormal Q via Gram matrices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_clock_reflects_the_backend() {
+        // On a bandwidth-priced machine (unit α = β, where the auto
+        // all-reduce takes the bandwidth-lean exchange) CholeskyQR2 must
+        // move fewer critical-path words than TSQR on the same input
+        // (n² vs n² log P — the reason it exists).
+        let a = Matrix::random(512, 16, 3);
+        let params = FactorParams::new(CostParams::unit());
+        let chol = factor(&a, 16, QrBackend::CholQr2, &params).unwrap();
+        let tsqr = factor(&a, 16, QrBackend::Tsqr, &params).unwrap();
+        assert!(
+            chol.critical.words < tsqr.critical.words,
+            "cholqr2 W={} should beat tsqr W={}",
+            chol.critical.words,
+            tsqr.critical.words
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! CholeskyQR2 — communication-avoiding QR for well-conditioned
+//! tall-skinny matrices (Hutter & Solomonik, specialized to a 1D
+//! block-row distribution).
+//!
+//! One **pass** orthogonalizes `A` through its Gram matrix:
+//!
+//! 1. local `syrk`: `G_p = A_pᵀ A_p` (`n × n`),
+//! 2. all-reduce: `G = Σ_p G_p` — the only communication, `n²` words in
+//!    `O(log P)` messages (the auto-dispatched all-reduce weighs the
+//!    machine's `α/β`: latency-dominated machines take the
+//!    recursive-doubling butterfly, bandwidth-priced ones the
+//!    reduce-scatter + all-gather exchange; both replicate bitwise),
+//! 3. replicated Cholesky `G = RᵀR` (every rank factors the same bits),
+//! 4. local triangular solve `Q_p = A_p R⁻¹`.
+//!
+//! A single pass loses orthogonality as `O(κ(A)² ε)`; running a **second
+//! pass on `Q₁`** (whose condition is already repaired to `O(1 + κ²ε)`)
+//! brings `‖QᵀQ − I‖` down to `O(ε)` — that is CholeskyQR2. The combined
+//! R-factor is `R = R₂ R₁`.
+//!
+//! Versus TSQR (Lemma 5) the critical path trades a `log P` bandwidth
+//! factor away: `W = O(n²)` instead of `O(n² log P)`, at the same
+//! `S = O(log P)` — but it is only *valid* for `κ(A) ≲ 1/√ε`
+//! (`qr3d_cost::advisor::CHOLQR2_KAPPA_GUARD`). Past that, the Gram
+//! matrix is numerically indefinite and the Cholesky factorization
+//! reports [breakdown](CholQrError); because the all-reduce delivers
+//! bitwise-identical Gram matrices everywhere (asserted for both auto
+//! variants in `qr3d_collectives::auto`'s tests), the breakdown decision
+//! is replicated and every rank returns the same `Err` — no rank
+//! diverges into a deadlock.
+
+use qr3d_collectives::auto::all_reduce;
+use qr3d_machine::{Comm, Rank};
+use qr3d_matrix::gemm::{matmul, syrk};
+use qr3d_matrix::tri::{potrf, trsm, NotPositiveDefinite, Side, Uplo};
+use qr3d_matrix::{flops, Matrix};
+
+/// A CholeskyQR2 factorization `A = Q·R`, row-distributed: `Q` is
+/// *explicit* (not a Householder basis) with the same row distribution
+/// as `A`; the `n × n` upper-triangular `R` is **replicated** on every
+/// rank (a by-product of the all-reduce — no extra communication).
+#[derive(Debug, Clone)]
+pub struct CholQrFactors {
+    /// This rank's rows of the explicit orthonormal factor (`m_p × n`).
+    pub q_local: Matrix,
+    /// The `n × n` upper-triangular R-factor, identical on every rank.
+    pub r: Matrix,
+}
+
+/// CholeskyQR breakdown: the (replicated) Gram matrix was not
+/// numerically positive definite — the input is rank-deficient or its
+/// condition number exceeds the `1/√ε` guard. Every rank of the
+/// communicator returns the identical error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CholQrError {
+    /// Which pass broke down (1 or 2; pass 2 indicates severe loss of
+    /// orthogonality in pass 1).
+    pub pass: usize,
+    /// The underlying Cholesky pivot failure.
+    pub source: NotPositiveDefinite,
+}
+
+impl std::fmt::Display for CholQrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "choleskyqr2 pass {} broke down ({}); input is rank-deficient or κ(A) exceeds 1/√ε",
+            self.pass, self.source
+        )
+    }
+}
+
+impl std::error::Error for CholQrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// One CholeskyQR pass: `(Q, R)` with `A_loc = Q_loc·R`, `R` replicated.
+/// `O(ε κ(A)²)` orthogonality — use [`cholqr2_factor`] unless a single
+/// pass is wanted (e.g. to study the breakdown curve).
+pub fn cholqr_pass(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+) -> Result<(Matrix, Matrix), NotPositiveDefinite> {
+    let n = a_local.cols();
+    let mp = a_local.rows();
+
+    // Local Gram contribution (exactly symmetric by construction).
+    let mut g_local = Matrix::zeros(n, n);
+    syrk(1.0, a_local, 0.0, &mut g_local);
+    rank.charge_flops(flops::syrk(mp, n));
+
+    // The single communication: n² words, O(log P) messages. Every rank
+    // receives the bitwise-identical sum.
+    let g = Matrix::from_vec(n, n, all_reduce(rank, comm, g_local.into_vec()));
+
+    // Replicated Cholesky; a breakdown is replicated too.
+    let r = potrf(&g)?;
+    rank.charge_flops(flops::potrf(n));
+
+    // Local solve Q_loc·R = A_loc.
+    let q_local = trsm(Side::Right, Uplo::Upper, false, false, &r, a_local);
+    rank.charge_flops(flops::trsm(n, mp));
+    Ok((q_local, r))
+}
+
+/// CholeskyQR2-factor the row-distributed matrix `a_local` over `comm`
+/// (any row distribution with `Σ_p m_p = m ≥ n`; ranks may own fewer
+/// than `n` rows, or none). Two [`cholqr_pass`]es; the second repairs the
+/// first's orthogonality to `O(ε)` for inputs within the condition
+/// guard.
+///
+/// # Errors
+/// [`CholQrError`] on Cholesky breakdown — consistently on every rank.
+pub fn cholqr2_factor(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+) -> Result<CholQrFactors, CholQrError> {
+    let n = a_local.cols();
+    let (q1, r1) =
+        cholqr_pass(rank, comm, a_local).map_err(|source| CholQrError { pass: 1, source })?;
+    let (q_local, r2) =
+        cholqr_pass(rank, comm, &q1).map_err(|source| CholQrError { pass: 2, source })?;
+    // R = R₂·R₁ (upper triangular · upper triangular), replicated like
+    // its factors.
+    let r = matmul(&r2, &r1);
+    rank.charge_flops(flops::gemm(n, n, n));
+    Ok(CholQrFactors { q_local, r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr3d_machine::{CostParams, Machine};
+    use qr3d_matrix::gemm::matmul_tn;
+    use qr3d_matrix::layout::BlockRow;
+    use qr3d_matrix::qr::random_with_condition;
+
+    /// Run CholeskyQR2 over a balanced block-row layout and reassemble Q.
+    fn run(a: &Matrix, p: usize) -> (Result<Matrix, CholQrError>, Matrix, qr3d_machine::Clock) {
+        let m = a.rows();
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+            cholqr2_factor(rank, &w, &a_loc)
+        });
+        let crit = out.stats.critical();
+        match &out.results[0] {
+            Err(e) => {
+                // Breakdown must be replicated: every rank agrees.
+                for res in &out.results {
+                    assert_eq!(res.as_ref().unwrap_err(), e, "divergent breakdown");
+                }
+                (Err(*e), Matrix::zeros(0, 0), crit)
+            }
+            Ok(first) => {
+                let n = a.cols();
+                let mut q = Matrix::zeros(m, n);
+                let starts = lay.starts();
+                for (rk, res) in out.results.iter().enumerate() {
+                    let fac = res.as_ref().expect("all ranks succeed together");
+                    q.set_submatrix(starts[rk], 0, &fac.q_local);
+                    // R is replicated bitwise.
+                    assert_eq!(fac.r, first.r, "rank {rk} holds a different R");
+                }
+                (Ok(q), first.r.clone(), crit)
+            }
+        }
+    }
+
+    fn check(m: usize, n: usize, p: usize, seed: u64) {
+        let a = Matrix::random(m, n, seed);
+        let (q, r, _) = run(&a, p);
+        let q = q.expect("random uniform matrices are well-conditioned enough");
+        assert!(r.is_upper_triangular(0.0), "R upper triangular");
+        for i in 0..n {
+            assert!(r[(i, i)] > 0.0, "R diagonal positive");
+        }
+        let resid = matmul(&q, &r).sub(&a).frobenius_norm() / a.frobenius_norm();
+        assert!(resid < 1e-12, "m={m} n={n} p={p}: residual {resid}");
+        let orth = matmul_tn(&q, &q).sub(&Matrix::identity(n)).max_abs();
+        assert!(orth < 1e-13, "m={m} n={n} p={p}: orthogonality {orth}");
+    }
+
+    #[test]
+    fn cholqr2_various_shapes() {
+        check(32, 4, 4, 1);
+        check(64, 8, 8, 2);
+        check(40, 5, 5, 3);
+        check(48, 3, 7, 4);
+    }
+
+    #[test]
+    fn cholqr2_single_rank_and_non_power_of_two() {
+        check(16, 6, 1, 5);
+        check(36, 4, 3, 6);
+        check(60, 4, 6, 7);
+    }
+
+    #[test]
+    fn cholqr2_rank_with_fewer_than_n_rows() {
+        // m = 10 over p = 4: counts (3,3,2,2) < n = 4 on every rank —
+        // forbidden for tsqr, fine here (the Gram sum needs no local
+        // minimum height).
+        check(10, 4, 4, 8);
+    }
+
+    #[test]
+    fn cholqr2_breaks_down_on_rank_deficient_input() {
+        // Two identical columns: G is singular; every rank reports pass-1
+        // breakdown at the same pivot.
+        let mut a = Matrix::random(24, 4, 9);
+        for i in 0..24 {
+            a[(i, 3)] = a[(i, 0)];
+        }
+        let (res, _, _) = run(&a, 4);
+        let err = res.unwrap_err();
+        assert_eq!(err.pass, 1);
+        assert!(err.to_string().contains("pass 1"));
+    }
+
+    #[test]
+    fn cholqr2_handles_moderate_condition_numbers() {
+        // κ = 1e6 is inside the 1/√ε guard: orthogonality must still be
+        // machine-level after the second pass.
+        let a = random_with_condition(96, 8, 1e6, 10);
+        let (q, r, _) = run(&a, 4);
+        let q = q.expect("κ = 1e6 is within the guard");
+        let orth = matmul_tn(&q, &q).sub(&Matrix::identity(8)).max_abs();
+        assert!(orth < 1e-13, "orthogonality {orth}");
+        let resid = matmul(&q, &r).sub(&a).frobenius_norm() / a.frobenius_norm();
+        assert!(resid < 1e-12, "residual {resid}");
+    }
+
+    #[test]
+    fn cholqr2_costs_match_model() {
+        // W = O(n²) and S = O(log P) on the critical path — the whole
+        // point versus tsqr's n² log P words.
+        let (n, rows_per) = (8usize, 16usize);
+        for p in [4usize, 8, 16] {
+            let m = rows_per * p;
+            let a = Matrix::random(m, n, 11);
+            let (q, _, c) = run(&a, p);
+            q.expect("well conditioned");
+            let n2 = (n * n) as f64;
+            let lg = (p as f64).log2().ceil();
+            // Two all-reduces; each endpoint charge ≤ ~2× the one-way
+            // count; allow slack for the doubling/bidir constants.
+            assert!(c.words <= 16.0 * n2, "p={p}: W={}", c.words);
+            assert!(c.msgs <= 8.0 * (lg + 1.0), "p={p}: S={}", c.msgs);
+        }
+    }
+
+    #[test]
+    fn cholqr2_deterministic() {
+        let a = Matrix::random(40, 5, 12);
+        let (q1, r1, _) = run(&a, 4);
+        let (q2, r2, _) = run(&a, 4);
+        assert_eq!(q1.unwrap(), q2.unwrap());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn single_pass_is_worse_than_two() {
+        // The refinement pass is not decorative: at κ = 1e6 one pass
+        // leaves κ²ε ≈ 1e-4-level orthogonality error, the second pass
+        // repairs it to ε-level.
+        let n = 8;
+        let a = random_with_condition(96, n, 1e6, 13);
+        let lay = BlockRow::balanced(96, 1, 4);
+        let machine = Machine::new(4, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+            cholqr_pass(rank, &w, &a_loc).map(|(q, _)| q)
+        });
+        let mut q = Matrix::zeros(96, n);
+        let starts = lay.starts();
+        for (rk, res) in out.results.iter().enumerate() {
+            q.set_submatrix(starts[rk], 0, res.as_ref().unwrap());
+        }
+        let orth1 = matmul_tn(&q, &q).sub(&Matrix::identity(n)).max_abs();
+        assert!(
+            orth1 > 1e-9,
+            "one pass at κ=1e6 should visibly lose orthogonality, got {orth1}"
+        );
+    }
+}

@@ -22,11 +22,18 @@
 //!   assembly of distributed factors.
 //! * [`shifted`] — the shifted row-cyclic layout 3D-CAQR-EG's recursion
 //!   induces.
+//! * [`cholqr`] — CholeskyQR2 (Hutter & Solomonik): the Gram-based
+//!   tall-skinny backend, `W = O(n²)` for `κ(A) ≲ 1/√ε`.
+//! * [`backend`] — the unified [`backend::factor`] entry point
+//!   dispatching over all of the above, with cost-model-advised
+//!   selection ([`backend::QrBackend::auto`]).
 
 pub mod apply;
+pub mod backend;
 pub mod caqr1d;
 pub mod caqr2d;
 pub mod caqr3d;
+pub mod cholqr;
 pub mod house1d;
 pub mod house2d;
 pub mod iterative;
@@ -42,9 +49,13 @@ pub use tsqr::QrFactors;
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::apply::{apply_q_1d, apply_qt_1d};
+    pub use crate::backend::{
+        factor, factor_auto, FactorError, FactorOutput, FactorParams, QrBackend,
+    };
     pub use crate::caqr1d::{caqr1d_factor, Caqr1dConfig};
     pub use crate::caqr2d::caqr2d_factor;
     pub use crate::caqr3d::{caqr3d_factor, Caqr3dConfig, QrFactorsCyclic};
+    pub use crate::cholqr::{cholqr2_factor, cholqr_pass, CholQrError, CholQrFactors};
     pub use crate::house1d::{house1d_factor, House1dConfig};
     pub use crate::house2d::house2d_factor;
     pub use crate::iterative::{

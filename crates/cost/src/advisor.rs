@@ -6,14 +6,38 @@
 //! Given `(m, n, P)` and the machine's `(α, β, γ)`, evaluate every
 //! algorithm's cost formula (with its tuning parameter swept over its
 //! admissible range) under `γF + βW + αS` and return the cheapest.
+//!
+//! ## Condition-number-gated candidates
+//!
+//! Cost formulas alone cannot rank algorithms whose *applicability*
+//! depends on the data: CholeskyQR2 beats TSQR on every communication
+//! axis, but squares the condition number through its Gram matrix and is
+//! numerically valid only for `κ(A) ≲ 1/√ε`. The kappa-aware entry points
+//! ([`candidates_with_kappa`], [`recommend_with_kappa`]) therefore take
+//! the caller's condition-number estimate and refuse to offer CholeskyQR2
+//! without an estimate under [`CHOLQR2_KAPPA_GUARD`]. The plain
+//! [`candidates`]/[`recommend`] treat κ as unknown (conservative: no
+//! CholeskyQR2).
 
 use crate::algorithms::{
-    caqr2d_cost, house1d_cost, house2d_cost, theorem1_cost, theorem2_cost, tsqr_cost,
+    caqr2d_cost, cholqr2_cost, house1d_cost, house2d_cost, theorem1_cost, theorem2_cost, tsqr_cost,
 };
 use crate::Cost3;
 
+/// The condition-number guard for CholeskyQR2: `1/√ε ≈ 6.7e7` for f64.
+/// Below it, CholeskyQR2's orthogonality error is `O(ε)` (the Gram
+/// matrix's `κ² ε < 1` keeps the Cholesky factor meaningful and the
+/// second pass repairs the first); above it, the Gram matrix is
+/// numerically indefinite and the factorization can break down outright.
+pub const CHOLQR2_KAPPA_GUARD: f64 = 67_108_864.0; // 2²⁶ ≈ 1/√ε
+
 /// An algorithm choice with its tuned parameter (if any).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Deliberately **not** `PartialEq`: two variants carry `f64` tuning
+/// parameters, and float `==` on swept grids invites spurious
+/// mismatches. Compare with [`Choice::same_algorithm`] (ignore the
+/// parameter) or [`Choice::approx_eq`] (parameter within a tolerance).
+#[derive(Debug, Clone, Copy)]
 pub enum Choice {
     /// `1d-house` (no tuning parameter).
     House1d,
@@ -33,11 +57,33 @@ pub enum Choice {
         /// The Theorem 1 tradeoff parameter.
         delta: f64,
     },
+    /// CholeskyQR2 (requires a condition-number estimate under
+    /// [`CHOLQR2_KAPPA_GUARD`]).
+    CholQr2,
+}
+
+impl Choice {
+    /// True when `self` and `other` are the same algorithm, ignoring any
+    /// tuning parameter.
+    pub fn same_algorithm(&self, other: &Choice) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+
+    /// True when `self` and `other` are the same algorithm *and* their
+    /// tuning parameters (if any) differ by at most `tol`. This is the
+    /// comparison tests should use instead of float `==`.
+    pub fn approx_eq(&self, other: &Choice, tol: f64) -> bool {
+        match (self, other) {
+            (Choice::Caqr1d { epsilon: a }, Choice::Caqr1d { epsilon: b }) => (a - b).abs() <= tol,
+            (Choice::Caqr3d { delta: a }, Choice::Caqr3d { delta: b }) => (a - b).abs() <= tol,
+            _ => self.same_algorithm(other),
+        }
+    }
 }
 
 /// A recommendation: the choice, its predicted cost triple, and the
 /// modeled runtime on the given machine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct Recommendation {
     /// Which algorithm (and parameter) to run.
     pub choice: Choice,
@@ -47,10 +93,22 @@ pub struct Recommendation {
     pub time: f64,
 }
 
-/// All candidates for an `m × n` problem on `P` processors, with tuning
-/// parameters swept on a grid. Tall-skinny algorithms require `m/n ≥ P`
-/// and are skipped otherwise.
-pub fn candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
+/// All candidates for an `m × n` problem on `P` processors with the
+/// caller's condition-number estimate (`None` = unknown), tuning
+/// parameters swept on a grid.
+///
+/// Gates:
+/// * tall-skinny algorithms (1d-house, tsqr, 1D-CAQR-EG) require
+///   `m/n ≥ P`;
+/// * CholeskyQR2 requires `m ≥ n` **and** `kappa ≤ `
+///   [`CHOLQR2_KAPPA_GUARD`] — with κ unknown it is never offered, no
+///   matter how cheap its formula looks.
+pub fn candidates_with_kappa(
+    m: usize,
+    n: usize,
+    p: usize,
+    kappa: Option<f64>,
+) -> Vec<(Choice, Cost3)> {
     let mut out = Vec::new();
     if m / n.max(1) >= p {
         out.push((Choice::House1d, house1d_cost(m, n, p)));
@@ -59,6 +117,9 @@ pub fn candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
             let epsilon = k as f64 / 4.0;
             out.push((Choice::Caqr1d { epsilon }, theorem2_cost(m, n, p, epsilon)));
         }
+    }
+    if m >= n && cholqr2_admissible(kappa) {
+        out.push((Choice::CholQr2, cholqr2_cost(m, n, p)));
     }
     out.push((Choice::House2d, house2d_cost(m, n, p)));
     out.push((Choice::Caqr2d, caqr2d_cost(m, n, p)));
@@ -69,7 +130,41 @@ pub fn candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
     out
 }
 
-/// The cheapest candidate under `γF + βW + αS`.
+/// All candidates with the condition number unknown (CholeskyQR2 never
+/// offered). See [`candidates_with_kappa`].
+pub fn candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
+    candidates_with_kappa(m, n, p, None)
+}
+
+/// True when CholeskyQR2 is numerically admissible for the given
+/// condition-number estimate: known, sane, and under the guard.
+pub fn cholqr2_admissible(kappa: Option<f64>) -> bool {
+    matches!(kappa, Some(k) if (1.0..=CHOLQR2_KAPPA_GUARD).contains(&k))
+}
+
+/// The cheapest candidate under `γF + βW + αS`, given the caller's
+/// condition-number estimate (`None` = unknown).
+pub fn recommend_with_kappa(
+    m: usize,
+    n: usize,
+    p: usize,
+    kappa: Option<f64>,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> Recommendation {
+    let mut best: Option<Recommendation> = None;
+    for (choice, cost) in candidates_with_kappa(m, n, p, kappa) {
+        let time = cost.time(alpha, beta, gamma);
+        if best.map(|b| time < b.time).unwrap_or(true) {
+            best = Some(Recommendation { choice, cost, time });
+        }
+    }
+    best.expect("candidate list is never empty")
+}
+
+/// The cheapest candidate with the condition number unknown. See
+/// [`recommend_with_kappa`].
 pub fn recommend(
     m: usize,
     n: usize,
@@ -78,14 +173,7 @@ pub fn recommend(
     beta: f64,
     gamma: f64,
 ) -> Recommendation {
-    let mut best: Option<Recommendation> = None;
-    for (choice, cost) in candidates(m, n, p) {
-        let time = cost.time(alpha, beta, gamma);
-        if best.map(|b| time < b.time).unwrap_or(true) {
-            best = Some(Recommendation { choice, cost, time });
-        }
-    }
-    best.expect("candidate list is never empty")
+    recommend_with_kappa(m, n, p, None, alpha, beta, gamma)
 }
 
 #[cfg(test)]
@@ -192,5 +280,90 @@ mod tests {
         for (_, cost) in candidates(m, n, p) {
             assert!(r.time <= cost.time(ALPHA_SUPER, BETA_SUPER, GAMMA) + 1e-12);
         }
+    }
+
+    #[test]
+    fn cholqr2_requires_a_condition_estimate() {
+        // Unknown κ: never offered, regardless of shape or machine.
+        for (m, n) in [(4096usize, 64usize), (1 << 20, 1 << 6)] {
+            let c = candidates_with_kappa(m, n, 16, None);
+            assert!(
+                c.iter().all(|(ch, _)| !matches!(ch, Choice::CholQr2)),
+                "unknown κ must suppress CholeskyQR2"
+            );
+        }
+    }
+
+    #[test]
+    fn cholqr2_respects_the_kappa_guard() {
+        assert!(cholqr2_admissible(Some(10.0)));
+        assert!(cholqr2_admissible(Some(1e6)));
+        assert!(cholqr2_admissible(Some(CHOLQR2_KAPPA_GUARD)));
+        assert!(!cholqr2_admissible(Some(CHOLQR2_KAPPA_GUARD * 1.001)));
+        assert!(!cholqr2_admissible(Some(1e10)));
+        assert!(!cholqr2_admissible(Some(0.5)), "κ < 1 is nonsense");
+        assert!(!cholqr2_admissible(Some(f64::NAN)));
+        assert!(!cholqr2_admissible(None));
+        // And the candidate list follows the guard.
+        let below = candidates_with_kappa(4096, 64, 16, Some(100.0));
+        assert!(below.iter().any(|(ch, _)| matches!(ch, Choice::CholQr2)));
+        let above = candidates_with_kappa(4096, 64, 16, Some(1e10));
+        assert!(above.iter().all(|(ch, _)| !matches!(ch, Choice::CholQr2)));
+    }
+
+    #[test]
+    fn well_conditioned_tall_skinny_on_cluster_picks_cholqr2() {
+        // The acceptance shape: 4096 × 64 on 16 ranks of a
+        // latency-dominated cluster, κ ≈ 100 ≪ 1/√ε.
+        let r = recommend_with_kappa(
+            4096,
+            64,
+            16,
+            Some(100.0),
+            ALPHA_CLUSTER,
+            BETA_CLUSTER,
+            GAMMA,
+        );
+        assert!(
+            matches!(r.choice, Choice::CholQr2),
+            "expected CholeskyQR2, got {:?}",
+            r.choice
+        );
+        // Same input with κ above the guard: falls back to the
+        // Householder tall-skinny family.
+        let r = recommend_with_kappa(4096, 64, 16, Some(1e10), ALPHA_CLUSTER, BETA_CLUSTER, GAMMA);
+        assert!(
+            matches!(r.choice, Choice::Tsqr | Choice::Caqr1d { .. }),
+            "ill-conditioned input must avoid CholeskyQR2, got {:?}",
+            r.choice
+        );
+    }
+
+    #[test]
+    fn large_squareish_prefers_caqr_even_with_good_kappa() {
+        // The replicated n³ Cholesky term sinks CholeskyQR2 once n is
+        // large relative to m/P: 3D-CAQR-EG keeps F = mn²/P.
+        let (m, n, p) = (1 << 14, 1 << 12, 1 << 8);
+        let r = recommend_with_kappa(m, n, p, Some(10.0), ALPHA_CLUSTER, BETA_CLUSTER, GAMMA);
+        assert!(
+            !matches!(r.choice, Choice::CholQr2),
+            "square-ish input must not pick CholeskyQR2, got {:?}",
+            r.choice
+        );
+    }
+
+    #[test]
+    fn choice_comparisons_are_tolerance_aware() {
+        let a = Choice::Caqr1d { epsilon: 0.25 };
+        let b = Choice::Caqr1d {
+            epsilon: 0.25 + 1e-12,
+        };
+        let c = Choice::Caqr1d { epsilon: 0.75 };
+        assert!(a.same_algorithm(&b) && a.same_algorithm(&c));
+        assert!(a.approx_eq(&b, 1e-9), "nearby parameters compare equal");
+        assert!(!a.approx_eq(&c, 1e-9), "distant parameters do not");
+        assert!(!a.same_algorithm(&Choice::Tsqr));
+        assert!(Choice::CholQr2.approx_eq(&Choice::CholQr2, 0.0));
+        assert!(!Choice::Caqr3d { delta: 0.5 }.approx_eq(&Choice::Caqr1d { epsilon: 0.5 }, 1.0));
     }
 }

@@ -84,6 +84,29 @@ pub fn theorem1_cost(m: usize, n: usize, p: usize, delta: f64) -> Cost3 {
     }
 }
 
+/// CholeskyQR2 on a 1D block-row distribution (Hutter & Solomonik's
+/// communication-avoiding CholeskyQR2, specialized to one Gram replica):
+///
+/// ```text
+/// F = mn²/P + n³   (two syrk + trsm passes, plus the replicated Cholesky)
+/// W = n²           (two all-reduces of the n × n Gram matrix)
+/// S = log P
+/// ```
+///
+/// Strictly below tsqr's `W = n² log P` with the same `S = log P` — the
+/// price is numerical: the Gram matrix squares the condition number, so
+/// the formula is only *valid* for `κ(A) ≲ 1/√ε` (see
+/// `advisor::CHOLQR2_KAPPA_GUARD`); the advisor never offers this row
+/// without a condition-number estimate under the guard.
+pub fn cholqr2_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, l) = (m as f64, n as f64, lg(p));
+    Cost3 {
+        flops: mf * nf * nf / p as f64 + nf.powi(3),
+        words: nf * nf,
+        msgs: l,
+    }
+}
+
 /// Table 3, row 1 — `1d-house`:
 /// `F = mn²/P`, `W = n² log P`, `S = n log P`.
 pub fn house1d_cost(m: usize, n: usize, p: usize) -> Cost3 {
@@ -208,8 +231,22 @@ mod tests {
             house1d_cost(M, N, P),
             house2d_cost(M, N, P),
             caqr2d_cost(M, N, P),
+            cholqr2_cost(M, N, P),
         ] {
             assert!(c.flops >= ideal * 0.99);
         }
+    }
+
+    #[test]
+    fn cholqr2_beats_tsqr_bandwidth_at_equal_latency() {
+        let c = cholqr2_cost(M, N, P);
+        let t = tsqr_cost(M, N, P);
+        assert_eq!(c.msgs, t.msgs, "both are log P latency");
+        assert!(
+            c.words * lg(P) <= t.words * 1.001,
+            "cholqr2 W = n² vs tsqr W = n² log P"
+        );
+        // The price: a replicated n³ Cholesky term in F.
+        assert!(c.flops < t.flops, "for m/P ≫ n the log P flop term loses");
     }
 }

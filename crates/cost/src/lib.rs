@@ -100,10 +100,13 @@ mod tests {
 
 /// Glob-import surface.
 pub mod prelude {
-    pub use crate::advisor::{candidates, recommend, Choice, Recommendation};
+    pub use crate::advisor::{
+        candidates, candidates_with_kappa, cholqr2_admissible, recommend, recommend_with_kappa,
+        Choice, Recommendation, CHOLQR2_KAPPA_GUARD,
+    };
     pub use crate::algorithms::{
-        caqr1d_cost, caqr2d_cost, caqr3d_cost, house1d_cost, house2d_cost, theorem1_cost,
-        theorem2_cost, tsqr_cost,
+        caqr1d_cost, caqr2d_cost, caqr3d_cost, cholqr2_cost, house1d_cost, house2d_cost,
+        theorem1_cost, theorem2_cost, tsqr_cost,
     };
     pub use crate::bounds::{lower_bounds_square, lower_bounds_tall};
     pub use crate::collectives::{self as collective_costs};

@@ -43,6 +43,17 @@ pub fn matrix_add(m: usize, n: usize) -> f64 {
     (m * n) as f64
 }
 
+/// Flops of the symmetric rank-k update `C += AᵀA` with `A` of size
+/// `m × n` (`mn(n+1)` — half of gemm's `2mn²` plus the diagonal).
+pub fn syrk(m: usize, n: usize) -> f64 {
+    m as f64 * n as f64 * (n + 1) as f64
+}
+
+/// Flops of the Cholesky factorization of an `n × n` matrix (`≈ n³/3`).
+pub fn potrf(n: usize) -> f64 {
+    (n * n * n) as f64 / 3.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +87,16 @@ mod tests {
             assert!(trsm(s, s) <= trsm(s + 1, s + 1));
             assert!(lu_sign(s) <= lu_sign(s + 1));
             assert!(matrix_add(s, s) >= 0.0);
+            assert!(syrk(s, s) <= syrk(s + 1, s + 1));
+            assert!(potrf(s) <= potrf(s + 1));
         }
+    }
+
+    #[test]
+    fn syrk_is_about_half_of_gemm() {
+        // For large n, syrk(m, n) ≈ gemm(m→n, n, m)/2 = mn².
+        let (m, n) = (1000, 100);
+        let ratio = syrk(m, n) / gemm(n, n, m);
+        assert!((ratio - 0.5).abs() < 0.01, "ratio {ratio}");
     }
 }

@@ -369,6 +369,56 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
+/// Symmetric rank-k update `C = alpha·AᵀA + beta·C` (BLAS `syrk`,
+/// `trans = T` form): `A` is `m × n`, `C` is `n × n` in full (symmetric)
+/// storage. Only the upper triangle is computed — roughly half the
+/// multiply-adds of a general `AᵀA` — and then mirrored, so the result is
+/// exactly symmetric (`C[i,j]` and `C[j,i]` are the same rounded value),
+/// which the CholeskyQR Gram matrices rely on.
+///
+/// # Panics
+/// If `C` is not `n × n`.
+pub fn syrk(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(c.rows(), n, "syrk: output rows mismatch");
+    assert_eq!(c.cols(), n, "syrk: output cols mismatch");
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || n == 0 {
+        return;
+    }
+    // Accumulate the upper triangle row-by-row over A's rows (stride-1 on
+    // every inner access for a row-major A).
+    let mut upper = vec![0.0f64; n * n];
+    for k in 0..m {
+        let row = a.row(k);
+        for i in 0..n {
+            let aki = row[i];
+            let dst = &mut upper[i * n..(i + 1) * n];
+            for j in i..n {
+                dst[j] += aki * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in i..n {
+            let v = alpha * upper[i * n + j];
+            c[(i, j)] += v;
+            if j != i {
+                c[(j, i)] += v;
+            }
+        }
+    }
+}
+
+/// The Gram matrix `AᵀA` as a new (exactly symmetric) matrix.
+pub fn gram(a: &Matrix) -> Matrix {
+    let mut g = Matrix::zeros(a.cols(), a.cols());
+    syrk(1.0, a, 0.0, &mut g);
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +461,48 @@ mod tests {
         let c = Matrix::random(3, 6, 6);
         let d = Matrix::random(2, 6, 7);
         assert!(close(&matmul_nt(&c, &d), &naive(&c, &d.transpose()), 1e-13));
+    }
+
+    #[test]
+    fn syrk_matches_gemm_tn() {
+        for (m, n, seed) in [(9usize, 4usize, 10u64), (33, 7, 11), (1, 3, 12)] {
+            let a = Matrix::random(m, n, seed);
+            let g = gram(&a);
+            assert!(close(&g, &matmul_tn(&a, &a), 1e-13), "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn syrk_result_exactly_symmetric() {
+        let a = Matrix::random(40, 9, 13);
+        let g = gram(&a);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_alpha_beta_accumulate() {
+        let a = Matrix::random(6, 3, 14);
+        let mut c = Matrix::identity(3);
+        syrk(2.0, &a, 0.5, &mut c);
+        let mut expect = Matrix::identity(3);
+        expect.scale(0.5);
+        let mut g = matmul_tn(&a, &a);
+        g.scale(2.0);
+        expect.add_assign(&g);
+        assert!(close(&c, &expect, 1e-13));
+    }
+
+    #[test]
+    fn syrk_empty_dimensions() {
+        let a = Matrix::zeros(0, 4);
+        let g = gram(&a);
+        assert_eq!(g, Matrix::zeros(4, 4));
+        let a = Matrix::zeros(5, 0);
+        assert_eq!(gram(&a), Matrix::zeros(0, 0));
     }
 
     #[test]

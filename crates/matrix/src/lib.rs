@@ -34,11 +34,12 @@ pub use dense::Matrix;
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::dense::Matrix;
-    pub use crate::gemm::{gemm, matmul, matmul_nt, matmul_tn, Trans};
+    pub use crate::gemm::{gemm, gram, matmul, matmul_nt, matmul_tn, syrk, Trans};
     pub use crate::layout::{BlockCyclic2d, BlockRow, RowCyclic};
     pub use crate::partition::{balanced_ranges, balanced_sizes, part_of};
     pub use crate::qr::{
-        apply_block_reflector, full_q, geqrt, q_times, qt_times, thin_q, Reflector,
+        apply_block_reflector, full_q, geqrt, q_times, qt_times, random_with_condition, thin_q,
+        Reflector,
     };
-    pub use crate::tri::{lu_sign, trsm, Side, Uplo};
+    pub use crate::tri::{lu_sign, potrf, trsm, NotPositiveDefinite, Side, Uplo};
 }

@@ -180,6 +180,42 @@ pub fn full_q(v: &Matrix, t: &Matrix) -> Matrix {
     q
 }
 
+/// A reproducible `m × n` test matrix (`m ≥ n ≥ 1`) with 2-norm condition
+/// number `kappa`: `A = U·Σ·Vᵀ` with `U` (`m × n`) and `V` (`n × n`) the
+/// orthonormal Q-factors of random matrices and singular values graded
+/// geometrically from `1` down to `1/kappa`. The workhorse of the
+/// CholeskyQR2-vs-TSQR accuracy experiments, where the breakdown point is
+/// a function of κ(A) alone.
+///
+/// # Panics
+/// If `m < n`, `n == 0`, or `kappa < 1`.
+pub fn random_with_condition(m: usize, n: usize, kappa: f64, seed: u64) -> Matrix {
+    assert!(m >= n && n >= 1, "need m ≥ n ≥ 1 (got {m} × {n})");
+    assert!(kappa >= 1.0, "condition number must be ≥ 1");
+    let u = thin_q_of_random(m, n, seed);
+    let v = thin_q_of_random(n, n, seed.wrapping_add(0x9e37_79b9));
+    // Scale U's columns by the singular values, then multiply by Vᵀ.
+    let mut us = u;
+    for j in 0..n {
+        let sigma = if n == 1 {
+            1.0
+        } else {
+            kappa.powf(-(j as f64) / (n as f64 - 1.0))
+        };
+        for i in 0..m {
+            us[(i, j)] *= sigma;
+        }
+    }
+    crate::gemm::matmul_nt(&us, &v)
+}
+
+/// Orthonormal basis of a random full-rank matrix (helper for
+/// [`random_with_condition`]).
+fn thin_q_of_random(m: usize, n: usize, seed: u64) -> Matrix {
+    let f = geqrt(&Matrix::random(m, n, seed));
+    thin_q(&f.v, &f.t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +400,45 @@ mod tests {
         let mut c = c0.clone();
         apply_block_reflector(&v, &t, &mut c, false);
         assert_eq!(c, c0);
+    }
+
+    #[test]
+    fn random_with_condition_kappa_one_is_orthonormal() {
+        let a = random_with_condition(20, 5, 1.0, 18);
+        let gram = matmul_tn(&a, &a);
+        assert_close(&gram, &Matrix::identity(5), 1e-12, "κ=1 ⇒ AᵀA = I");
+    }
+
+    #[test]
+    fn random_with_condition_singular_values_are_graded() {
+        // trace(AᵀA) = Σ σ_j² with σ_j = κ^{−j/(n−1)} — checks the whole
+        // singular spectrum's sum of squares, not just the norm.
+        let (m, n, kappa) = (48usize, 6usize, 1e4f64);
+        let a = random_with_condition(m, n, kappa, 19);
+        let g = matmul_tn(&a, &a);
+        let trace: f64 = (0..n).map(|i| g[(i, i)]).sum();
+        let expect: f64 = (0..n)
+            .map(|j| kappa.powf(-2.0 * j as f64 / (n as f64 - 1.0)))
+            .sum();
+        assert!(
+            (trace - expect).abs() < 1e-10 * expect,
+            "trace {trace} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn random_with_condition_reproducible_and_seed_sensitive() {
+        let a = random_with_condition(16, 4, 100.0, 7);
+        let b = random_with_condition(16, 4, 100.0, 7);
+        assert_eq!(a, b);
+        let c = random_with_condition(16, 4, 100.0, 8);
+        assert!(a.sub(&c).max_abs() > 1e-3);
+    }
+
+    #[test]
+    fn random_with_condition_single_column() {
+        let a = random_with_condition(8, 1, 1e6, 20);
+        let norm = a.frobenius_norm();
+        assert!((norm - 1.0).abs() < 1e-12, "single column has σ = 1");
     }
 }

@@ -121,6 +121,78 @@ pub fn lu_sign(x: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
     (l, u, s)
 }
 
+/// Cholesky breakdown: the matrix handed to [`potrf`] was not (numerically)
+/// positive definite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Column at which elimination met a non-positive pivot.
+    pub pivot: usize,
+    /// The offending pivot value (`≤ 0`, or NaN).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cholesky breakdown: pivot {} is {:.3e} (matrix not positive definite)",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Cholesky factorization (LAPACK `potrf`, upper form): for symmetric
+/// positive definite `G`, the upper-triangular `R` with `RᵀR = G`.
+///
+/// Reads only the upper triangle of `G`. Returns
+/// [`Err(NotPositiveDefinite)`](NotPositiveDefinite) instead of panicking
+/// when a pivot falls to or below `n·ε` times the largest diagonal entry
+/// — i.e. when `G` is *numerically* not positive definite. (A strict
+/// `pivot ≤ 0` test would let exactly-singular matrices squeak through on
+/// rounding noise.) Breakdown is an *expected* outcome for CholeskyQR on
+/// ill-conditioned inputs — the Gram matrix squares the condition number
+/// — and callers use the error to fall back to a Householder algorithm.
+///
+/// # Panics
+/// If `G` is not square.
+pub fn potrf(g: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    let n = g.rows();
+    assert_eq!(g.cols(), n, "potrf: G must be square");
+    let mut r = g.upper_triangular_part();
+    // Relative breakdown threshold: eliminating a column of a PD matrix
+    // can only shrink later pivots, so anything at rounding level of the
+    // largest diagonal signals numerical indefiniteness.
+    let scale = (0..n).map(|i| g[(i, i)]).fold(0.0f64, f64::max);
+    let tol = scale * f64::EPSILON * n as f64;
+    for j in 0..n {
+        let pivot = r[(j, j)];
+        if pivot <= tol || pivot.is_nan() {
+            return Err(NotPositiveDefinite {
+                pivot: j,
+                value: pivot,
+            });
+        }
+        let d = pivot.sqrt();
+        r[(j, j)] = d;
+        for k in j + 1..n {
+            r[(j, k)] /= d;
+        }
+        for i in j + 1..n {
+            let rji = r[(j, i)];
+            if rji == 0.0 {
+                continue;
+            }
+            for k in i..n {
+                let rjk = r[(j, k)];
+                r[(i, k)] -= rji * rjk;
+            }
+        }
+    }
+    Ok(r)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +366,63 @@ mod tests {
         let x = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
         let lt = l.transpose();
         assert_close(&matmul(&x, &lt), &us, 1e-11, "X Lᵀ = US");
+    }
+
+    #[test]
+    fn potrf_reconstructs_spd_matrix() {
+        for seed in [30u64, 31, 32] {
+            let n = 8;
+            let a = Matrix::random(3 * n, n, seed);
+            let g = matmul_tn(&a, &a); // SPD (A full rank a.s.)
+            let r = potrf(&g).expect("gram of full-rank A is SPD");
+            assert!(r.is_upper_triangular(0.0));
+            for i in 0..n {
+                assert!(r[(i, i)] > 0.0, "positive diagonal");
+            }
+            assert_close(&matmul_tn(&r, &r), &g, 1e-11, "RᵀR = G");
+        }
+    }
+
+    #[test]
+    fn potrf_identity() {
+        assert_eq!(potrf(&Matrix::identity(5)).unwrap(), Matrix::identity(5));
+    }
+
+    #[test]
+    fn potrf_reads_only_upper_triangle() {
+        // Garbage below the diagonal must not affect the result.
+        let a = Matrix::random(10, 4, 33);
+        let g = matmul_tn(&a, &a);
+        let mut dirty = g.clone();
+        for i in 0..4 {
+            for j in 0..i {
+                dirty[(i, j)] = f64::NAN;
+            }
+        }
+        assert_eq!(potrf(&g).unwrap(), potrf(&dirty).unwrap());
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut g = Matrix::identity(3);
+        g[(1, 1)] = -2.0;
+        let err = potrf(&g).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.value < 0.0);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn potrf_rejects_rank_deficient() {
+        // G = vvᵀ has rank 1: elimination must hit a zero pivot.
+        let v = Matrix::random(4, 1, 34);
+        let g = matmul(&v, &v.transpose());
+        assert!(potrf(&g).is_err());
+    }
+
+    #[test]
+    fn potrf_empty() {
+        assert_eq!(potrf(&Matrix::zeros(0, 0)).unwrap(), Matrix::zeros(0, 0));
     }
 
     #[test]

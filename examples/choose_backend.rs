@@ -1,0 +1,59 @@
+//! Cost-advised backend dispatch: factor the same matrix on three
+//! machine profiles and watch the advisor flip between CholeskyQR2 and
+//! the Householder family as the latency/bandwidth ratio and the
+//! condition-number assertion change.
+//!
+//! ```sh
+//! cargo run --release --example choose_backend
+//! ```
+
+use qr3d::prelude::*;
+
+fn main() {
+    let (m, n, p) = (2048usize, 32usize, 16usize);
+
+    println!("problem: {m} × {n} on P = {p} simulated ranks\n");
+    println!(
+        "{:<16} {:<10} {:>22} {:>12} {:>12}",
+        "machine", "κ claim", "advised backend", "‖A−QR‖/‖A‖", "‖QᵀQ−I‖"
+    );
+
+    for (mc_name, mc) in [
+        ("laptop", CostParams::laptop()),
+        ("cluster", CostParams::cluster()),
+        ("supercomputer", CostParams::supercomputer()),
+    ] {
+        for (kappa_name, kappa) in [("κ≈1e2", Some(1e2)), ("unknown", None)] {
+            // A genuinely κ ≈ 1e2 matrix, so the assertion is honest.
+            let a = random_with_condition(m, n, 1e2, 42);
+            let mut params = FactorParams::new(mc);
+            params.kappa = kappa;
+            let out = factor_auto(&a, p, &params).expect("κ claim is within the guard");
+            println!(
+                "{:<16} {:<10} {:>22} {:>12.2e} {:>12.2e}",
+                mc_name,
+                kappa_name,
+                format!("{:?}", out.backend),
+                out.residual(&a),
+                out.orthogonality(),
+            );
+        }
+    }
+
+    // Forcing the Gram path on a hopeless matrix fails loudly, with the
+    // advisor-sanctioned fallback one call away.
+    println!();
+    let bad = random_with_condition(512, 16, 1e12, 7);
+    match factor(&bad, p, QrBackend::CholQr2, &FactorParams::default()) {
+        Err(e) => println!("forced CholeskyQR2 at κ=1e12: {e}"),
+        Ok(out) => println!(
+            "forced CholeskyQR2 at κ=1e12 survived with ‖QᵀQ−I‖ = {:.2e} (junk, as predicted)",
+            out.orthogonality()
+        ),
+    }
+    let safe = factor(&bad, p, QrBackend::Tsqr, &FactorParams::default()).unwrap();
+    println!(
+        "tsqr fallback:                ‖QᵀQ−I‖ = {:.2e}",
+        safe.orthogonality()
+    );
+}

@@ -12,10 +12,11 @@
 //! * [`mm`] — parallel matrix multiplication: local mm, 1D dmm (Lemma 3),
 //!   3D dmm (Lemma 4), 2D SUMMA reference, and layout redistribution.
 //! * [`core`] — the paper's algorithms: TSQR, 1D-CAQR-EG (Theorem 2),
-//!   3D-CAQR-EG (Theorem 1), and the Householder/CAQR baselines of
-//!   Section 8.
+//!   3D-CAQR-EG (Theorem 1), the Householder/CAQR baselines of
+//!   Section 8, CholeskyQR2, and the unified backend dispatcher.
 //! * [`cost`] — the analytic cost model: Table 1–3 formulas, the Eq. (11)
-//!   and Eq. (13) recurrences, and the Section 8.3 lower bounds.
+//!   and Eq. (13) recurrences, the Section 8.3 lower bounds, and the
+//!   condition-number-guarded advisor.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,23 @@
 //!     out.stats.critical().words,
 //!     out.stats.critical().msgs,
 //! );
+//! ```
+//!
+//! ## Cost-advised dispatch
+//!
+//! Or let the cost model choose the algorithm for the machine — here a
+//! well-conditioned tall-skinny input on a latency-dominated cluster
+//! dispatches to CholeskyQR2 (the κ assertion unlocks the Gram path):
+//!
+//! ```
+//! use qr3d::prelude::*;
+//!
+//! let a = random_with_condition(1024, 16, 1e3, 42); // κ(A) ≈ 1e3
+//! let params = FactorParams::new(CostParams::cluster()).with_kappa(1e3);
+//! let out = factor_auto(&a, 8, &params).unwrap();
+//! assert!(matches!(out.backend, QrBackend::CholQr2));
+//! assert!(out.residual(&a) < 1e-12);
+//! assert!(out.orthogonality() < 1e-13);
 //! ```
 
 pub use qr3d_collectives as collectives;
