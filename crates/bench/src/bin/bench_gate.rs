@@ -22,7 +22,9 @@
 use std::time::Instant;
 
 use qr3d_bench::report::{BenchReport, GateMode};
-use qr3d_bench::{run_caqr1d, run_caqr3d, run_cholqr2, run_tsqr};
+use qr3d_bench::{
+    executor_warm_vs_cold_secs, run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_tsqr,
+};
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_matrix::gemm::{gemm, gemm_reference, Trans};
 use qr3d_matrix::Matrix;
@@ -75,6 +77,46 @@ fn emit() -> BenchReport {
         tsqr.words / cholqr2.words,
         GateMode::Ge,
         0.25,
+    );
+
+    // -- The service layer's acceptance relations. --
+    // Fused batched CholeskyQR2 (k = 8 problems of 512 × 16 on P = 8):
+    // deterministic critical-path counts, gating in particular
+    // S_batch ≈ S_single (the whole point of fusion).
+    let k = 8usize;
+    let batch = run_cholqr2_batch(512, 16, 8, k, 7);
+    push_cost(&mut report, "cholqr2_batch8_512x16x8", batch);
+    // k sequential `factor` calls concatenate their critical paths
+    // (k × the single-problem clock); the fused batch must spend ≥ 4×
+    // fewer critical-path messages than that.
+    report.push(
+        "ratio/cholqr2_seq8_msgs_over_batch8_msgs",
+        k as f64 * cholqr2.msgs / batch.msgs,
+        GateMode::Ge,
+        0.25,
+    );
+
+    // Warm-executor serving throughput: the same TSQR job stream through
+    // one persistent executor vs cold per-call `Machine::run` spawning.
+    // Wall-clock, so gate only the ratio, with a generous floor.
+    let speedup = {
+        let mut ratios: Vec<f64> = (0..3)
+            .map(|_| {
+                let (cold, warm) = executor_warm_vs_cold_secs(512, 16, 8, 24);
+                cold / warm
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios[ratios.len() / 2]
+    };
+    // Tolerance 0.45 keeps the floor above 1.0 for a baseline ≈ 2×: a
+    // warm executor that stops beating cold spawning is a regression of
+    // the feature, not noise.
+    report.push(
+        "speedup/warm_executor_over_cold_512x16x8",
+        speedup,
+        GateMode::Ge,
+        0.45,
     );
 
     // -- Wall-clock sanity. Only the blocked/reference *ratio* is gated:

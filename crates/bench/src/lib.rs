@@ -20,8 +20,10 @@
 //! verifies the result numerically, and returns the critical-path
 //! [`Clock`] — so every number printed comes from a correct execution.
 
+use std::time::Instant;
+
 use qr3d_core::prelude::*;
-use qr3d_machine::{Clock, CostParams, Machine};
+use qr3d_machine::{Clock, CostParams, Machine, Rank};
 use qr3d_matrix::gemm::{matmul, matmul_tn};
 use qr3d_matrix::layout::BlockRow;
 use qr3d_matrix::Matrix;
@@ -69,6 +71,56 @@ pub fn run_cholqr2(m: usize, n: usize, p: usize, seed: u64) -> Clock {
     let orth = matmul_tn(&q, &q).sub(&Matrix::identity(n)).max_abs();
     assert!(orth < TOL, "cholqr2 orthogonality");
     out.stats.critical()
+}
+
+/// Run the **fused** CholeskyQR2 batch: `k` independent `m × n` problems
+/// in one warm-executor job sharing two all-reduces (the service layer's
+/// latency amortization). Verify every problem; return the batch's
+/// critical-path costs.
+pub fn run_cholqr2_batch(m: usize, n: usize, p: usize, k: usize, seed: u64) -> Clock {
+    let problems: Vec<Matrix> = (0..k)
+        .map(|j| Matrix::random(m, n, seed + j as u64))
+        .collect();
+    let mut session = Session::new(p, FactorParams::new(CostParams::unit()).with_kappa(100.0));
+    let batch = session.factor_batch(&problems, QrBackend::CholQr2);
+    assert!(batch.fused, "same-shape CholeskyQR2 batches must fuse");
+    for (a, out) in problems.iter().zip(&batch.outputs) {
+        let out = out
+            .as_ref()
+            .expect("uniform random inputs are well-conditioned");
+        assert!(out.residual(a) < TOL, "cholqr2 batch residual");
+        assert!(out.orthogonality() < TOL, "cholqr2 batch orthogonality");
+    }
+    batch.critical
+}
+
+/// Wall-clock seconds to run `jobs` identical TSQR factorizations
+/// **cold** (a fresh `Machine::run` per call — P thread spawns + joins
+/// each time) versus **warm** (one persistent executor, jobs submitted
+/// back-to-back). Returns `(cold, warm)`; `cold / warm` is the
+/// serving-throughput speedup a warm session buys.
+pub fn executor_warm_vs_cold_secs(m: usize, n: usize, p: usize, jobs: usize) -> (f64, f64) {
+    let a = Matrix::random(m, n, 42);
+    let lay = BlockRow::balanced(m, 1, p);
+    let job = |rank: &mut Rank| {
+        let w = rank.world();
+        tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
+    };
+    let machine = Machine::new(p, CostParams::unit());
+    // Warm path first: it also pre-faults the allocator and page cache,
+    // which is *generous to the cold path* measured second.
+    let mut exec = machine.executor();
+    let t = Instant::now();
+    for _ in 0..jobs {
+        let _ = exec.submit(job);
+    }
+    let warm = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..jobs {
+        let _ = machine.run(job);
+    }
+    let cold = t.elapsed().as_secs_f64();
+    (cold, warm)
 }
 
 /// Run 1D-CAQR-EG with threshold `b`; verify; return critical-path costs.
@@ -170,6 +222,16 @@ mod tests {
         assert!(c.flops > 0.0 && c.words > 0.0 && c.msgs > 0.0);
         let c = run_cholqr2(64, 8, 4, 1);
         assert!(c.flops > 0.0 && c.words > 0.0 && c.msgs > 0.0);
+        let single = c;
+        let c = run_cholqr2_batch(64, 8, 4, 6, 1);
+        assert!(
+            c.msgs < 2.0 * single.msgs,
+            "fused batch S = {} must stay near single S = {}",
+            c.msgs,
+            single.msgs
+        );
+        let (cold, warm) = executor_warm_vs_cold_secs(64, 8, 2, 3);
+        assert!(cold > 0.0 && warm > 0.0);
         let c = run_caqr1d(64, 8, 4, 4, 2);
         assert!(c.msgs > 0.0);
         let c = run_caqr3d(48, 12, 4, Caqr3dConfig::new(6, 3), 3);

@@ -31,8 +31,8 @@
 //! should run the 2D/3D algorithms directly for `R` and apply the
 //! implicit `Q` via their own representations.
 
-use qr3d_cost::advisor::{recommend_with_kappa, Choice};
-use qr3d_machine::{Clock, CostParams, Machine};
+use qr3d_cost::advisor::{recommend_batch_with_kappa, recommend_with_kappa, Choice};
+use qr3d_machine::{Clock, CostParams, Executor, Machine};
 use qr3d_matrix::gemm::{matmul, matmul_tn};
 use qr3d_matrix::layout::BlockRow;
 use qr3d_matrix::qr::thin_q;
@@ -101,6 +101,30 @@ impl QrBackend {
             .choice
             .into()
     }
+
+    /// Ask the cost model how to serve a batch of `k` same-shape
+    /// problems: which backend, and whether to **fuse** the batch into
+    /// shared reduction trees (`S_batch ≈ S_single`) or run it
+    /// sequentially. `params.kappa`, if given, must bound the condition
+    /// number of *every* problem in the batch.
+    pub fn auto_batch(m: usize, n: usize, p: usize, k: usize, params: &FactorParams) -> BatchPlan {
+        let mc = &params.machine;
+        let rec = recommend_batch_with_kappa(m, n, p, k, params.kappa, mc.alpha, mc.beta, mc.gamma);
+        BatchPlan {
+            backend: rec.choice.into(),
+            fused: rec.fused,
+        }
+    }
+}
+
+/// How the cost model wants a batch served (see [`QrBackend::auto_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPlan {
+    /// The backend to run.
+    pub backend: QrBackend,
+    /// Whether to fuse the batch into shared reduction trees; only the
+    /// tall-skinny single-tree backends (`Tsqr`, `CholQr2`) fuse.
+    pub fused: bool,
 }
 
 /// Caller-side context for backend selection: the machine the cost model
@@ -202,9 +226,10 @@ pub fn factor_auto(
 }
 
 /// Factor `a` (`m × n`, `m ≥ n ≥ 1`) on `p` simulated ranks of
-/// `params.machine` with an explicit backend. Scatters `a` into the
-/// backend's native layout, runs the real distributed algorithm, and
-/// assembles the normalized [`FactorOutput`].
+/// `params.machine` with an explicit backend: a one-shot wrapper that
+/// spawns a throwaway executor for [`factor_on`]. Callers factoring many
+/// problems should hold a warm executor — most conveniently through
+/// [`crate::session::Session`].
 ///
 /// # Panics
 /// On shape violations — e.g. a tall-skinny backend (`House1d`, `Tsqr`,
@@ -216,36 +241,105 @@ pub fn factor(
     backend: QrBackend,
     params: &FactorParams,
 ) -> Result<FactorOutput, FactorError> {
+    let machine = Machine::new(p, params.machine);
+    factor_on(&mut machine.executor(), a, backend)
+}
+
+/// Assemble one problem's explicit `(Q, R)` from per-rank Householder
+/// block-row factors — shared by single dispatch and the session's
+/// fused-batch path so the two can never diverge.
+pub(crate) fn assemble_tsqr_problem(
+    per_rank: &[crate::tsqr::QrFactors],
+    counts: &[usize],
+) -> (Matrix, Matrix) {
+    let fac = assemble_block_row(per_rank, counts);
+    (thin_q(&fac.v, &fac.t), fac.r)
+}
+
+/// Assemble one problem's explicit `(Q, R)` from per-rank CholeskyQR2
+/// results (row-distributed explicit Q, replicated R). Breakdown is
+/// replicated — bitwise-identical Gram matrices — so the first rank
+/// speaks for everyone; the assembly asserts the rest agree. Shared by
+/// single dispatch and the session's fused-batch path.
+pub(crate) fn assemble_cholqr2_problem<'a>(
+    per_rank: impl Iterator<Item = &'a Result<crate::cholqr::CholQrFactors, CholQrError>>,
+    starts: &[usize],
+    m: usize,
+    n: usize,
+) -> Result<(Matrix, Matrix), FactorError> {
+    let mut q = Matrix::zeros(m, n);
+    let mut r = None;
+    for (rk, res) in per_rank.enumerate() {
+        let fac = if rk == 0 {
+            match res {
+                Err(e) => return Err(FactorError::CholeskyBreakdown(*e)),
+                Ok(f) => {
+                    r = Some(f.r.clone());
+                    f
+                }
+            }
+        } else {
+            res.as_ref().expect("breakdown is replicated")
+        };
+        q.set_submatrix(starts[rk], 0, &fac.q_local);
+    }
+    Ok((q, r.expect("at least one rank")))
+}
+
+/// Factor `a` on a **warm** executor (no thread spawn): scatters `a`
+/// into the backend's native layout, runs the real distributed algorithm
+/// as one executor job, and assembles the normalized [`FactorOutput`].
+/// The executor's cost parameters clock the run; backend *selection*
+/// (and its κ context) happens upstream, via [`QrBackend::auto`] or
+/// [`crate::session::Session`].
+///
+/// # Panics
+/// As [`factor`].
+pub fn factor_on(
+    exec: &mut Executor,
+    a: &Matrix,
+    backend: QrBackend,
+) -> Result<FactorOutput, FactorError> {
     let (m, n) = (a.rows(), a.cols());
+    let p = exec.procs();
     assert!(m >= n && n >= 1, "factor: need m ≥ n ≥ 1 (got {m} × {n})");
     assert!(p >= 1, "factor: need at least one rank");
-    let machine = Machine::new(p, params.machine);
+    // Enforce the 1D block-row family's per-rank row requirement HERE,
+    // host-side, rather than letting the kernel assert inside the job —
+    // an in-job panic would needlessly poison a warm executor.
+    if matches!(backend, QrBackend::Tsqr | QrBackend::Caqr1d { .. }) {
+        assert!(
+            qr3d_cost::advisor::tall_skinny_admissible(m, n, p),
+            "factor: {backend:?} needs every rank to own at least n rows \
+             (m ≥ n·P; got m = {m}, n = {n}, P = {p})"
+        );
+    }
 
     let (q, r, critical) = match backend {
         QrBackend::Tsqr => {
             let lay = BlockRow::balanced(m, 1, p);
-            let out = machine.run(|rank| {
+            let out = exec.submit(|rank| {
                 let w = rank.world();
                 tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
             });
-            let fac = assemble_block_row(&out.results, lay.counts());
-            (thin_q(&fac.v, &fac.t), fac.r, out.stats.critical())
+            let (q, r) = assemble_tsqr_problem(&out.results, lay.counts());
+            (q, r, out.stats.critical())
         }
         QrBackend::Caqr1d { epsilon } => {
             let lay = BlockRow::balanced(m, 1, p);
             let cfg = Caqr1dConfig::auto(n, p, epsilon);
-            let out = machine.run(|rank| {
+            let out = exec.submit(|rank| {
                 let w = rank.world();
                 caqr1d_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())), &cfg)
             });
-            let fac = assemble_block_row(&out.results, lay.counts());
-            (thin_q(&fac.v, &fac.t), fac.r, out.stats.critical())
+            let (q, r) = assemble_tsqr_problem(&out.results, lay.counts());
+            (q, r, out.stats.critical())
         }
         QrBackend::House1d => {
             let lay = BlockRow::balanced(m, 1, p);
             let counts = lay.counts().to_vec();
             let cfg = House1dConfig::new(n.min(8));
-            let out = machine.run(|rank| {
+            let out = exec.submit(|rank| {
                 let w = rank.world();
                 house1d_factor(
                     rank,
@@ -269,7 +363,7 @@ pub fn factor(
         QrBackend::Caqr3d { delta } => {
             let lay = ShiftedRowCyclic::new(m, n, p, 0);
             let cfg = Caqr3dConfig::auto(m, n, p, delta);
-            let out = machine.run(|rank| {
+            let out = exec.submit(|rank| {
                 let w = rank.world();
                 caqr3d_factor(rank, &w, &lay.scatter_from_full(a, w.rank()), m, n, &cfg)
             });
@@ -280,7 +374,7 @@ pub fn factor(
             let b = caqr2d_block(m, n, p);
             let cfg = Grid2Config::auto(m, n, p, b);
             let is_house = matches!(backend, QrBackend::House2d);
-            let out = machine.run(|rank| {
+            let out = exec.submit(|rank| {
                 let w = rank.world();
                 let a_loc = cfg.scatter_from_full(a, w.rank());
                 if is_house {
@@ -298,23 +392,12 @@ pub fn factor(
         }
         QrBackend::CholQr2 => {
             let lay = BlockRow::balanced(m, 1, p);
-            let out = machine.run(|rank| {
+            let out = exec.submit(|rank| {
                 let w = rank.world();
                 cholqr2_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
             });
-            // Breakdown is replicated (bitwise-identical Gram matrices):
-            // rank 0 speaks for everyone.
-            let first = match &out.results[0] {
-                Ok(f) => f,
-                Err(e) => return Err(FactorError::CholeskyBreakdown(*e)),
-            };
-            let mut q = Matrix::zeros(m, n);
-            let starts = lay.starts();
-            for (rk, res) in out.results.iter().enumerate() {
-                let fac = res.as_ref().expect("breakdown is replicated");
-                q.set_submatrix(starts[rk], 0, &fac.q_local);
-            }
-            (q, first.r.clone(), out.stats.critical())
+            let (q, r) = assemble_cholqr2_problem(out.results.iter(), &lay.starts(), m, n)?;
+            (q, r, out.stats.critical())
         }
     };
 

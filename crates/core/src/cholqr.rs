@@ -79,31 +79,68 @@ impl std::error::Error for CholQrError {
 /// One CholeskyQR pass: `(Q, R)` with `A_loc = Q_loc·R`, `R` replicated.
 /// `O(ε κ(A)²)` orthogonality — use [`cholqr2_factor`] unless a single
 /// pass is wanted (e.g. to study the breakdown curve).
+///
+/// Exactly [`cholqr_pass_batch`] with a batch of one — same wire format,
+/// bit-identical factors and clocks.
 pub fn cholqr_pass(
     rank: &mut Rank,
     comm: &Comm,
     a_local: &Matrix,
 ) -> Result<(Matrix, Matrix), NotPositiveDefinite> {
-    let n = a_local.cols();
-    let mp = a_local.rows();
+    cholqr_pass_batch(rank, comm, std::slice::from_ref(a_local))
+        .pop()
+        .expect("one problem in, one result out")
+}
 
-    // Local Gram contribution (exactly symmetric by construction).
-    let mut g_local = Matrix::zeros(n, n);
-    syrk(1.0, a_local, 0.0, &mut g_local);
-    rank.charge_flops(flops::syrk(mp, n));
+/// One CholeskyQR pass over `k` independent row-distributed problems
+/// with **fused** communication: the `k` local Gram matrices travel
+/// concatenated in a single all-reduce, so the batch pays the latency of
+/// *one* pass (`S = O(log P)` total) while bandwidth scales with `k`.
+/// Breakdown is detected per problem — and, because the all-reduce
+/// delivers bitwise-identical sums everywhere, every rank returns the
+/// identical per-problem `Result`s.
+pub fn cholqr_pass_batch(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_locals: &[Matrix],
+) -> Vec<Result<(Matrix, Matrix), NotPositiveDefinite>> {
+    if a_locals.is_empty() {
+        return Vec::new();
+    }
+    // Local Gram contributions (exactly symmetric by construction),
+    // concatenated so the whole batch shares ONE all-reduce.
+    let total: usize = a_locals.iter().map(|a| a.cols() * a.cols()).sum();
+    let mut buf = Vec::with_capacity(total);
+    for a in a_locals {
+        let n = a.cols();
+        let mut g_local = Matrix::zeros(n, n);
+        syrk(1.0, a, 0.0, &mut g_local);
+        rank.charge_flops(flops::syrk(a.rows(), n));
+        buf.extend_from_slice(&g_local.into_vec());
+    }
+    // The single communication: k·n² words, O(log P) messages. Every
+    // rank receives the bitwise-identical sums.
+    let summed = all_reduce(rank, comm, buf);
 
-    // The single communication: n² words, O(log P) messages. Every rank
-    // receives the bitwise-identical sum.
-    let g = Matrix::from_vec(n, n, all_reduce(rank, comm, g_local.into_vec()));
-
-    // Replicated Cholesky; a breakdown is replicated too.
-    let r = potrf(&g)?;
-    rank.charge_flops(flops::potrf(n));
-
-    // Local solve Q_loc·R = A_loc.
-    let q_local = trsm(Side::Right, Uplo::Upper, false, false, &r, a_local);
-    rank.charge_flops(flops::trsm(n, mp));
-    Ok((q_local, r))
+    // Per problem: replicated Cholesky (breakdowns replicated too), then
+    // the local solve Q_loc·R = A_loc.
+    let mut out = Vec::with_capacity(a_locals.len());
+    let mut off = 0;
+    for a in a_locals {
+        let (mp, n) = (a.rows(), a.cols());
+        let g = Matrix::from_slice(n, n, &summed[off..off + n * n]);
+        off += n * n;
+        match potrf(&g) {
+            Err(e) => out.push(Err(e)),
+            Ok(r) => {
+                rank.charge_flops(flops::potrf(n));
+                let q_local = trsm(Side::Right, Uplo::Upper, false, false, &r, a);
+                rank.charge_flops(flops::trsm(n, mp));
+                out.push(Ok((q_local, r)));
+            }
+        }
+    }
+    out
 }
 
 /// CholeskyQR2-factor the row-distributed matrix `a_local` over `comm`
@@ -119,16 +156,59 @@ pub fn cholqr2_factor(
     comm: &Comm,
     a_local: &Matrix,
 ) -> Result<CholQrFactors, CholQrError> {
-    let n = a_local.cols();
-    let (q1, r1) =
-        cholqr_pass(rank, comm, a_local).map_err(|source| CholQrError { pass: 1, source })?;
-    let (q_local, r2) =
-        cholqr_pass(rank, comm, &q1).map_err(|source| CholQrError { pass: 2, source })?;
-    // R = R₂·R₁ (upper triangular · upper triangular), replicated like
-    // its factors.
-    let r = matmul(&r2, &r1);
-    rank.charge_flops(flops::gemm(n, n, n));
-    Ok(CholQrFactors { q_local, r })
+    cholqr2_factor_batch(rank, comm, std::slice::from_ref(a_local))
+        .pop()
+        .expect("one problem in, one result out")
+}
+
+/// CholeskyQR2 over `k` independent row-distributed problems with
+/// **fused** communication: each of the two passes runs through
+/// [`cholqr_pass_batch`], so the whole batch costs two all-reduces —
+/// `S = O(log P)` total, the per-problem latency amortized to
+/// `O((log P)/k)` — with `W = O(k·n²)`
+/// (`qr3d_cost::algorithms::cholqr2_batch_cost`).
+///
+/// Errors are per problem: a breakdown in one problem does not disturb
+/// the others (its slot carries the `Err`; the second pass simply runs
+/// on the survivors). Every rank computes the identical survivor set —
+/// breakdown decisions are replicated — so the batch composition stays
+/// SPMD-consistent and no rank diverges into a deadlock.
+pub fn cholqr2_factor_batch(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_locals: &[Matrix],
+) -> Vec<Result<CholQrFactors, CholQrError>> {
+    // Split pass 1 by value — Q₁ feeds pass 2, R₁ the final product —
+    // so the survivors' m_local × n blocks are never copied.
+    let mut q1: Vec<Matrix> = Vec::with_capacity(a_locals.len());
+    let firsts: Vec<Result<Matrix, NotPositiveDefinite>> = cholqr_pass_batch(rank, comm, a_locals)
+        .into_iter()
+        .map(|res| {
+            res.map(|(q, r1)| {
+                q1.push(q);
+                r1
+            })
+        })
+        .collect();
+    // Second pass on the survivors only (replicated on every rank).
+    let pass2 = cholqr_pass_batch(rank, comm, &q1);
+    let mut second = pass2.into_iter();
+    firsts
+        .into_iter()
+        .map(|first| {
+            let r1 = first.map_err(|source| CholQrError { pass: 1, source })?;
+            let (q_local, r2) = second
+                .next()
+                .expect("one pass-2 result per pass-1 survivor")
+                .map_err(|source| CholQrError { pass: 2, source })?;
+            // R = R₂·R₁ (upper triangular · upper triangular), replicated
+            // like its factors.
+            let n = r1.rows();
+            let r = matmul(&r2, &r1);
+            rank.charge_flops(flops::gemm(n, n, n));
+            Ok(CholQrFactors { q_local, r })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -263,6 +343,123 @@ mod tests {
         let (q2, r2, _) = run(&a, 4);
         assert_eq!(q1.unwrap(), q2.unwrap());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn batch_fuses_the_all_reduces_and_stays_correct() {
+        // k problems through the fused batch: every problem's factors
+        // must verify, and the batch's critical-path message count must
+        // stay at ONE CholeskyQR2 (two all-reduces), not k of them.
+        let (m, n, p, k) = (96usize, 6usize, 4usize, 6usize);
+        let problems: Vec<Matrix> = (0..k)
+            .map(|j| Matrix::random(m, n, 60 + j as u64))
+            .collect();
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let probs = &problems;
+        let batch = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let locals: Vec<Matrix> = probs.iter().map(|a| a.take_rows(&rows)).collect();
+            cholqr2_factor_batch(rank, &w, &locals)
+        });
+        let single_msgs = {
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let a_loc = problems[0].take_rows(&lay.local_rows(w.rank()));
+                cholqr2_factor(rank, &w, &a_loc).map(|f| f.r)
+            });
+            out.stats.critical().msgs
+        };
+        let starts = lay.starts();
+        for (j, a) in problems.iter().enumerate() {
+            let first = batch.results[0][j].as_ref().expect("well-conditioned");
+            let mut q = Matrix::zeros(m, n);
+            for (rk, res) in batch.results.iter().enumerate() {
+                let fac = res[j].as_ref().expect("all ranks agree");
+                assert_eq!(fac.r, first.r, "problem {j}: R replicated bitwise");
+                q.set_submatrix(starts[rk], 0, &fac.q_local);
+            }
+            let resid = matmul(&q, &first.r).sub(a).frobenius_norm() / a.frobenius_norm();
+            assert!(resid < 1e-12, "problem {j}: residual {resid}");
+            let orth = matmul_tn(&q, &q).sub(&Matrix::identity(n)).max_abs();
+            assert!(orth < 1e-13, "problem {j}: orthogonality {orth}");
+        }
+        // S_batch ≈ S_single: the fused batch charges one tree, so its
+        // critical path must be far below k sequential passes (allow
+        // slack for the auto all-reduce switching variant on the larger
+        // fused block).
+        let fused = batch.stats.critical().msgs;
+        assert!(
+            fused * 2.0 <= single_msgs * k as f64,
+            "S_batch = {fused} should amortize k = {k} × S_single = {single_msgs}"
+        );
+    }
+
+    #[test]
+    fn batch_isolates_per_problem_breakdown() {
+        // One rank-deficient problem among healthy ones: its slot (and
+        // only its slot) reports the pass-1 breakdown, identically on
+        // every rank; the survivors still factor to machine precision.
+        let (m, n, p) = (48usize, 4usize, 4usize);
+        let good0 = Matrix::random(m, n, 70);
+        let mut bad = Matrix::random(m, n, 71);
+        for i in 0..m {
+            bad[(i, 3)] = bad[(i, 0)]; // duplicate column ⇒ singular Gram
+        }
+        let good1 = Matrix::random(m, n, 72);
+        let problems = [good0, bad, good1];
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let probs = &problems;
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let locals: Vec<Matrix> = probs.iter().map(|a| a.take_rows(&rows)).collect();
+            cholqr2_factor_batch(rank, &w, &locals)
+        });
+        for res in &out.results {
+            assert!(res[0].is_ok());
+            let err = res[1].as_ref().unwrap_err();
+            assert_eq!(err.pass, 1, "duplicate column breaks pass 1");
+            assert!(res[2].is_ok());
+        }
+        // Survivors verify.
+        let starts = lay.starts();
+        for j in [0usize, 2] {
+            let first = out.results[0][j].as_ref().unwrap();
+            let mut q = Matrix::zeros(m, n);
+            for (rk, res) in out.results.iter().enumerate() {
+                q.set_submatrix(starts[rk], 0, &res[j].as_ref().unwrap().q_local);
+            }
+            let resid = matmul(&q, &first.r).sub(&problems[j]).frobenius_norm()
+                / problems[j].frobenius_norm();
+            assert!(resid < 1e-12, "survivor {j}: residual {resid}");
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let (m, n, p, k) = (40usize, 5usize, 4usize, 4usize);
+        let problems: Vec<Matrix> = (0..k)
+            .map(|j| Matrix::random(m, n, 80 + j as u64))
+            .collect();
+        let lay = BlockRow::balanced(m, 1, p);
+        let probs = &problems;
+        let run = || {
+            let machine = Machine::new(p, CostParams::unit());
+            let out = machine.run(|rank| {
+                let w = rank.world();
+                let rows = lay.local_rows(w.rank());
+                let locals: Vec<Matrix> = probs.iter().map(|a| a.take_rows(&rows)).collect();
+                cholqr2_factor_batch(rank, &w, &locals)
+            });
+            out.results[0]
+                .iter()
+                .map(|r| r.as_ref().unwrap().r.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "fused batch must be bitwise reproducible");
     }
 
     #[test]

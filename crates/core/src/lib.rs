@@ -27,6 +27,10 @@
 //! * [`backend`] — the unified [`backend::factor`] entry point
 //!   dispatching over all of the above, with cost-model-advised
 //!   selection ([`backend::QrBackend::auto`]).
+//! * [`session`] — the warm serving layer: a persistent executor plus
+//!   [`session::Session::factor_batch`], which fuses same-shape
+//!   tall-skinny batches into shared reduction trees
+//!   (`S_batch ≈ S_single`).
 
 pub mod apply;
 pub mod backend;
@@ -39,6 +43,7 @@ pub mod house2d;
 pub mod iterative;
 pub mod panel;
 pub mod params;
+pub mod session;
 pub mod shifted;
 pub mod tsqr;
 pub mod verify;
@@ -50,20 +55,25 @@ pub use tsqr::QrFactors;
 pub mod prelude {
     pub use crate::apply::{apply_q_1d, apply_qt_1d};
     pub use crate::backend::{
-        factor, factor_auto, FactorError, FactorOutput, FactorParams, QrBackend,
+        factor, factor_auto, factor_on, BatchPlan, FactorError, FactorOutput, FactorParams,
+        QrBackend,
     };
     pub use crate::caqr1d::{caqr1d_factor, Caqr1dConfig};
     pub use crate::caqr2d::caqr2d_factor;
     pub use crate::caqr3d::{caqr3d_factor, Caqr3dConfig, QrFactorsCyclic};
-    pub use crate::cholqr::{cholqr2_factor, cholqr_pass, CholQrError, CholQrFactors};
+    pub use crate::cholqr::{
+        cholqr2_factor, cholqr2_factor_batch, cholqr_pass, cholqr_pass_batch, CholQrError,
+        CholQrFactors,
+    };
     pub use crate::house1d::{house1d_factor, House1dConfig};
     pub use crate::house2d::house2d_factor;
     pub use crate::iterative::{
         apply_q_iterative, apply_qt_iterative, caqr1d_iterative, IterativeQr,
     };
     pub use crate::params::{caqr1d_block, caqr3d_blocks};
+    pub use crate::session::{BatchOutput, Session};
     pub use crate::shifted::ShiftedRowCyclic;
-    pub use crate::tsqr::{tsqr_factor, QrFactors};
+    pub use crate::tsqr::{tsqr_factor, tsqr_factor_batch, QrFactors};
     pub use crate::verify::{
         assemble_factorization, factorization_error, orthogonality_error, r_gram_error,
         Factorization,

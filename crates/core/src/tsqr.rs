@@ -73,122 +73,240 @@ pub(crate) fn unpack_upper(data: &[f64], n: usize) -> Matrix {
 /// TSQR-factor the row-distributed matrix `a_local` over `comm` (root =
 /// local rank 0, which must own the global leading rows). Requires
 /// `a_local.rows() ≥ a_local.cols()` on every rank.
+///
+/// This is exactly [`tsqr_factor_batch`] with a batch of one — same wire
+/// format, same arithmetic, bit-identical factors and clocks.
 pub fn tsqr_factor(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> QrFactors {
-    let n = a_local.cols();
-    let mp = a_local.rows();
-    assert!(
-        mp >= n,
-        "tsqr: every rank needs at least n rows (got {mp} × {n})"
-    );
+    tsqr_factor_batch(rank, comm, std::slice::from_ref(a_local))
+        .pop()
+        .expect("one problem in, one factorization out")
+}
+
+/// TSQR-factor `k` independent row-distributed problems over `comm` with
+/// **fused** communication: all problems share one reduction tree, so
+/// every upsweep/downsweep hop (and the final `U` broadcast) carries the
+/// `k` per-problem blocks concatenated in a single message. The latency
+/// cost is that of *one* TSQR — `S = O(log P)` total, not per problem —
+/// while bandwidth and arithmetic scale with `k`
+/// (`qr3d_cost::algorithms::tsqr_batch_cost`).
+///
+/// Every rank must pass its local rows of the same `k` problems in the
+/// same order (the SPMD discipline); problems need not share a shape,
+/// but each needs `rows ≥ cols` locally, and problems with zero columns
+/// sit out the communication entirely.
+pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> Vec<QrFactors> {
+    let k = a_locals.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    for a in a_locals {
+        assert!(
+            a.rows() >= a.cols(),
+            "tsqr: every rank needs at least n rows (got {} × {})",
+            a.rows(),
+            a.cols()
+        );
+    }
     let me = comm.rank();
     let op = comm.next_op();
     let tag = |depth: u64, phase: u64| (op << 8) | (depth << 1) | phase;
 
-    if n == 0 {
-        return QrFactors {
-            v_local: Matrix::zeros(mp, 0),
-            t: (me == 0).then(|| Matrix::zeros(0, 0)),
-            r: (me == 0).then(|| Matrix::zeros(0, 0)),
-        };
+    // Problems with n = 0 take no part in the communication; with no
+    // active problem the whole batch degenerates without a message.
+    let active: Vec<usize> = (0..k).filter(|&j| a_locals[j].cols() > 0).collect();
+
+    // ---- Phase 0: local QR per problem (C.1). ----
+    let mut v0: Vec<Matrix> = Vec::with_capacity(k);
+    let mut t0: Vec<Matrix> = Vec::with_capacity(k);
+    let mut r_cur: Vec<Matrix> = Vec::with_capacity(k);
+    for a in a_locals {
+        let (mp, n) = (a.rows(), a.cols());
+        if n == 0 {
+            v0.push(Matrix::zeros(mp, 0));
+            t0.push(Matrix::zeros(0, 0));
+            r_cur.push(Matrix::zeros(0, 0));
+            continue;
+        }
+        let local = geqrt(a);
+        rank.charge_flops(flops::geqrt(mp, n));
+        v0.push(local.v);
+        t0.push(local.t);
+        r_cur.push(local.r);
+    }
+    if active.is_empty() {
+        return a_locals
+            .iter()
+            .map(|a| QrFactors {
+                v_local: Matrix::zeros(a.rows(), 0),
+                t: (me == 0).then(|| Matrix::zeros(0, 0)),
+                r: (me == 0).then(|| Matrix::zeros(0, 0)),
+            })
+            .collect();
     }
 
-    // ---- Phase 0: local QR (C.1). ----
-    let local = geqrt(a_local);
-    rank.charge_flops(flops::geqrt(mp, n));
-    let (v0, t0) = (local.v, local.t);
-    let mut r_cur = local.r;
-
-    // ---- Phase 1: upsweep — binomial reduce with QR as the combine. ----
-    // Stack of (V, T) per merge, deepest first, to be replayed in reverse.
+    // ---- Phase 1: upsweep — binomial reduce with QR as the combine.
+    // One message per frame carries every problem's packed R-triangle:
+    // the batch charges one α per tree level. ----
     let frames = binomial_frames(me, comm.size(), 0);
-    let mut tree: Vec<(Matrix, Matrix)> = Vec::new();
+    let mut tree: Vec<Vec<(Matrix, Matrix)>> = vec![Vec::new(); k];
     for f in frames.iter().rev() {
         if me == f.ort {
-            rank.send_vec(comm, f.rt, tag(f.depth, 0), pack_upper(&r_cur));
+            let mut buf = Vec::new();
+            for &j in &active {
+                buf.extend_from_slice(&pack_upper(&r_cur[j]));
+            }
+            rank.send_vec(comm, f.rt, tag(f.depth, 0), buf);
         } else {
             let incoming = rank.recv(comm, f.ort, tag(f.depth, 0));
-            let r_other = unpack_upper(&incoming, n);
-            let stacked = r_cur.vstack(&r_other);
-            let merged = geqrt(&stacked);
-            rank.charge_flops(flops::geqrt(2 * n, n));
-            r_cur = merged.r;
-            tree.push((merged.v, merged.t));
+            let mut off = 0;
+            for &j in &active {
+                let n = a_locals[j].cols();
+                let len = n * (n + 1) / 2;
+                let r_other = unpack_upper(&incoming[off..off + len], n);
+                off += len;
+                let stacked = r_cur[j].vstack(&r_other);
+                let merged = geqrt(&stacked);
+                rank.charge_flops(flops::geqrt(2 * n, n));
+                r_cur[j] = merged.r;
+                tree[j].push((merged.v, merged.t));
+            }
         }
     }
 
-    // ---- Phase 2: downsweep — apply tree Q-factors to identity columns. ----
-    // The root starts with B = I_n; at each level (shallowest first) the
-    // receiver-side rank computes [B_me; B_q] = (I − V T Vᵀ)[B_me; 0] and
-    // sends B_q down to q.
-    let mut b_cur = if me == 0 {
-        Matrix::identity(n)
-    } else {
-        Matrix::zeros(0, 0)
-    };
+    // ---- Phase 2: downsweep — apply tree Q-factors to identity columns.
+    // The root starts each problem at B = I_n; each hop ships the k
+    // n × n child blocks concatenated. ----
+    let mut b_cur: Vec<Matrix> = a_locals
+        .iter()
+        .map(|a| {
+            if me == 0 {
+                Matrix::identity(a.cols())
+            } else {
+                Matrix::zeros(0, 0)
+            }
+        })
+        .collect();
     for f in frames.iter() {
         if me == f.ort {
-            b_cur = Matrix::from_slice(n, n, &rank.recv(comm, f.rt, tag(f.depth, 1)));
+            let incoming = rank.recv(comm, f.rt, tag(f.depth, 1));
+            let mut off = 0;
+            for &j in &active {
+                let n = a_locals[j].cols();
+                b_cur[j] = Matrix::from_slice(n, n, &incoming[off..off + n * n]);
+                off += n * n;
+            }
         } else {
-            let (v, t) = tree.pop().expect("tree Q-factor per frame");
-            let mut stacked = b_cur.vstack(&Matrix::zeros(n, n));
-            apply_block_reflector(&v, &t, &mut stacked, false);
-            rank.charge_flops(flops::apply_block_reflector(2 * n, n, n));
-            b_cur = stacked.submatrix(0, n, 0, n);
-            let b_q = stacked.submatrix(n, 2 * n, 0, n);
-            rank.send_vec(comm, f.ort, tag(f.depth, 1), b_q.into_vec());
+            let mut buf = Vec::new();
+            for &j in &active {
+                let n = a_locals[j].cols();
+                let (v, t) = tree[j].pop().expect("tree Q-factor per frame");
+                let mut stacked = b_cur[j].vstack(&Matrix::zeros(n, n));
+                apply_block_reflector(&v, &t, &mut stacked, false);
+                rank.charge_flops(flops::apply_block_reflector(2 * n, n, n));
+                b_cur[j] = stacked.submatrix(0, n, 0, n);
+                buf.extend_from_slice(&stacked.submatrix(n, 2 * n, 0, n).into_vec());
+            }
+            rank.send_vec(comm, f.ort, tag(f.depth, 1), buf);
         }
     }
-    debug_assert!(tree.is_empty(), "all tree factors consumed");
+    debug_assert!(
+        tree.iter().all(|t| t.is_empty()),
+        "all tree factors consumed"
+    );
 
-    // W_p = (I − V⁰T⁰V⁰ᵀ)[B_p; 0]  (m_p × n).
-    let mut w = b_cur.vstack(&Matrix::zeros(mp - n, n));
-    apply_block_reflector(&v0, &t0, &mut w, false);
-    rank.charge_flops(flops::apply_block_reflector(mp, n, n));
+    // W_p = (I − V⁰T⁰V⁰ᵀ)[B_p; 0]  (m_p × n), per problem.
+    let mut w_all: Vec<Matrix> = Vec::with_capacity(k);
+    for (j, a) in a_locals.iter().enumerate() {
+        let (mp, n) = (a.rows(), a.cols());
+        if n == 0 {
+            w_all.push(Matrix::zeros(mp, 0));
+            continue;
+        }
+        let mut w = b_cur[j].vstack(&Matrix::zeros(mp - n, n));
+        apply_block_reflector(&v0[j], &t0[j], &mut w, false);
+        rank.charge_flops(flops::apply_block_reflector(mp, n, n));
+        w_all.push(w);
+    }
 
-    // ---- Phase 3: Householder reconstruction (C.2, [BDG+15]). ----
+    // ---- Phase 3: Householder reconstruction (C.2, [BDG+15]); the U
+    // factors of every problem share one broadcast. ----
+    let u_total: usize = active.iter().map(|&j| a_locals[j].cols().pow(2)).sum();
     if me == 0 {
-        let x = w.submatrix(0, n, 0, n);
-        let (l, u, s) = lu_sign(&x);
-        rank.charge_flops(flops::lu_sign(n));
-        // T = (U·S)·L⁻ᵀ : scale U's columns by s, then right-solve by Lᵀ.
-        let mut us = u.clone();
-        for i in 0..n {
-            for j in 0..n {
-                us[(i, j)] *= s[j];
+        let mut out: Vec<QrFactors> = Vec::with_capacity(k);
+        let mut u_buf: Vec<f64> = Vec::with_capacity(u_total);
+        for (j, a) in a_locals.iter().enumerate() {
+            let (mp, n) = (a.rows(), a.cols());
+            if n == 0 {
+                out.push(QrFactors {
+                    v_local: Matrix::zeros(mp, 0),
+                    t: Some(Matrix::zeros(0, 0)),
+                    r: Some(Matrix::zeros(0, 0)),
+                });
+                continue;
             }
-        }
-        rank.charge_flops((n * n) as f64);
-        let t = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
-        rank.charge_flops(flops::trsm(n, n));
-        // V_root = [L; W₂ U⁻¹].
-        let w2 = w.submatrix(n, mp, 0, n);
-        let v_below = trsm(Side::Right, Uplo::Upper, false, false, &u, &w2);
-        rank.charge_flops(flops::trsm(n, mp - n));
-        let v_local = l.vstack(&v_below);
-        // R ← −S·R (scale row i by −s_i).
-        let mut r = r_cur;
-        for i in 0..n {
-            for j in 0..n {
-                r[(i, j)] *= -s[i];
+            let w = &w_all[j];
+            let x = w.submatrix(0, n, 0, n);
+            let (l, u, s) = lu_sign(&x);
+            rank.charge_flops(flops::lu_sign(n));
+            // T = (U·S)·L⁻ᵀ : scale U's columns by s, then right-solve by Lᵀ.
+            let mut us = u.clone();
+            for i in 0..n {
+                for jj in 0..n {
+                    us[(i, jj)] *= s[jj];
+                }
             }
+            rank.charge_flops((n * n) as f64);
+            let t = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
+            rank.charge_flops(flops::trsm(n, n));
+            // V_root = [L; W₂ U⁻¹].
+            let w2 = w.submatrix(n, mp, 0, n);
+            let v_below = trsm(Side::Right, Uplo::Upper, false, false, &u, &w2);
+            rank.charge_flops(flops::trsm(n, mp - n));
+            let v_local = l.vstack(&v_below);
+            // R ← −S·R (scale row i by −s_i).
+            let mut r = std::mem::replace(&mut r_cur[j], Matrix::zeros(0, 0));
+            for i in 0..n {
+                for jj in 0..n {
+                    r[(i, jj)] *= -s[i];
+                }
+            }
+            rank.charge_flops((n * n) as f64);
+            u_buf.extend_from_slice(&u.into_vec());
+            out.push(QrFactors {
+                v_local,
+                t: Some(t),
+                r: Some(r),
+            });
         }
-        rank.charge_flops((n * n) as f64);
-        // Broadcast U so the other ranks can solve for their V rows.
-        broadcast(rank, comm, 0, Some(u.into_vec()), n * n);
-        QrFactors {
-            v_local,
-            t: Some(t),
-            r: Some(r),
-        }
+        // Broadcast every U so the other ranks can solve for their V rows.
+        broadcast(rank, comm, 0, Some(u_buf), u_total);
+        out
     } else {
-        let u = Matrix::from_slice(n, n, &broadcast(rank, comm, 0, None, n * n));
-        let v_local = trsm(Side::Right, Uplo::Upper, false, false, &u, &w);
-        rank.charge_flops(flops::trsm(n, mp));
-        QrFactors {
-            v_local,
-            t: None,
-            r: None,
-        }
+        let us = broadcast(rank, comm, 0, None, u_total);
+        let mut off = 0;
+        a_locals
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                let (mp, n) = (a.rows(), a.cols());
+                if n == 0 {
+                    return QrFactors {
+                        v_local: Matrix::zeros(mp, 0),
+                        t: None,
+                        r: None,
+                    };
+                }
+                let u = Matrix::from_slice(n, n, &us[off..off + n * n]);
+                off += n * n;
+                let v_local = trsm(Side::Right, Uplo::Upper, false, false, &u, &w_all[j]);
+                rank.charge_flops(flops::trsm(n, mp));
+                QrFactors {
+                    v_local,
+                    t: None,
+                    r: None,
+                }
+            })
+            .collect()
     }
 }
 
@@ -352,6 +470,97 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batch_matches_singles_bitwise_and_amortizes_latency() {
+        // Each problem's arithmetic in a fused batch is identical to its
+        // standalone run — only the messages are concatenated — so the
+        // factors must match BITWISE, while the batch's critical-path
+        // message count stays at one tree (not k trees).
+        let (m, n, p, k) = (64usize, 8usize, 4usize, 5usize);
+        let problems: Vec<Matrix> = (0..k)
+            .map(|j| Matrix::random(m, n, 40 + j as u64))
+            .collect();
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+
+        let probs = &problems;
+        let batch = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let locals: Vec<Matrix> = probs.iter().map(|a| a.take_rows(&rows)).collect();
+            tsqr_factor_batch(rank, &w, &locals)
+        });
+        let mut single_msgs_total = 0.0;
+        for (j, a) in problems.iter().enumerate() {
+            let single = machine.run(|rank| {
+                let w = rank.world();
+                tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
+            });
+            single_msgs_total += single.stats.critical().msgs;
+            for rk in 0..p {
+                assert_eq!(
+                    batch.results[rk][j].v_local, single.results[rk].v_local,
+                    "problem {j}, rank {rk}: V must match bitwise"
+                );
+            }
+            assert_eq!(batch.results[0][j].r, single.results[0].r, "problem {j}: R");
+            assert_eq!(batch.results[0][j].t, single.results[0].t, "problem {j}: T");
+        }
+        let fused_msgs = batch.stats.critical().msgs;
+        assert!(
+            fused_msgs * 3.0 <= single_msgs_total,
+            "k = {k} fused trees must amortize latency: S_batch = {fused_msgs} \
+             vs k sequential = {single_msgs_total}"
+        );
+    }
+
+    #[test]
+    fn batch_handles_mixed_shapes_and_zero_columns() {
+        let p = 4;
+        let machine = Machine::new(p, CostParams::unit());
+        let shapes = [(64usize, 8usize), (64, 3), (64, 0), (96, 5)];
+        let problems: Vec<Matrix> = shapes
+            .iter()
+            .enumerate()
+            .map(|(j, &(m, n))| Matrix::random(m, n, 50 + j as u64))
+            .collect();
+        let probs = &problems;
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let locals: Vec<Matrix> = probs
+                .iter()
+                .map(|a| {
+                    let lay = BlockRow::balanced(a.rows(), 1, w.size());
+                    a.take_rows(&lay.local_rows(w.rank()))
+                })
+                .collect();
+            tsqr_factor_batch(rank, &w, &locals)
+        });
+        for (j, &(m, n)) in shapes.iter().enumerate() {
+            let lay = BlockRow::balanced(m, 1, p);
+            let per_rank: Vec<QrFactors> = (0..p).map(|rk| out.results[rk][j].clone()).collect();
+            if n == 0 {
+                assert_eq!(per_rank[0].v_local.cols(), 0);
+                assert!(per_rank[0].r.is_some());
+                continue;
+            }
+            let fac = crate::verify::assemble_block_row(&per_rank, lay.counts());
+            let resid = fac.residual(&problems[j]);
+            assert!(resid < 1e-12, "problem {j} ({m} × {n}): residual {resid}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let machine = Machine::new(2, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            tsqr_factor_batch(rank, &w, &[])
+        });
+        assert!(out.results.iter().all(|r| r.is_empty()));
+        assert_eq!(out.stats.critical().msgs, 0.0);
     }
 
     #[test]

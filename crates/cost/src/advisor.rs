@@ -20,7 +20,8 @@
 //! CholeskyQR2).
 
 use crate::algorithms::{
-    caqr2d_cost, cholqr2_cost, house1d_cost, house2d_cost, theorem1_cost, theorem2_cost, tsqr_cost,
+    caqr2d_cost, cholqr2_batch_cost, cholqr2_cost, house1d_cost, house2d_cost, theorem1_cost,
+    theorem2_cost, tsqr_batch_cost, tsqr_cost,
 };
 use crate::Cost3;
 
@@ -110,7 +111,7 @@ pub fn candidates_with_kappa(
     kappa: Option<f64>,
 ) -> Vec<(Choice, Cost3)> {
     let mut out = Vec::new();
-    if m / n.max(1) >= p {
+    if tall_skinny_admissible(m, n, p) {
         out.push((Choice::House1d, house1d_cost(m, n, p)));
         out.push((Choice::Tsqr, tsqr_cost(m, n, p)));
         for k in 0..=4 {
@@ -142,6 +143,17 @@ pub fn cholqr2_admissible(kappa: Option<f64>) -> bool {
     matches!(kappa, Some(k) if (1.0..=CHOLQR2_KAPPA_GUARD).contains(&k))
 }
 
+/// The tall-skinny aspect gate, `m ≥ n·P`: the 1D block-row algorithms
+/// (1d-house, tsqr, 1D-CAQR-EG — and the fused batch paths built on
+/// them) need every rank to own at least `n` of the `m` rows, which
+/// under a balanced layout (`⌊m/P⌋ ≥ n`) is exactly `m ≥ n·P`. This is
+/// the **single** definition shared by the advisor's candidate gates,
+/// the dispatcher, and the serving layer's fusability check, so they
+/// can never silently diverge from the kernels' per-rank row asserts.
+pub fn tall_skinny_admissible(m: usize, n: usize, p: usize) -> bool {
+    m >= n.max(1).saturating_mul(p)
+}
+
 /// The cheapest candidate under `γF + βW + αS`, given the caller's
 /// condition-number estimate (`None` = unknown).
 pub fn recommend_with_kappa(
@@ -158,6 +170,81 @@ pub fn recommend_with_kappa(
         let time = cost.time(alpha, beta, gamma);
         if best.map(|b| time < b.time).unwrap_or(true) {
             best = Some(Recommendation { choice, cost, time });
+        }
+    }
+    best.expect("candidate list is never empty")
+}
+
+/// A batch recommendation: which algorithm to run over `k` independent
+/// same-shape problems, and whether to run it **fused** (all problems
+/// share one reduction tree per communication phase — `S_batch ≈
+/// S_single`) or sequentially (`k` back-to-back runs — every cost
+/// component scales with `k`).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRecommendation {
+    /// Which algorithm (and parameter) to run.
+    pub choice: Choice,
+    /// Whether to fuse the batch into shared reduction trees. Only the
+    /// tall-skinny single-tree algorithms (tsqr, CholeskyQR2) fuse.
+    pub fused: bool,
+    /// Predicted `(F, W, S)` for the whole batch.
+    pub cost: Cost3,
+    /// `γF + βW + αS` on the queried machine.
+    pub time: f64,
+}
+
+/// All candidates for serving `k` independent `m × n` problems on `P`
+/// processors: every single-problem candidate run `k` times sequentially
+/// (cost scaled by `k`), plus — for `k ≥ 2` — the fused tall-skinny
+/// variants whose reduction trees are shared across the batch. The same
+/// gates as [`candidates_with_kappa`] apply (aspect for the tall-skinny
+/// family, the κ guard for CholeskyQR2 — `kappa` must bound **every**
+/// problem in the batch).
+pub fn batch_candidates_with_kappa(
+    m: usize,
+    n: usize,
+    p: usize,
+    k: usize,
+    kappa: Option<f64>,
+) -> Vec<(Choice, bool, Cost3)> {
+    let mut out: Vec<(Choice, bool, Cost3)> = candidates_with_kappa(m, n, p, kappa)
+        .into_iter()
+        .map(|(choice, cost)| (choice, false, cost.scaled(k as f64)))
+        .collect();
+    if k >= 2 {
+        if tall_skinny_admissible(m, n, p) {
+            out.push((Choice::Tsqr, true, tsqr_batch_cost(m, n, p, k)));
+        }
+        if m >= n && cholqr2_admissible(kappa) {
+            out.push((Choice::CholQr2, true, cholqr2_batch_cost(m, n, p, k)));
+        }
+    }
+    out
+}
+
+/// The cheapest way to serve a batch of `k` same-shape problems under
+/// `γF + βW + αS`, fused or sequential. See
+/// [`batch_candidates_with_kappa`].
+pub fn recommend_batch_with_kappa(
+    m: usize,
+    n: usize,
+    p: usize,
+    k: usize,
+    kappa: Option<f64>,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> BatchRecommendation {
+    let mut best: Option<BatchRecommendation> = None;
+    for (choice, fused, cost) in batch_candidates_with_kappa(m, n, p, k, kappa) {
+        let time = cost.time(alpha, beta, gamma);
+        if best.map(|b| time < b.time).unwrap_or(true) {
+            best = Some(BatchRecommendation {
+                choice,
+                fused,
+                cost,
+                time,
+            });
         }
     }
     best.expect("candidate list is never empty")
@@ -350,6 +437,92 @@ mod tests {
             "square-ish input must not pick CholeskyQR2, got {:?}",
             r.choice
         );
+    }
+
+    #[test]
+    fn batched_well_conditioned_tall_skinny_fuses_cholqr2() {
+        // The service acceptance shape: k = 8 problems of 512 × 16 on
+        // P = 8 ranks of a latency-dominated cluster, κ ≈ 100. Fusing
+        // the Gram all-reduces amortizes the α·log P latency across the
+        // batch, so the advisor must pick *fused* CholeskyQR2.
+        let r = recommend_batch_with_kappa(
+            512,
+            16,
+            8,
+            8,
+            Some(100.0),
+            ALPHA_CLUSTER,
+            BETA_CLUSTER,
+            GAMMA,
+        );
+        assert!(
+            matches!(r.choice, Choice::CholQr2) && r.fused,
+            "expected fused CholeskyQR2, got {:?} (fused = {})",
+            r.choice,
+            r.fused
+        );
+        // The fused pick's latency must be that of ONE problem, not k.
+        let single = cholqr2_cost(512, 16, 8);
+        assert_eq!(r.cost.msgs, single.msgs, "S_batch ≈ S_single");
+    }
+
+    #[test]
+    fn batch_of_one_never_fuses() {
+        for kappa in [None, Some(100.0)] {
+            let c = batch_candidates_with_kappa(4096, 64, 16, 1, kappa);
+            assert!(c.iter().all(|(_, fused, _)| !fused));
+            let r = recommend_batch_with_kappa(
+                4096,
+                64,
+                16,
+                1,
+                kappa,
+                ALPHA_CLUSTER,
+                BETA_CLUSTER,
+                GAMMA,
+            );
+            assert!(!r.fused);
+        }
+    }
+
+    #[test]
+    fn batch_without_kappa_still_fuses_but_never_cholqr2() {
+        // Unknown κ: the Gram path stays locked out, but fused tsqr is
+        // numerically safe at any condition number and must still win on
+        // a latency-dominated machine.
+        let c = batch_candidates_with_kappa(4096, 64, 16, 8, None);
+        assert!(c.iter().all(|(ch, _, _)| !matches!(ch, Choice::CholQr2)));
+        assert!(c
+            .iter()
+            .any(|(ch, fused, _)| matches!(ch, Choice::Tsqr) && *fused));
+        let r =
+            recommend_batch_with_kappa(4096, 64, 16, 8, None, ALPHA_CLUSTER, BETA_CLUSTER, GAMMA);
+        assert!(r.fused, "latency-dominated machines want the fused tree");
+    }
+
+    #[test]
+    fn batch_recommendation_is_argmin() {
+        let (m, n, p, k) = (1 << 14, 32, 16, 12);
+        let r = recommend_batch_with_kappa(m, n, p, k, Some(50.0), ALPHA_SUPER, BETA_SUPER, GAMMA);
+        for (_, _, cost) in batch_candidates_with_kappa(m, n, p, k, Some(50.0)) {
+            assert!(r.time <= cost.time(ALPHA_SUPER, BETA_SUPER, GAMMA) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn square_ish_batches_without_kappa_do_not_fuse() {
+        // The fused candidates are exactly the tall-skinny single-tree
+        // family: with κ unknown (no CholeskyQR2) and the aspect gate
+        // closed (no tsqr), a square batch has nothing to fuse and runs
+        // sequentially with a square-ish algorithm.
+        let c = batch_candidates_with_kappa(1024, 1024, 64, 8, None);
+        assert!(c.iter().all(|(_, fused, _)| !fused));
+        // With an asserted κ the Gram path opens even for square shapes
+        // (its gate is m ≥ n) — offered, though rarely optimal there.
+        let c = batch_candidates_with_kappa(1024, 1024, 64, 8, Some(10.0));
+        assert!(c
+            .iter()
+            .any(|(ch, fused, _)| matches!(ch, Choice::CholQr2) && *fused));
     }
 
     #[test]

@@ -142,6 +142,48 @@ pub fn caqr2d_cost(m: usize, n: usize, p: usize) -> Cost3 {
     }
 }
 
+/// Fused-batch tsqr: `k` independent same-shape problems share one
+/// reduction tree — every tree level carries all `k` packed R-triangles
+/// as **one** message, so the latency cost stays that of a single
+/// problem while arithmetic and bandwidth scale with `k`:
+///
+/// ```text
+/// F = k·(mn²/P + n³ log P) ,  W = k·n² log P ,  S = log P
+/// ```
+///
+/// This is the α-β tradeoff reasoning of the paper applied *across*
+/// problems instead of within one: sequential serving pays `k·α·log P`
+/// of latency; fusion amortizes it to `α·log P` total.
+pub fn tsqr_batch_cost(m: usize, n: usize, p: usize, k: usize) -> Cost3 {
+    let single = tsqr_cost(m, n, p);
+    let kf = k as f64;
+    Cost3 {
+        flops: kf * single.flops,
+        words: kf * single.words,
+        msgs: single.msgs,
+    }
+}
+
+/// Fused-batch CholeskyQR2: the `k` Gram matrices travel concatenated in
+/// **one** all-reduce per pass, so
+///
+/// ```text
+/// F = k·(mn²/P + n³) ,  W = k·n² ,  S = log P
+/// ```
+///
+/// — `S_batch ≈ S_single`, `W_batch = k·W_single`. On latency-dominated
+/// machines this is the cheapest way to serve a well-conditioned
+/// tall-skinny batch (validity still gated by the κ guard, per problem).
+pub fn cholqr2_batch_cost(m: usize, n: usize, p: usize, k: usize) -> Cost3 {
+    let single = cholqr2_cost(m, n, p);
+    let kf = k as f64;
+    Cost3 {
+        flops: kf * single.flops,
+        words: kf * single.words,
+        msgs: single.msgs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +191,21 @@ mod tests {
     const M: usize = 1 << 20;
     const N: usize = 1 << 10;
     const P: usize = 64;
+
+    #[test]
+    fn batch_formulas_amortize_latency_only() {
+        for k in [1usize, 8, 64] {
+            let kf = k as f64;
+            let (b, s) = (tsqr_batch_cost(M, N, P, k), tsqr_cost(M, N, P));
+            assert_eq!(b.msgs, s.msgs, "S_batch ≈ S_single");
+            assert_eq!(b.words, kf * s.words, "W_batch = k·W");
+            assert_eq!(b.flops, kf * s.flops, "F_batch = k·F");
+            let (b, s) = (cholqr2_batch_cost(M, N, P, k), cholqr2_cost(M, N, P));
+            assert_eq!(b.msgs, s.msgs);
+            assert_eq!(b.words, kf * s.words);
+            assert_eq!(b.flops, kf * s.flops);
+        }
+    }
 
     #[test]
     fn theorem2_endpoints_recover_known_rows() {

@@ -49,6 +49,16 @@ impl Cost3 {
         }
     }
 
+    /// Componentwise scaling: the cost of running `self` `k` times
+    /// back-to-back (sequential batch serving).
+    pub fn scaled(self, k: f64) -> Cost3 {
+        Cost3 {
+            flops: k * self.flops,
+            words: k * self.words,
+            msgs: k * self.msgs,
+        }
+    }
+
     /// Modeled runtime `γF + βW + αS`.
     pub fn time(&self, alpha: f64, beta: f64, gamma: f64) -> f64 {
         gamma * self.flops + beta * self.words + alpha * self.msgs
@@ -101,12 +111,13 @@ mod tests {
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::advisor::{
-        candidates, candidates_with_kappa, cholqr2_admissible, recommend, recommend_with_kappa,
-        Choice, Recommendation, CHOLQR2_KAPPA_GUARD,
+        batch_candidates_with_kappa, candidates, candidates_with_kappa, cholqr2_admissible,
+        recommend, recommend_batch_with_kappa, recommend_with_kappa, tall_skinny_admissible,
+        BatchRecommendation, Choice, Recommendation, CHOLQR2_KAPPA_GUARD,
     };
     pub use crate::algorithms::{
-        caqr1d_cost, caqr2d_cost, caqr3d_cost, cholqr2_cost, house1d_cost, house2d_cost,
-        theorem1_cost, theorem2_cost, tsqr_cost,
+        caqr1d_cost, caqr2d_cost, caqr3d_cost, cholqr2_batch_cost, cholqr2_cost, house1d_cost,
+        house2d_cost, theorem1_cost, theorem2_cost, tsqr_batch_cost, tsqr_cost,
     };
     pub use crate::bounds::{lower_bounds_square, lower_bounds_tall};
     pub use crate::collectives::{self as collective_costs};

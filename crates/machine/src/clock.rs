@@ -125,6 +125,16 @@ impl Clock {
         self.time += p.alpha + p.beta * w;
     }
 
+    /// Componentwise sum — composing runs that execute back-to-back
+    /// (e.g. a sequential batch of jobs on a warm executor, where the
+    /// critical paths concatenate).
+    pub fn merge_sum(&mut self, other: &Clock) {
+        self.flops += other.flops;
+        self.words += other.words;
+        self.msgs += other.msgs;
+        self.time += other.time;
+    }
+
     /// Componentwise difference `self - earlier`; useful for phase deltas.
     pub fn since(&self, earlier: &Clock) -> Clock {
         Clock {

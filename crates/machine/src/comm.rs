@@ -8,10 +8,37 @@
 //! Communicator setup therefore costs nothing, matching the paper's model in
 //! which data distributions and processor grids are given.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// SplitMix64's odd "golden gamma" increment, used to separate the
+/// values folded into a communicator id.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The SplitMix64 finalizer — the same mixer the workspace already uses
+/// for reproducible test matrices. Communicator ids feed message tags,
+/// so they must be **stable across Rust releases**: std's
+/// `DefaultHasher` makes no such promise (its algorithm may change in
+/// any toolchain bump, silently changing every sub-communicator id and
+/// any persisted trace keyed on them), whereas this mixer is pinned
+/// here by a test.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive a sub-communicator id from the parent id and the global member
+/// list by folding each value through [`mix64`]. Deterministic on every
+/// rank (all inputs are replicated) and toolchain-stable.
+fn derive_comm_id(parent: u64, globals: &[usize]) -> u64 {
+    let mut h = mix64(parent.wrapping_add(GOLDEN));
+    h = mix64(h ^ (globals.len() as u64).wrapping_add(GOLDEN));
+    for &g in globals {
+        h = mix64(h ^ (g as u64).wrapping_add(GOLDEN));
+    }
+    h | 1 // never collide with the world id 0
+}
 
 /// A communicator: an ordered list of global ranks plus this rank's position
 /// in it. Cloning is cheap (the member list is shared).
@@ -93,11 +120,9 @@ impl Comm {
         }
         let globals: Vec<usize> = locals.iter().map(|&l| self.members[l]).collect();
         let me = locals.iter().position(|&l| l == self.me)?;
-        let mut h = DefaultHasher::new();
-        self.id.hash(&mut h);
-        globals.hash(&mut h);
+        let id = derive_comm_id(self.id, &globals);
         Some(Comm {
-            id: h.finish() | 1, // never collide with the world id 0
+            id,
             members: Arc::new(globals),
             me,
             op_counter: Arc::new(AtomicU64::new(0)),
@@ -199,6 +224,22 @@ mod tests {
         let odd = Comm::world(6, 3).split_by_color(&colors);
         assert_eq!(odd.members(), &[1, 3, 5]);
         assert_eq!(odd.rank(), 1);
+    }
+
+    #[test]
+    fn comm_ids_are_toolchain_stable() {
+        // Pinned values: communicator ids feed message tags, so they must
+        // never change under a Rust toolchain bump (the reason this is a
+        // fixed SplitMix64 fold rather than std's DefaultHasher). If this
+        // test fails, the id derivation changed — that invalidates any
+        // persisted trace and must be a deliberate, documented break.
+        assert_eq!(derive_comm_id(0, &[1, 4, 5]), 0xe7ea_08af_5134_fea1);
+        assert_eq!(derive_comm_id(0, &[0, 2, 4]), 0x80b0_30da_90d7_f991);
+        assert_eq!(derive_comm_id(7, &[1, 4, 5]), 0xeb90_a5bb_059a_de75);
+        // And the structural properties the rest of the crate relies on.
+        assert_ne!(derive_comm_id(0, &[1, 2]), derive_comm_id(0, &[2, 1]));
+        assert_ne!(derive_comm_id(0, &[1]), derive_comm_id(0, &[1, 1]));
+        assert_eq!(derive_comm_id(3, &[0, 1]) & 1, 1, "ids are odd (≠ world)");
     }
 
     #[test]

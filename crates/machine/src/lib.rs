@@ -51,6 +51,16 @@
 //! Because the clocks are logical, the measured costs are bit-for-bit
 //! deterministic: OS thread scheduling cannot perturb them.
 //!
+//! ## Persistent execution
+//!
+//! [`Machine::run`] is a thin one-shot wrapper: it spawns a throwaway
+//! [`Executor`], submits the single job, and joins. Callers serving many
+//! factorizations should hold a warm [`Executor`] (via
+//! [`Machine::executor`]): its `P` rank threads stay alive between jobs,
+//! every envelope is epoch-tagged so consecutive jobs can never confuse
+//! traffic, and the empty-mailbox / send-receive-balance determinism
+//! invariants are enforced per *job*. See the [`executor`] module docs.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -76,6 +86,7 @@
 
 mod clock;
 mod comm;
+pub mod executor;
 mod machine;
 mod mailbox;
 mod payload;
@@ -83,6 +94,7 @@ mod workspace;
 
 pub use clock::{Clock, CostParams};
 pub use comm::Comm;
-pub use machine::{Machine, Rank, RunOutput, RunStats, Totals};
+pub use executor::Executor;
+pub use machine::{Machine, Rank, RunOutput, RunStats, Totals, RECV_TIMEOUT_ENV};
 pub use payload::Payload;
 pub use workspace::Workspace;

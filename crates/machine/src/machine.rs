@@ -1,19 +1,33 @@
-//! The machine itself: spawns ranks as OS threads and runs an SPMD closure.
+//! The machine itself: configuration, the one-shot `run` entry point
+//! (a thin wrapper spawning a throwaway [`Executor`]), and the [`Rank`]
+//! handle the SPMD closures receive.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::clock::{Clock, CostParams};
 use crate::comm::Comm;
+use crate::executor::{Executor, POISON_EPOCH};
 use crate::mailbox::{Envelope, Mailbox};
 use crate::payload::Payload;
 use crate::workspace::Workspace;
 
-/// How long a rank may block in `recv` before the run is declared
-/// deadlocked. Legitimate waits are bounded by a peer's local compute,
-/// which is far below this at simulation scales.
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default *base* receive timeout before a blocked `recv` is declared a
+/// deadlock. The effective timeout scales with the machine size (see
+/// [`Machine::recv_timeout`]); override the base with
+/// [`Machine::with_recv_timeout`] or the [`RECV_TIMEOUT_ENV`]
+/// environment variable. At 60 s, every multi-rank machine gets at
+/// least the 120 s window the pre-executor code used flat — only the
+/// degenerate P = 1 case (where a pending receive can only be an
+/// unmatched self-send, i.e. a genuine bug) is shorter.
+const DEFAULT_RECV_TIMEOUT_BASE: Duration = Duration::from_secs(60);
+
+/// Environment variable overriding the base receive timeout, in
+/// (fractional) seconds; read once at [`Machine::new`]. Useful on
+/// oversubscribed CI runners, where legitimate waits stretch and the
+/// default could false-positive as a deadlock.
+pub const RECV_TIMEOUT_ENV: &str = "QR3D_RECV_TIMEOUT_SECS";
 
 /// A simulated distributed-memory machine with `p` processors and α-β-γ
 /// cost parameters (see [`CostParams`]).
@@ -21,6 +35,7 @@ const RECV_TIMEOUT: Duration = Duration::from_secs(120);
 pub struct Machine {
     p: usize,
     params: CostParams,
+    recv_base: Duration,
 }
 
 /// Aggregate (whole-execution, *not* critical-path) counters for one rank.
@@ -87,7 +102,20 @@ impl Machine {
     /// A machine with `p` ranks. `p` must be at least 1.
     pub fn new(p: usize, params: CostParams) -> Self {
         assert!(p >= 1, "a machine needs at least one processor");
-        Machine { p, params }
+        let recv_base = std::env::var(RECV_TIMEOUT_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|secs| secs.is_finite() && *secs > 0.0)
+            // Clamp before converting: an "effectively infinite" setting
+            // (1e300) must configure a huge timeout, not panic inside
+            // `Duration::from_secs_f64`. 1e9 s ≈ 31 years.
+            .map(|secs| Duration::from_secs_f64(secs.min(1e9)))
+            .unwrap_or(DEFAULT_RECV_TIMEOUT_BASE);
+        Machine {
+            p,
+            params,
+            recv_base,
+        }
     }
 
     /// Number of processors.
@@ -100,84 +128,55 @@ impl Machine {
         &self.params
     }
 
+    /// Set the *base* receive deadlock timeout, overriding the default
+    /// and any [`RECV_TIMEOUT_ENV`] setting. The effective timeout still
+    /// scales with `P` (see [`Machine::recv_timeout`]).
+    pub fn with_recv_timeout(mut self, base: Duration) -> Self {
+        assert!(base > Duration::ZERO, "receive timeout must be positive");
+        self.recv_base = base;
+        self
+    }
+
+    /// The effective per-receive deadlock timeout: the configured base
+    /// scaled by `1 + ⌈log₂ P⌉`. Deeper machines have longer legitimate
+    /// dependency chains, and oversubscribed runners (CI, a warm
+    /// executor hosting many queued jobs) schedule more rank threads per
+    /// core — so the point at which a blocked receive is declared a
+    /// deadlock grows with the machine.
+    pub fn recv_timeout(&self) -> Duration {
+        let depth = 1 + (self.p as f64).log2().ceil().max(0.0) as u32;
+        // Saturate: a deliberately enormous base must mean "wait
+        // (nearly) forever", never an overflow panic.
+        self.recv_base.checked_mul(depth).unwrap_or(Duration::MAX)
+    }
+
+    /// Spawn a persistent [`Executor`] over this machine's ranks: the
+    /// warm-pool entry point for running many jobs without respawning
+    /// threads (see the [`crate::executor`] module docs).
+    pub fn executor(&self) -> Executor {
+        Executor::spawn(self.p, self.params, self.recv_timeout())
+    }
+
     /// Run `f` on every rank (SPMD) and collect results and statistics.
     ///
     /// Each rank is an OS thread; `f` receives a [`Rank`] giving its
     /// identity, its communicators, and its messaging + cost-accounting
-    /// interface.
+    /// interface. This is a thin one-shot wrapper: it spawns a throwaway
+    /// [`Executor`], submits the single job, and joins the threads.
+    /// Callers running many jobs should hold a warm executor (or a
+    /// `Session` from the core crate) instead.
     ///
     /// # Panics
     /// Propagates panics from rank closures; panics if any rank exits with
     /// unconsumed messages in its mailbox (which indicates a communication
-    /// protocol bug) or if a receive blocks longer than an internal timeout
-    /// (deadlock).
+    /// protocol bug) or if a receive blocks longer than the configured
+    /// timeout (deadlock; see [`Machine::recv_timeout`]).
     pub fn run<T, F>(&self, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Rank) -> T + Sync,
     {
-        let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
-            (0..self.p).map(|_| channel()).unzip();
-        let senders = Arc::new(senders);
-
-        let mut slots: Vec<Option<(T, Clock, Totals, usize)>> = (0..self.p).map(|_| None).collect();
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.p);
-            for (id, rx) in receivers.into_iter().enumerate() {
-                let senders = Arc::clone(&senders);
-                let params = self.params;
-                let p = self.p;
-                let f = &f;
-                let builder = std::thread::Builder::new()
-                    .name(format!("rank-{id}"))
-                    .stack_size(16 << 20);
-                let handle = builder
-                    .spawn_scoped(scope, move || {
-                        let mut rank = Rank::new(id, p, params, senders, rx);
-                        let out = f(&mut rank);
-                        (out, rank.clock, rank.totals, rank.mailbox.len())
-                    })
-                    .expect("failed to spawn rank thread");
-                handles.push(handle);
-            }
-            for (id, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(tuple) => slots[id] = Some(tuple),
-                    Err(e) => std::panic::resume_unwind(e),
-                }
-            }
-        });
-
-        let mut results = Vec::with_capacity(self.p);
-        let mut per_rank = Vec::with_capacity(self.p);
-        let mut totals = Vec::with_capacity(self.p);
-        for (id, slot) in slots.into_iter().enumerate() {
-            let (out, clock, tot, leftover) = slot.expect("rank did not report");
-            assert_eq!(
-                leftover, 0,
-                "rank {id} exited with {leftover} unconsumed message(s) in its \
-                 mailbox: communication protocol bug"
-            );
-            results.push(out);
-            per_rank.push(clock);
-            totals.push(tot);
-        }
-        // Deterministic leak check: every send must have been matched by a
-        // receive once all ranks have exited.
-        let sent: f64 = totals.iter().map(|t| t.msgs_sent).sum();
-        let recvd: f64 = totals.iter().map(|t| t.msgs_recv).sum();
-        assert_eq!(
-            sent,
-            recvd,
-            "{} message(s) were sent but never received: communication \
-             protocol bug",
-            sent - recvd
-        );
-        RunOutput {
-            results,
-            stats: RunStats { per_rank, totals },
-        }
+        self.executor().submit(f)
     }
 }
 
@@ -195,6 +194,10 @@ pub struct Rank {
     id: usize,
     p: usize,
     params: CostParams,
+    recv_timeout: Duration,
+    /// The job epoch stamped on every envelope this rank sends; receives
+    /// reject traffic from any other epoch (cross-job leak detection).
+    epoch: u64,
     senders: Arc<Vec<Sender<Envelope>>>,
     receiver: Receiver<Envelope>,
     mailbox: Mailbox,
@@ -205,24 +208,64 @@ pub struct Rank {
 }
 
 impl Rank {
-    fn new(
+    pub(crate) fn new(
         id: usize,
         p: usize,
         params: CostParams,
+        recv_timeout: Duration,
         senders: Arc<Vec<Sender<Envelope>>>,
         receiver: Receiver<Envelope>,
+        scratch: Workspace,
+        epoch: u64,
     ) -> Self {
         Rank {
             id,
             p,
             params,
+            recv_timeout,
+            epoch,
             senders,
             receiver,
             mailbox: Mailbox::new(),
             world: Comm::world(p, id),
-            scratch: Workspace::new(),
+            scratch,
             clock: Clock::zero(),
             totals: Totals::default(),
+        }
+    }
+
+    /// Give the per-thread parts (message receiver, scratch arena) back
+    /// to the executor's worker once the job is done.
+    pub(crate) fn into_parts(self) -> (Receiver<Envelope>, Workspace) {
+        (self.receiver, self.scratch)
+    }
+
+    /// Buffered-but-unmatched envelope count, checked at job end.
+    pub(crate) fn mailbox_len(&self) -> usize {
+        self.mailbox.len()
+    }
+
+    /// This job's aggregate counters.
+    pub(crate) fn job_totals(&self) -> Totals {
+        self.totals
+    }
+
+    /// Wake every peer with a poison envelope after this rank's job
+    /// panicked, so nobody waits out the deadlock timeout on a message
+    /// that will never come. Bypasses cost accounting (the job is dead).
+    pub(crate) fn poison_peers(&mut self) {
+        for dst in 0..self.p {
+            if dst == self.id {
+                continue;
+            }
+            let _ = self.senders[dst].send(Envelope {
+                src_global: self.id,
+                comm_id: 0,
+                tag: 0,
+                epoch: POISON_EPOCH,
+                payload: Payload::new(Vec::new()),
+                clock: self.clock,
+            });
         }
     }
 
@@ -273,6 +316,7 @@ impl Rank {
             src_global: self.id,
             comm_id: comm.id,
             tag,
+            epoch: self.epoch,
             payload,
             clock: self.clock,
         };
@@ -330,11 +374,31 @@ impl Rank {
                 self.totals.msgs_recv += 1.0;
                 return env;
             }
-            match self.receiver.recv_timeout(RECV_TIMEOUT) {
-                Ok(env) => self.mailbox.push(env),
+            match self.receiver.recv_timeout(self.recv_timeout) {
+                Ok(env) => {
+                    if env.epoch == POISON_EPOCH {
+                        // The marker lets `submit` recognize this as a
+                        // secondary abort and propagate the culprit's
+                        // original payload instead.
+                        panic!(
+                            "rank {} aborted: rank {} {}",
+                            self.id,
+                            env.src_global,
+                            crate::executor::POISON_ABORT_MARKER
+                        );
+                    }
+                    assert_eq!(
+                        env.epoch, self.epoch,
+                        "rank {}: cross-job message leak (epoch-{} traffic from rank {} \
+                         arrived during epoch {})",
+                        self.id, env.epoch, env.src_global, self.epoch
+                    );
+                    self.mailbox.push(env)
+                }
                 Err(_) => panic!(
-                    "rank {} deadlocked waiting for message (src_global={}, comm={}, tag={})",
-                    self.id, key.0, key.1, key.2
+                    "rank {} deadlocked waiting for message (src_global={}, comm={}, tag={}) \
+                     after {:?}",
+                    self.id, key.0, key.1, key.2, self.recv_timeout
                 ),
             }
         }
@@ -627,6 +691,39 @@ mod tests {
                 rank.recv(&w, 0, 0);
             }
         });
+    }
+
+    #[test]
+    fn recv_timeout_scales_with_machine_size() {
+        let base = Duration::from_secs(10);
+        let timeout = |p: usize| {
+            Machine::new(p, CostParams::unit())
+                .with_recv_timeout(base)
+                .recv_timeout()
+        };
+        assert_eq!(timeout(1), base, "P = 1: no scaling");
+        assert_eq!(timeout(2), base * 2);
+        assert_eq!(timeout(8), base * 4, "1 + log2(8) = 4");
+        assert_eq!(timeout(9), base * 5, "ceil(log2 9) = 4");
+        assert!(timeout(64) > timeout(8), "monotone in P");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn configured_timeout_detects_deadlock() {
+        let m = Machine::new(1, CostParams::unit()).with_recv_timeout(Duration::from_millis(50));
+        let _ = m.run(|rank| {
+            let w = rank.world();
+            // Nothing is ever sent: this must trip the (shortened)
+            // deadlock timeout, not hang.
+            let _ = rank.recv(&w, 0, 99);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_timeout_rejected() {
+        let _ = Machine::new(1, CostParams::unit()).with_recv_timeout(Duration::ZERO);
     }
 
     #[test]

@@ -14,11 +14,16 @@ use crate::clock::Clock;
 use crate::payload::Payload;
 
 /// A message on the wire: a shared payload view plus the sender's clock
-/// snapshot taken *after* the send was charged.
+/// snapshot taken *after* the send was charged. The `epoch` stamps which
+/// executor job the message belongs to: receives reject envelopes from
+/// any other epoch, so traffic from consecutive jobs sharing the same
+/// channels (and communicator ids, which are deterministic) can never be
+/// confused.
 pub(crate) struct Envelope {
     pub src_global: usize,
     pub comm_id: u64,
     pub tag: u64,
+    pub epoch: u64,
     pub payload: Payload,
     pub clock: Clock,
 }
@@ -76,6 +81,7 @@ mod tests {
             src_global: src,
             comm_id: comm,
             tag,
+            epoch: 0,
             payload: Payload::new(vec![val]),
             clock: Clock::zero(),
         }
@@ -138,6 +144,7 @@ mod tests {
             src_global: 0,
             comm_id: 0,
             tag: 0,
+            epoch: 0,
             payload: p.clone(),
             clock: Clock::zero(),
         });

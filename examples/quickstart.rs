@@ -1,18 +1,21 @@
-//! Quickstart: factor a matrix with 3D-CAQR-EG on a simulated
-//! distributed-memory machine, verify the factors, and inspect the
-//! communication costs the paper is about.
+//! Quickstart: factor matrices on a warm QR session — 3D-CAQR-EG on a
+//! simulated distributed-memory machine, verified factors, and the
+//! communication costs the paper is about, without spawning threads per
+//! call.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use qr3d::prelude::*;
 
 fn main() {
-    // Problem: a 512 × 64 matrix on P = 8 simulated processors.
+    // Problem: a 512 × 64 matrix on P = 8 simulated processors with the
+    // paper's machine model (γ per flop, α + wβ per message).
     let (m, n, p) = (512usize, 64usize, 8usize);
     let a = Matrix::random(m, n, 2024);
 
-    // The paper's machine model: γ per flop, α + wβ per message.
-    let machine = Machine::new(p, CostParams::cluster());
+    // A session = P warm rank threads + the advisory context. Every
+    // factorization below reuses the same threads (no spawn per call).
+    let mut session = Session::new(p, FactorParams::new(CostParams::cluster()));
 
     // Block sizes per Equation (12): δ navigates bandwidth vs latency.
     let cfg = Caqr3dConfig::auto(m, n, p, 0.5);
@@ -21,39 +24,42 @@ fn main() {
         cfg.b, cfg.bstar
     );
 
-    // The input is row-cyclic (Section 7): rank r owns rows r, r+P, …
-    let layout = ShiftedRowCyclic::new(m, n, p, 0);
-    let out = machine.run(|rank| {
-        let world = rank.world();
-        let a_local = layout.scatter_from_full(&a, rank.id());
-        caqr3d_factor(rank, &world, &a_local, m, n, &cfg)
-    });
-
-    // Verify: A = (I − V·T·Vᵀ)[R; 0] with orthonormal thin Q.
-    let fac = assemble_factorization(&out.results, m, n, p);
-    println!("residual        ‖A − QR‖/‖A‖ = {:.3e}", fac.residual(&a));
-    println!("orthogonality  ‖QᵀQ − I‖max = {:.3e}", fac.orthogonality());
-    assert!(fac.residual(&a) < 1e-12);
-    assert!(fac.orthogonality() < 1e-12);
+    // Factor through the unified dispatcher: it scatters A into the
+    // algorithm's native layout (row-cyclic for 3D, Section 7), runs the
+    // real distributed algorithm, and assembles explicit Q and R.
+    let out = session
+        .factor(&a, QrBackend::Caqr3d { delta: 0.5 })
+        .expect("Householder backends cannot break down");
+    println!("residual        ‖A − QR‖/‖A‖ = {:.3e}", out.residual(&a));
+    println!("orthogonality  ‖QᵀQ − I‖max = {:.3e}", out.orthogonality());
+    assert!(out.residual(&a) < 1e-12);
+    assert!(out.orthogonality() < 1e-12);
 
     // The paper's quantities: critical-path flops / words / messages.
-    let c = out.stats.critical();
+    let c = out.critical;
     println!(
         "\ncritical path:  F = {:.0} flops, W = {:.0} words, S = {:.0} messages",
         c.flops, c.words, c.msgs
     );
     println!("modeled time on this machine: {:.6} s", c.time);
-    println!(
-        "total volume {:.0} words in {:.0} messages across all ranks",
-        out.stats.total_volume(),
-        out.stats.total_messages()
-    );
 
     // Compare against the communication lower bounds (Section 8.3).
     let lb = lower_bounds_square(m, n, p);
     println!(
-        "\nlower-bound gaps: W/Ω = {:.1}, S/Ω = {:.1}",
+        "lower-bound gaps: W/Ω = {:.1}, S/Ω = {:.1}",
         c.words / lb.words,
         c.msgs / lb.msgs
+    );
+
+    // The warm session keeps serving — a second problem, this time with
+    // the cost model picking the backend for this machine.
+    let b = Matrix::random(4096, 32, 2025);
+    let out = session.factor_auto(&b).expect("advised backends are safe");
+    println!(
+        "\nsecond problem (4096 × 32): advisor picked {:?}, \
+         residual {:.3e}, {} jobs served on the same warm ranks",
+        out.backend,
+        out.residual(&b),
+        session.jobs_run()
     );
 }

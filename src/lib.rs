@@ -62,6 +62,26 @@
 //! assert!(out.residual(&a) < 1e-12);
 //! assert!(out.orthogonality() < 1e-13);
 //! ```
+//!
+//! ## Serving many problems
+//!
+//! A [`core::session::Session`] holds a **warm executor** (no per-call
+//! thread spawn) and fuses same-shape tall-skinny batches so `k`
+//! problems share one reduction tree per communication phase
+//! (`S_batch ≈ S_single`):
+//!
+//! ```
+//! use qr3d::prelude::*;
+//!
+//! let params = FactorParams::new(CostParams::cluster()).with_kappa(1e3);
+//! let mut session = Session::new(8, params);
+//! let problems: Vec<Matrix> = (0..8).map(|s| Matrix::random(512, 16, s)).collect();
+//! let batch = session.factor_batch_auto(&problems);
+//! assert!(batch.fused, "the advisor fuses this batch");
+//! for (a, out) in problems.iter().zip(&batch.outputs) {
+//!     assert!(out.as_ref().unwrap().residual(a) < 1e-12);
+//! }
+//! ```
 
 pub use qr3d_collectives as collectives;
 pub use qr3d_core as core;
@@ -75,7 +95,7 @@ pub mod prelude {
     pub use qr3d_collectives::prelude::*;
     pub use qr3d_core::prelude::*;
     pub use qr3d_cost::prelude::*;
-    pub use qr3d_machine::{Clock, Comm, CostParams, Machine, Rank};
+    pub use qr3d_machine::{Clock, Comm, CostParams, Executor, Machine, Rank};
     pub use qr3d_matrix::prelude::*;
     pub use qr3d_mm::prelude::*;
 }

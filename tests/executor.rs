@@ -1,0 +1,151 @@
+//! Executor determinism and epoch-isolation tests: a reused warm
+//! executor must be observationally identical to the legacy one-shot
+//! `Machine::run` — bitwise-identical factors and per-rank clocks — and
+//! interleaving jobs of different shapes must never leak traffic across
+//! jobs.
+
+use qr3d::matrix::layout::BlockRow;
+use qr3d::prelude::*;
+
+/// The same factorization submitted twice through a reused `Executor`
+/// (and once through legacy `Machine::run`) returns bitwise-identical
+/// Q, R, and per-rank `Clock`s.
+#[test]
+fn reused_executor_is_bitwise_identical_to_machine_run() {
+    let (m, n, p) = (128usize, 16usize, 8usize);
+    let a = Matrix::random(m, n, 11);
+    let lay = BlockRow::balanced(m, 1, p);
+    let machine = Machine::new(p, CostParams::cluster());
+    let program = |rank: &mut Rank| {
+        let w = rank.world();
+        tsqr_factor(rank, &w, &a.take_rows(&lay.local_rows(w.rank())))
+    };
+
+    let legacy = machine.run(program);
+    let mut exec = machine.executor();
+    let first = exec.submit(program);
+    let second = exec.submit(program);
+
+    let assemble = |out: &qr3d::machine::RunOutput<QrFactors>| {
+        let fac = qr3d::core::verify::assemble_block_row(&out.results, lay.counts());
+        (thin_q(&fac.v, &fac.t), fac.r.clone())
+    };
+    let (q0, r0) = assemble(&legacy);
+    let (q1, r1) = assemble(&first);
+    let (q2, r2) = assemble(&second);
+    assert_eq!(q0, q1, "warm submit #1 must match Machine::run bitwise");
+    assert_eq!(q1, q2, "warm submit #2 must match submit #1 bitwise");
+    assert_eq!(r0, r1);
+    assert_eq!(r1, r2);
+    assert_eq!(
+        legacy.stats.per_rank, first.stats.per_rank,
+        "per-rank clocks: legacy vs warm"
+    );
+    assert_eq!(
+        first.stats.per_rank, second.stats.per_rank,
+        "per-rank clocks: consecutive warm jobs"
+    );
+    // And the sanity the paper's accounting rests on: residuals hold.
+    assert!(q0.rows() == m && r0.is_upper_triangular(1e-13));
+}
+
+/// Stress: one executor hosts an interleaved stream of jobs with
+/// different shapes, algorithms, and communicator structures. Every
+/// job's result must equal a fresh `Machine::run` of the same job —
+/// epoch isolation means no cross-job message can perturb anything —
+/// and the per-job invariant checks (empty mailboxes, send/recv
+/// balance) must hold throughout, which `submit` enforces by panicking
+/// otherwise.
+#[test]
+fn interleaved_shapes_prove_epoch_isolation() {
+    let p = 4usize;
+    let machine = Machine::new(p, CostParams::unit());
+    let mut exec = machine.executor();
+
+    let tall = Matrix::random(96, 8, 21);
+    let skinny = Matrix::random(64, 3, 22);
+    let wide_batch: Vec<Matrix> = (0..5u64).map(|s| Matrix::random(48, 4, 30 + s)).collect();
+
+    for round in 0..3 {
+        // Job A: tsqr on the tall problem.
+        let lay = BlockRow::balanced(tall.rows(), 1, p);
+        let job_a = |rank: &mut Rank| {
+            let w = rank.world();
+            tsqr_factor(rank, &w, &tall.take_rows(&lay.local_rows(w.rank())))
+        };
+        let warm = exec.submit(job_a);
+        let cold = machine.run(job_a);
+        assert_eq!(
+            warm.results[0].r, cold.results[0].r,
+            "round {round}: tsqr R must match a fresh machine bitwise"
+        );
+        assert_eq!(warm.stats.per_rank, cold.stats.per_rank);
+
+        // Job B: CholeskyQR2 on a different shape.
+        let lay = BlockRow::balanced(skinny.rows(), 1, p);
+        let job_b = |rank: &mut Rank| {
+            let w = rank.world();
+            cholqr2_factor(rank, &w, &skinny.take_rows(&lay.local_rows(w.rank())))
+                .map(|f| f.r)
+                .expect("well-conditioned")
+        };
+        let warm = exec.submit(job_b);
+        let cold = machine.run(job_b);
+        assert_eq!(
+            warm.results[0], cold.results[0],
+            "round {round}: cholqr2 R must match bitwise"
+        );
+
+        // Job C: a fused batch (different message sizes and tags again).
+        let lay = BlockRow::balanced(48, 1, p);
+        let probs = &wide_batch;
+        let job_c = |rank: &mut Rank| {
+            let w = rank.world();
+            let locals: Vec<Matrix> = probs
+                .iter()
+                .map(|a| a.take_rows(&lay.local_rows(w.rank())))
+                .collect();
+            tsqr_factor_batch(rank, &w, &locals)
+        };
+        let warm = exec.submit(job_c);
+        let cold = machine.run(job_c);
+        for j in 0..wide_batch.len() {
+            assert_eq!(
+                warm.results[0][j].r, cold.results[0][j].r,
+                "round {round}, problem {j}: batch R must match bitwise"
+            );
+        }
+
+        // Job D: raw collectives on sub-communicators (odd/even split),
+        // exercising communicator-id reuse across epochs.
+        let job_d = |rank: &mut Rank| {
+            let w = rank.world();
+            let colors: Vec<usize> = (0..w.size()).map(|r| r % 2).collect();
+            let sub = w.split_by_color(&colors);
+            let x = vec![(rank.id() + 1) as f64; 7];
+            qr3d::collectives::auto::all_reduce(rank, &sub, x)
+        };
+        let warm = exec.submit(job_d);
+        let cold = machine.run(job_d);
+        assert_eq!(warm.results, cold.results, "round {round}: collectives");
+    }
+    assert_eq!(exec.jobs_run(), 12, "3 rounds × 4 jobs, all on warm ranks");
+}
+
+/// The full service path through the facade: a session serving batches
+/// and singles back-to-back stays correct and deterministic.
+#[test]
+fn session_serves_mixed_traffic_deterministically() {
+    let params = FactorParams::new(CostParams::cluster()).with_kappa(1e3);
+    let serve = || {
+        let mut session = Session::new(4, params);
+        let problems: Vec<Matrix> = (0..6u64).map(|s| Matrix::random(128, 8, s)).collect();
+        let batch = session.factor_batch_auto(&problems);
+        assert!(batch.fused, "uniform well-conditioned batch fuses");
+        let single = session.factor_auto(&Matrix::random(256, 4, 99)).unwrap();
+        let mut rs: Vec<Matrix> = batch.outputs.into_iter().map(|o| o.unwrap().r).collect();
+        rs.push(single.r);
+        rs
+    };
+    assert_eq!(serve(), serve(), "the service must be bitwise reproducible");
+}
