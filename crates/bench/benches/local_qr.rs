@@ -1,0 +1,74 @@
+//! Criterion wall-time comparison of the blocked local QR kernel suite
+//! against the unblocked references: `geqrt` (tiled panels + larfb via
+//! three gemms) vs `geqrt_reference` (column-at-a-time rank-1 updates),
+//! and the blocked `trsm`/`potrf` vs their scalar baselines.
+//!
+//! The regression *gate* for these kernels lives in `bench_gate`
+//! (`speedup/geqrt_blocked_over_reference_*` records); this bench is the
+//! detailed view — run `cargo bench -p qr3d-bench --bench local_qr`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qr3d_matrix::gemm::matmul_tn;
+use qr3d_matrix::qr::{geqrt, geqrt_reference};
+use qr3d_matrix::tri::{potrf, potrf_reference, trsm, trsm_reference, Side, Uplo};
+use qr3d_matrix::Matrix;
+
+fn bench_geqrt_blocked_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_qr/geqrt");
+    g.sample_size(10);
+    for (m, n) in [(256usize, 64usize), (1024, 256)] {
+        let a = Matrix::random(m, n, 3);
+        g.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{n}")),
+            &a,
+            |bench, a| bench.iter(|| geqrt(a)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("reference", format!("{m}x{n}")),
+            &a,
+            |bench, a| bench.iter(|| geqrt_reference(a)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_trsm_blocked_vs_naive(c: &mut Criterion) {
+    let n = 256usize;
+    let r = {
+        let a = Matrix::random(2 * n, n, 5);
+        potrf(&matmul_tn(&a, &a)).expect("SPD")
+    };
+    let b = Matrix::random(n, n, 6);
+    let mut g = c.benchmark_group("local_qr/trsm_256");
+    g.sample_size(10);
+    g.bench_function("blocked", |bench| {
+        bench.iter(|| trsm(Side::Left, Uplo::Upper, false, false, &r, &b))
+    });
+    g.bench_function("naive", |bench| {
+        bench.iter(|| trsm_reference(Side::Left, Uplo::Upper, false, false, &r, &b))
+    });
+    g.finish();
+}
+
+fn bench_potrf_blocked_vs_naive(c: &mut Criterion) {
+    let n = 256usize;
+    let gmat = {
+        let a = Matrix::random(2 * n, n, 7);
+        matmul_tn(&a, &a)
+    };
+    let mut g = c.benchmark_group("local_qr/potrf_256");
+    g.sample_size(10);
+    g.bench_function("blocked", |bench| bench.iter(|| potrf(&gmat).expect("SPD")));
+    g.bench_function("naive", |bench| {
+        bench.iter(|| potrf_reference(&gmat).expect("SPD"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geqrt_blocked_vs_reference,
+    bench_trsm_blocked_vs_naive,
+    bench_potrf_blocked_vs_naive
+);
+criterion_main!(benches);

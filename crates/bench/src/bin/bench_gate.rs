@@ -27,6 +27,7 @@ use qr3d_bench::{
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_matrix::gemm::{gemm, gemm_reference, Trans};
+use qr3d_matrix::qr::{geqrt, geqrt_reference};
 use qr3d_matrix::Matrix;
 
 fn push_cost(report: &mut BenchReport, name: &str, c: qr3d_machine::Clock) {
@@ -138,6 +139,27 @@ fn emit() -> BenchReport {
         GateMode::Ge,
         0.6,
     );
+
+    // The blocked local QR kernel: tiled panels + larfb through the
+    // blocked gemm vs the seed's column-at-a-time rank-1 updates. Same
+    // ratio-only gating as the gemm record; the large shape is the PR's
+    // acceptance record (committed value must stay ≥ 2× even after the
+    // generous tolerance).
+    for (m, n, reps) in [(256usize, 64usize, 7usize), (1024, 256, 3)] {
+        let a = Matrix::random(m, n, 3);
+        let blocked = time_median(reps, || {
+            std::hint::black_box(geqrt(&a));
+        });
+        let reference = time_median(reps, || {
+            std::hint::black_box(geqrt_reference(&a));
+        });
+        report.push(
+            format!("speedup/geqrt_blocked_over_reference_{m}x{n}"),
+            reference / blocked,
+            GateMode::Ge,
+            0.6,
+        );
+    }
 
     report
 }

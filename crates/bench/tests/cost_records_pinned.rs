@@ -1,0 +1,77 @@
+//! Pins the deterministic `cost/*` records of `BENCH_baseline.json`
+//! **bitwise** against fresh measurements.
+//!
+//! The blocked local kernels changed how the arithmetic *executes*, but
+//! charged paper costs come from the `flops::*` formulas — algorithm
+//! level, not instruction level — and the communication patterns are
+//! untouched. So every pre-existing cost record (the 12 singles plus the
+//! fused-batch records) must reproduce to the last bit; any drift means
+//! a kernel rewrite leaked into the cost model.
+
+use qr3d_bench::report::BenchReport;
+use qr3d_bench::{run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_tsqr};
+use qr3d_core::prelude::Caqr3dConfig;
+use qr3d_machine::Clock;
+
+fn baseline() -> BenchReport {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline");
+    BenchReport::from_json(&text).expect("baseline parses")
+}
+
+fn pinned(base: &BenchReport, name: &str) -> f64 {
+    base.records
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("{name} missing from BENCH_baseline.json"))
+        .value
+}
+
+fn assert_clock_pinned(base: &BenchReport, name: &str, c: Clock) {
+    // Bitwise: the simulator's logical clocks are deterministic, and the
+    // kernel rewrite must not move a single charged flop, word, or
+    // message.
+    assert_eq!(
+        c.flops,
+        pinned(base, &format!("cost/{name}/flops")),
+        "cost/{name}/flops drifted"
+    );
+    assert_eq!(
+        c.words,
+        pinned(base, &format!("cost/{name}/words")),
+        "cost/{name}/words drifted"
+    );
+    assert_eq!(
+        c.msgs,
+        pinned(base, &format!("cost/{name}/msgs")),
+        "cost/{name}/msgs drifted"
+    );
+}
+
+#[test]
+fn the_twelve_cost_records_are_bitwise_unchanged() {
+    let base = baseline();
+    assert_clock_pinned(&base, "tsqr_512x16x8", run_tsqr(512, 16, 8, 7));
+    assert_clock_pinned(&base, "cholqr2_512x16x8", run_cholqr2(512, 16, 8, 7));
+    assert_clock_pinned(&base, "caqr1d_256x16x4_b4", run_caqr1d(256, 16, 4, 4, 7));
+    assert_clock_pinned(
+        &base,
+        "caqr3d_96x24x4",
+        run_caqr3d(96, 24, 4, Caqr3dConfig::new(12, 6), 7),
+    );
+}
+
+#[test]
+fn the_fused_batch_records_are_bitwise_unchanged() {
+    let base = baseline();
+    let k = 8usize;
+    let batch = run_cholqr2_batch(512, 16, 8, k, 7);
+    assert_clock_pinned(&base, "cholqr2_batch8_512x16x8", batch);
+    // The amortization ratio is derived from the same two pinned clocks.
+    let single = run_cholqr2(512, 16, 8, 7);
+    assert_eq!(
+        k as f64 * single.msgs / batch.msgs,
+        pinned(&base, "ratio/cholqr2_seq8_msgs_over_batch8_msgs"),
+        "fused-batch message amortization drifted"
+    );
+}

@@ -7,6 +7,10 @@
 //! (1D dmm, broadcast). This is the building block downstream consumers
 //! need (least-squares, orthogonalization, the paper's `R = [R₁ QᴴA₂]`
 //! wide-matrix trick of Section 2.1).
+//!
+//! All local arithmetic here flows through `mm_local`, i.e. the blocked
+//! `gemm` microkernel with per-rank pack scratch — the apply path has no
+//! unblocked hot loop of its own.
 
 use qr3d_machine::{Comm, Rank};
 use qr3d_matrix::gemm::Trans;

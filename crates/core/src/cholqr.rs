@@ -31,8 +31,9 @@
 
 use qr3d_collectives::auto::all_reduce;
 use qr3d_machine::{Comm, Rank};
-use qr3d_matrix::gemm::{matmul, syrk};
-use qr3d_matrix::tri::{potrf, trsm, NotPositiveDefinite, Side, Uplo};
+use qr3d_matrix::gemm::{matmul, syrk_ws};
+use qr3d_matrix::scratch::{put_matrix, take_matrix};
+use qr3d_matrix::tri::{potrf, trsm_ws, NotPositiveDefinite, Side, Uplo};
 use qr3d_matrix::{flops, Matrix};
 
 /// A CholeskyQR2 factorization `A = Q·R`, row-distributed: `Q` is
@@ -108,15 +109,18 @@ pub fn cholqr_pass_batch(
         return Vec::new();
     }
     // Local Gram contributions (exactly symmetric by construction),
-    // concatenated so the whole batch shares ONE all-reduce.
+    // concatenated so the whole batch shares ONE all-reduce. The Gram
+    // accumulator is workspace scratch — the steady-state pass
+    // allocates only the message buffer it must hand to the reduction.
     let total: usize = a_locals.iter().map(|a| a.cols() * a.cols()).sum();
     let mut buf = Vec::with_capacity(total);
     for a in a_locals {
         let n = a.cols();
-        let mut g_local = Matrix::zeros(n, n);
-        syrk(1.0, a, 0.0, &mut g_local);
+        let mut g_local = take_matrix(rank.workspace(), n, n);
+        syrk_ws(rank.workspace(), 1.0, a, 0.0, &mut g_local);
         rank.charge_flops(flops::syrk(a.rows(), n));
-        buf.extend_from_slice(&g_local.into_vec());
+        buf.extend_from_slice(g_local.as_slice());
+        put_matrix(rank.workspace(), g_local);
     }
     // The single communication: k·n² words, O(log P) messages. Every
     // rank receives the bitwise-identical sums.
@@ -134,7 +138,17 @@ pub fn cholqr_pass_batch(
             Err(e) => out.push(Err(e)),
             Ok(r) => {
                 rank.charge_flops(flops::potrf(n));
-                let q_local = trsm(Side::Right, Uplo::Upper, false, false, &r, a);
+                // Blocked right solve with workspace scratch: the bulk
+                // of Q = A·R⁻¹ runs through the gemm microkernel.
+                let q_local = trsm_ws(
+                    rank.workspace(),
+                    Side::Right,
+                    Uplo::Upper,
+                    false,
+                    false,
+                    &r,
+                    a,
+                );
                 rank.charge_flops(flops::trsm(n, mp));
                 out.push(Ok((q_local, r)));
             }

@@ -26,7 +26,7 @@ use qr3d_collectives::auto::{all_reduce, broadcast};
 use qr3d_collectives::binomial::{gather, scatter};
 use qr3d_machine::{Comm, Rank};
 use qr3d_matrix::gemm::Trans;
-use qr3d_matrix::qr::geqrt;
+use qr3d_matrix::qr::geqrt_ws;
 use qr3d_matrix::{flops, Matrix};
 use qr3d_mm::local::{mm_local, mm_local_acc};
 
@@ -249,7 +249,7 @@ pub fn qr2d_driver(
                     // The flat gather result is already the stacked panel.
                     let total: usize = active_counts.iter().sum();
                     let stacked = Matrix::from_vec(total, bk, flat);
-                    let f = geqrt(&stacked);
+                    let f = geqrt_ws(rank.workspace(), &stacked);
                     rank.charge_flops(flops::geqrt(total, bk));
                     let mut vb = Vec::new();
                     let mut off = 0;

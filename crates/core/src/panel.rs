@@ -70,9 +70,10 @@ pub fn house_panel(
 
     for j in 0..b {
         let (owner, owner_row) = locate(counts, j);
-        // All-reduce [σ (sum of squares strictly below the pivot), pivot].
+        // All-reduce [σ (sum of squares strictly below the pivot), pivot],
+        // in a workspace buffer (the per-column loop allocates nothing).
         let lo = local_from(j + 1);
-        let mut sp = [0.0f64; 2];
+        let mut sp = rank.workspace().take(2);
         for lr in lo..counts[me] {
             let x = panel[(lr, j)];
             sp[0] += x * x;
@@ -81,8 +82,9 @@ pub fn house_panel(
         if me == owner {
             sp[1] = panel[(owner_row, j)];
         }
-        let sp = all_reduce(rank, comm, sp.to_vec());
+        let sp = all_reduce(rank, comm, sp);
         let (sigma, x0) = (sp[0], sp[1]);
+        rank.workspace().put(sp);
 
         // Householder vector parameters (identical on every rank). In the
         // degenerate zero-tail case we always use the sign-flipping
@@ -116,7 +118,7 @@ pub fn house_panel(
         // Combined products y[c]: for c < j, z_c = Σ_{g≥j} V[g,c]·v_g (for
         // T); for c > j, w_c = Σ_{g≥j} A[g,c]·v_g (in-panel update).
         let vlo = local_from(j);
-        let mut y = vec![0.0; b];
+        let mut y = rank.workspace().take(b);
         for lr in vlo..counts[me] {
             let vg = v[(lr, j)];
             if vg == 0.0 {
@@ -160,6 +162,7 @@ pub fn house_panel(
             t[(i, j)] = -tau * s;
         }
         rank.charge_flops((j * j) as f64 / 2.0);
+        rank.workspace().put(y);
     }
     let _ = taus;
 

@@ -24,8 +24,8 @@
 use qr3d_collectives::auto::broadcast;
 use qr3d_collectives::tree::binomial_frames;
 use qr3d_machine::{Comm, Rank};
-use qr3d_matrix::qr::{apply_block_reflector, geqrt};
-use qr3d_matrix::tri::{lu_sign, trsm, Side, Uplo};
+use qr3d_matrix::qr::{apply_block_reflector_ws, geqrt_ws};
+use qr3d_matrix::tri::{lu_sign, trsm, trsm_ws, Side, Uplo};
 use qr3d_matrix::{flops, Matrix};
 
 /// A QR factorization in Householder representation, row-distributed:
@@ -127,7 +127,9 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
             r_cur.push(Matrix::zeros(0, 0));
             continue;
         }
-        let local = geqrt(a);
+        // Blocked local QR drawing panel scratch from this rank's
+        // workspace: the leaf kernel allocates nothing once warm.
+        let local = geqrt_ws(rank.workspace(), a);
         rank.charge_flops(flops::geqrt(mp, n));
         v0.push(local.v);
         t0.push(local.t);
@@ -165,7 +167,7 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
                 let r_other = unpack_upper(&incoming[off..off + len], n);
                 off += len;
                 let stacked = r_cur[j].vstack(&r_other);
-                let merged = geqrt(&stacked);
+                let merged = geqrt_ws(rank.workspace(), &stacked);
                 rank.charge_flops(flops::geqrt(2 * n, n));
                 r_cur[j] = merged.r;
                 tree[j].push((merged.v, merged.t));
@@ -201,7 +203,7 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
                 let n = a_locals[j].cols();
                 let (v, t) = tree[j].pop().expect("tree Q-factor per frame");
                 let mut stacked = b_cur[j].vstack(&Matrix::zeros(n, n));
-                apply_block_reflector(&v, &t, &mut stacked, false);
+                apply_block_reflector_ws(rank.workspace(), &v, &t, &mut stacked, false);
                 rank.charge_flops(flops::apply_block_reflector(2 * n, n, n));
                 b_cur[j] = stacked.submatrix(0, n, 0, n);
                 buf.extend_from_slice(&stacked.submatrix(n, 2 * n, 0, n).into_vec());
@@ -223,7 +225,7 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
             continue;
         }
         let mut w = b_cur[j].vstack(&Matrix::zeros(mp - n, n));
-        apply_block_reflector(&v0[j], &t0[j], &mut w, false);
+        apply_block_reflector_ws(rank.workspace(), &v0[j], &t0[j], &mut w, false);
         rank.charge_flops(flops::apply_block_reflector(mp, n, n));
         w_all.push(w);
     }
@@ -258,9 +260,17 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
             rank.charge_flops((n * n) as f64);
             let t = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
             rank.charge_flops(flops::trsm(n, n));
-            // V_root = [L; W₂ U⁻¹].
+            // V_root = [L; W₂ U⁻¹] (blocked solve, workspace scratch).
             let w2 = w.submatrix(n, mp, 0, n);
-            let v_below = trsm(Side::Right, Uplo::Upper, false, false, &u, &w2);
+            let v_below = trsm_ws(
+                rank.workspace(),
+                Side::Right,
+                Uplo::Upper,
+                false,
+                false,
+                &u,
+                &w2,
+            );
             rank.charge_flops(flops::trsm(n, mp - n));
             let v_local = l.vstack(&v_below);
             // R ← −S·R (scale row i by −s_i).
@@ -298,7 +308,15 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
                 }
                 let u = Matrix::from_slice(n, n, &us[off..off + n * n]);
                 off += n * n;
-                let v_local = trsm(Side::Right, Uplo::Upper, false, false, &u, &w_all[j]);
+                let v_local = trsm_ws(
+                    rank.workspace(),
+                    Side::Right,
+                    Uplo::Upper,
+                    false,
+                    false,
+                    &u,
+                    &w_all[j],
+                );
                 rank.charge_flops(flops::trsm(n, mp));
                 QrFactors {
                     v_local,

@@ -3,20 +3,24 @@
 //! Distributed kernels (SUMMA panels, dmm gathers, TSQR downsweeps) need
 //! short-lived buffers every iteration. Allocating them fresh each time
 //! makes the simulator's wall-clock measure the allocator instead of the
-//! algorithm, so every [`crate::Rank`] carries a [`Workspace`]: a small
-//! pool of buffers that [`Workspace::take`]/[`Workspace::put`] recycle.
-//! After warm-up, steady-state inner loops allocate nothing.
+//! algorithm, so every [`crate::Rank`] carries a [`Workspace`]: a thin
+//! wrapper around the pooling [`LocalArena`] of `qr3d_matrix::scratch`
+//! (one implementation of best-fit take / bounded put for the whole
+//! workspace). After warm-up, steady-state inner loops allocate nothing.
+//!
+//! The workspace doubles as the scratch arena of the blocked
+//! `qr3d_matrix` kernels (`geqrt_ws`, `apply_block_reflector_ws`,
+//! `trsm_ws`, …): pass `rank.workspace()` straight to the `*_ws` entry
+//! points and the factorization hot loops draw every panel buffer from
+//! this pool — zero allocations per job once warm.
+
+use qr3d_matrix::scratch::{LocalArena, ScratchArena};
 
 /// A pool of reusable `Vec<f64>` scratch buffers.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    pool: Vec<Vec<f64>>,
-    hits: u64,
-    misses: u64,
+    arena: LocalArena,
 }
-
-/// Buffers retained at most; returning more drops the smallest.
-const POOL_CAP: usize = 16;
 
 impl Workspace {
     /// An empty workspace.
@@ -24,74 +28,50 @@ impl Workspace {
         Workspace::default()
     }
 
-    /// Pop the best-fit pooled buffer (smallest sufficient capacity),
-    /// cleared, or a fresh one with at least `cap` capacity.
-    fn take_empty(&mut self, cap: usize) -> Vec<f64> {
-        let mut best: Option<usize> = None;
-        for (i, b) in self.pool.iter().enumerate() {
-            if b.capacity() >= cap && best.is_none_or(|j| b.capacity() < self.pool[j].capacity()) {
-                best = Some(i);
-            }
-        }
-        match best {
-            Some(i) => {
-                self.hits += 1;
-                let mut v = self.pool.swap_remove(i);
-                v.clear();
-                v
-            }
-            None => {
-                self.misses += 1;
-                Vec::with_capacity(cap)
-            }
-        }
-    }
-
     /// Borrow a zeroed buffer of exactly `len` words, reusing pooled
     /// capacity when possible. Return it with [`Workspace::put`].
     pub fn take(&mut self, len: usize) -> Vec<f64> {
-        let mut v = self.take_empty(len);
-        v.resize(len, 0.0);
-        v
+        self.arena.take(len)
     }
 
     /// Borrow a buffer holding a copy of `src`, reusing pooled capacity.
     /// Each word is written exactly once (no zero-fill before the copy).
     pub fn take_copy_of(&mut self, src: &[f64]) -> Vec<f64> {
-        let mut v = self.take_empty(src.len());
-        v.extend_from_slice(src);
-        v
+        self.arena.take_copy_of(src)
     }
 
     /// Return a buffer to the pool for reuse.
     pub fn put(&mut self, v: Vec<f64>) {
-        if v.capacity() == 0 {
-            return;
-        }
-        self.pool.push(v);
-        if self.pool.len() > POOL_CAP {
-            // Drop the smallest buffer to keep the big ones around.
-            let min = self
-                .pool
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, b)| b.capacity())
-                .map(|(i, _)| i)
-                .expect("pool nonempty");
-            self.pool.swap_remove(min);
-        }
+        self.arena.put(v)
     }
 
     /// `(reuses, fresh allocations)` served so far — lets tests assert
     /// that steady-state loops stopped allocating.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        self.arena.stats()
+    }
+
+    /// Number of buffers currently retained (bounded by the arena's
+    /// `POOL_CAP`).
+    pub fn pooled(&self) -> usize {
+        self.arena.pooled()
+    }
+}
+
+impl ScratchArena for Workspace {
+    fn take(&mut self, len: usize) -> Vec<f64> {
+        self.arena.take(len)
+    }
+
+    fn put(&mut self, v: Vec<f64>) {
+        self.arena.put(v)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qr3d_matrix::scratch::POOL_CAP;
 
     #[test]
     fn take_returns_zeroed_exact_len() {
@@ -116,6 +96,16 @@ mod tests {
     }
 
     #[test]
+    fn take_copy_of_copies_without_zeroing() {
+        let mut ws = Workspace::new();
+        let b = ws.take(8);
+        ws.put(b);
+        let c = ws.take_copy_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(c, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ws.stats(), (1, 1), "copy served from the pool");
+    }
+
+    #[test]
     fn best_fit_prefers_smallest_sufficient() {
         let mut ws = Workspace::new();
         let small = ws.take(10);
@@ -136,7 +126,7 @@ mod tests {
             let v = vec![0.0; i];
             ws.put(v);
         }
-        assert!(ws.pool.len() <= POOL_CAP);
+        assert!(ws.pooled() <= POOL_CAP);
     }
 
     #[test]
@@ -145,6 +135,6 @@ mod tests {
         let v = ws.take(0);
         assert!(v.is_empty());
         ws.put(v); // capacity 0: silently dropped
-        assert_eq!(ws.pool.len(), 0);
+        assert_eq!(ws.pooled(), 0);
     }
 }

@@ -369,16 +369,90 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
+/// Below this many multiply-adds `syrk` takes the scalar half-flop path;
+/// above it, the blocked `gemm` (double the flops at several times the
+/// rate) wins.
+const SYRK_THRESHOLD: usize = 64 * 1024;
+
 /// Symmetric rank-k update `C = alpha·AᵀA + beta·C` (BLAS `syrk`,
 /// `trans = T` form): `A` is `m × n`, `C` is `n × n` in full (symmetric)
-/// storage. Only the upper triangle is computed — roughly half the
-/// multiply-adds of a general `AᵀA` — and then mirrored, so the result is
-/// exactly symmetric (`C[i,j]` and `C[j,i]` are the same rounded value),
-/// which the CholeskyQR Gram matrices rely on.
+/// storage. The result is exactly symmetric (`C[i,j]` and `C[j,i]` are
+/// the same rounded value, mirrored from the upper triangle), which the
+/// CholeskyQR Gram matrices rely on. Small updates run the scalar
+/// half-flop kernel; large ones delegate to the cache-blocked [`gemm`]
+/// (see [`syrk_ws`]).
 ///
 /// # Panics
 /// If `C` is not `n × n`.
 pub fn syrk(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    crate::scratch::with_thread_arena(|ws| syrk_ws(ws, alpha, a, beta, c));
+}
+
+/// [`syrk`] with an explicit scratch arena: the accumulator of the
+/// scalar half-flop path and the full `AᵀA` of the gemm path both live
+/// in arena scratch, so a warm update allocates nothing. Large updates
+/// run the full product through [`gemm`]'s packed microkernel and
+/// mirror the upper triangle down for exact symmetry.
+pub fn syrk_ws(
+    ws: &mut dyn crate::scratch::ScratchArena,
+    alpha: f64,
+    a: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(c.rows(), n, "syrk: output rows mismatch");
+    assert_eq!(c.cols(), n, "syrk: output cols mismatch");
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || n == 0 {
+        return;
+    }
+    if m * n * n < SYRK_THRESHOLD {
+        // Scalar half-flop kernel (as `syrk_reference`), accumulator in
+        // arena scratch.
+        let mut upper = ws.take(n * n);
+        for k in 0..m {
+            let row = a.row(k);
+            for i in 0..n {
+                let aki = row[i];
+                let dst = &mut upper[i * n..(i + 1) * n];
+                for j in i..n {
+                    dst[j] += aki * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in i..n {
+                let v = alpha * upper[i * n + j];
+                c[(i, j)] += v;
+                if j != i {
+                    c[(j, i)] += v;
+                }
+            }
+        }
+        ws.put(upper);
+    } else {
+        let mut g = crate::scratch::take_matrix(ws, n, n);
+        gemm(Trans::Yes, Trans::No, 1.0, a, a, 0.0, &mut g);
+        for i in 0..n {
+            for j in i..n {
+                let v = alpha * g[(i, j)];
+                c[(i, j)] += v;
+                if j != i {
+                    c[(j, i)] += v;
+                }
+            }
+        }
+        crate::scratch::put_matrix(ws, g);
+    }
+}
+
+/// The seed's scalar half-flop symmetric update, kept (like
+/// [`gemm_reference`]) as the correctness baseline for the blocked
+/// [`syrk`]. Same contract.
+pub fn syrk_reference(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(c.rows(), n, "syrk: output rows mismatch");
     assert_eq!(c.cols(), n, "syrk: output cols mismatch");
@@ -474,13 +548,29 @@ mod tests {
 
     #[test]
     fn syrk_result_exactly_symmetric() {
-        let a = Matrix::random(40, 9, 13);
-        let g = gram(&a);
-        for i in 0..9 {
-            for j in 0..9 {
-                assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits());
+        // Both the scalar path (small) and the blocked path (large must
+        // cross SYRK_THRESHOLD) must deliver bitwise-symmetric output.
+        for (m, n) in [(40usize, 9usize), (64, 48)] {
+            let a = Matrix::random(m, n, 13);
+            let g = gram(&a);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits(), "m={m} n={n}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn syrk_blocked_matches_reference_above_threshold() {
+        let (m, n) = (96usize, 40usize); // m·n² > SYRK_THRESHOLD
+        let a = Matrix::random(m, n, 15);
+        let c0 = Matrix::random(n, n, 16);
+        let mut blocked = c0.clone();
+        syrk(1.5, &a, -0.5, &mut blocked);
+        let mut reference = c0.clone();
+        syrk_reference(1.5, &a, -0.5, &mut reference);
+        assert!(close(&blocked, &reference, 1e-10 * (m as f64)));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod gemm;
 pub mod layout;
 pub mod partition;
 pub mod qr;
+pub mod scratch;
 pub mod tri;
 
 pub use dense::Matrix;
@@ -38,8 +39,9 @@ pub mod prelude {
     pub use crate::layout::{BlockCyclic2d, BlockRow, RowCyclic};
     pub use crate::partition::{balanced_ranges, balanced_sizes, part_of};
     pub use crate::qr::{
-        apply_block_reflector, full_q, geqrt, q_times, qt_times, random_with_condition, thin_q,
-        Reflector,
+        apply_block_reflector, apply_block_reflector_ws, full_q, geqrt, geqrt_reference, geqrt_ws,
+        q_times, qt_times, random_with_condition, thin_q, thin_q_ws, Reflector,
     };
+    pub use crate::scratch::{LocalArena, ScratchArena};
     pub use crate::tri::{lu_sign, potrf, trsm, NotPositiveDefinite, Side, Uplo};
 }

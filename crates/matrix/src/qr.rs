@@ -6,9 +6,33 @@
 //! — the compact WY form \[SVL89\] with the (Sca)LAPACK convention \[Pug92\].
 //! `R` is returned as the `n × n` upper triangle (the paper's convention
 //! (2) of Section 2.3), with nonnegative diagonal.
+//!
+//! ## Blocked kernel
+//!
+//! [`geqrt`] is a LAPACK-style *tiled* factorization: panels of
+//! [`GEQRT_NB`] columns are factored by an allocation-free unblocked
+//! inner kernel working in a contiguous scratch panel, the panel's `T`
+//! kernel is accumulated (`larft`), and the trailing matrix is updated
+//! once per panel as a block reflector (`larfb`) built from three
+//! [`gemm`] calls — so the `O(mn²)` bulk of the work runs through the
+//! cache-blocked, register-tiled multiply instead of `n` rank-1
+//! updates. All scratch comes from a [`ScratchArena`]: pass a
+//! per-rank `qr3d_machine::Workspace` through the `*_ws` entry points
+//! (steady-state factorization then allocates nothing per panel), or
+//! use the plain wrappers, which fall back to a per-thread arena.
+//!
+//! [`geqrt_reference`] keeps the seed's unblocked column-at-a-time
+//! kernel (mirroring `gemm_reference`) as the correctness baseline and
+//! the benchmark reference. Both produce a valid factorization of the
+//! same `A` with `R ≥ 0` on the diagonal; the factors agree to rounding
+//! (the blocked updates reassociate sums), not bitwise.
 
 use crate::dense::Matrix;
 use crate::gemm::{gemm, Trans};
+use crate::scratch::{put_matrix, take_matrix, with_thread_arena, ScratchArena};
+
+/// Panel width of the blocked [`geqrt`] (the ScaLAPACK-style `nb`).
+pub const GEQRT_NB: usize = 32;
 
 /// A QR factorization in Householder (compact WY) representation:
 /// `A = (I − V·T·Vᵀ)·[R; 0]`.
@@ -53,13 +77,259 @@ fn house(x: &[f64]) -> (Vec<f64>, f64, f64) {
     }
 }
 
+/// Unblocked panel kernel: Householder-factor the contiguous panel `p`
+/// in place (vectors below the diagonal, `R` on and above, `‖x‖ ≥ 0` on
+/// the diagonal), recording the scalar factors in `taus`. `w` is caller
+/// scratch of at least `p.cols()` words; nothing is allocated.
+fn factor_panel(p: &mut Matrix, taus: &mut [f64], w: &mut [f64]) {
+    let (rows, bw) = (p.rows(), p.cols());
+    debug_assert!(rows >= bw && taus.len() >= bw && w.len() >= bw);
+    for j in 0..bw {
+        let mut sigma = 0.0;
+        for i in j + 1..rows {
+            let x = p[(i, j)];
+            sigma += x * x;
+        }
+        let x0 = p[(j, j)];
+        let (tau, mu) = if sigma == 0.0 {
+            // Zero tail: identity for x₀ ≥ 0, sign-flip reflector else
+            // (v's tail is already all zero — nothing to scale).
+            if x0 >= 0.0 {
+                (0.0, x0)
+            } else {
+                (2.0, -x0)
+            }
+        } else {
+            let mu = (x0 * x0 + sigma).sqrt();
+            let v0 = if x0 <= 0.0 {
+                x0 - mu
+            } else {
+                -sigma / (x0 + mu)
+            };
+            for i in j + 1..rows {
+                p[(i, j)] /= v0;
+            }
+            (2.0 * v0 * v0 / (sigma + v0 * v0), mu)
+        };
+        taus[j] = tau;
+        // In-panel trailing update (I − τ·v·vᵀ) on columns j+1..bw:
+        // w_c = (vᵀ·P)_c accumulated row-wise (stride-1), then applied.
+        if tau != 0.0 && j + 1 < bw {
+            w[j + 1..bw].copy_from_slice(&p.row(j)[j + 1..bw]);
+            for i in j + 1..rows {
+                let vij = p[(i, j)];
+                let row = p.row(i);
+                for c in j + 1..bw {
+                    w[c] += vij * row[c];
+                }
+            }
+            {
+                let row = p.row_mut(j);
+                for c in j + 1..bw {
+                    row[c] -= tau * w[c];
+                }
+            }
+            for i in j + 1..rows {
+                let vij = p[(i, j)];
+                let row = p.row_mut(i);
+                for c in j + 1..bw {
+                    row[c] -= tau * w[c] * vij;
+                }
+            }
+        }
+        p[(j, j)] = mu;
+    }
+}
+
+/// Forward `larft` for a factored panel: write the panel's `bw × bw`
+/// upper-triangular `T` into `t`'s diagonal block at `off`. `z` is
+/// caller scratch of at least `p.cols()` words.
+fn larft_panel(p: &Matrix, taus: &[f64], t: &mut Matrix, off: usize, z: &mut [f64]) {
+    let (rows, bw) = (p.rows(), p.cols());
+    for j in 0..bw {
+        let tau = taus[j];
+        t[(off + j, off + j)] = tau;
+        if j > 0 && tau != 0.0 {
+            // z_c = V[:, c]ᵀ·v_j over the panel rows ≥ j (v_j has an
+            // implicit 1 in row j; V[j, c] for c < j is stored).
+            z[..j].copy_from_slice(&p.row(j)[..j]);
+            for i in j + 1..rows {
+                let vij = p[(i, j)];
+                let row = p.row(i);
+                for (c, zc) in z[..j].iter_mut().enumerate() {
+                    *zc += row[c] * vij;
+                }
+            }
+            // T[0..j, j] = −τ·T[0..j, 0..j]·z (upper-triangular matvec).
+            for i in 0..j {
+                let mut s = 0.0;
+                for (k, &zk) in z[..j].iter().enumerate().skip(i) {
+                    s += t[(off + i, off + k)] * zk;
+                }
+                t[(off + i, off + j)] = -tau * s;
+            }
+        }
+    }
+}
+
 /// Householder QR of an `m × n` matrix with `m ≥ n`: the paper's
-/// `local-QR` / LAPACK's `geqrt`. Returns the compact representation
-/// `(V, T, R)`.
+/// `local-QR` / LAPACK's `geqrt`, blocked as described in the module
+/// docs. Returns the compact representation `(V, T, R)`. Scratch comes
+/// from the calling thread's arena; use [`geqrt_ws`] to pass an
+/// explicit one (e.g. a simulated rank's workspace).
 ///
 /// # Panics
 /// If `m < n`.
 pub fn geqrt(a: &Matrix) -> Reflector {
+    with_thread_arena(|ws| geqrt_ws(ws, a))
+}
+
+/// [`geqrt`] with an explicit scratch arena: after warm-up, the
+/// factorization allocates only its three output matrices.
+pub fn geqrt_ws(ws: &mut dyn ScratchArena, a: &Matrix) -> Reflector {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "geqrt requires m ≥ n (got {m} × {n})");
+    if n == 0 {
+        return Reflector {
+            v: Matrix::zeros(m, 0),
+            t: Matrix::zeros(0, 0),
+            r: Matrix::zeros(0, 0),
+        };
+    }
+
+    // `work` accumulates V below the diagonal and R on/above it, and is
+    // converted into the explicit V in place at the end.
+    let mut work = a.clone();
+    let mut t = Matrix::zeros(n, n);
+    let mut taus = ws.take(n);
+    let mut small = ws.take(GEQRT_NB); // per-panel w/z scratch
+
+    let mut j0 = 0;
+    while j0 < n {
+        let bw = GEQRT_NB.min(n - j0);
+        let j1 = j0 + bw;
+        let mj = m - j0;
+
+        // Single-panel factorization (n ≤ GEQRT_NB — every TSQR leaf and
+        // upsweep merge): the row-major `work` *is* the contiguous
+        // panel, so factor it in place with no staging copies at all.
+        if j0 == 0 && bw == n {
+            factor_panel(&mut work, &mut taus[..n], &mut small);
+            larft_panel(&work, &taus[..n], &mut t, 0, &mut small);
+            j0 = j1;
+            continue;
+        }
+
+        // Factor the panel in contiguous scratch (allocation-free).
+        let mut p = take_matrix(ws, mj, bw);
+        for i in 0..mj {
+            p.row_mut(i).copy_from_slice(&work.row(j0 + i)[j0..j1]);
+        }
+        factor_panel(&mut p, &mut taus[j0..j1], &mut small);
+        larft_panel(&p, &taus[j0..j1], &mut t, j0, &mut small);
+
+        // The explicit panel basis and contiguous T block feed the
+        // larfb and T-growth gemms — a single-panel factorization
+        // (n ≤ GEQRT_NB, e.g. every TSQR leaf and upsweep merge) needs
+        // neither, so skip the copies entirely on that hot path.
+        if j1 < n || j0 > 0 {
+            // Explicit panel basis (unit diagonal, zeros above).
+            let mut vp = take_matrix(ws, mj, bw);
+            for i in 0..mj {
+                let lim = i.min(bw);
+                vp.row_mut(i)[..lim].copy_from_slice(&p.row(i)[..lim]);
+                if i < bw {
+                    vp[(i, i)] = 1.0;
+                }
+            }
+            // The panel's T block, contiguous for the gemms.
+            let mut tp = take_matrix(ws, bw, bw);
+            for i in 0..bw {
+                tp.row_mut(i).copy_from_slice(&t.row(j0 + i)[j0..j1]);
+            }
+
+            // Trailing update (larfb): C := C − V·Tᵀ·(Vᵀ·C), three gemms.
+            if j1 < n {
+                let nt = n - j1;
+                let mut c = take_matrix(ws, mj, nt);
+                for i in 0..mj {
+                    c.row_mut(i).copy_from_slice(&work.row(j0 + i)[j1..n]);
+                }
+                let mut w = take_matrix(ws, bw, nt);
+                gemm(Trans::Yes, Trans::No, 1.0, &vp, &c, 0.0, &mut w);
+                let mut w2 = take_matrix(ws, bw, nt);
+                gemm(Trans::Yes, Trans::No, 1.0, &tp, &w, 0.0, &mut w2);
+                gemm(Trans::No, Trans::No, -1.0, &vp, &w2, 1.0, &mut c);
+                for i in 0..mj {
+                    work.row_mut(j0 + i)[j1..n].copy_from_slice(c.row(i));
+                }
+                put_matrix(ws, c);
+                put_matrix(ws, w);
+                put_matrix(ws, w2);
+            }
+
+            // Grow the global T: T[0..j0, j0..j1] = −T₁·(V₁ᵀ·V_p)·T_p,
+            // where V₁ = the already-stored basis columns (rows j0..m of
+            // `work`'s first j0 columns are pure V entries).
+            if j0 > 0 {
+                let mut v1 = take_matrix(ws, mj, j0);
+                for i in 0..mj {
+                    v1.row_mut(i).copy_from_slice(&work.row(j0 + i)[..j0]);
+                }
+                let mut z = take_matrix(ws, j0, bw);
+                gemm(Trans::Yes, Trans::No, 1.0, &v1, &vp, 0.0, &mut z);
+                let mut t1 = take_matrix(ws, j0, j0);
+                for i in 0..j0 {
+                    t1.row_mut(i).copy_from_slice(&t.row(i)[..j0]);
+                }
+                let mut t1z = take_matrix(ws, j0, bw);
+                gemm(Trans::No, Trans::No, 1.0, &t1, &z, 0.0, &mut t1z);
+                let mut t12 = take_matrix(ws, j0, bw);
+                gemm(Trans::No, Trans::No, -1.0, &t1z, &tp, 0.0, &mut t12);
+                for i in 0..j0 {
+                    t.row_mut(i)[j0..j1].copy_from_slice(t12.row(i));
+                }
+                put_matrix(ws, v1);
+                put_matrix(ws, z);
+                put_matrix(ws, t1);
+                put_matrix(ws, t1z);
+                put_matrix(ws, t12);
+            }
+            put_matrix(ws, vp);
+            put_matrix(ws, tp);
+        }
+
+        // Land the factored panel (V below, R above) back in `work`.
+        for i in 0..mj {
+            work.row_mut(j0 + i)[j0..j1].copy_from_slice(p.row(i));
+        }
+        put_matrix(ws, p);
+        j0 = j1;
+    }
+    ws.put(taus);
+    ws.put(small);
+
+    // R = leading n × n upper triangle, then turn `work` into the
+    // explicit unit-lower-trapezoidal V in place.
+    let r = work.submatrix(0, n, 0, n).upper_triangular_part();
+    for i in 0..n {
+        let row = work.row_mut(i);
+        for item in row.iter_mut().take(n).skip(i) {
+            *item = 0.0;
+        }
+        row[i] = 1.0;
+    }
+
+    Reflector { v: work, t, r }
+}
+
+/// The seed's unblocked column-at-a-time Householder QR, kept (like
+/// `gemm_reference`) as the correctness baseline and benchmark
+/// reference for the blocked [`geqrt`].
+///
+/// # Panics
+/// If `m < n`.
+pub fn geqrt_reference(a: &Matrix) -> Reflector {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "geqrt requires m ≥ n (got {m} × {n})");
     let mut work = a.clone();
@@ -126,9 +396,23 @@ pub fn geqrt(a: &Matrix) -> Reflector {
 
 /// Apply a block reflector: `C := (I − V·T'·Vᵀ)·C`, where `T' = Tᵀ` if
 /// `transpose` (i.e. apply `Qᵀ`) and `T' = T` otherwise (apply `Q`).
+/// Scratch comes from the calling thread's arena; use
+/// [`apply_block_reflector_ws`] to pass an explicit one.
 ///
 /// `V` is `m × k`, `T` is `k × k`, `C` is `m × n`.
 pub fn apply_block_reflector(v: &Matrix, t: &Matrix, c: &mut Matrix, transpose: bool) {
+    with_thread_arena(|ws| apply_block_reflector_ws(ws, v, t, c, transpose));
+}
+
+/// [`apply_block_reflector`] writing its two `k × n` temporaries into
+/// arena scratch: three blocked gemms, no allocation after warm-up.
+pub fn apply_block_reflector_ws(
+    ws: &mut dyn ScratchArena,
+    v: &Matrix,
+    t: &Matrix,
+    c: &mut Matrix,
+    transpose: bool,
+) {
     let k = v.cols();
     assert_eq!(v.rows(), c.rows(), "apply_block_reflector: row mismatch");
     assert_eq!(t.rows(), k, "apply_block_reflector: T shape");
@@ -137,14 +421,16 @@ pub fn apply_block_reflector(v: &Matrix, t: &Matrix, c: &mut Matrix, transpose: 
         return;
     }
     // W = Vᵀ C  (k × n)
-    let mut w = Matrix::zeros(k, c.cols());
+    let mut w = take_matrix(ws, k, c.cols());
     gemm(Trans::Yes, Trans::No, 1.0, v, c, 0.0, &mut w);
     // W = T' W
-    let mut w2 = Matrix::zeros(k, c.cols());
+    let mut w2 = take_matrix(ws, k, c.cols());
     let tt = if transpose { Trans::Yes } else { Trans::No };
     gemm(tt, Trans::No, 1.0, t, &w, 0.0, &mut w2);
     // C -= V W
     gemm(Trans::No, Trans::No, -1.0, v, &w2, 1.0, c);
+    put_matrix(ws, w);
+    put_matrix(ws, w2);
 }
 
 /// `Q · C` for `Q = I − V·T·Vᵀ` (a new matrix).
@@ -163,12 +449,18 @@ pub fn qt_times(v: &Matrix, t: &Matrix, c: &Matrix) -> Matrix {
 
 /// The leading `n` columns of `Q` (the "thin" Q-factor), `m × n`.
 pub fn thin_q(v: &Matrix, t: &Matrix) -> Matrix {
+    with_thread_arena(|ws| thin_q_ws(ws, v, t))
+}
+
+/// [`thin_q`] with an explicit scratch arena for the reflector
+/// application's temporaries.
+pub fn thin_q_ws(ws: &mut dyn ScratchArena, v: &Matrix, t: &Matrix) -> Matrix {
     let (m, n) = (v.rows(), v.cols());
     let mut e = Matrix::zeros(m, n);
     for j in 0..n {
         e[(j, j)] = 1.0;
     }
-    apply_block_reflector(v, t, &mut e, false);
+    apply_block_reflector_ws(ws, v, t, &mut e, false);
     e
 }
 
@@ -220,15 +512,16 @@ fn thin_q_of_random(m: usize, n: usize, seed: u64) -> Matrix {
 mod tests {
     use super::*;
     use crate::gemm::{matmul, matmul_tn};
+    use crate::scratch::LocalArena;
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f64, what: &str) {
         let err = a.sub(b).max_abs();
         assert!(err <= tol, "{what}: max abs err {err} > {tol}");
     }
 
-    fn check_qr(a: &Matrix, tol: f64) {
+    fn check_qr_with(a: &Matrix, tol: f64, factor: impl Fn(&Matrix) -> Reflector) {
         let n = a.cols();
-        let f = geqrt(a);
+        let f = factor(a);
         assert!(
             f.v.is_unit_lower_trapezoidal(tol),
             "V not unit lower trapezoidal"
@@ -247,6 +540,11 @@ mod tests {
         let q1 = thin_q(&f.v, &f.t);
         let gram = matmul_tn(&q1, &q1);
         assert_close(&gram, &Matrix::identity(n), tol, "QᵀQ = I");
+    }
+
+    fn check_qr(a: &Matrix, tol: f64) {
+        check_qr_with(a, tol, geqrt);
+        check_qr_with(a, tol, geqrt_reference);
     }
 
     #[test]
@@ -330,15 +628,102 @@ mod tests {
 
     #[test]
     fn qr_zero_cols() {
-        let f = geqrt(&Matrix::zeros(4, 0));
-        assert_eq!(f.v.cols(), 0);
-        assert_eq!(f.r.rows(), 0);
+        for factor in [geqrt, geqrt_reference] {
+            let f = factor(&Matrix::zeros(4, 0));
+            assert_eq!(f.v.cols(), 0);
+            assert_eq!(f.r.rows(), 0);
+        }
+    }
+
+    #[test]
+    fn qr_spans_multiple_panels() {
+        // Wider than GEQRT_NB: the blocked path takes several panels
+        // and the cross-panel T blocks must be assembled correctly.
+        let n = GEQRT_NB + 7;
+        check_qr_with(&Matrix::random(2 * n + 3, n, 21), 1e-10, geqrt);
+        let n = 3 * GEQRT_NB;
+        check_qr_with(&Matrix::random(n, n, 22), 1e-9, geqrt);
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_shapes() {
+        // The satellite sweep: single column, m = n, rank-deficient,
+        // zero matrix, m ≫ n — blocked and reference must agree on R
+        // and both must satisfy QR = A and orthogonality.
+        let shapes: Vec<(String, Matrix)> = vec![
+            ("single column".into(), Matrix::random(40, 1, 1)),
+            ("m = n".into(), Matrix::random(48, 48, 2)),
+            ("m = n small".into(), Matrix::random(5, 5, 3)),
+            ("rank-deficient".into(), {
+                let c = Matrix::random(70, 2, 4);
+                c.hstack(&c).hstack(&c.hstack(&c))
+            }),
+            ("zero matrix".into(), Matrix::zeros(50, 40)),
+            ("m >> n".into(), Matrix::random(400, 37, 5)),
+            ("panel boundary".into(), Matrix::random(100, GEQRT_NB, 6)),
+            (
+                "one past boundary".into(),
+                Matrix::random(100, GEQRT_NB + 1, 7),
+            ),
+        ];
+        for (what, a) in &shapes {
+            let n = a.cols();
+            let fb = geqrt(a);
+            let fr = geqrt_reference(a);
+            let tol = 1e-10 * (1.0 + a.frobenius_norm());
+            assert_close(
+                &fb.r,
+                &fr.r,
+                tol,
+                &format!("{what}: R blocked vs reference"),
+            );
+            let mut rn = Matrix::zeros(a.rows(), n);
+            rn.set_submatrix(0, 0, &fb.r);
+            assert_close(
+                &q_times(&fb.v, &fb.t, &rn),
+                a,
+                tol,
+                &format!("{what}: QR = A"),
+            );
+            // Householder Q is orthogonal regardless of A's rank.
+            let q1 = thin_q(&fb.v, &fb.t);
+            let gram = matmul_tn(&q1, &q1);
+            assert_close(
+                &gram,
+                &Matrix::identity(n),
+                1e-10,
+                &format!("{what}: QᵀQ = I"),
+            );
+        }
+    }
+
+    #[test]
+    fn geqrt_ws_reuses_its_arena() {
+        // A warm arena serves every panel-loop request from the pool:
+        // repeat factorizations of the same shape stop allocating.
+        let mut ws = LocalArena::new();
+        let a = Matrix::random(3 * GEQRT_NB, 2 * GEQRT_NB, 11);
+        let _ = geqrt_ws(&mut ws, &a);
+        let _ = geqrt_ws(&mut ws, &a);
+        let (_, misses_warm) = ws.stats();
+        let _ = geqrt_ws(&mut ws, &a);
+        let (_, misses_after) = ws.stats();
+        assert_eq!(
+            misses_warm, misses_after,
+            "a warm geqrt_ws must allocate nothing"
+        );
     }
 
     #[test]
     #[should_panic(expected = "m ≥ n")]
     fn qr_wide_rejected() {
         let _ = geqrt(&Matrix::zeros(2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ n")]
+    fn qr_wide_rejected_reference() {
+        let _ = geqrt_reference(&Matrix::zeros(2, 5));
     }
 
     #[test]
@@ -400,6 +785,20 @@ mod tests {
         let mut c = c0.clone();
         apply_block_reflector(&v, &t, &mut c, false);
         assert_eq!(c, c0);
+    }
+
+    #[test]
+    fn apply_ws_matches_wrapper() {
+        let a = Matrix::random(30, 6, 23);
+        let f = geqrt(&a);
+        let c0 = Matrix::random(30, 4, 24);
+        let mut c1 = c0.clone();
+        apply_block_reflector(&f.v, &f.t, &mut c1, true);
+        let mut ws = LocalArena::new();
+        let mut c2 = c0.clone();
+        apply_block_reflector_ws(&mut ws, &f.v, &f.t, &mut c2, true);
+        assert_eq!(c1, c2, "same arithmetic regardless of the arena");
+        assert_eq!(thin_q(&f.v, &f.t), thin_q_ws(&mut ws, &f.v, &f.t));
     }
 
     #[test]

@@ -1,7 +1,18 @@
-//! Triangular solves and the sign-altered LU factorization used by TSQR's
-//! Householder reconstruction (paper Appendix C.2, [BDG+15, Lemma 6.2]).
+//! Triangular solves, Cholesky, and the sign-altered LU factorization used
+//! by TSQR's Householder reconstruction (paper Appendix C.2, [BDG+15,
+//! Lemma 6.2]).
+//!
+//! [`trsm`] and [`potrf`] are *blocked*: they partition the triangle into
+//! [`TRI_NB`]-wide tiles, solve/factor the diagonal tiles with the scalar
+//! inner kernels, and delegate the off-diagonal bulk to the cache-blocked
+//! [`gemm`] — the standard right-looking LAPACK structure. Small problems
+//! (below [`TRI_THRESHOLD`] multiply-adds) take the scalar reference paths
+//! directly; [`trsm_reference`] and [`potrf_reference`] stay available as
+//! the correctness baselines and benchmark references.
 
 use crate::dense::Matrix;
+use crate::gemm::{gemm, Trans};
+use crate::scratch::{put_matrix, take_matrix, with_thread_arena, ScratchArena};
 
 /// Which side the triangular matrix multiplies from in [`trsm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,14 +32,89 @@ pub enum Uplo {
     Upper,
 }
 
+/// Diagonal-tile width of the blocked [`trsm`]/[`potrf`].
+pub const TRI_NB: usize = 32;
+
+/// Below this many multiply-adds the blocking overhead is not worth it
+/// and the scalar reference paths run instead.
+pub const TRI_THRESHOLD: usize = 32 * 1024;
+
 /// Triangular solve (BLAS `trsm`): returns `X` such that `op(A)·X = B`
 /// (`Side::Left`) or `X·op(A) = B` (`Side::Right`), where `op(A) = Aᵀ`
 /// if `transpose` and `A` otherwise; `unit_diag` treats `A`'s diagonal
-/// as ones without reading it.
+/// as ones without reading it. Blocked (see module docs); scratch comes
+/// from the calling thread's arena — use [`trsm_ws`] to pass an
+/// explicit one.
 ///
 /// # Panics
 /// On shape mismatch or a zero pivot (non-unit diagonal only).
 pub fn trsm(
+    side: Side,
+    uplo: Uplo,
+    transpose: bool,
+    unit_diag: bool,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    let n = a.rows();
+    let rhs = match side {
+        Side::Left => b.cols(),
+        Side::Right => b.rows(),
+    };
+    if n * n / 2 * rhs < TRI_THRESHOLD || n < 2 * TRI_NB {
+        trsm_reference(side, uplo, transpose, unit_diag, a, b)
+    } else {
+        with_thread_arena(|ws| trsm_ws(ws, side, uplo, transpose, unit_diag, a, b))
+    }
+}
+
+/// [`trsm`] with an explicit scratch arena (always the blocked path).
+/// Allocates only the returned `X`; every intermediate — including the
+/// `Side::Right` transposes — lives in arena scratch.
+pub fn trsm_ws(
+    ws: &mut dyn ScratchArena,
+    side: Side,
+    uplo: Uplo,
+    transpose: bool,
+    unit_diag: bool,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "trsm: A must be square");
+    match side {
+        Side::Left => {
+            let mut x = b.clone();
+            solve_left_blocked(ws, uplo, transpose, unit_diag, a, &mut x);
+            x
+        }
+        Side::Right => {
+            // X·op(A) = B  ⟺  op(A)ᵀ·Xᵀ = Bᵀ, with Bᵀ staged in scratch.
+            let (br, bc) = (b.rows(), b.cols());
+            let mut xt = take_matrix(ws, bc, br);
+            for j in 0..bc {
+                let row = xt.row_mut(j);
+                for (i, dst) in row.iter_mut().enumerate() {
+                    *dst = b[(i, j)];
+                }
+            }
+            solve_left_blocked(ws, uplo, !transpose, unit_diag, a, &mut xt);
+            let mut out = Matrix::zeros(br, bc);
+            for i in 0..br {
+                let row = out.row_mut(i);
+                for (j, dst) in row.iter_mut().enumerate() {
+                    *dst = xt[(j, i)];
+                }
+            }
+            put_matrix(ws, xt);
+            out
+        }
+    }
+}
+
+/// The seed's scalar triangular solve, kept (like `gemm_reference`) as
+/// the correctness baseline and benchmark reference for the blocked
+/// [`trsm`]. Same contract.
+pub fn trsm_reference(
     side: Side,
     uplo: Uplo,
     transpose: bool,
@@ -43,6 +129,98 @@ pub fn trsm(
             // X·op(A) = B  ⟺  op(A)ᵀ·Xᵀ = Bᵀ.
             let xt = solve_left(uplo, !transpose, unit_diag, a, &b.transpose());
             xt.transpose()
+        }
+    }
+}
+
+/// Blocked left solve (left-looking), in place on `x`: for each
+/// [`TRI_NB`]-row diagonal tile, one `gemm` with a long inner dimension
+/// folds every already-solved block into the tile's right-hand sides,
+/// then scalar substitution finishes the tile. The gemm's inner
+/// dimension grows with the solve, so the packed microkernel dominates.
+fn solve_left_blocked(
+    ws: &mut dyn ScratchArena,
+    uplo: Uplo,
+    transpose: bool,
+    unit_diag: bool,
+    a: &Matrix,
+    x: &mut Matrix,
+) {
+    let n = a.rows();
+    assert_eq!(x.rows(), n, "trsm: B row count must match A");
+    let rhs = x.cols();
+    // The effective matrix op(A) is lower triangular iff (lower XOR transpose).
+    let eff_lower = matches!(uplo, Uplo::Lower) != transpose;
+    let at = |i: usize, k: usize| if transpose { a[(k, i)] } else { a[(i, k)] };
+    let nblocks = n.div_ceil(TRI_NB);
+    for blk in 0..nblocks {
+        // Tile rows i0..i1 in solve order (forward for effective-lower,
+        // backward for effective-upper).
+        let (i0, i1) = if eff_lower {
+            (blk * TRI_NB, (blk * TRI_NB + TRI_NB).min(n))
+        } else {
+            let hi = n - blk * TRI_NB;
+            (hi.saturating_sub(TRI_NB), hi)
+        };
+        let bw = i1 - i0;
+        // Solved rows this tile depends on: everything before it in
+        // solve order.
+        let (d0, d1) = if eff_lower { (0, i0) } else { (i1, n) };
+        if d0 < d1 && rhs > 0 {
+            // X[i0..i1] −= op(A)[i0..i1, d0..d1] · X[d0..d1], one gemm.
+            let mut tile = take_matrix(ws, bw, d1 - d0);
+            for (r, i) in (i0..i1).enumerate() {
+                let row = tile.row_mut(r);
+                for (c, k) in (d0..d1).enumerate() {
+                    row[c] = at(i, k);
+                }
+            }
+            let mut xs = take_matrix(ws, d1 - d0, rhs);
+            for (r, i) in (d0..d1).enumerate() {
+                xs.row_mut(r).copy_from_slice(x.row(i));
+            }
+            let mut xt = take_matrix(ws, bw, rhs);
+            for (r, i) in (i0..i1).enumerate() {
+                xt.row_mut(r).copy_from_slice(x.row(i));
+            }
+            gemm(Trans::No, Trans::No, -1.0, &tile, &xs, 1.0, &mut xt);
+            for (r, i) in (i0..i1).enumerate() {
+                x.row_mut(i).copy_from_slice(xt.row(r));
+            }
+            put_matrix(ws, tile);
+            put_matrix(ws, xs);
+            put_matrix(ws, xt);
+        }
+        // Scalar substitution within the diagonal tile (in-tile deps
+        // are ranges either side of the pivot row — no index buffers).
+        let mut solve_row = |i: usize| {
+            let deps = if eff_lower { i0..i } else { i + 1..i1 };
+            for k in deps {
+                let aik = at(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs {
+                    let xkj = x[(k, j)];
+                    x[(i, j)] -= aik * xkj;
+                }
+            }
+            if !unit_diag {
+                let d = at(i, i);
+                assert!(d != 0.0, "trsm: zero pivot at {i}");
+                for j in 0..rhs {
+                    x[(i, j)] /= d;
+                }
+            }
+        };
+        if eff_lower {
+            for i in i0..i1 {
+                solve_row(i);
+            }
+        } else {
+            for i in (i0..i1).rev() {
+                solve_row(i);
+            }
         }
     }
 }
@@ -158,6 +336,120 @@ impl std::error::Error for NotPositiveDefinite {}
 /// # Panics
 /// If `G` is not square.
 pub fn potrf(g: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    let n = g.rows();
+    if n * n / 2 * n / 3 < TRI_THRESHOLD || n < 2 * TRI_NB {
+        potrf_reference(g)
+    } else {
+        with_thread_arena(|ws| potrf_ws(ws, g))
+    }
+}
+
+/// [`potrf`] with an explicit scratch arena (always the blocked
+/// right-looking path): unblocked Cholesky on each [`TRI_NB`] diagonal
+/// tile, scalar forward substitution for its block row, and a
+/// `gemm`-powered symmetric trailing update.
+pub fn potrf_ws(ws: &mut dyn ScratchArena, g: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    let n = g.rows();
+    assert_eq!(g.cols(), n, "potrf: G must be square");
+    let mut r = g.upper_triangular_part();
+    let scale = (0..n).map(|i| g[(i, i)]).fold(0.0f64, f64::max);
+    let tol = scale * f64::EPSILON * n as f64;
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + TRI_NB).min(n);
+        // Unblocked Cholesky of the diagonal tile (global pivot indices,
+        // same breakdown rule as the reference).
+        for j in j0..j1 {
+            let pivot = r[(j, j)];
+            if pivot <= tol || pivot.is_nan() {
+                return Err(NotPositiveDefinite {
+                    pivot: j,
+                    value: pivot,
+                });
+            }
+            let d = pivot.sqrt();
+            r[(j, j)] = d;
+            for k in j + 1..j1 {
+                r[(j, k)] /= d;
+            }
+            for i in j + 1..j1 {
+                let rji = r[(j, i)];
+                if rji == 0.0 {
+                    continue;
+                }
+                for k in i..j1 {
+                    let rjk = r[(j, k)];
+                    r[(i, k)] -= rji * rjk;
+                }
+            }
+        }
+        if j1 < n {
+            // Block row: solve R₁₁ᵀ·R₁₂ = G₁₂ in place (scalar forward
+            // substitution — lower-order work).
+            for i in j0..j1 {
+                for k in j0..i {
+                    let rki = r[(k, i)];
+                    if rki == 0.0 {
+                        continue;
+                    }
+                    for c in j1..n {
+                        let rkc = r[(k, c)];
+                        r[(i, c)] -= rki * rkc;
+                    }
+                }
+                let d = r[(i, i)];
+                for c in j1..n {
+                    r[(i, c)] /= d;
+                }
+            }
+            // Trailing update G₂₂ −= R₁₂ᵀ·R₁₂, upper triangle only:
+            // per column block c0..c1, the rows needing updates are
+            // j1..c1, i.e. R₁₂'s leading c1−j1 columns — so the flop
+            // count stays at the half-syrk level while the work runs
+            // through the blocked gemm.
+            let (bw, nt) = (j1 - j0, n - j1);
+            let mut r12 = take_matrix(ws, bw, nt);
+            for (i, row) in (j0..j1).enumerate() {
+                r12.row_mut(i).copy_from_slice(&r.row(row)[j1..n]);
+            }
+            let tb = 4 * TRI_NB;
+            let mut c0 = j1;
+            while c0 < n {
+                let c1 = (c0 + tb).min(n);
+                let rw = c1 - j1; // update rows j1..c1 (cols 0..rw of R₁₂)
+                let mut a1 = take_matrix(ws, bw, rw);
+                for i in 0..bw {
+                    a1.row_mut(i).copy_from_slice(&r12.row(i)[..rw]);
+                }
+                let mut a2 = take_matrix(ws, bw, c1 - c0);
+                for i in 0..bw {
+                    a2.row_mut(i).copy_from_slice(&r12.row(i)[c0 - j1..c1 - j1]);
+                }
+                let mut s = take_matrix(ws, rw, c1 - c0);
+                gemm(Trans::Yes, Trans::No, 1.0, &a1, &a2, 0.0, &mut s);
+                for i in 0..rw {
+                    let lo = (j1 + i).max(c0);
+                    let dst = &mut r.row_mut(j1 + i)[lo..c1];
+                    let src = &s.row(i)[lo - c0..c1 - c0];
+                    for (d, v) in dst.iter_mut().zip(src) {
+                        *d -= v;
+                    }
+                }
+                put_matrix(ws, a1);
+                put_matrix(ws, a2);
+                put_matrix(ws, s);
+                c0 = c1;
+            }
+            put_matrix(ws, r12);
+        }
+        j0 = j1;
+    }
+    Ok(r)
+}
+
+/// The seed's unblocked Cholesky, kept as the correctness baseline and
+/// benchmark reference for the blocked [`potrf`]. Same contract.
+pub fn potrf_reference(g: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
     let n = g.rows();
     assert_eq!(g.cols(), n, "potrf: G must be square");
     let mut r = g.upper_triangular_part();
@@ -366,6 +658,95 @@ mod tests {
         let x = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
         let lt = l.transpose();
         assert_close(&matmul(&x, &lt), &us, 1e-11, "X Lᵀ = US");
+    }
+
+    #[test]
+    fn blocked_trsm_matches_reference_above_threshold() {
+        // Sizes that cross TRI_THRESHOLD so the public `trsm` takes the
+        // blocked path; every side/uplo/transpose/unit combination must
+        // agree with the scalar reference to rounding.
+        let n = 3 * TRI_NB + 5;
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for transpose in [false, true] {
+                    for unit in [false, true] {
+                        let a = tri(n, uplo, unit, 77);
+                        let b = Matrix::random(n, n + 3, 78);
+                        let b = match side {
+                            Side::Left => b,
+                            Side::Right => b.transpose(),
+                        };
+                        let got = trsm(side, uplo, transpose, unit, &a, &b);
+                        let want = trsm_reference(side, uplo, transpose, unit, &a, &b);
+                        assert_close(
+                            &got,
+                            &want,
+                            1e-9,
+                            &format!("{side:?} {uplo:?} trans={transpose} unit={unit}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_trsm_unit_diag_ignores_stored_diagonal() {
+        let n = 3 * TRI_NB;
+        let mut a = tri(n, Uplo::Lower, true, 79);
+        for i in 0..n {
+            a[(i, i)] = f64::NAN;
+        }
+        let b = Matrix::random(n, n, 80);
+        let x = trsm(Side::Left, Uplo::Lower, false, true, &a, &b);
+        assert!(x.max_abs().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot at 40")]
+    fn blocked_trsm_zero_pivot_detected() {
+        let n = 3 * TRI_NB;
+        let mut a = tri(n, Uplo::Upper, false, 81);
+        a[(40, 40)] = 0.0;
+        let _ = trsm(
+            Side::Left,
+            Uplo::Upper,
+            false,
+            false,
+            &a,
+            &Matrix::random(n, n, 82),
+        );
+    }
+
+    #[test]
+    fn blocked_potrf_matches_reference_above_threshold() {
+        let n = 3 * TRI_NB + 5;
+        let a = Matrix::random(2 * n, n, 83);
+        let g = matmul_tn(&a, &a);
+        let got = potrf(&g).expect("SPD");
+        let want = potrf_reference(&g).expect("SPD");
+        assert!(got.is_upper_triangular(0.0));
+        assert_close(
+            &got,
+            &want,
+            1e-8 * g.max_abs(),
+            "blocked vs reference potrf",
+        );
+        assert_close(&matmul_tn(&got, &got), &g, 1e-8 * g.max_abs(), "RᵀR = G");
+    }
+
+    #[test]
+    fn blocked_potrf_breakdown_is_detected() {
+        // A large rank-deficient Gram matrix must break down in the
+        // blocked path too (possibly at a slightly different pivot than
+        // the reference — rounding — but deterministically).
+        let n = 3 * TRI_NB;
+        let a = Matrix::random(n / 2, n, 84); // rank ≤ n/2
+        let g = matmul_tn(&a, &a);
+        let e1 = potrf(&g).unwrap_err();
+        let e2 = potrf(&g).unwrap_err();
+        assert_eq!(e1, e2, "breakdown must be deterministic");
+        assert!(potrf_reference(&g).is_err());
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Allocation watermark: a warm `Session::factor` loop must serve every
+//! leaf-kernel scratch request from the per-rank `Workspace` pool.
+//!
+//! The blocked local kernels (`geqrt_ws`, `apply_block_reflector_ws`,
+//! `trsm_ws`, the Gram accumulator) draw panel buffers from the rank's
+//! workspace. `Workspace::stats()` counts `(pool hits, fresh
+//! allocations)`, so the invariant "steady-state factorization allocates
+//! nothing per job in the leaf kernels" is exactly "the miss count stops
+//! growing once the session is warm".
+
+use qr3d::prelude::*;
+
+fn miss_watermark_is_flat(backend: QrBackend, m: usize, n: usize, p: usize, seed: u64) {
+    let a = Matrix::random(m, n, seed);
+    let mut session = Session::new(p, FactorParams::new(CostParams::unit()));
+    // Warm-up: the first jobs populate each rank's pool with the
+    // factorization's working-set of buffer sizes.
+    for _ in 0..3 {
+        session.factor(&a, backend).expect("well-conditioned input");
+    }
+    let warm: Vec<(u64, u64)> = session.run(|rank| rank.workspace().stats()).results;
+    for _ in 0..3 {
+        session.factor(&a, backend).expect("well-conditioned input");
+    }
+    let after: Vec<(u64, u64)> = session.run(|rank| rank.workspace().stats()).results;
+    for (rk, (w, aft)) in warm.iter().zip(&after).enumerate() {
+        assert!(
+            aft.0 > w.0,
+            "{backend:?} rank {rk}: warm jobs should hit the pool (hits {} → {})",
+            w.0,
+            aft.0
+        );
+        assert_eq!(
+            w.1, aft.1,
+            "{backend:?} rank {rk}: a warm factor loop must not allocate scratch \
+             (misses grew {} → {})",
+            w.1, aft.1
+        );
+    }
+}
+
+#[test]
+fn warm_tsqr_factor_loop_allocates_no_scratch() {
+    miss_watermark_is_flat(QrBackend::Tsqr, 256, 32, 4, 9);
+}
+
+#[test]
+fn warm_cholqr2_factor_loop_allocates_no_scratch() {
+    miss_watermark_is_flat(QrBackend::CholQr2, 256, 16, 4, 10);
+}
