@@ -23,7 +23,8 @@ use std::time::Instant;
 
 use qr3d_bench::report::{BenchReport, GateMode};
 use qr3d_bench::{
-    executor_warm_vs_cold_secs, run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_tsqr,
+    executor_warm_vs_cold_secs, run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch,
+    run_pivotqr, run_rrqr, run_tsqr,
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_matrix::gemm::{gemm, gemm_reference, Trans};
@@ -68,6 +69,21 @@ fn emit() -> BenchReport {
         &mut report,
         "caqr3d_96x24x4",
         run_caqr3d(96, 24, 4, Caqr3dConfig::new(12, 6), 7),
+    );
+
+    // -- The rank-revealing subsystem's deterministic counts, plus the
+    // relation the randomized backend exists for: the sketch path must
+    // amortize the pivot tournament's Θ(n log P) latency to O(log P). --
+    let pivotqr = run_pivotqr(256, 32, 4, 7);
+    let rrqr = run_rrqr(512, 16, 8, 7);
+    push_cost(&mut report, "geqp3_256x32x4", pivotqr);
+    push_cost(&mut report, "rrqr_512x16x8", rrqr);
+    let pivot_same_shape = run_pivotqr(512, 16, 8, 7);
+    report.push(
+        "ratio/pivotqr_msgs_over_rrqr_msgs",
+        pivot_same_shape.msgs / rrqr.msgs,
+        GateMode::Ge,
+        0.25,
     );
 
     // The headline relation this PR's backend exists for: CholeskyQR2

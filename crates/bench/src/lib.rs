@@ -123,6 +123,70 @@ pub fn executor_warm_vs_cold_secs(m: usize, n: usize, p: usize, jobs: usize) -> 
     (cold, warm)
 }
 
+/// Run the distributed column-pivoted QR on an `m × n` matrix over `p`
+/// ranks; verify `A·P = Q·R`, orthogonality, permutation validity, the
+/// non-increasing diagonal, and full-rank detection; return the
+/// critical-path costs.
+pub fn run_pivotqr(m: usize, n: usize, p: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let counts = lay.counts().to_vec();
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        pivot_qr_factor(rank, &w, &a_loc, &counts)
+    });
+    verify_rank_revealed(&a, &out.results, lay.counts(), n, "pivotqr", true);
+    out.stats.critical()
+}
+
+/// Run the randomized RRQR on an `m × n` matrix over `p` ranks; verify
+/// like [`run_pivotqr`]; return the critical-path costs.
+pub fn run_rrqr(m: usize, n: usize, p: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let counts = lay.counts().to_vec();
+    let machine = Machine::new(p, CostParams::unit());
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        rrqr_factor(rank, &w, &a_loc, &counts, &RrqrConfig::default())
+    });
+    // (No monotone-diagonal check here: the sketch orders the columns,
+    // but the final unpivoted TSQR's diagonal only *approximately*
+    // follows that order.)
+    verify_rank_revealed(&a, &out.results, lay.counts(), n, "rrqr", false);
+    out.stats.critical()
+}
+
+fn verify_rank_revealed(
+    a: &Matrix,
+    results: &[RankRevealedFactors],
+    counts: &[usize],
+    n: usize,
+    what: &str,
+    sorted_diag: bool,
+) {
+    use qr3d_matrix::pivot::{is_permutation, permute_cols};
+    let first = &results[0];
+    assert!(is_permutation(&first.perm, n), "{what}: permutation");
+    assert_eq!(first.rank, n, "{what}: uniform random input is full rank");
+    let facs: Vec<QrFactors> = results.iter().map(|r| r.factors.clone()).collect();
+    let fac = qr3d_core::verify::assemble_block_row(&facs, counts);
+    let ap = permute_cols(a, &first.perm);
+    assert!(fac.residual(&ap) < TOL, "{what}: A·P = QR");
+    assert!(fac.orthogonality() < TOL, "{what}: orthogonality");
+    if sorted_diag {
+        for j in 1..n {
+            assert!(
+                fac.r[(j, j)].abs() <= fac.r[(j - 1, j - 1)].abs() * (1.0 + 1e-10) + 1e-12,
+                "{what}: R diagonal must decay"
+            );
+        }
+    }
+}
+
 /// Run 1D-CAQR-EG with threshold `b`; verify; return critical-path costs.
 pub fn run_caqr1d(m: usize, n: usize, p: usize, b: usize, seed: u64) -> Clock {
     let a = Matrix::random(m, n, seed);

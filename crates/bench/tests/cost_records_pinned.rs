@@ -9,7 +9,9 @@
 //! a kernel rewrite leaked into the cost model.
 
 use qr3d_bench::report::BenchReport;
-use qr3d_bench::{run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_tsqr};
+use qr3d_bench::{
+    run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_pivotqr, run_rrqr, run_tsqr,
+};
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_machine::Clock;
 
@@ -58,6 +60,25 @@ fn the_twelve_cost_records_are_bitwise_unchanged() {
         &base,
         "caqr3d_96x24x4",
         run_caqr3d(96, 24, 4, Caqr3dConfig::new(12, 6), 7),
+    );
+}
+
+#[test]
+fn the_rank_revealing_records_are_bitwise_pinned() {
+    // The new subsystem's clocks join the gate with the same contract as
+    // the pre-existing records: bit-for-bit reproducible, so any drift
+    // in the tournament/sketch communication pattern fails here.
+    let base = baseline();
+    let pivot = run_pivotqr(256, 32, 4, 7);
+    assert_clock_pinned(&base, "geqp3_256x32x4", pivot);
+    let rrqr = run_rrqr(512, 16, 8, 7);
+    assert_clock_pinned(&base, "rrqr_512x16x8", rrqr);
+    // The latency-amortization ratio derives from the same pinned clocks.
+    let pivot_same = run_pivotqr(512, 16, 8, 7);
+    assert_eq!(
+        pivot_same.msgs / rrqr.msgs,
+        pinned(&base, "ratio/pivotqr_msgs_over_rrqr_msgs"),
+        "sketch-vs-tournament message amortization drifted"
     );
 }
 

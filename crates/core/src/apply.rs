@@ -11,12 +11,26 @@
 //! All local arithmetic here flows through `mm_local`, i.e. the blocked
 //! `gemm` microkernel with per-rank pack scratch — the apply path has no
 //! unblocked hot loop of its own.
+//!
+//! ## Batched applies
+//!
+//! [`apply_qt_1d_batch`]/[`apply_q_1d_batch`] serve `k` independent
+//! problems with **fused** communication, mirroring the fused Gram path
+//! of `cholqr2_factor_batch`: the `k` local `VᵀC` partials travel
+//! concatenated in **one** reduce, the root performs the `k` tiny
+//! `T`-solves back-to-back (they are root-local and latency-free — the
+//! point of batching is that their *inputs* arrive in one tree), and one
+//! broadcast returns the `k` `M₂` blocks. The batch pays `O(log P)`
+//! messages total instead of `k·O(log P)`; the singles are exactly
+//! batches of one, so the two paths can never diverge. (The 3D apply
+//! has no root-local solve to batch — its `T` application is itself a
+//! distributed dmm.)
 
+use qr3d_collectives::auto::{broadcast, reduce};
 use qr3d_machine::{Comm, Rank};
 use qr3d_matrix::gemm::Trans;
 use qr3d_matrix::{flops, Matrix};
 use qr3d_mm::brick::TransposedDist;
-use qr3d_mm::dmm1d::{dmm1d_broadcast, dmm1d_reduce};
 use qr3d_mm::dmm3d::dmm3d_redistributed;
 use qr3d_mm::local::mm_local;
 
@@ -26,44 +40,136 @@ use crate::tsqr::QrFactors;
 
 /// Apply `Qᵀ` to a row-distributed matrix: returns this rank's rows of
 /// `QᵀC = C − V·(Tᵀ·(VᵀC))`. `factors.t` must be present on local rank 0.
+///
+/// Exactly [`apply_qt_1d_batch`] with a batch of one — same wire format,
+/// bit-identical results.
 pub fn apply_qt_1d(rank: &mut Rank, comm: &Comm, factors: &QrFactors, c_local: &Matrix) -> Matrix {
-    apply_1d(rank, comm, factors, c_local, true)
+    apply_1d_batch(
+        rank,
+        comm,
+        std::slice::from_ref(factors),
+        std::slice::from_ref(c_local),
+        true,
+    )
+    .pop()
+    .expect("one problem in, one result out")
 }
 
 /// Apply `Q` to a row-distributed matrix: returns this rank's rows of
 /// `QC = C − V·(T·(VᵀC))`.
 pub fn apply_q_1d(rank: &mut Rank, comm: &Comm, factors: &QrFactors, c_local: &Matrix) -> Matrix {
-    apply_1d(rank, comm, factors, c_local, false)
+    apply_1d_batch(
+        rank,
+        comm,
+        std::slice::from_ref(factors),
+        std::slice::from_ref(c_local),
+        false,
+    )
+    .pop()
+    .expect("one problem in, one result out")
 }
 
-fn apply_1d(
+/// Apply `Qᵀ` to `k` independent row-distributed matrices with fused
+/// communication and batched root-local `T` solves (see the module
+/// docs): `factors[i]` is applied to `c_locals[i]`. The batch pays one
+/// reduce + one broadcast total.
+pub fn apply_qt_1d_batch(
     rank: &mut Rank,
     comm: &Comm,
-    factors: &QrFactors,
-    c_local: &Matrix,
+    factors: &[QrFactors],
+    c_locals: &[Matrix],
+) -> Vec<Matrix> {
+    apply_1d_batch(rank, comm, factors, c_locals, true)
+}
+
+/// Apply `Q` to `k` independent row-distributed matrices with fused
+/// communication (see [`apply_qt_1d_batch`]).
+pub fn apply_q_1d_batch(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &[QrFactors],
+    c_locals: &[Matrix],
+) -> Vec<Matrix> {
+    apply_1d_batch(rank, comm, factors, c_locals, false)
+}
+
+fn apply_1d_batch(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &[QrFactors],
+    c_locals: &[Matrix],
     transpose: bool,
-) -> Matrix {
-    let n = factors.v_local.cols();
-    let j = c_local.cols();
+) -> Vec<Matrix> {
     assert_eq!(
-        factors.v_local.rows(),
-        c_local.rows(),
-        "apply: C must share V's row distribution"
+        factors.len(),
+        c_locals.len(),
+        "apply batch: one C per factorization"
     );
-    // M₁ = VᵀC → root.
-    let m1 = dmm1d_reduce(rank, comm, &factors.v_local, c_local, 0);
-    // M₂ = T'·M₁ at the root.
-    let m2 = m1.map(|m1| {
-        let t = factors.t.as_ref().expect("root holds T");
-        let tt = if transpose { Trans::Yes } else { Trans::No };
-        mm_local(rank, tt, Trans::No, t, &m1)
+    let k = factors.len();
+    // Problems with an empty basis or empty C sit out the communication
+    // entirely (their apply is the identity) — mirroring the fused
+    // factor paths' zero-column handling.
+    let active: Vec<usize> = (0..k)
+        .filter(|&i| factors[i].v_local.cols() > 0 && c_locals[i].cols() > 0)
+        .collect();
+    for (f, c) in factors.iter().zip(c_locals) {
+        assert_eq!(
+            f.v_local.rows(),
+            c.rows(),
+            "apply: C must share V's row distribution"
+        );
+    }
+    if active.is_empty() {
+        return c_locals.to_vec();
+    }
+    let total: usize = active
+        .iter()
+        .map(|&i| factors[i].v_local.cols() * c_locals[i].cols())
+        .sum();
+
+    // ---- M₁ = VᵀC per problem, all partials in ONE reduce. ----
+    let mut buf = Vec::with_capacity(total);
+    for &i in &active {
+        let partial = mm_local(
+            rank,
+            Trans::Yes,
+            Trans::No,
+            &factors[i].v_local,
+            &c_locals[i],
+        );
+        buf.extend_from_slice(partial.as_slice());
+    }
+    let reduced = reduce(rank, comm, 0, buf);
+
+    // ---- Root: the k T-solves batched back-to-back, then ONE
+    // broadcast carries every M₂ block. ----
+    let m2 = reduced.map(|m1_all| {
+        let mut out = Vec::with_capacity(total);
+        let mut off = 0;
+        for &i in &active {
+            let (n, j) = (factors[i].v_local.cols(), c_locals[i].cols());
+            let m1 = Matrix::from_slice(n, j, &m1_all[off..off + n * j]);
+            off += n * j;
+            let t = factors[i].t.as_ref().expect("root holds T");
+            let tt = if transpose { Trans::Yes } else { Trans::No };
+            out.extend_from_slice(mm_local(rank, tt, Trans::No, t, &m1).as_slice());
+        }
+        out
     });
-    // C − V·M₂, rows staying local.
-    let vm2 = dmm1d_broadcast(rank, comm, &factors.v_local, m2, n, j, 0);
-    let mut out = c_local.clone();
-    out.sub_assign(&vm2);
-    rank.charge_flops(flops::matrix_add(out.rows(), j));
-    out
+    let m2_all = broadcast(rank, comm, 0, m2, total);
+
+    // ---- C − V·M₂ per problem, rows staying local. ----
+    let mut off = 0;
+    let mut outs: Vec<Matrix> = c_locals.to_vec();
+    for &i in &active {
+        let (n, j) = (factors[i].v_local.cols(), c_locals[i].cols());
+        let m2 = Matrix::from_slice(n, j, &m2_all[off..off + n * j]);
+        off += n * j;
+        let vm2 = mm_local(rank, Trans::No, Trans::No, &factors[i].v_local, &m2);
+        outs[i].sub_assign(&vm2);
+        rank.charge_flops(flops::matrix_add(outs[i].rows(), j));
+    }
+    outs
 }
 
 /// Apply `Qᵀ` from a 3D-CAQR-EG factorization to a row-cyclic matrix:
@@ -295,6 +401,93 @@ mod tests {
         let backs: Vec<Matrix> = out.results.iter().map(|(_, _, b)| b.clone()).collect();
         let back = cyc_c.gather_to_full(&backs);
         assert!(back.sub(&c).max_abs() < 1e-12, "Q·QᵀC = C");
+    }
+
+    #[test]
+    fn batch_apply_matches_singles_bitwise_and_amortizes_latency() {
+        // Each problem's arithmetic in the fused apply is identical to
+        // its standalone run — only the reduce/broadcast payloads are
+        // concatenated — so results must match BITWISE, while the
+        // batch's critical-path messages stay at one tree, not k.
+        let (m, n, p, k) = (64usize, 8usize, 4usize, 6usize);
+        let lay = BlockRow::balanced(m, 1, p);
+        let problems: Vec<(Matrix, Matrix)> = (0..k as u64)
+            .map(|s| (Matrix::random(m, n, 60 + s), Matrix::random(m, 3, 80 + s)))
+            .collect();
+        let machine = Machine::new(p, CostParams::unit());
+        let probs = &problems;
+        let batch = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let facs: Vec<_> = probs
+                .iter()
+                .map(|(a, _)| tsqr_factor(rank, &w, &a.take_rows(&rows)))
+                .collect();
+            let cs: Vec<Matrix> = probs.iter().map(|(_, c)| c.take_rows(&rows)).collect();
+            let before = rank.clock();
+            let qt = apply_qt_1d_batch(rank, &w, &facs, &cs);
+            (facs, qt, rank.clock().since(&before))
+        });
+        let mut single_msgs = 0.0;
+        for (j, (a, c)) in problems.iter().enumerate() {
+            let single = machine.run(|rank| {
+                let w = rank.world();
+                let rows = lay.local_rows(w.rank());
+                let f = tsqr_factor(rank, &w, &a.take_rows(&rows));
+                let before = rank.clock();
+                let qt = apply_qt_1d(rank, &w, &f, &c.take_rows(&rows));
+                (qt, rank.clock().since(&before))
+            });
+            for rk in 0..p {
+                assert_eq!(
+                    batch.results[rk].1[j], single.results[rk].0,
+                    "problem {j}, rank {rk}: fused apply must match bitwise"
+                );
+            }
+            single_msgs += single
+                .results
+                .iter()
+                .map(|(_, d)| d.msgs)
+                .fold(0.0, f64::max);
+        }
+        let fused_msgs = batch
+            .results
+            .iter()
+            .map(|(_, _, d)| d.msgs)
+            .fold(0.0, f64::max);
+        assert!(
+            fused_msgs * 3.0 <= single_msgs,
+            "k = {k} fused applies must amortize latency: S_batch = {fused_msgs} \
+             vs sequential = {single_msgs}"
+        );
+    }
+
+    #[test]
+    fn batch_apply_roundtrips_and_handles_empty_problems() {
+        let (m, p) = (48usize, 4usize);
+        let lay = BlockRow::balanced(m, 1, p);
+        let a0 = Matrix::random(m, 6, 90);
+        let a1 = Matrix::random(m, 4, 91);
+        let c0 = Matrix::random(m, 2, 92);
+        let c1 = Matrix::random(m, 0, 93); // empty C: identity apply
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let facs = vec![
+                tsqr_factor(rank, &w, &a0.take_rows(&rows)),
+                tsqr_factor(rank, &w, &a1.take_rows(&rows)),
+            ];
+            let cs = vec![c0.take_rows(&rows), c1.take_rows(&rows)];
+            let qc = apply_q_1d_batch(rank, &w, &facs, &cs);
+            let back = apply_qt_1d_batch(rank, &w, &facs, &qc);
+            let err0 = back[0].sub(&cs[0]).max_abs();
+            assert_eq!(back[1].cols(), 0, "empty problem passes through");
+            err0
+        });
+        for err in out.results {
+            assert!(err < 1e-12, "QᵀQC = C through the batch: {err}");
+        }
     }
 
     #[test]

@@ -31,10 +31,11 @@
 //! should run the 2D/3D algorithms directly for `R` and apply the
 //! implicit `Q` via their own representations.
 
-use qr3d_cost::advisor::{recommend_batch_with_kappa, recommend_with_kappa, Choice};
+use qr3d_cost::advisor::{recommend_batch_with_kappa, recommend_with_rank_hint, Choice, RankHint};
 use qr3d_machine::{Clock, CostParams, Executor, Machine};
 use qr3d_matrix::gemm::{matmul, matmul_tn};
 use qr3d_matrix::layout::BlockRow;
+use qr3d_matrix::pivot::{detected_rank, permute_cols, rank_tolerance};
 use qr3d_matrix::qr::thin_q;
 use qr3d_matrix::tri::{trsm, Side, Uplo};
 use qr3d_matrix::Matrix;
@@ -45,6 +46,7 @@ use crate::caqr3d::{caqr3d_factor, Caqr3dConfig};
 use crate::cholqr::{cholqr2_factor, CholQrError};
 use crate::house1d::{house1d_factor, House1dConfig};
 use crate::house2d::{house2d_factor, Grid2Config};
+use crate::rrqr::{pivot_qr_factor, rrqr_factor, RrqrConfig};
 use crate::shifted::ShiftedRowCyclic;
 use crate::tsqr::tsqr_factor;
 use crate::verify::{assemble_block_row, assemble_factorization, t_from_v};
@@ -74,6 +76,15 @@ pub enum QrBackend {
     },
     /// CholeskyQR2 — only valid for κ(A) within the advisor's guard.
     CholQr2,
+    /// Distributed column-pivoted (rank-revealing) QR: exact greedy
+    /// pivoting, `Θ(n log P)` latency; returns a permutation and the
+    /// detected numerical rank.
+    PivotQr,
+    /// Randomized rank-revealing QR: Gaussian-sketch pivoting at
+    /// `O(log P)` latency — the cheap path when only the numerical rank
+    /// and a well-conditioned basis are needed. Tall-skinny only
+    /// (its final TSQR pass needs `m ≥ n·P`).
+    RandRrqr,
 }
 
 impl From<Choice> for QrBackend {
@@ -86,6 +97,8 @@ impl From<Choice> for QrBackend {
             Choice::Caqr2d => QrBackend::Caqr2d,
             Choice::Caqr3d { delta } => QrBackend::Caqr3d { delta },
             Choice::CholQr2 => QrBackend::CholQr2,
+            Choice::PivotQr => QrBackend::PivotQr,
+            Choice::RandRrqr => QrBackend::RandRrqr,
         }
     }
 }
@@ -97,9 +110,18 @@ impl QrBackend {
     /// [`qr3d_cost::advisor::CHOLQR2_KAPPA_GUARD`].
     pub fn auto(m: usize, n: usize, p: usize, params: &FactorParams) -> QrBackend {
         let mc = &params.machine;
-        recommend_with_kappa(m, n, p, params.kappa, mc.alpha, mc.beta, mc.gamma)
-            .choice
-            .into()
+        recommend_with_rank_hint(
+            m,
+            n,
+            p,
+            params.rank_hint,
+            params.kappa,
+            mc.alpha,
+            mc.beta,
+            mc.gamma,
+        )
+        .choice
+        .into()
     }
 
     /// Ask the cost model how to serve a batch of `k` same-shape
@@ -108,6 +130,15 @@ impl QrBackend {
     /// sequentially. `params.kappa`, if given, must bound the condition
     /// number of *every* problem in the batch.
     pub fn auto_batch(m: usize, n: usize, p: usize, k: usize, params: &FactorParams) -> BatchPlan {
+        // Rank-revealing backends produce per-problem permutations and
+        // don't share reduction trees: a non-Full hint serves the batch
+        // sequentially with the single-problem recommendation.
+        if params.rank_hint.requires_rank_revealing() {
+            return BatchPlan {
+                backend: QrBackend::auto(m, n, p, params),
+                fused: false,
+            };
+        }
         let mc = &params.machine;
         let rec = recommend_batch_with_kappa(m, n, p, k, params.kappa, mc.alpha, mc.beta, mc.gamma);
         BatchPlan {
@@ -137,6 +168,12 @@ pub struct FactorParams {
     /// The caller's estimate (or assertion) of `κ(A)`; `None` = unknown,
     /// which conservatively disables CholeskyQR2.
     pub kappa: Option<f64>,
+    /// What the caller knows about the input's column rank (default:
+    /// [`RankHint::Full`], the historical contract). A non-`Full` hint
+    /// routes [`QrBackend::auto`] to a rank-revealing backend so the
+    /// deficiency is *diagnosed* — CholeskyQR2 would refuse and plain
+    /// Householder would silently mask it.
+    pub rank_hint: RankHint,
 }
 
 impl FactorParams {
@@ -145,12 +182,19 @@ impl FactorParams {
         FactorParams {
             machine,
             kappa: None,
+            rank_hint: RankHint::Full,
         }
     }
 
     /// Assert a condition-number estimate (see [`FactorParams::kappa`]).
     pub fn with_kappa(mut self, kappa: f64) -> Self {
         self.kappa = Some(kappa);
+        self
+    }
+
+    /// Declare the rank knowledge (see [`FactorParams::rank_hint`]).
+    pub fn with_rank_hint(mut self, hint: RankHint) -> Self {
+        self.rank_hint = hint;
         self
     }
 }
@@ -172,16 +216,38 @@ pub struct FactorOutput {
     /// κ guard; `O(κ(A)·ε)` for `House2d`/`Caqr2d`, whose `Q` is
     /// recovered as `A·R⁻¹` (see the module docs).
     pub q: Matrix,
-    /// The `n × n` upper-triangular R-factor.
+    /// The `n × n` upper-triangular R-factor. For the rank-revealing
+    /// backends this is the R of the *permuted* matrix `A·P`, with a
+    /// decaying diagonal.
     pub r: Matrix,
+    /// The column permutation, for the rank-revealing backends: column
+    /// `j` of the factored matrix is column `perm[j]` of `A`. `None`
+    /// for the full-rank backends (identity).
+    pub perm: Option<Vec<usize>>,
+    /// Numerical rank read off `R`'s diagonal decay. Exact for the
+    /// pivoted backends (their diagonal is sorted); a *diagnostic* for
+    /// the full-rank backends — `detected_rank < n` proves the input
+    /// was rank-deficient and the factorization should not be trusted
+    /// for solves, while `== n` proves nothing without pivoting.
+    pub detected_rank: usize,
     /// Critical-path costs of the simulated run.
     pub critical: Clock,
 }
 
 impl FactorOutput {
-    /// Relative residual `‖A − Q·R‖_F / ‖A‖_F`.
+    /// Relative residual `‖A·P − Q·R‖_F / ‖A‖_F` (`P` = identity for
+    /// the full-rank backends).
     pub fn residual(&self, a: &Matrix) -> f64 {
-        matmul(&self.q, &self.r).sub(a).frobenius_norm() / a.frobenius_norm().max(f64::MIN_POSITIVE)
+        let ap;
+        let target = match &self.perm {
+            Some(perm) => {
+                ap = permute_cols(a, perm);
+                &ap
+            }
+            None => a,
+        };
+        matmul(&self.q, &self.r).sub(target).frobenius_norm()
+            / a.frobenius_norm().max(f64::MIN_POSITIVE)
     }
 
     /// Orthogonality defect `‖QᵀQ − I‖_max`.
@@ -307,7 +373,10 @@ pub fn factor_on(
     // Enforce the 1D block-row family's per-rank row requirement HERE,
     // host-side, rather than letting the kernel assert inside the job —
     // an in-job panic would needlessly poison a warm executor.
-    if matches!(backend, QrBackend::Tsqr | QrBackend::Caqr1d { .. }) {
+    if matches!(
+        backend,
+        QrBackend::Tsqr | QrBackend::Caqr1d { .. } | QrBackend::RandRrqr
+    ) {
         assert!(
             qr3d_cost::advisor::tall_skinny_admissible(m, n, p),
             "factor: {backend:?} needs every rank to own at least n rows \
@@ -315,7 +384,39 @@ pub fn factor_on(
         );
     }
 
+    // The rank-revealing backends carry extra outputs (permutation,
+    // kernel-detected rank), so they assemble their own FactorOutput.
+    if matches!(backend, QrBackend::PivotQr | QrBackend::RandRrqr) {
+        let lay = BlockRow::balanced(m, 1, p);
+        let counts = lay.counts().to_vec();
+        let is_pivot = matches!(backend, QrBackend::PivotQr);
+        let out = exec.submit(|rank| {
+            let w = rank.world();
+            let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+            if is_pivot {
+                pivot_qr_factor(rank, &w, &a_loc, &counts)
+            } else {
+                rrqr_factor(rank, &w, &a_loc, &counts, &RrqrConfig::default())
+            }
+        });
+        let facs: Vec<crate::tsqr::QrFactors> =
+            out.results.iter().map(|r| r.factors.clone()).collect();
+        let (q, r) = assemble_tsqr_problem(&facs, lay.counts());
+        let first = &out.results[0];
+        return Ok(FactorOutput {
+            backend,
+            q,
+            r,
+            perm: Some(first.perm.clone()),
+            detected_rank: first.rank,
+            critical: out.stats.critical(),
+        });
+    }
+
     let (q, r, critical) = match backend {
+        QrBackend::PivotQr | QrBackend::RandRrqr => {
+            unreachable!("rank-revealing backends returned above")
+        }
         QrBackend::Tsqr => {
             let lay = BlockRow::balanced(m, 1, p);
             let out = exec.submit(|rank| {
@@ -401,10 +502,13 @@ pub fn factor_on(
         }
     };
 
+    let detected_rank = detected_rank(&r, rank_tolerance(m, n));
     Ok(FactorOutput {
         backend,
         q,
         r,
+        perm: None,
+        detected_rank,
         critical,
     })
 }

@@ -24,6 +24,10 @@
 //!   induces.
 //! * [`cholqr`] — CholeskyQR2 (Hutter & Solomonik): the Gram-based
 //!   tall-skinny backend, `W = O(n²)` for `κ(A) ≲ 1/√ε`.
+//! * [`rrqr`] — the rank-revealing backends: distributed column-pivoted
+//!   QR (exact greedy pivoting) and randomized RRQR (Gaussian-sketch
+//!   pivoting at `O(log P)` latency), both returning `A·P = Q·R` with a
+//!   detected numerical rank.
 //! * [`backend`] — the unified [`backend::factor`] entry point
 //!   dispatching over all of the above, with cost-model-advised
 //!   selection ([`backend::QrBackend::auto`]).
@@ -43,6 +47,7 @@ pub mod house2d;
 pub mod iterative;
 pub mod panel;
 pub mod params;
+pub mod rrqr;
 pub mod session;
 pub mod shifted;
 pub mod tsqr;
@@ -53,7 +58,7 @@ pub use tsqr::QrFactors;
 
 /// Glob-import surface.
 pub mod prelude {
-    pub use crate::apply::{apply_q_1d, apply_qt_1d};
+    pub use crate::apply::{apply_q_1d, apply_q_1d_batch, apply_qt_1d, apply_qt_1d_batch};
     pub use crate::backend::{
         factor, factor_auto, factor_on, BatchPlan, FactorError, FactorOutput, FactorParams,
         QrBackend,
@@ -71,12 +76,14 @@ pub mod prelude {
         apply_q_iterative, apply_qt_iterative, caqr1d_iterative, IterativeQr,
     };
     pub use crate::params::{caqr1d_block, caqr3d_blocks};
+    pub use crate::rrqr::{pivot_qr_factor, rrqr_factor, RankRevealedFactors, RrqrConfig};
     pub use crate::session::{BatchOutput, Session};
     pub use crate::shifted::ShiftedRowCyclic;
     pub use crate::tsqr::{tsqr_factor, tsqr_factor_batch, QrFactors};
     pub use crate::verify::{
-        assemble_factorization, factorization_error, orthogonality_error, r_gram_error,
-        Factorization,
+        assemble_factorization, detected_rank, factorization_error, orthogonality_error,
+        r_gram_error, Factorization,
     };
     pub use crate::wide::{qr_wide, WideQr};
+    pub use qr3d_cost::advisor::RankHint;
 }

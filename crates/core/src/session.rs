@@ -51,6 +51,7 @@
 use qr3d_cost::advisor::tall_skinny_admissible;
 use qr3d_machine::{Clock, Executor, Machine, Rank, RunOutput};
 use qr3d_matrix::layout::BlockRow;
+use qr3d_matrix::pivot::{detected_rank, rank_tolerance};
 use qr3d_matrix::Matrix;
 
 use crate::backend::{
@@ -296,10 +297,13 @@ impl Session {
                     .into_iter()
                     .map(|per_rank| {
                         let (q, r) = assemble_tsqr_problem(&per_rank, lay.counts());
+                        let rank = detected_rank(&r, rank_tolerance(m, n));
                         Ok(FactorOutput {
                             backend,
                             q,
                             r,
+                            perm: None,
+                            detected_rank: rank,
                             critical,
                         })
                     })
@@ -323,10 +327,13 @@ impl Session {
                     .map(|j| {
                         let per_rank = out.results.iter().map(|res| &res[j]);
                         let (q, r) = assemble_cholqr2_problem(per_rank, &starts, m, n)?;
+                        let rank = detected_rank(&r, rank_tolerance(m, n));
                         Ok(FactorOutput {
                             backend,
                             q,
                             r,
+                            perm: None,
+                            detected_rank: rank,
                             critical,
                         })
                     })

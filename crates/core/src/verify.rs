@@ -5,6 +5,7 @@
 //! costs.
 
 use qr3d_matrix::gemm::matmul_tn;
+pub use qr3d_matrix::pivot::detected_rank;
 use qr3d_matrix::qr::{q_times, thin_q};
 use qr3d_matrix::Matrix;
 
@@ -28,6 +29,17 @@ impl Factorization {
     /// Relative residual `‖A − Q[R; 0]‖_F / ‖A‖_F`.
     pub fn residual(&self, a: &Matrix) -> f64 {
         factorization_error(a, &self.v, &self.t, &self.r)
+    }
+
+    /// The R-diagonal-decay rank diagnostic at the default tolerance
+    /// (see [`detected_rank`]): plain Householder factors *anything* —
+    /// this is how a caller notices the input was rank-deficient instead
+    /// of silently trusting an `R` whose trailing diagonal is roundoff.
+    pub fn detected_rank(&self) -> usize {
+        detected_rank(
+            &self.r,
+            qr3d_matrix::pivot::rank_tolerance(self.v.rows(), self.v.cols()),
+        )
     }
 
     /// Orthogonality defect `‖Q₁ᵀQ₁ − I‖_max` of the thin Q-factor.
@@ -171,6 +183,32 @@ mod tests {
         let t = t_from_v(&f.v);
         let err = t.sub(&f.t).max_abs();
         assert!(err < 1e-11, "reconstructed T differs: {err}");
+    }
+
+    #[test]
+    fn rank_deficiency_is_surfaced_not_silent() {
+        // The ROADMAP hazard: plain Householder on a rank-deficient
+        // input happily factors — the decay diagnostic is what tells
+        // the caller. Two distinct columns plus their copies: rank 2.
+        let c = Matrix::random(20, 2, 5);
+        let a = c.hstack(&c);
+        let f = geqrt(&a);
+        let fac = Factorization {
+            v: f.v,
+            t: f.t,
+            r: f.r,
+        };
+        assert!(fac.residual(&a) < 1e-12, "still a valid factorization");
+        assert_eq!(fac.detected_rank(), 2, "…but the diagnostic fires");
+        // Full-rank input: the diagnostic stays quiet.
+        let a = Matrix::random(20, 4, 6);
+        let f = geqrt(&a);
+        let fac = Factorization {
+            v: f.v,
+            t: f.t,
+            r: f.r,
+        };
+        assert_eq!(fac.detected_rank(), 4);
     }
 
     #[test]

@@ -20,8 +20,8 @@
 //! CholeskyQR2).
 
 use crate::algorithms::{
-    caqr2d_cost, cholqr2_batch_cost, cholqr2_cost, house1d_cost, house2d_cost, theorem1_cost,
-    theorem2_cost, tsqr_batch_cost, tsqr_cost,
+    caqr2d_cost, cholqr2_batch_cost, cholqr2_cost, geqp3_cost, house1d_cost, house2d_cost,
+    rrqr_cost, theorem1_cost, theorem2_cost, tsqr_batch_cost, tsqr_cost,
 };
 use crate::Cost3;
 
@@ -61,6 +61,13 @@ pub enum Choice {
     /// CholeskyQR2 (requires a condition-number estimate under
     /// [`CHOLQR2_KAPPA_GUARD`]).
     CholQr2,
+    /// Distributed column-pivoted QR — the strong rank-revealing
+    /// backend (exact greedy pivoting, `Θ(n log P)` latency).
+    PivotQr,
+    /// Randomized rank-revealing QR — sketch-pivoted, `O(log P)`
+    /// latency; the cheap path when only the numerical rank and a
+    /// well-conditioned basis are needed.
+    RandRrqr,
 }
 
 impl Choice {
@@ -152,6 +159,88 @@ pub fn cholqr2_admissible(kappa: Option<f64>) -> bool {
 /// can never silently diverge from the kernels' per-rank row asserts.
 pub fn tall_skinny_admissible(m: usize, n: usize, p: usize) -> bool {
     m >= n.max(1).saturating_mul(p)
+}
+
+/// The caller's knowledge about the input's column rank — the gate that
+/// decides whether the advisor may offer the full-rank family at all.
+///
+/// The full-rank backends *mishandle* rank deficiency in two distinct
+/// ways: CholeskyQR2 breaks down (reported, at least), while plain
+/// Householder silently produces a factorization whose `R` hides the
+/// deficiency. A rank-revealing backend is the only choice that turns
+/// "rank unknown/deficient" into an *answer* (the detected rank and a
+/// permutation ordering the independent columns first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankHint {
+    /// The caller asserts full column rank — the historical contract of
+    /// every backend, and the default: selection behaves exactly as
+    /// [`recommend_with_kappa`].
+    #[default]
+    Full,
+    /// The caller does not know the rank and wants it *detected*, not
+    /// masked: only rank-revealing candidates are offered.
+    Unknown,
+    /// The input is known or suspected rank-deficient: only
+    /// rank-revealing candidates are offered.
+    Deficient,
+}
+
+impl RankHint {
+    /// True when the hint demands a rank-revealing backend.
+    pub fn requires_rank_revealing(&self) -> bool {
+        !matches!(self, RankHint::Full)
+    }
+}
+
+/// The rank-revealing candidates for an `m × n` problem on `P`
+/// processors: distributed pivoted QR (any `m ≥ n`) and randomized RRQR
+/// (whose unpivoted-TSQR final pass needs the tall-skinny aspect gate).
+pub fn rank_revealing_candidates(m: usize, n: usize, p: usize) -> Vec<(Choice, Cost3)> {
+    let mut out = Vec::new();
+    if m >= n {
+        out.push((Choice::PivotQr, geqp3_cost(m, n, p)));
+    }
+    if tall_skinny_admissible(m, n, p) {
+        out.push((Choice::RandRrqr, rrqr_cost(m, n, p)));
+    }
+    out
+}
+
+/// The cheapest candidate under `γF + βW + αS` given the caller's rank
+/// hint *and* condition-number estimate:
+///
+/// * [`RankHint::Full`] delegates to [`recommend_with_kappa`] — the
+///   historical behavior, κ guard included;
+/// * [`RankHint::Unknown`] / [`RankHint::Deficient`] route to the
+///   cheapest **rank-revealing** backend
+///   ([`rank_revealing_candidates`]), so a suspected-deficient or
+///   rank-unknown input is *diagnosed* instead of letting CholeskyQR2
+///   refuse or Householder silently mask the deficiency.
+///
+/// # Panics
+/// If `m < n` with a non-`Full` hint (no rank-revealing candidate
+/// exists for wide shapes).
+pub fn recommend_with_rank_hint(
+    m: usize,
+    n: usize,
+    p: usize,
+    hint: RankHint,
+    kappa: Option<f64>,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> Recommendation {
+    if !hint.requires_rank_revealing() {
+        return recommend_with_kappa(m, n, p, kappa, alpha, beta, gamma);
+    }
+    let mut best: Option<Recommendation> = None;
+    for (choice, cost) in rank_revealing_candidates(m, n, p) {
+        let time = cost.time(alpha, beta, gamma);
+        if best.map(|b| time < b.time).unwrap_or(true) {
+            best = Some(Recommendation { choice, cost, time });
+        }
+    }
+    best.expect("rank-revealing candidates require m ≥ n")
 }
 
 /// The cheapest candidate under `γF + βW + αS`, given the caller's
@@ -523,6 +612,135 @@ mod tests {
         assert!(c
             .iter()
             .any(|(ch, fused, _)| matches!(ch, Choice::CholQr2) && *fused));
+    }
+
+    #[test]
+    fn full_rank_hint_is_the_historical_behavior() {
+        // RankHint::Full must reproduce recommend_with_kappa exactly —
+        // the hint is additive, never a behavior change for existing
+        // callers.
+        for (m, n, kappa) in [
+            (4096usize, 64usize, Some(100.0)),
+            (1 << 18, 1 << 8, None),
+            (1024, 1024, Some(1e10)),
+        ] {
+            let a = recommend_with_rank_hint(
+                m,
+                n,
+                64,
+                RankHint::Full,
+                kappa,
+                ALPHA_CLUSTER,
+                BETA_CLUSTER,
+                GAMMA,
+            );
+            let b = recommend_with_kappa(m, n, 64, kappa, ALPHA_CLUSTER, BETA_CLUSTER, GAMMA);
+            assert!(
+                a.choice.approx_eq(&b.choice, 1e-12),
+                "{:?} vs {:?}",
+                a.choice,
+                b.choice
+            );
+            assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn non_full_hints_route_to_rank_revealing() {
+        for hint in [RankHint::Unknown, RankHint::Deficient] {
+            // Tall-skinny on a latency-dominated cluster: the O(log P)
+            // sketch path must beat the Θ(n log P) pivot tournament.
+            let r = recommend_with_rank_hint(
+                1 << 20,
+                64,
+                256,
+                hint,
+                None,
+                ALPHA_CLUSTER,
+                BETA_CLUSTER,
+                GAMMA,
+            );
+            assert!(
+                matches!(r.choice, Choice::RandRrqr),
+                "{hint:?}: expected RandRrqr, got {:?}",
+                r.choice
+            );
+            // Square-ish: the aspect gate closes RandRrqr, PivotQr is
+            // the only (and correct) rank-revealing option.
+            let r = recommend_with_rank_hint(
+                2048,
+                1024,
+                64,
+                hint,
+                Some(100.0),
+                ALPHA_CLUSTER,
+                BETA_CLUSTER,
+                GAMMA,
+            );
+            assert!(
+                matches!(r.choice, Choice::PivotQr),
+                "{hint:?}: expected PivotQr, got {:?}",
+                r.choice
+            );
+        }
+    }
+
+    #[test]
+    fn rank_hint_overrides_even_an_asserted_kappa() {
+        // A κ assertion opens CholeskyQR2 under Full, but a deficient
+        // hint must still refuse the whole full-rank family (a deficient
+        // input *will* break the Gram path down).
+        let r = recommend_with_rank_hint(
+            4096,
+            64,
+            16,
+            RankHint::Deficient,
+            Some(100.0),
+            ALPHA_CLUSTER,
+            BETA_CLUSTER,
+            GAMMA,
+        );
+        assert!(
+            matches!(r.choice, Choice::PivotQr | Choice::RandRrqr),
+            "got {:?}",
+            r.choice
+        );
+    }
+
+    #[test]
+    fn rank_revealing_candidates_respect_gates() {
+        // Square: only PivotQr.
+        let c = rank_revealing_candidates(1024, 1024, 64);
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c[0].0, Choice::PivotQr));
+        // Tall-skinny: both.
+        let c = rank_revealing_candidates(1 << 16, 16, 64);
+        assert!(c.iter().any(|(ch, _)| matches!(ch, Choice::PivotQr)));
+        assert!(c.iter().any(|(ch, _)| matches!(ch, Choice::RandRrqr)));
+        // Wide: none.
+        assert!(rank_revealing_candidates(8, 16, 4).is_empty());
+    }
+
+    #[test]
+    fn rank_hint_default_is_full() {
+        assert_eq!(RankHint::default(), RankHint::Full);
+        assert!(!RankHint::Full.requires_rank_revealing());
+        assert!(RankHint::Unknown.requires_rank_revealing());
+        assert!(RankHint::Deficient.requires_rank_revealing());
+    }
+
+    #[test]
+    fn rrqr_amortizes_the_pivot_tournament_latency() {
+        // The reason RandRrqr exists: S = O(log P) vs Θ(n log P).
+        let (m, n, p) = (1usize << 20, 1usize << 8, 1usize << 8);
+        let pivot = crate::algorithms::geqp3_cost(m, n, p);
+        let rrqr = crate::algorithms::rrqr_cost(m, n, p);
+        assert!(
+            rrqr.msgs * 10.0 < pivot.msgs,
+            "rrqr S = {} must be far below pivot S = {}",
+            rrqr.msgs,
+            pivot.msgs
+        );
     }
 
     #[test]

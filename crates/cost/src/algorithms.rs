@@ -142,6 +142,53 @@ pub fn caqr2d_cost(m: usize, n: usize, p: usize) -> Cost3 {
     }
 }
 
+/// Distributed column-pivoted QR (`geqp3`-style) on a 1D block-row
+/// distribution — the *strong* rank-revealing backend:
+///
+/// ```text
+/// F = 4mn²/P + n³   (Householder work + norm tracking + replicated T)
+/// W = 2n² log P     (per-column combined all-reduces of O(n) words)
+/// S = 3n log P      (pivot broadcast + two all-reduces per column)
+/// ```
+///
+/// The `Θ(n log P)` latency is the same order as `1d-house` (Table 3):
+/// greedy global pivoting serializes on a per-column tournament, which
+/// is the price of an exact greedy permutation. When only the numerical
+/// rank and a well-conditioned basis are needed, [`rrqr_cost`] is the
+/// cheap alternative.
+pub fn geqp3_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, l) = (m as f64, n as f64, lg(p));
+    Cost3 {
+        flops: 4.0 * mf * nf * nf / p as f64 + nf.powi(3),
+        words: 2.0 * nf * nf * l,
+        msgs: 3.0 * nf * l,
+    }
+}
+
+/// Randomized rank-revealing QR on a 1D block-row distribution: a
+/// Gaussian sketch `Ω·A` (one reduce + broadcast), a *local* pivoted QR
+/// of the small sketch for the permutation and rank, then an unpivoted
+/// TSQR of the permuted columns:
+///
+/// ```text
+/// F = 3mn²/P + n³(log P + 3)   (sketch product + sketch geqp3 + tsqr)
+/// W = n²(log P + 2)            (sketch reduce/broadcast + tsqr tree)
+/// S = 4 log P
+/// ```
+///
+/// The latency stays at `O(log P)` — the whole point versus
+/// [`geqp3_cost`]'s `Θ(n log P)` tournament — at the price of a
+/// *probabilistic* (though in practice extremely reliable) pivot order.
+pub fn rrqr_cost(m: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, l) = (m as f64, n as f64, lg(p));
+    let tsqr = tsqr_cost(m, n, p);
+    Cost3 {
+        flops: 2.0 * mf * nf * nf / p as f64 + 3.0 * nf.powi(3) + tsqr.flops,
+        words: 2.0 * nf * nf + tsqr.words,
+        msgs: 3.0 * l + tsqr.msgs,
+    }
+}
+
 /// Fused-batch tsqr: `k` independent same-shape problems share one
 /// reduction tree — every tree level carries all `k` packed R-triangles
 /// as **one** message, so the latency cost stays that of a single

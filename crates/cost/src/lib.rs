@@ -112,12 +112,14 @@ mod tests {
 pub mod prelude {
     pub use crate::advisor::{
         batch_candidates_with_kappa, candidates, candidates_with_kappa, cholqr2_admissible,
-        recommend, recommend_batch_with_kappa, recommend_with_kappa, tall_skinny_admissible,
-        BatchRecommendation, Choice, Recommendation, CHOLQR2_KAPPA_GUARD,
+        rank_revealing_candidates, recommend, recommend_batch_with_kappa, recommend_with_kappa,
+        recommend_with_rank_hint, tall_skinny_admissible, BatchRecommendation, Choice, RankHint,
+        Recommendation, CHOLQR2_KAPPA_GUARD,
     };
     pub use crate::algorithms::{
-        caqr1d_cost, caqr2d_cost, caqr3d_cost, cholqr2_batch_cost, cholqr2_cost, house1d_cost,
-        house2d_cost, theorem1_cost, theorem2_cost, tsqr_batch_cost, tsqr_cost,
+        caqr1d_cost, caqr2d_cost, caqr3d_cost, cholqr2_batch_cost, cholqr2_cost, geqp3_cost,
+        house1d_cost, house2d_cost, rrqr_cost, theorem1_cost, theorem2_cost, tsqr_batch_cost,
+        tsqr_cost,
     };
     pub use crate::bounds::{lower_bounds_square, lower_bounds_tall};
     pub use crate::collectives::{self as collective_costs};

@@ -1,0 +1,141 @@
+//! Runtime blocking parameters for the local kernels.
+//!
+//! The blocked kernels were tuned with fixed tile widths
+//! ([`crate::qr::GEQRT_NB`], [`crate::tri::TRI_NB`], [`PIVOT_NB`]); this
+//! module lifts them into a [`BlockParams`] value resolved **once** per
+//! process, so deployments can override them through the environment —
+//! the first step toward the roadmap's autotuned-blocking item:
+//!
+//! | variable         | kernel                      | default |
+//! |------------------|-----------------------------|---------|
+//! | `QR3D_GEQRT_NB`  | [`crate::qr::geqrt`] panels | 32      |
+//! | `QR3D_TRI_NB`    | [`crate::tri::trsm`]/`potrf` tiles | 32 |
+//! | `QR3D_PIVOT_NB`  | [`crate::pivot::geqp3`] panels | 32   |
+//!
+//! Values are parsed as positive integers and clamped to
+//! [`BlockParams::MAX_NB`]; anything unparsable falls back to the
+//! default (a misspelled override must not silently change numerics in
+//! some *other* direction). The resolution happens lazily on first
+//! kernel use and is then frozen for the process lifetime — blocking
+//! widths changing mid-run would make repeat factorizations of the same
+//! input non-reproducible.
+
+use std::sync::OnceLock;
+
+/// Default panel width of the blocked pivoted QR ([`crate::pivot::geqp3`]).
+pub const PIVOT_NB: usize = 32;
+
+/// The resolved blocking parameters of the local kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockParams {
+    /// Panel width of the blocked `geqrt` (`QR3D_GEQRT_NB`).
+    pub geqrt_nb: usize,
+    /// Diagonal-tile width of the blocked `trsm`/`potrf` (`QR3D_TRI_NB`).
+    pub tri_nb: usize,
+    /// Panel width of the blocked pivoted `geqp3` (`QR3D_PIVOT_NB`).
+    pub pivot_nb: usize,
+}
+
+impl BlockParams {
+    /// Upper clamp on any blocking width: beyond this the panel scratch
+    /// would dwarf the caches the blocking exists to exploit.
+    pub const MAX_NB: usize = 1024;
+
+    /// The compiled-in defaults (the values every tuned gate and pinned
+    /// record was measured with).
+    pub fn defaults() -> BlockParams {
+        BlockParams {
+            geqrt_nb: crate::qr::GEQRT_NB,
+            tri_nb: crate::tri::TRI_NB,
+            pivot_nb: PIVOT_NB,
+        }
+    }
+
+    /// Resolve the parameters from an arbitrary lookup function — the
+    /// testable core of [`BlockParams::from_env`].
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> BlockParams {
+        let parse = |key: &str, default: usize| -> usize {
+            match lookup(key).and_then(|v| v.trim().parse::<usize>().ok()) {
+                Some(nb) if nb >= 1 => nb.min(Self::MAX_NB),
+                _ => default,
+            }
+        };
+        let d = Self::defaults();
+        BlockParams {
+            geqrt_nb: parse("QR3D_GEQRT_NB", d.geqrt_nb),
+            tri_nb: parse("QR3D_TRI_NB", d.tri_nb),
+            pivot_nb: parse("QR3D_PIVOT_NB", d.pivot_nb),
+        }
+    }
+
+    /// Resolve the parameters from the process environment.
+    pub fn from_env() -> BlockParams {
+        BlockParams::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// The process-wide active parameters: resolved from the environment
+    /// on first use, frozen thereafter. This is what the blocked kernels
+    /// read.
+    pub fn active() -> &'static BlockParams {
+        static ACTIVE: OnceLock<BlockParams> = OnceLock::new();
+        ACTIVE.get_or_init(BlockParams::from_env)
+    }
+}
+
+impl Default for BlockParams {
+    fn default() -> Self {
+        BlockParams::defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_tuned_constants() {
+        let d = BlockParams::defaults();
+        assert_eq!(d.geqrt_nb, crate::qr::GEQRT_NB);
+        assert_eq!(d.tri_nb, crate::tri::TRI_NB);
+        assert_eq!(d.pivot_nb, PIVOT_NB);
+        assert_eq!(BlockParams::default(), d);
+    }
+
+    #[test]
+    fn lookup_overrides_apply_per_key() {
+        let p = BlockParams::from_lookup(|key| match key {
+            "QR3D_GEQRT_NB" => Some("64".into()),
+            "QR3D_PIVOT_NB" => Some(" 8 ".into()),
+            _ => None,
+        });
+        assert_eq!(p.geqrt_nb, 64);
+        assert_eq!(p.tri_nb, BlockParams::defaults().tri_nb);
+        assert_eq!(p.pivot_nb, 8);
+    }
+
+    #[test]
+    fn garbage_and_zero_fall_back_to_defaults() {
+        let p = BlockParams::from_lookup(|key| match key {
+            "QR3D_GEQRT_NB" => Some("not-a-number".into()),
+            "QR3D_TRI_NB" => Some("0".into()),
+            "QR3D_PIVOT_NB" => Some("-4".into()),
+            _ => None,
+        });
+        assert_eq!(p, BlockParams::defaults());
+    }
+
+    #[test]
+    fn huge_values_are_clamped() {
+        let p =
+            BlockParams::from_lookup(|key| (key == "QR3D_TRI_NB").then(|| "99999999".to_string()));
+        assert_eq!(p.tri_nb, BlockParams::MAX_NB);
+    }
+
+    #[test]
+    fn active_is_stable_across_calls() {
+        let a = BlockParams::active();
+        let b = BlockParams::active();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "resolved once, frozen for the process");
+    }
+}

@@ -27,6 +27,14 @@ pub fn apply_block_reflector(m: usize, k: usize, n: usize) -> f64 {
     4.0 * m * k * n + 2.0 * k * k * n
 }
 
+/// Flops of a column-pivoted Householder QR of an `m × n` panel
+/// (`m ≥ n`), compact-WY `T` included: the [`geqrt`] work plus the
+/// pivoting overhead — initial column norms (`2mn`) and the per-step
+/// norm downdates / pivot-row bookkeeping (`≈ 2mn` more).
+pub fn geqp3(m: usize, n: usize) -> f64 {
+    geqrt(m, n) + 4.0 * m as f64 * n as f64
+}
+
 /// Flops of a triangular solve with an `n × n` triangle and `r` right-hand
 /// sides (`n²r`).
 pub fn trsm(n: usize, r: usize) -> f64 {

@@ -11,8 +11,13 @@
 //! * [`qr`] — Householder panel QR (`geqrt`) producing the compact
 //!   representation of Section 2.3: unit-lower-trapezoidal basis `V`,
 //!   upper-triangular kernel `T` (compact WY, \[SVL89\]/\[Pug92\]), and `R`.
+//! * [`pivot`] — column-pivoted rank-revealing QR (`geqp3`): greedy
+//!   norm-pivoting with downdates, a non-increasing `R` diagonal, and
+//!   numerical-rank detection.
 //! * [`tri`] — triangular solves and the sign-altered LU factorization of
 //!   [BDG+15, Lemma 6.2] used by TSQR's Householder reconstruction.
+//! * [`block`] — runtime blocking parameters (`QR3D_GEQRT_NB`,
+//!   `QR3D_TRI_NB`, `QR3D_PIVOT_NB`) for the tiled kernels.
 //! * [`partition`] — balanced partitions ("parts differ in size by at most
 //!   one", Section 4).
 //! * [`layout`] — distributed data layouts: row-cyclic (3D-CAQR-EG input),
@@ -21,11 +26,13 @@
 //! * [`flops`] — arithmetic-cost formulas used to charge the simulated
 //!   machine's clocks.
 
+pub mod block;
 pub mod dense;
 pub mod flops;
 pub mod gemm;
 pub mod layout;
 pub mod partition;
+pub mod pivot;
 pub mod qr;
 pub mod scratch;
 pub mod tri;
@@ -34,10 +41,14 @@ pub use dense::Matrix;
 
 /// Glob-import surface.
 pub mod prelude {
+    pub use crate::block::BlockParams;
     pub use crate::dense::Matrix;
     pub use crate::gemm::{gemm, gram, matmul, matmul_nt, matmul_tn, syrk, Trans};
     pub use crate::layout::{BlockCyclic2d, BlockRow, RowCyclic};
     pub use crate::partition::{balanced_ranges, balanced_sizes, part_of};
+    pub use crate::pivot::{
+        detected_rank, geqp3, geqp3_ws, is_permutation, permute_cols, rank_tolerance, PivotedQr,
+    };
     pub use crate::qr::{
         apply_block_reflector, apply_block_reflector_ws, full_q, geqrt, geqrt_reference, geqrt_ws,
         q_times, qt_times, random_with_condition, thin_q, thin_q_ws, Reflector,

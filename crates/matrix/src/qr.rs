@@ -31,7 +31,10 @@ use crate::dense::Matrix;
 use crate::gemm::{gemm, Trans};
 use crate::scratch::{put_matrix, take_matrix, with_thread_arena, ScratchArena};
 
-/// Panel width of the blocked [`geqrt`] (the ScaLAPACK-style `nb`).
+/// Default panel width of the blocked [`geqrt`] (the ScaLAPACK-style
+/// `nb`). The kernels read the runtime value from
+/// [`crate::block::BlockParams::active`], overridable via
+/// `QR3D_GEQRT_NB`; this constant is the compiled-in default.
 pub const GEQRT_NB: usize = 32;
 
 /// A QR factorization in Householder (compact WY) representation:
@@ -143,8 +146,10 @@ fn factor_panel(p: &mut Matrix, taus: &mut [f64], w: &mut [f64]) {
 
 /// Forward `larft` for a factored panel: write the panel's `bw × bw`
 /// upper-triangular `T` into `t`'s diagonal block at `off`. `z` is
-/// caller scratch of at least `p.cols()` words.
-fn larft_panel(p: &Matrix, taus: &[f64], t: &mut Matrix, off: usize, z: &mut [f64]) {
+/// caller scratch of at least `p.cols()` words. Shared with the pivoted
+/// factorization in [`crate::pivot`], whose panels carry the same
+/// storage convention (V below the diagonal, unit diagonal implicit).
+pub(crate) fn larft_panel(p: &Matrix, taus: &[f64], t: &mut Matrix, off: usize, z: &mut [f64]) {
     let (rows, bw) = (p.rows(), p.cols());
     for j in 0..bw {
         let tau = taus[j];
@@ -197,16 +202,17 @@ pub fn geqrt_ws(ws: &mut dyn ScratchArena, a: &Matrix) -> Reflector {
         };
     }
 
+    let nb = crate::block::BlockParams::active().geqrt_nb;
     // `work` accumulates V below the diagonal and R on/above it, and is
     // converted into the explicit V in place at the end.
     let mut work = a.clone();
     let mut t = Matrix::zeros(n, n);
     let mut taus = ws.take(n);
-    let mut small = ws.take(GEQRT_NB); // per-panel w/z scratch
+    let mut small = ws.take(nb); // per-panel w/z scratch
 
     let mut j0 = 0;
     while j0 < n {
-        let bw = GEQRT_NB.min(n - j0);
+        let bw = nb.min(n - j0);
         let j1 = j0 + bw;
         let mj = m - j0;
 

@@ -32,7 +32,10 @@ pub enum Uplo {
     Upper,
 }
 
-/// Diagonal-tile width of the blocked [`trsm`]/[`potrf`].
+/// Default diagonal-tile width of the blocked [`trsm`]/[`potrf`]. The
+/// kernels read the runtime value from
+/// [`crate::block::BlockParams::active`], overridable via
+/// `QR3D_TRI_NB`; this constant is the compiled-in default.
 pub const TRI_NB: usize = 32;
 
 /// Below this many multiply-adds the blocking overhead is not worth it
@@ -149,18 +152,19 @@ fn solve_left_blocked(
     let n = a.rows();
     assert_eq!(x.rows(), n, "trsm: B row count must match A");
     let rhs = x.cols();
+    let nb = crate::block::BlockParams::active().tri_nb;
     // The effective matrix op(A) is lower triangular iff (lower XOR transpose).
     let eff_lower = matches!(uplo, Uplo::Lower) != transpose;
     let at = |i: usize, k: usize| if transpose { a[(k, i)] } else { a[(i, k)] };
-    let nblocks = n.div_ceil(TRI_NB);
+    let nblocks = n.div_ceil(nb);
     for blk in 0..nblocks {
         // Tile rows i0..i1 in solve order (forward for effective-lower,
         // backward for effective-upper).
         let (i0, i1) = if eff_lower {
-            (blk * TRI_NB, (blk * TRI_NB + TRI_NB).min(n))
+            (blk * nb, (blk * nb + nb).min(n))
         } else {
-            let hi = n - blk * TRI_NB;
-            (hi.saturating_sub(TRI_NB), hi)
+            let hi = n - blk * nb;
+            (hi.saturating_sub(nb), hi)
         };
         let bw = i1 - i0;
         // Solved rows this tile depends on: everything before it in
@@ -352,11 +356,12 @@ pub fn potrf_ws(ws: &mut dyn ScratchArena, g: &Matrix) -> Result<Matrix, NotPosi
     let n = g.rows();
     assert_eq!(g.cols(), n, "potrf: G must be square");
     let mut r = g.upper_triangular_part();
+    let nb = crate::block::BlockParams::active().tri_nb;
     let scale = (0..n).map(|i| g[(i, i)]).fold(0.0f64, f64::max);
     let tol = scale * f64::EPSILON * n as f64;
     let mut j0 = 0;
     while j0 < n {
-        let j1 = (j0 + TRI_NB).min(n);
+        let j1 = (j0 + nb).min(n);
         // Unblocked Cholesky of the diagonal tile (global pivot indices,
         // same breakdown rule as the reference).
         for j in j0..j1 {
@@ -412,7 +417,7 @@ pub fn potrf_ws(ws: &mut dyn ScratchArena, g: &Matrix) -> Result<Matrix, NotPosi
             for (i, row) in (j0..j1).enumerate() {
                 r12.row_mut(i).copy_from_slice(&r.row(row)[j1..n]);
             }
-            let tb = 4 * TRI_NB;
+            let tb = 4 * nb;
             let mut c0 = j1;
             while c0 < n {
                 let c1 = (c0 + tb).min(n);

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use qr3d_matrix::gemm::{gemm, matmul, matmul_nt, matmul_tn, syrk, syrk_reference, Trans};
 use qr3d_matrix::partition::{balanced_ranges, balanced_sizes, part_of};
+use qr3d_matrix::pivot::{geqp3, is_permutation, permute_cols};
 use qr3d_matrix::qr::{geqrt, geqrt_reference, q_times, qt_times, thin_q, GEQRT_NB};
 use qr3d_matrix::tri::{lu_sign, potrf, potrf_reference, trsm, trsm_reference, Side, Uplo, TRI_NB};
 use qr3d_matrix::Matrix;
@@ -154,6 +155,73 @@ proptest! {
         // Make sure the sweep actually crosses the panel boundary
         // sometimes — the generator covers n on both sides of NB.
         prop_assert!(GEQRT_NB > 1);
+    }
+
+    #[test]
+    fn pivoted_qr_invariants_any_shape(
+        n in 1usize..40, extra in 0usize..60, dup in 0usize..3, seed in 0u64..500,
+    ) {
+        // geqp3 across shapes straddling the PIVOT_NB panel boundary
+        // and with duplicated (rank-deficient) columns: the permutation
+        // is valid, the R diagonal is nonnegative and non-increasing,
+        // A·P = Q·R, Q is orthonormal at any rank, and the detected
+        // rank never exceeds (and for duplicated columns drops below)
+        // the column count.
+        let m = n + extra;
+        let mut a = Matrix::random(m, n, seed);
+        let dups = dup.min(n.saturating_sub(1)) * usize::from(n >= 2);
+        for d in 0..dups {
+            for i in 0..m {
+                let v = a[(i, d % (n - 1))];
+                a[(i, n - 1 - d % (n - 1))] = v;
+            }
+        }
+        let p = geqp3(&a);
+        prop_assert!(is_permutation(&p.perm, n), "valid permutation");
+        for j in 0..n {
+            prop_assert!(p.r[(j, j)] >= 0.0, "nonnegative diagonal");
+            if j > 0 {
+                prop_assert!(
+                    p.r[(j, j)] <= p.r[(j - 1, j - 1)] * (1.0 + 1e-10) + 1e-12,
+                    "monotone diagonal decay"
+                );
+            }
+        }
+        let scale = 1.0 + a.frobenius_norm();
+        let ap = permute_cols(&a, &p.perm);
+        let mut rn = Matrix::zeros(m, n);
+        rn.set_submatrix(0, 0, &p.r);
+        prop_assert!(
+            close(&q_times(&p.q_factors.v, &p.q_factors.t, &rn), &ap, 1e-9 * scale),
+            "A·P = QR"
+        );
+        let q1 = thin_q(&p.q_factors.v, &p.q_factors.t);
+        prop_assert!(close(&matmul_tn(&q1, &q1), &Matrix::identity(n), 1e-9), "QᵀQ = I");
+        prop_assert!(p.rank <= n);
+        if dups > 0 && n >= 2 {
+            prop_assert!(p.rank < n, "duplicated columns must lower the detected rank");
+        }
+    }
+
+    #[test]
+    fn pivoted_qr_detects_constructed_rank(
+        k in 1usize..6, extra_cols in 0usize..8, rows in 12usize..40, seed in 0u64..500,
+    ) {
+        // A = B·C has rank exactly min(k, cols): the detected rank must
+        // be exact, and the pivoted R of the same matrix must agree with
+        // the unpivoted QR of the pre-permuted input.
+        let n = (k + extra_cols).min(rows);
+        let k = k.min(n);
+        let b = Matrix::random(rows, k, seed);
+        let c = Matrix::random(k, n, seed + 7);
+        let a = matmul(&b, &c);
+        let p = geqp3(&a);
+        prop_assert_eq!(p.rank, k, "exact rank detection");
+        let f = geqrt(&permute_cols(&a, &p.perm));
+        prop_assert!(
+            close(&f.r, &p.r, 1e-9 * (1.0 + a.frobenius_norm())),
+            "geqp3 R equals geqrt R on A·P"
+        );
     }
 
     #[test]

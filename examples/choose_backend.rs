@@ -56,4 +56,33 @@ fn main() {
         "tsqr fallback:                ‖QᵀQ−I‖ = {:.2e}",
         safe.orthogonality()
     );
+
+    // Rank-deficient input: a rank hint routes the advisor to the
+    // rank-revealing subsystem, which *answers* the question the
+    // full-rank family mishandles (CholeskyQR2 breaks down, Householder
+    // silently factors).
+    println!();
+    let k = 5usize;
+    let low = {
+        let b = Matrix::random(2048, k, 8);
+        let c = Matrix::random(k, 32, 9);
+        matmul(&b, &c) // rank exactly k
+    };
+    let hinted = FactorParams::new(CostParams::cluster()).with_rank_hint(RankHint::Deficient);
+    let out = factor_auto(&low, p, &hinted).expect("rank-revealing backends don't break down");
+    println!(
+        "rank-deficient 2048×32 (true rank {k}) with RankHint::Deficient:\n  \
+         advised {:?}: detected rank {}, ‖A·P−QR‖/‖A‖ = {:.2e}",
+        out.backend,
+        out.detected_rank,
+        out.residual(&low),
+    );
+    // The silent-deficiency diagnostic on the full-rank path: Tsqr still
+    // factors, but detected_rank flags what happened.
+    let masked = factor(&low, p, QrBackend::Tsqr, &FactorParams::default()).unwrap();
+    println!(
+        "  plain Tsqr on the same input: residual {:.2e}, detected_rank {} < 32 — flagged",
+        masked.residual(&low),
+        masked.detected_rank,
+    );
 }

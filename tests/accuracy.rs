@@ -119,3 +119,115 @@ fn forced_cholqr2_past_the_guard_breaks_down_or_degrades() {
     let (orth_t, _) = errors_of(QrBackend::Tsqr, &a);
     assert!(orth_t < 5e-12, "tsqr is κ-independent: {orth_t}");
 }
+
+/// An exactly rank-`k` `m × n` test matrix (`A = B·C`).
+fn rank_k_matrix(m: usize, n: usize, k: usize, seed: u64) -> Matrix {
+    matmul(
+        &Matrix::random(m, k, seed),
+        &Matrix::random(k, n, seed + 1000),
+    )
+}
+
+#[test]
+fn rank_revealing_backends_track_kappa_sweep() {
+    // κ-graded full-rank inputs (all κ ≪ 1/rank_tolerance): both
+    // rank-revealing backends must detect full rank, produce a valid
+    // permutation, and factor to machine precision — and their detected
+    // rank must agree with the local geqp3 kernel's.
+    for (i, kappa) in [1e1, 1e3, 1e5, 1e7].into_iter().enumerate() {
+        let a = random_with_condition(M, N, kappa, 70 + i as u64);
+        let local = qr3d::matrix::pivot::geqp3(&a);
+        for backend in [QrBackend::PivotQr, QrBackend::RandRrqr] {
+            let out = factor(&a, P, backend, &FactorParams::default())
+                .expect("rank-revealing backends do not break down");
+            let resid = out.residual(&a);
+            assert!(resid < 5e-12, "κ={kappa:.0e} {backend:?}: residual {resid}");
+            let orth = out.orthogonality();
+            assert!(
+                orth < 5e-13,
+                "κ={kappa:.0e} {backend:?}: orthogonality {orth}"
+            );
+            let perm = out.perm.as_ref().expect("permutation surfaced");
+            assert!(qr3d::matrix::pivot::is_permutation(perm, N));
+            assert_eq!(
+                out.detected_rank, local.rank,
+                "κ={kappa:.0e} {backend:?}: rank vs local geqp3"
+            );
+            assert_eq!(out.detected_rank, N, "κ={kappa:.0e}: full rank");
+        }
+    }
+}
+
+#[test]
+fn rank_revealing_backends_detect_graded_deficiency() {
+    // Rank-k inputs across k: exact detection by both backends, RRQR
+    // agreeing with geqp3, and the pivoted R diagonal decaying.
+    for k in [1usize, 3, 6, 11] {
+        let a = rank_k_matrix(M, N, k, 80 + k as u64);
+        let local_rank = qr3d::matrix::pivot::geqp3(&a).rank;
+        assert_eq!(local_rank, k, "local geqp3 detects k = {k}");
+        for backend in [QrBackend::PivotQr, QrBackend::RandRrqr] {
+            let out = factor(&a, P, backend, &FactorParams::default()).unwrap();
+            assert_eq!(
+                out.detected_rank, k,
+                "{backend:?} must detect rank {k} exactly"
+            );
+            let resid = out.residual(&a);
+            assert!(resid < 1e-12, "{backend:?} rank-{k}: residual {resid}");
+        }
+        // Pivoted diagonal: significant prefix, then collapse.
+        let out = factor(&a, P, QrBackend::PivotQr, &FactorParams::default()).unwrap();
+        assert!(
+            out.r[(k - 1, k - 1)].abs() > 1e6 * out.r[(k, k)].abs(),
+            "rank-{k}: diagonal must collapse after position {k}"
+        );
+    }
+}
+
+#[test]
+fn acceptance_rank_deficient_input_through_factor_auto() {
+    // The PR's acceptance criterion end-to-end: on a constructed
+    // rank-k (k < n) matrix with a non-Full rank hint, `factor_auto`
+    // selects a rank-revealing backend and returns the exact rank, a
+    // valid permutation, and ‖A·P − Q·R‖/‖A‖ ≤ 1e-12.
+    let (m, n, k, p) = (256usize, 16usize, 7usize, 4usize);
+    let a = rank_k_matrix(m, n, k, 99);
+    for hint in [RankHint::Unknown, RankHint::Deficient] {
+        let params = FactorParams::new(CostParams::cluster()).with_rank_hint(hint);
+        let backend = QrBackend::auto(m, n, p, &params);
+        assert!(
+            matches!(backend, QrBackend::PivotQr | QrBackend::RandRrqr),
+            "{hint:?} must route to a rank-revealing backend, got {backend:?}"
+        );
+        let out = factor_auto(&a, p, &params).expect("no breakdown path");
+        assert_eq!(out.detected_rank, k, "{hint:?}: detected_rank == k");
+        let perm = out.perm.as_ref().expect("permutation present");
+        assert!(qr3d::matrix::pivot::is_permutation(perm, n));
+        let resid = out.residual(&a);
+        assert!(resid <= 1e-12, "{hint:?}: ‖A·P − Q·R‖/‖A‖ = {resid}");
+    }
+}
+
+#[test]
+fn householder_surfaces_rank_deficiency_instead_of_masking() {
+    // The ROADMAP hazard, closed: the full-rank backends still factor a
+    // deficient input, but FactorOutput::detected_rank flags it.
+    let a = rank_k_matrix(M, N, 4, 123);
+    let out = factor(&a, P, QrBackend::Tsqr, &FactorParams::default()).unwrap();
+    assert!(out.residual(&a) < 1e-11, "still a valid factorization");
+    assert!(
+        out.detected_rank < N,
+        "the R-decay diagnostic must flag the deficiency (got {})",
+        out.detected_rank
+    );
+    // And CholeskyQR2 on the same input reports breakdown rather than
+    // wrong factors — the two failure modes the rank-revealing
+    // subsystem exists to replace.
+    match factor(&a, P, QrBackend::CholQr2, &FactorParams::default()) {
+        Err(FactorError::CholeskyBreakdown(_)) => {}
+        Ok(out) => panic!(
+            "a rank-4 Gram matrix cannot be positive definite (orth {})",
+            out.orthogonality()
+        ),
+    }
+}

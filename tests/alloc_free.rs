@@ -48,3 +48,12 @@ fn warm_tsqr_factor_loop_allocates_no_scratch() {
 fn warm_cholqr2_factor_loop_allocates_no_scratch() {
     miss_watermark_is_flat(QrBackend::CholQr2, 256, 16, 4, 10);
 }
+
+#[test]
+fn warm_pivotqr_factor_loop_allocates_no_scratch() {
+    // The pivoted backend's per-column loop (norm buffers, Householder
+    // scalars, the combined z/w/pivot-row payload) must draw everything
+    // from the rank workspace too — the sizes repeat across panels, so a
+    // warm pool serves every request.
+    miss_watermark_is_flat(QrBackend::PivotQr, 256, 32, 4, 11);
+}

@@ -150,3 +150,75 @@ fn machine_parameters_steer_the_advised_backend() {
         assert_good(&out, &a);
     }
 }
+
+#[test]
+fn rank_hint_reroutes_dispatch_without_disturbing_full_rank_callers() {
+    let (m, n, p) = (4096usize, 64usize, 16usize);
+    // Full (the default): identical to the historical kappa-only path.
+    let full = FactorParams::new(CostParams::cluster()).with_kappa(1e3);
+    assert!(matches!(
+        QrBackend::auto(m, n, p, &full),
+        QrBackend::CholQr2
+    ));
+    // A non-Full hint overrides even an asserted κ: the Gram path would
+    // break down on the deficiency the caller is worried about.
+    for hint in [RankHint::Unknown, RankHint::Deficient] {
+        let params = full.with_rank_hint(hint);
+        let backend = QrBackend::auto(m, n, p, &params);
+        assert!(
+            matches!(backend, QrBackend::PivotQr | QrBackend::RandRrqr),
+            "{hint:?}: got {backend:?}"
+        );
+    }
+    // Square-ish shapes close the RandRrqr aspect gate: PivotQr is the
+    // only rank-revealing candidate left.
+    let params = FactorParams::new(CostParams::cluster()).with_rank_hint(RankHint::Deficient);
+    assert!(matches!(
+        QrBackend::auto(2048, 1024, 64, &params),
+        QrBackend::PivotQr
+    ));
+}
+
+#[test]
+fn rank_hinted_batches_run_sequentially_with_a_rank_revealing_backend() {
+    // Per-problem permutations cannot share reduction trees: a hinted
+    // batch must plan sequential rank-revealing dispatch — and the
+    // session must still serve it correctly end to end.
+    let params = FactorParams::new(CostParams::cluster()).with_rank_hint(RankHint::Deficient);
+    let plan = QrBackend::auto_batch(512, 16, 8, 8, &params);
+    assert!(!plan.fused, "rank-revealing batches never fuse");
+    assert!(matches!(
+        plan.backend,
+        QrBackend::PivotQr | QrBackend::RandRrqr
+    ));
+
+    let mut session = Session::new(4, params);
+    let problems: Vec<Matrix> = (0..3u64)
+        .map(|s| {
+            // Each problem rank-deficient with a different rank.
+            let k = 3 + s as usize;
+            let b = Matrix::random(128, k, 200 + s);
+            let c = Matrix::random(k, 8, 300 + s);
+            matmul(&b, &c)
+        })
+        .collect();
+    let batch = session.factor_batch_auto(&problems);
+    assert!(!batch.fused);
+    for (i, out) in batch.outputs.iter().enumerate() {
+        let out = out.as_ref().expect("no breakdown path");
+        assert_eq!(out.detected_rank, 3 + i, "problem {i} rank");
+        assert!(out.residual(&problems[i]) < 1e-12);
+    }
+}
+
+#[test]
+fn explicit_rank_revealing_backends_verify_through_the_unified_entry_point() {
+    let (m, n, p) = (128usize, 16usize, 4usize);
+    let a = Matrix::random(m, n, 77);
+    for backend in [QrBackend::PivotQr, QrBackend::RandRrqr] {
+        let out = factor(&a, p, backend, &FactorParams::default()).unwrap();
+        assert_good(&out, &a);
+        assert_eq!(out.detected_rank, n);
+        assert!(out.critical.msgs > 0.0, "{backend:?} communicated");
+    }
+}
