@@ -13,6 +13,7 @@ use qr3d_bench::{run_caqr1d, run_caqr3d, run_tsqr};
 use qr3d_core::prelude::*;
 use qr3d_matrix::gemm::{gemm, gemm_reference, matmul, Trans};
 use qr3d_matrix::qr::geqrt;
+use qr3d_matrix::simd::{self, SimdLevel};
 use qr3d_matrix::tri::lu_sign;
 use qr3d_matrix::Matrix;
 
@@ -44,6 +45,41 @@ fn bench_gemm_512_blocked_vs_reference(c: &mut Criterion) {
         let mut cm = Matrix::zeros(n, n);
         bench.iter(|| gemm_reference(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut cm));
     });
+    g.finish();
+}
+
+fn bench_gemm_simd_levels(c: &mut Criterion) {
+    // Achieved GFLOP/s per dispatch level at 512³ (2n³ flops per
+    // multiply). Forcing never exceeds hardware support, so on a
+    // scalar-only host every row measures the same fallback.
+    let n = 512usize;
+    let flops = 2.0 * (n as f64).powi(3);
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let mut g = c.benchmark_group("gemm_simd");
+    g.sample_size(10);
+    for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+        if level > simd::detected_level() {
+            continue;
+        }
+        g.bench_function(&format!("{level}_512"), |bench| {
+            simd::force_level(Some(level));
+            let mut cm = Matrix::zeros(n, n);
+            let mut last = std::time::Duration::ZERO;
+            bench.iter(|| {
+                let t0 = std::time::Instant::now();
+                gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut cm);
+                last = t0.elapsed();
+            });
+            simd::force_level(None);
+            if last > std::time::Duration::ZERO {
+                eprintln!(
+                    "gemm_simd/{level}_512: {:.2} GFLOP/s",
+                    flops / last.as_secs_f64() / 1e9
+                );
+            }
+        });
+    }
     g.finish();
 }
 
@@ -92,6 +128,7 @@ criterion_group!(
     benches,
     bench_gemm,
     bench_gemm_512_blocked_vs_reference,
+    bench_gemm_simd_levels,
     bench_geqrt,
     bench_lu_sign,
     bench_simulated_qr

@@ -96,3 +96,75 @@ fn the_fused_batch_records_are_bitwise_unchanged() {
         "fused-batch message amortization drifted"
     );
 }
+
+#[test]
+fn the_tsqr_words_ratio_is_bitwise_pinned() {
+    // This ratio was gated in the baseline but never pinned here —
+    // completeness pass for the SIMD/threading PR: derived from the same
+    // deterministic clocks, so it must also reproduce exactly.
+    let base = baseline();
+    let tsqr = run_tsqr(512, 16, 8, 7);
+    let cholqr2 = run_cholqr2(512, 16, 8, 7);
+    assert_eq!(
+        tsqr.words / cholqr2.words,
+        pinned(&base, "ratio/tsqr_words_over_cholqr2_words"),
+        "tsqr/cholqr2 bandwidth ratio drifted"
+    );
+}
+
+#[test]
+fn baseline_cost_and_ratio_records_are_exactly_the_pinned_set() {
+    // Every deterministic record in the committed baseline must be
+    // asserted bitwise by some test in this file: a `cost/*` or
+    // `ratio/*` record that exists only in the JSON is a hole in the
+    // gate (wall-clock `speedup/*` records are machine-dependent and
+    // gated by `bench_gate check` instead).
+    let base = baseline();
+    let mut deterministic: Vec<&str> = base
+        .records
+        .iter()
+        .map(|r| r.name.as_str())
+        .filter(|n| n.starts_with("cost/") || n.starts_with("ratio/"))
+        .collect();
+    deterministic.sort_unstable();
+    let clock_groups = [
+        "tsqr_512x16x8",
+        "cholqr2_512x16x8",
+        "caqr1d_256x16x4_b4",
+        "caqr3d_96x24x4",
+        "geqp3_256x32x4",
+        "rrqr_512x16x8",
+        "cholqr2_batch8_512x16x8",
+    ];
+    let mut expected: Vec<String> = clock_groups
+        .iter()
+        .flat_map(|g| {
+            ["flops", "words", "msgs"]
+                .iter()
+                .map(move |axis| format!("cost/{g}/{axis}"))
+        })
+        .collect();
+    expected.push("ratio/pivotqr_msgs_over_rrqr_msgs".into());
+    expected.push("ratio/tsqr_words_over_cholqr2_words".into());
+    expected.push("ratio/cholqr2_seq8_msgs_over_batch8_msgs".into());
+    expected.sort_unstable();
+    assert_eq!(
+        deterministic, expected,
+        "baseline cost/ratio records diverged from the pinned set"
+    );
+    // And the wall-clock complement: the gated speedup records,
+    // including the SIMD-dispatch and within-rank-threading ones.
+    for name in [
+        "speedup/warm_executor_over_cold_512x16x8",
+        "speedup/gemm_blocked_over_reference_192",
+        "speedup/geqrt_blocked_over_reference_256x64",
+        "speedup/geqrt_blocked_over_reference_1024x256",
+        "speedup/gemm_simd_over_scalar_512",
+        "speedup/geqrt_threads4_over_threads1_1024x256",
+    ] {
+        assert!(
+            base.records.iter().any(|r| r.name == name),
+            "{name} missing from BENCH_baseline.json"
+        );
+    }
+}

@@ -115,6 +115,12 @@ impl Executor {
     /// effective deadlock timeout (see [`Machine::recv_timeout`]).
     pub(crate) fn spawn(p: usize, params: CostParams, recv_timeout: Duration) -> Executor {
         assert!(p >= 1, "an executor needs at least one rank");
+        // Tell the within-rank worker pool how many rank threads will
+        // run concurrently, so `QR3D_RANK_THREADS` workers per rank
+        // never oversubscribe the host (`P ranks × T workers ≤ cores`).
+        // Latest spawn wins: simultaneous executors share the host
+        // conservatively under the largest rank count.
+        qr3d_matrix::par::set_concurrent_ranks(p);
         let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
             (0..p).map(|_| channel()).unzip();
         let senders = Arc::new(senders);
@@ -415,7 +421,7 @@ mod tests {
             let mut val = (rank.id() as f64 + 1.0).sqrt();
             let mut gap = 1;
             while gap < rank.nprocs() {
-                if rank.id() % (2 * gap) == 0 {
+                if rank.id().is_multiple_of(2 * gap) {
                     let src = rank.id() + gap;
                     if src < rank.nprocs() {
                         val += rank.recv(&w, src, gap as u64)[0];

@@ -141,6 +141,23 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Row `i` mutably together with row `k` shared — the
+    /// writer/reader pair of an axpy-style row update (`row_i += α·row_k`).
+    ///
+    /// # Panics
+    /// If `i == k` or either index is out of bounds.
+    pub fn row_pair_mut(&mut self, i: usize, k: usize) -> (&mut [f64], &[f64]) {
+        assert_ne!(i, k, "row_pair_mut: rows must be distinct");
+        let w = self.cols;
+        if i < k {
+            let (lo, hi) = self.data.split_at_mut(k * w);
+            (&mut lo[i * w..(i + 1) * w], &hi[..w])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(i * w);
+            (&mut hi[..w], &lo[k * w..(k + 1) * w])
+        }
+    }
+
     /// Copy of the submatrix `rows r0..r1`, `cols c0..c1`.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
         assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");

@@ -14,7 +14,26 @@
 //! stride-1 regardless of transposition, edge tiles are zero-padded so the
 //! microkernel is branch-free, and the pack buffers live in a per-thread
 //! scratch (ranks are threads, so each simulated rank reuses its own
-//! buffers; steady-state multiplies allocate nothing).
+//! buffers; steady-state multiplies allocate nothing). The macro-tile
+//! extents default to [`MC`]/[`KC`]/[`NC`] and are runtime-tunable via
+//! `QR3D_GEMM_MC`/`KC`/`NC` (see [`crate::block::BlockParams`]).
+//!
+//! The register tile itself is [`crate::simd::microkernel_8x8`]: explicit
+//! AVX-512 / AVX2+FMA / fused-scalar variants behind runtime dispatch,
+//! bitwise-identical at every level (see the [`crate::simd`] docs for the
+//! contract).
+//!
+//! ## Within-rank parallelism
+//!
+//! Large products split `C` into disjoint, `MR`-aligned row bands and run
+//! one band per [`crate::par`] worker (each with its own thread-local
+//! pack scratch). Every band runs the identical `jc → pc → ic` packed
+//! loop over the full `k` extent with the same `KC` chunking, so each
+//! element of `C` sees exactly the same fma chain no matter how many
+//! bands exist — threaded results are **bitwise-identical** to
+//! single-thread execution by construction, not by tolerance. Cost
+//! formulas in [`crate::flops`] are unaffected: charged flops stay the
+//! single-thread counts; threads only change wall-clock time.
 //!
 //! [`gemm_reference`] keeps the seed's scalar triple loop for correctness
 //! checks and as the benchmark baseline. Neither kernel short-circuits
@@ -25,6 +44,7 @@
 use std::cell::RefCell;
 
 use crate::dense::Matrix;
+use crate::simd::{microkernel_8x8, MR, NR};
 
 /// Transpose selector for [`gemm`] operands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,20 +55,24 @@ pub enum Trans {
     Yes,
 }
 
-/// Microkernel tile rows.
-const MR: usize = 8;
-/// Microkernel tile columns (one AVX-512 register of f64, two AVX2).
-const NR: usize = 8;
-/// Rows of `op(A)` packed per block (`MC × KC` ≈ 256 KiB, L2-resident).
-const MC: usize = 128;
-/// Contraction depth per block.
-const KC: usize = 256;
-/// Columns of `op(B)` packed per block.
-const NC: usize = 2048;
+/// Default rows of `op(A)` packed per block (`MC × KC` ≈ 256 KiB,
+/// L2-resident); override with `QR3D_GEMM_MC`.
+pub const MC: usize = 128;
+/// Default contraction depth per block; override with `QR3D_GEMM_KC`.
+pub const KC: usize = 256;
+/// Default columns of `op(B)` packed per block; override with
+/// `QR3D_GEMM_NC`.
+pub const NC: usize = 2048;
 
 /// Below this many multiply-adds the packing overhead is not worth it and
-/// the scalar path runs instead.
-const BLOCK_THRESHOLD: usize = 8 * 1024;
+/// the scalar path runs instead
+/// ([`crate::block::BlockParams::gemm_block_threshold`]).
+pub const BLOCK_THRESHOLD: usize = 8 * 1024;
+
+/// Below this many multiply-adds a blocked product stays on one thread:
+/// handing out row bands costs a pool round-trip, which only pays for
+/// itself once the arithmetic dwarfs it.
+const PAR_THRESHOLD: usize = 256 * 1024;
 
 /// Reusable pack buffers for the blocked kernel.
 #[derive(Debug, Default)]
@@ -98,17 +122,83 @@ pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64,
         return;
     }
 
-    if am * bn * ak < BLOCK_THRESHOLD {
+    let work = am * bn * ak;
+    if work < crate::block::BlockParams::active().gemm_block_threshold {
         scalar_kernel(ta, tb, alpha, a, b, c);
+        return;
+    }
+    let fanout = if work < PAR_THRESHOLD {
+        1
     } else {
+        crate::par::fanout()
+    };
+    let bands = row_bands(am, fanout);
+    if bands.len() <= 1 {
         SCRATCH.with(|s| {
             blocked_kernel(&mut s.borrow_mut(), ta, tb, alpha, a, b, c);
         });
+        return;
     }
+
+    /// Shares `C`'s base pointer with the band workers.
+    #[derive(Clone, Copy)]
+    struct CBase(*mut f64);
+    // SAFETY: the workers carve *disjoint* row bands out of the pointee,
+    // and run_chunks joins them before `c`'s borrow ends.
+    unsafe impl Send for CBase {}
+    unsafe impl Sync for CBase {}
+    impl CBase {
+        fn ptr(&self) -> *mut f64 {
+            self.0
+        }
+    }
+
+    let ldc = bn;
+    let base = CBase(c.as_mut_slice().as_mut_ptr());
+    crate::par::run_chunks(bands.len(), &|band: usize| {
+        let (r0, r1) = bands[band];
+        // SAFETY: bands are disjoint row ranges of C (see row_bands), so
+        // each worker gets an exclusive slice of distinct rows; the
+        // allocation outlives the join in run_chunks.
+        let rows =
+            unsafe { std::slice::from_raw_parts_mut(base.ptr().add(r0 * ldc), (r1 - r0) * ldc) };
+        SCRATCH.with(|s| {
+            blocked_kernel_rows(
+                &mut s.borrow_mut(),
+                ta,
+                tb,
+                alpha,
+                a,
+                b,
+                rows,
+                ldc,
+                r0,
+                r1 - r0,
+            );
+        });
+    });
+}
+
+/// Split `m` rows into at most `fanout` contiguous, [`MR`]-aligned bands
+/// (the last band takes the remainder). MR alignment keeps every band's
+/// microkernel tiling — and therefore its per-element fma chains —
+/// exactly what the single-band run would execute.
+fn row_bands(m: usize, fanout: usize) -> Vec<(usize, usize)> {
+    let chunk = m.div_ceil(fanout.max(1)).div_ceil(MR) * MR;
+    let mut bands = Vec::new();
+    let mut r0 = 0;
+    while r0 < m {
+        let r1 = (r0 + chunk).min(m);
+        bands.push((r0, r1));
+        r0 = r1;
+    }
+    bands
 }
 
 /// The blocked path with caller-provided pack buffers (for callers that
 /// manage scratch explicitly; [`gemm`] itself uses a per-thread scratch).
+/// Always single-threaded — with one borrowed scratch there is nothing
+/// to hand the workers — and bitwise-identical to the threaded [`gemm`].
 pub fn gemm_with_scratch(
     scratch: &mut GemmScratch,
     ta: Trans,
@@ -278,21 +368,7 @@ fn pack_b(tb: Trans, b: &Matrix, pc: usize, kc: usize, jc: usize, nc: usize, out
     }
 }
 
-/// The register tile: `acc += Apanel · Bpanel` over `kc` steps. `a` is
-/// `kc × MR` (column-major tiles), `b` is `kc × NR` (row-major tiles);
-/// both stride-1, so this compiles to a dense FMA loop.
-#[inline(always)]
-fn microkernel(a: &[f64], b: &[f64], acc: &mut [[f64; NR]; MR]) {
-    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
-        for i in 0..MR {
-            let ai = av[i];
-            for j in 0..NR {
-                acc[i][j] += ai * bv[j];
-            }
-        }
-    }
-}
-
+/// [`blocked_kernel_rows`] over all of `C` — the single-band case.
 fn blocked_kernel(
     scratch: &mut GemmScratch,
     ta: Trans,
@@ -302,11 +378,43 @@ fn blocked_kernel(
     b: &Matrix,
     c: &mut Matrix,
 ) {
-    let (m, k) = op_dims(ta, a);
-    let n = op_dims(tb, b).1;
+    let m = op_dims(ta, a).0;
+    let n = c.cols();
+    blocked_kernel_rows(scratch, ta, tb, alpha, a, b, c.as_mut_slice(), n, 0, m);
+}
 
-    let a_panels_cap = MC.div_ceil(MR) * KC * MR;
-    let b_panels_cap = NC.div_ceil(NR).min(n.div_ceil(NR)) * KC * NR;
+/// The packed macro-tile loop over one row band of `C`: `c_rows` holds
+/// rows `row0 .. row0 + mb` of `C` contiguously with row stride `ldc`
+/// (the full output width). Every band runs the identical `jc → pc → ic`
+/// structure over the full `k` extent with the same `KC` chunking, so
+/// the per-element fma chain — and therefore the bits of `C` — does not
+/// depend on how `C` was banded.
+#[allow(clippy::too_many_arguments)]
+fn blocked_kernel_rows(
+    scratch: &mut GemmScratch,
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c_rows: &mut [f64],
+    ldc: usize,
+    row0: usize,
+    mb: usize,
+) {
+    let k = op_dims(ta, a).1;
+    let n = op_dims(tb, b).1;
+    let params = crate::block::BlockParams::active();
+    // Macro-tile extents, capped by the actual problem so tiny products
+    // don't pay full-tile pack traffic.
+    let mc_step = params.gemm_mc.min(mb).max(1);
+    let kc_step = params.gemm_kc.min(k).max(1);
+    let nc_step = params.gemm_nc.min(n).max(1);
+
+    // Size the pack buffers once per call from the capped extents
+    // (min(MC, m) × min(KC, k), not the full compiled-in tiles).
+    let a_panels_cap = mc_step.div_ceil(MR) * MR * kc_step;
+    let b_panels_cap = nc_step.div_ceil(NR) * NR * kc_step;
     if scratch.pack_a.len() < a_panels_cap {
         scratch.pack_a.resize(a_panels_cap, 0.0);
     }
@@ -314,16 +422,16 @@ fn blocked_kernel(
         scratch.pack_b.resize(b_panels_cap, 0.0);
     }
 
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    for jc in (0..n).step_by(nc_step) {
+        let nc = nc_step.min(n - jc);
         let n_panels = nc.div_ceil(NR);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
+        for pc in (0..k).step_by(kc_step) {
+            let kc = kc_step.min(k - pc);
             pack_b(tb, b, pc, kc, jc, nc, &mut scratch.pack_b);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
+            for ic in (0..mb).step_by(mc_step) {
+                let mc = mc_step.min(mb - ic);
                 let m_panels = mc.div_ceil(MR);
-                pack_a(ta, a, ic, mc, pc, kc, &mut scratch.pack_a);
+                pack_a(ta, a, row0 + ic, mc, pc, kc, &mut scratch.pack_a);
                 for jp in 0..n_panels {
                     let bp = &scratch.pack_b[jp * kc * NR..(jp + 1) * kc * NR];
                     let j0 = jc + jp * NR;
@@ -331,12 +439,13 @@ fn blocked_kernel(
                     for ip in 0..m_panels {
                         let ap = &scratch.pack_a[ip * kc * MR..(ip + 1) * kc * MR];
                         let mut acc = [[0.0f64; NR]; MR];
-                        microkernel(ap, bp, &mut acc);
+                        microkernel_8x8(ap, bp, &mut acc);
                         // Write the valid part of the tile back into C.
                         let i0 = ic + ip * MR;
-                        let rows = MR.min(m - i0);
+                        let rows = MR.min(mb - i0);
                         for (r, acc_row) in acc.iter().enumerate().take(rows) {
-                            let crow = &mut c.row_mut(i0 + r)[j0..j0 + cols];
+                            let off = (i0 + r) * ldc + j0;
+                            let crow = &mut c_rows[off..off + cols];
                             for (dst, &v) in crow.iter_mut().zip(acc_row.iter()) {
                                 *dst += alpha * v;
                             }

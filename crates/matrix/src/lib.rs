@@ -17,7 +17,13 @@
 //! * [`tri`] — triangular solves and the sign-altered LU factorization of
 //!   [BDG+15, Lemma 6.2] used by TSQR's Householder reconstruction.
 //! * [`block`] — runtime blocking parameters (`QR3D_GEQRT_NB`,
-//!   `QR3D_TRI_NB`, `QR3D_PIVOT_NB`) for the tiled kernels.
+//!   `QR3D_TRI_NB`, `QR3D_PIVOT_NB`, `QR3D_GEMM_MC`/`KC`/`NC`,
+//!   `QR3D_SIMD`, `QR3D_RANK_THREADS`) for the tiled kernels.
+//! * [`simd`] — explicit AVX-512/AVX2/scalar arithmetic primitives
+//!   behind runtime dispatch, bitwise-identical at every level.
+//! * [`par`] — the within-rank worker pool that splits the big block
+//!   loops across `QR3D_RANK_THREADS` threads without changing a bit of
+//!   the output.
 //! * [`partition`] — balanced partitions ("parts differ in size by at most
 //!   one", Section 4).
 //! * [`layout`] — distributed data layouts: row-cyclic (3D-CAQR-EG input),
@@ -31,10 +37,12 @@ pub mod dense;
 pub mod flops;
 pub mod gemm;
 pub mod layout;
+pub mod par;
 pub mod partition;
 pub mod pivot;
 pub mod qr;
 pub mod scratch;
+pub mod simd;
 pub mod tri;
 
 pub use dense::Matrix;
@@ -54,5 +62,6 @@ pub mod prelude {
         q_times, qt_times, random_with_condition, thin_q, thin_q_ws, Reflector,
     };
     pub use crate::scratch::{LocalArena, ScratchArena};
+    pub use crate::simd::SimdLevel;
     pub use crate::tri::{lu_sign, potrf, trsm, NotPositiveDefinite, Side, Uplo};
 }

@@ -197,12 +197,12 @@ pub fn geqp3_ws(ws: &mut dyn ScratchArena, a: &Matrix) -> PivotedQr {
             // reflectors to rows j..m (the delayed update, restricted to
             // the one column pivot selection just chose).
             if k > 0 {
+                // Row-contiguous dots run on the dispatched SIMD dot
+                // (crate::simd) — fixed reduction tree, bit-identical
+                // at every level.
                 for i in j..m {
                     let row = work.row_mut(i);
-                    let mut s = 0.0;
-                    for c in 0..k {
-                        s += row[j0 + c] * f[(k, c)];
-                    }
+                    let s = crate::simd::dot(&row[j0..j0 + k], &f.row(k)[..k]);
                     row[j] -= s;
                 }
             }
@@ -260,10 +260,7 @@ pub fn geqp3_ws(ws: &mut dyn ScratchArena, a: &Matrix) -> PivotedQr {
                     *aux = s;
                 }
                 for c in 0..nt {
-                    let mut s = 0.0;
-                    for (cc, aux) in small.iter().enumerate().take(k) {
-                        s += f[(c, cc)] * aux;
-                    }
+                    let s = crate::simd::dot(&f.row(c)[..k], &small[..k]);
                     f[(c, k)] -= tau * s;
                 }
             }
@@ -273,10 +270,7 @@ pub fn geqp3_ws(ws: &mut dyn ScratchArena, a: &Matrix) -> PivotedQr {
             // norm downdate needs.
             for c in k + 1..nt {
                 let g = j0 + c;
-                let mut s = 0.0;
-                for cc in 0..=k {
-                    s += work[(j, j0 + cc)] * f[(c, cc)];
-                }
+                let s = crate::simd::dot(&work.row(j)[j0..j0 + k + 1], &f.row(c)[..k + 1]);
                 work[(j, g)] -= s;
             }
 

@@ -118,26 +118,17 @@ fn factor_panel(p: &mut Matrix, taus: &mut [f64], w: &mut [f64]) {
         // In-panel trailing update (I − τ·v·vᵀ) on columns j+1..bw:
         // w_c = (vᵀ·P)_c accumulated row-wise (stride-1), then applied.
         if tau != 0.0 && j + 1 < bw {
+            // The three row-contiguous loops run on the dispatched fused
+            // axpy (crate::simd) — AVX-512/AVX2/scalar, all bit-identical.
             w[j + 1..bw].copy_from_slice(&p.row(j)[j + 1..bw]);
             for i in j + 1..rows {
                 let vij = p[(i, j)];
-                let row = p.row(i);
-                for c in j + 1..bw {
-                    w[c] += vij * row[c];
-                }
+                crate::simd::fused_axpy(vij, &p.row(i)[j + 1..bw], &mut w[j + 1..bw]);
             }
-            {
-                let row = p.row_mut(j);
-                for c in j + 1..bw {
-                    row[c] -= tau * w[c];
-                }
-            }
+            crate::simd::fused_axpy(-tau, &w[j + 1..bw], &mut p.row_mut(j)[j + 1..bw]);
             for i in j + 1..rows {
                 let vij = p[(i, j)];
-                let row = p.row_mut(i);
-                for c in j + 1..bw {
-                    row[c] -= tau * w[c] * vij;
-                }
+                crate::simd::fused_axpy(-(tau * vij), &w[j + 1..bw], &mut p.row_mut(i)[j + 1..bw]);
             }
         }
         p[(j, j)] = mu;
@@ -160,10 +151,7 @@ pub(crate) fn larft_panel(p: &Matrix, taus: &[f64], t: &mut Matrix, off: usize, 
             z[..j].copy_from_slice(&p.row(j)[..j]);
             for i in j + 1..rows {
                 let vij = p[(i, j)];
-                let row = p.row(i);
-                for (c, zc) in z[..j].iter_mut().enumerate() {
-                    *zc += row[c] * vij;
-                }
+                crate::simd::fused_axpy(vij, &p.row(i)[..j], &mut z[..j]);
             }
             // T[0..j, j] = −τ·T[0..j, 0..j]·z (upper-triangular matvec).
             for i in 0..j {

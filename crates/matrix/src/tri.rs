@@ -204,10 +204,9 @@ fn solve_left_blocked(
                 if aik == 0.0 {
                     continue;
                 }
-                for j in 0..rhs {
-                    let xkj = x[(k, j)];
-                    x[(i, j)] -= aik * xkj;
-                }
+                // x[i, :] -= aik · x[k, :] on the dispatched fused axpy.
+                let (xi, xk) = x.row_pair_mut(i, k);
+                crate::simd::fused_axpy(-aik, xk, xi);
             }
             if !unit_diag {
                 let d = at(i, i);

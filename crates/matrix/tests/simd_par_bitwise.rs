@@ -1,0 +1,189 @@
+//! The bitwise-equivalence contract of the dispatched kernels, pinned.
+//!
+//! Two independent axes must never change a single bit of any output:
+//!
+//! 1. the SIMD dispatch level (`QR3D_SIMD` / [`simd::force_level`]) —
+//!    scalar, AVX2, and AVX-512 (where the CPU has them) execute
+//!    identical lanewise fma chains and a fixed dot-reduction tree;
+//! 2. the within-rank thread count ([`par::with_forced_fanout`], the
+//!    test-side stand-in for `QR3D_RANK_THREADS`) — workers own disjoint
+//!    `MR`-aligned row bands of `C` and run the same packed loops over
+//!    the full `k` extent.
+//!
+//! Everything here asserts `to_bits()` equality, not tolerances. The
+//! level-forcing tests live in ONE `#[test]` so the process-global
+//! override is never contended by a concurrently running test (the
+//! fanout override is thread-local, so those tests can stay separate).
+
+use qr3d_matrix::gemm::{gemm, Trans};
+use qr3d_matrix::par;
+use qr3d_matrix::pivot::geqp3;
+use qr3d_matrix::qr::geqrt;
+use qr3d_matrix::simd::{self, SimdLevel};
+use qr3d_matrix::tri::{trsm, Side, Uplo};
+use qr3d_matrix::Matrix;
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Run `f` once per level this CPU supports (Scalar always included),
+/// collecting `(level, result)` pairs; the override is cleared after.
+fn per_level<T>(mut f: impl FnMut() -> T) -> Vec<(SimdLevel, T)> {
+    let mut out = Vec::new();
+    for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+        if level <= simd::detected_level() {
+            simd::force_level(Some(level));
+            out.push((level, f()));
+        }
+    }
+    simd::force_level(None);
+    out
+}
+
+fn assert_all_levels_equal<T: PartialEq + std::fmt::Debug>(results: &[(SimdLevel, T)], what: &str) {
+    let (l0, first) = &results[0];
+    for (level, r) in &results[1..] {
+        assert_eq!(first, r, "{what}: {level} differs from {l0}");
+    }
+}
+
+#[test]
+fn simd_levels_are_bitwise_identical_across_kernels() {
+    // gemm: odd shapes straddling the MR/NR/MC/KC edges, all four
+    // transposes, with a NaN-seeded operand so 0·NaN propagation is
+    // exercised on every level (the PR 1 guard).
+    let shapes = [
+        (3usize, 5usize, 2usize),
+        (5, 9, 17),
+        (31, 33, 40),
+        (64, 24, 129),
+        (129, 257, 30),
+        (130, 70, 65),
+    ];
+    for &(m, n, k) in &shapes {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (ar, ac) = if ta == Trans::No { (m, k) } else { (k, m) };
+            let (br, bc) = if tb == Trans::No { (k, n) } else { (n, k) };
+            let mut a = Matrix::random(ar, ac, (m * 13 + n) as u64);
+            let mut b = Matrix::random(br, bc, (k * 7 + n) as u64);
+            a[(0, 0)] = 0.0;
+            b[(0, 0)] = f64::NAN;
+            a[(ar - 1, ac - 1)] = f64::NAN;
+            b[(br - 1, bc - 1)] = 0.0;
+            let c0 = Matrix::random(m, n, 99);
+            let results = per_level(|| {
+                let mut c = c0.clone();
+                gemm(ta, tb, 1.5, &a, &b, -0.5, &mut c);
+                bits(&c)
+            });
+            assert_all_levels_equal(&results, &format!("gemm {m}x{n}x{k} {ta:?}/{tb:?}"));
+        }
+    }
+
+    // geqrt: the full compact representation (V, T, R) — and the Q it
+    // implies — must be bit-stable across levels.
+    for (m, n) in [(96usize, 40usize), (150, 33), (64, 64)] {
+        let a = Matrix::random(m, n, (m + n) as u64);
+        let results = per_level(|| {
+            let r = geqrt(&a);
+            (bits(&r.v), bits(&r.t), bits(&r.r))
+        });
+        assert_all_levels_equal(&results, &format!("geqrt {m}x{n}"));
+    }
+
+    // geqp3: pivot order, taus, and the factored panel.
+    for (m, n) in [(80usize, 48usize), (60, 60)] {
+        let a = Matrix::random(m, n, 5);
+        let results = per_level(|| {
+            let pqr = geqp3(&a);
+            (bits(&pqr.q_factors.v), pqr.perm.clone(), bits(&pqr.r))
+        });
+        assert_all_levels_equal(&results, &format!("geqp3 {m}x{n}"));
+    }
+
+    // trsm: big enough for the blocked path and its long-k gemms.
+    for n in [96usize, 130] {
+        let a = Matrix::random(n, n, 3);
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = a[(i, j)];
+            }
+            l[(i, i)] += n as f64; // well-conditioned diagonal
+        }
+        let rhs = Matrix::random(n, 64, 4);
+        let results = per_level(|| bits(&trsm(Side::Left, Uplo::Lower, false, false, &l, &rhs)));
+        assert_all_levels_equal(&results, &format!("trsm n={n}"));
+    }
+}
+
+/// The acceptance criterion's other axis: `QR3D_RANK_THREADS={1,4}`
+/// (via the thread-local forced fanout) must be bitwise-invisible.
+#[test]
+fn threaded_gemm_matches_single_thread_bitwise() {
+    let shapes = [
+        (64usize, 64usize, 64usize),
+        (100, 90, 80),
+        (129, 257, 65),
+        (256, 192, 128),
+        (7, 300, 300), // fewer rows than MR·fanout: degenerate banding
+    ];
+    for &(m, n, k) in &shapes {
+        let a = Matrix::random(m, k, (m + k) as u64);
+        let b = Matrix::random(k, n, (n + k) as u64);
+        let c0 = Matrix::random(m, n, 11);
+        let single = par::with_forced_fanout(1, || {
+            let mut c = c0.clone();
+            gemm(Trans::No, Trans::No, 2.0, &a, &b, 0.5, &mut c);
+            bits(&c)
+        });
+        for threads in [2usize, 4, 7] {
+            let multi = par::with_forced_fanout(threads, || {
+                let mut c = c0.clone();
+                gemm(Trans::No, Trans::No, 2.0, &a, &b, 0.5, &mut c);
+                bits(&c)
+            });
+            assert_eq!(single, multi, "gemm {m}x{n}x{k} with {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn threaded_geqrt_and_trsm_match_single_thread_bitwise() {
+    // geqrt's larfb trailing updates and T-growth products run through
+    // the (possibly banded) gemm; 1024×256 is the gated bench shape.
+    let a = Matrix::random(512, 160, 21);
+    let single = par::with_forced_fanout(1, || {
+        let r = geqrt(&a);
+        (bits(&r.v), bits(&r.t), bits(&r.r))
+    });
+    let multi = par::with_forced_fanout(4, || {
+        let r = geqrt(&a);
+        (bits(&r.v), bits(&r.t), bits(&r.r))
+    });
+    assert_eq!(single, multi, "geqrt 512x160 threads=4");
+
+    let n = 160;
+    let src = Matrix::random(n, n, 22);
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            l[(i, j)] = src[(i, j)];
+        }
+        l[(i, i)] += n as f64;
+    }
+    let rhs = Matrix::random(n, 96, 23);
+    let single = par::with_forced_fanout(1, || {
+        bits(&trsm(Side::Left, Uplo::Lower, false, false, &l, &rhs))
+    });
+    let multi = par::with_forced_fanout(4, || {
+        bits(&trsm(Side::Left, Uplo::Lower, false, false, &l, &rhs))
+    });
+    assert_eq!(single, multi, "trsm n=160 threads=4");
+}
