@@ -20,10 +20,11 @@
 //! verifies the result numerically, and returns the critical-path
 //! [`Clock`] — so every number printed comes from a correct execution.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use qr3d_core::prelude::*;
-use qr3d_machine::{Clock, CostParams, Machine, Rank};
+use qr3d_machine::{Clock, CostParams, Machine, Rank, Transport};
 use qr3d_matrix::gemm::{matmul, matmul_tn};
 use qr3d_matrix::layout::BlockRow;
 use qr3d_matrix::Matrix;
@@ -82,6 +83,60 @@ pub fn run_cholqr2_batch(m: usize, n: usize, p: usize, k: usize, seed: u64) -> C
         .map(|j| Matrix::random(m, n, seed + j as u64))
         .collect();
     let mut session = Session::new(p, FactorParams::new(CostParams::unit()).with_kappa(100.0));
+    let batch = session.factor_batch(&problems, QrBackend::CholQr2);
+    assert!(batch.fused, "same-shape CholeskyQR2 batches must fuse");
+    for (a, out) in problems.iter().zip(&batch.outputs) {
+        let out = out
+            .as_ref()
+            .expect("uniform random inputs are well-conditioned");
+        assert!(out.residual(a) < TOL, "cholqr2 batch residual");
+        assert!(out.orthogonality() < TOL, "cholqr2 batch orthogonality");
+    }
+    batch.critical
+}
+
+/// `run_tsqr` with the message substrate chosen explicitly instead of
+/// from `QR3D_TRANSPORT`. The charged clocks live above the
+/// [`Transport`] boundary, so the bench gate pins this clock against
+/// the mpsc one: the ratio of their message counts must be exactly 1.
+pub fn run_tsqr_over(
+    transport: Arc<dyn Transport>,
+    m: usize,
+    n: usize,
+    p: usize,
+    seed: u64,
+) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let machine = Machine::new(p, CostParams::unit()).with_transport(transport);
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = a.take_rows(&lay.local_rows(w.rank()));
+        tsqr_factor(rank, &w, &a_loc)
+    });
+    let fac = qr3d_core::verify::assemble_block_row(&out.results, lay.counts());
+    assert!(fac.residual(&a) < TOL, "tsqr residual");
+    out.stats.critical()
+}
+
+/// `run_cholqr2_batch` with the message substrate chosen explicitly —
+/// the fused batch shares one reduction tree across problems, the
+/// heaviest traffic pattern in the repo, so it is the other
+/// transport-independence record the bench gate pins.
+pub fn run_cholqr2_batch_over(
+    transport: Arc<dyn Transport>,
+    m: usize,
+    n: usize,
+    p: usize,
+    k: usize,
+    seed: u64,
+) -> Clock {
+    let problems: Vec<Matrix> = (0..k)
+        .map(|j| Matrix::random(m, n, seed + j as u64))
+        .collect();
+    let params = FactorParams::new(CostParams::unit()).with_kappa(100.0);
+    let machine = Machine::new(p, params.machine).with_transport(transport);
+    let mut session = Session::on_machine(machine, params);
     let batch = session.factor_batch(&problems, QrBackend::CholQr2);
     assert!(batch.fused, "same-shape CholeskyQR2 batches must fuse");
     for (a, out) in problems.iter().zip(&batch.outputs) {

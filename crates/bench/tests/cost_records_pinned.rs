@@ -8,12 +8,15 @@
 //! fused-batch records) must reproduce to the last bit; any drift means
 //! a kernel rewrite leaked into the cost model.
 
+use std::sync::Arc;
+
 use qr3d_bench::report::BenchReport;
 use qr3d_bench::{
-    run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_pivotqr, run_rrqr, run_tsqr,
+    run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_cholqr2_batch_over, run_pivotqr,
+    run_rrqr, run_tsqr, run_tsqr_over,
 };
 use qr3d_core::prelude::Caqr3dConfig;
-use qr3d_machine::Clock;
+use qr3d_machine::{Clock, MpscTransport, RingTransport};
 
 fn baseline() -> BenchReport {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
@@ -98,6 +101,38 @@ fn the_fused_batch_records_are_bitwise_unchanged() {
 }
 
 #[test]
+fn the_transport_message_ratios_are_exactly_one() {
+    // The transport-fabric acceptance relation: the full clock — not
+    // just messages — must be bitwise identical whichever substrate
+    // moves the envelopes, because every charge happens above the
+    // `Transport` boundary. The baseline stores the message ratios;
+    // this test pins the whole clocks and then the ratios themselves.
+    let base = baseline();
+    let tsqr_ring = run_tsqr_over(Arc::new(RingTransport::default()), 512, 16, 8, 7);
+    let tsqr_mpsc = run_tsqr_over(Arc::new(MpscTransport), 512, 16, 8, 7);
+    assert_eq!(
+        tsqr_ring, tsqr_mpsc,
+        "tsqr clock diverged across transports"
+    );
+    assert_eq!(
+        tsqr_ring.msgs / tsqr_mpsc.msgs,
+        pinned(&base, "ratio/tsqr_msgs_ring_over_mpsc"),
+        "tsqr ring/mpsc message ratio drifted"
+    );
+    let batch_ring = run_cholqr2_batch_over(Arc::new(RingTransport::default()), 512, 16, 8, 8, 7);
+    let batch_mpsc = run_cholqr2_batch_over(Arc::new(MpscTransport), 512, 16, 8, 8, 7);
+    assert_eq!(
+        batch_ring, batch_mpsc,
+        "fused-batch clock diverged across transports"
+    );
+    assert_eq!(
+        batch_ring.msgs / batch_mpsc.msgs,
+        pinned(&base, "ratio/cholqr2_batch8_msgs_ring_over_mpsc"),
+        "fused-batch ring/mpsc message ratio drifted"
+    );
+}
+
+#[test]
 fn the_tsqr_words_ratio_is_bitwise_pinned() {
     // This ratio was gated in the baseline but never pinned here —
     // completeness pass for the SIMD/threading PR: derived from the same
@@ -147,6 +182,8 @@ fn baseline_cost_and_ratio_records_are_exactly_the_pinned_set() {
     expected.push("ratio/pivotqr_msgs_over_rrqr_msgs".into());
     expected.push("ratio/tsqr_words_over_cholqr2_words".into());
     expected.push("ratio/cholqr2_seq8_msgs_over_batch8_msgs".into());
+    expected.push("ratio/tsqr_msgs_ring_over_mpsc".into());
+    expected.push("ratio/cholqr2_batch8_msgs_ring_over_mpsc".into());
     expected.sort_unstable();
     assert_eq!(
         deterministic, expected,

@@ -94,7 +94,7 @@ pub fn all_to_all_index(
                 payload.extend_from_slice(&std::mem::replace(&mut held[l], Payload::empty()));
             }
         }
-        rank.send_vec(comm, to, tag_of(op, i as u64), payload);
+        rank.send(comm, to, tag_of(op, i as u64), payload);
         // Incoming: the same label set; the block labeled l has traveled
         // the lower set bits of l so far, so its origin (and hence size)
         // is known: src = from − (l & (bit−1)), dest = src + l. Each

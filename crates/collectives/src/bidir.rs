@@ -138,7 +138,7 @@ pub fn reduce_scatter_flat(
 
     for lv in levels(me, p) {
         // Send everything destined for the opposite set to my partner.
-        rank.send_slice(
+        rank.send(
             comm,
             lv.partner,
             tag_of(op, lv.depth),
@@ -213,14 +213,14 @@ pub fn all_gather_flat(rank: &mut Rank, comm: &Comm, block: &[f64], sizes: &[usi
         // Send all blocks of my set to my partner(s) — unless I'm the
         // reverse-direction "receive only" extra.
         if !lv.send_only {
-            rank.send_slice(
+            rank.send(
                 comm,
                 lv.partner,
                 tag_of(op, lv.depth),
                 &buf[off[lv.mlo]..off[lv.mhi]],
             );
             if let Some(extra) = lv.extra_in {
-                rank.send_slice(
+                rank.send(
                     comm,
                     extra,
                     tag_of(op, lv.depth),
@@ -318,7 +318,7 @@ pub fn all_reduce_doubling(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<
     const UNFOLD: u64 = 63;
 
     if me >= p2 {
-        rank.send_vec(comm, me - p2, tag_of(op, FOLD), data);
+        rank.send(comm, me - p2, tag_of(op, FOLD), data);
         return rank.recv(comm, me - p2, tag_of(op, UNFOLD)).into_vec();
     }
 
@@ -349,7 +349,7 @@ pub fn all_reduce_doubling(rank: &mut Rank, comm: &Comm, data: Vec<f64>) -> Vec<
     }
 
     if me < extra {
-        rank.send_slice(comm, me + p2, tag_of(op, UNFOLD), &acc);
+        rank.send(comm, me + p2, tag_of(op, UNFOLD), &acc);
     }
     acc
 }

@@ -8,7 +8,7 @@
 //!
 //! Data movement is view-based: because blocks are kept in local-rank
 //! order and the recursion's ranges nest, every hop of `scatter` ships a
-//! contiguous *sub-view* of an already-shared buffer ([`Rank::send_view`])
+//! contiguous *sub-view* of an already-shared buffer (`payload.slice`)
 //! — the root packs its blocks exactly once and no other copy happens on
 //! the way down. `broadcast` forwards one shared payload (an `Arc` clone
 //! per hop). `gather` assembles directly into a single rank-ordered
@@ -70,7 +70,7 @@ pub fn scatter(
             let (payload, lo) = held.as_ref().expect("scatter: rt holds data");
             let s = off[f.olo] - off[*lo];
             let e = off[f.ohi] - off[*lo];
-            rank.send_view(comm, f.ort, tag_of(op, f.depth), payload, s..e);
+            rank.send(comm, f.ort, tag_of(op, f.depth), payload.slice(s..e));
         } else {
             // me == f.ort: receive my set's blocks as one shared view.
             let payload = rank.recv(comm, f.rt, tag_of(op, f.depth));
@@ -129,7 +129,7 @@ pub fn gather(
     for f in all.iter().rev() {
         if me == f.ort {
             // My buffer is exactly blocks [olo, ohi) — send it whole.
-            rank.send_vec(comm, f.rt, tag_of(op, f.depth), buf);
+            rank.send(comm, f.rt, tag_of(op, f.depth), buf);
             return None;
         }
         // me == f.rt: land the opposite set's blocks in place.
@@ -194,7 +194,7 @@ pub fn reduce_binomial(
     // Reverse of broadcast: deepest-frame-first, adding as blocks arrive.
     for f in frames(me, p, root).into_iter().rev() {
         if me == f.ort {
-            rank.send_vec(comm, f.rt, tag_of(op, f.depth), acc);
+            rank.send(comm, f.rt, tag_of(op, f.depth), acc);
             // This rank's contribution is folded in upstream; it is done.
             return None;
         }

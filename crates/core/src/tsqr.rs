@@ -157,7 +157,7 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
             for &j in &active {
                 buf.extend_from_slice(&pack_upper(&r_cur[j]));
             }
-            rank.send_vec(comm, f.rt, tag(f.depth, 0), buf);
+            rank.send(comm, f.rt, tag(f.depth, 0), buf);
         } else {
             let incoming = rank.recv(comm, f.ort, tag(f.depth, 0));
             let mut off = 0;
@@ -208,7 +208,7 @@ pub fn tsqr_factor_batch(rank: &mut Rank, comm: &Comm, a_locals: &[Matrix]) -> V
                 b_cur[j] = stacked.submatrix(0, n, 0, n);
                 buf.extend_from_slice(&stacked.submatrix(n, 2 * n, 0, n).into_vec());
             }
-            rank.send_vec(comm, f.ort, tag(f.depth, 1), buf);
+            rank.send(comm, f.ort, tag(f.depth, 1), buf);
         }
     }
     debug_assert!(

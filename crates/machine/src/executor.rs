@@ -24,10 +24,10 @@
 //!   the original panic is propagated to the submitter, and the executor
 //!   is *poisoned*: further submissions refuse to run on wedged channels.
 //!
-//! Worker state that survives jobs: the message channels and each rank's
-//! [`Workspace`] scratch arena (a warm executor's inner loops allocate
-//! nothing after the first job). State rebuilt per job: mailbox, clock,
-//! totals, communicators.
+//! Worker state that survives jobs: each rank's [`Transport`] endpoint
+//! and its [`Workspace`] scratch arena (a warm executor's inner loops
+//! allocate nothing after the first job). State rebuilt per job:
+//! mailbox, clock, totals, communicators.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -38,7 +38,7 @@ use std::time::Duration;
 
 use crate::clock::{Clock, CostParams};
 use crate::machine::{Machine, Rank, RunOutput, RunStats, Totals};
-use crate::mailbox::Envelope;
+use crate::transport::{Endpoint, Transport};
 use crate::workspace::Workspace;
 
 /// Epoch value reserved for poison envelopes (sent by a rank whose job
@@ -62,10 +62,9 @@ struct WorkerCore {
     p: usize,
     params: CostParams,
     recv_timeout: Duration,
-    senders: Arc<Vec<Sender<Envelope>>>,
-    /// `Option` so a job can temporarily move the receiver into its
-    /// [`Rank`] and hand it back afterwards.
-    receiver: Option<Receiver<Envelope>>,
+    /// `Option` so a job can temporarily move the transport endpoint
+    /// into its [`Rank`] and hand it back afterwards.
+    endpoint: Option<Box<dyn Endpoint>>,
     /// Scratch arena reused across jobs.
     workspace: Workspace,
     /// Signals "the job closure has been destroyed" back to `submit` —
@@ -112,8 +111,16 @@ impl Executor {
     }
 
     /// Spawn the worker threads. `recv_timeout` is the already-scaled
-    /// effective deadlock timeout (see [`Machine::recv_timeout`]).
-    pub(crate) fn spawn(p: usize, params: CostParams, recv_timeout: Duration) -> Executor {
+    /// effective deadlock timeout (see [`Machine::recv_timeout`]), and
+    /// `transport` is the message substrate the ranks connect through —
+    /// one endpoint per rank, owned by its thread for the executor's
+    /// lifetime.
+    pub(crate) fn spawn(
+        p: usize,
+        params: CostParams,
+        recv_timeout: Duration,
+        transport: Arc<dyn Transport>,
+    ) -> Executor {
         assert!(p >= 1, "an executor needs at least one rank");
         // Tell the within-rank worker pool how many rank threads will
         // run concurrently, so `QR3D_RANK_THREADS` workers per rank
@@ -121,21 +128,25 @@ impl Executor {
         // Latest spawn wins: simultaneous executors share the host
         // conservatively under the largest rank count.
         qr3d_matrix::par::set_concurrent_ranks(p);
-        let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
-            (0..p).map(|_| channel()).unzip();
-        let senders = Arc::new(senders);
+        let endpoints = transport.connect(p);
+        assert_eq!(
+            endpoints.len(),
+            p,
+            "transport {:?} connected {} endpoints for {p} ranks",
+            transport.name(),
+            endpoints.len()
+        );
         let (ack_tx, ack_rx) = channel::<()>();
         let mut cmd_txs = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
-        for (id, rx) in receivers.into_iter().enumerate() {
+        for (id, endpoint) in endpoints.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = channel::<ErasedJob>();
             let mut core = WorkerCore {
                 id,
                 p,
                 params,
                 recv_timeout,
-                senders: Arc::clone(&senders),
-                receiver: Some(rx),
+                endpoint: Some(endpoint),
                 workspace: Workspace::new(),
                 ack_tx: ack_tx.clone(),
             };
@@ -229,18 +240,17 @@ impl Executor {
         for cmd_tx in &self.cmd_txs {
             let tx = res_tx.clone();
             let job = move |core: &mut WorkerCore| {
-                let receiver = core
-                    .receiver
+                let endpoint = core
+                    .endpoint
                     .take()
-                    .expect("worker owns its receiver between jobs");
+                    .expect("worker owns its endpoint between jobs");
                 let workspace = std::mem::take(&mut core.workspace);
                 let mut rank = Rank::new(
                     core.id,
                     core.p,
                     core.params,
                     core.recv_timeout,
-                    Arc::clone(&core.senders),
-                    receiver,
+                    endpoint,
                     workspace,
                     epoch,
                 );
@@ -252,8 +262,8 @@ impl Executor {
                         Err(payload)
                     }
                 };
-                let (receiver, workspace) = rank.into_parts();
-                core.receiver = Some(receiver);
+                let (endpoint, workspace) = rank.into_parts();
+                core.endpoint = Some(endpoint);
                 core.workspace = workspace;
                 let _ = tx.send((core.id, report));
             };
@@ -404,7 +414,7 @@ mod tests {
                 // Ring shift: everyone sends its id to the next rank.
                 let next = (rank.id() + 1) % rank.nprocs();
                 let prev = (rank.id() + rank.nprocs() - 1) % rank.nprocs();
-                rank.send_slice(&w, next, round, &[rank.id() as f64]);
+                rank.send(&w, next, round, &[rank.id() as f64]);
                 rank.recv(&w, prev, round)[0]
             });
             assert_eq!(out.results, vec![3.0, 0.0, 1.0, 2.0], "round {round}");
@@ -427,7 +437,7 @@ mod tests {
                         val += rank.recv(&w, src, gap as u64)[0];
                     }
                 } else if rank.id() % (2 * gap) == gap {
-                    rank.send_slice(&w, rank.id() - gap, gap as u64, &[val]);
+                    rank.send(&w, rank.id() - gap, gap as u64, &[val]);
                     break;
                 }
                 gap *= 2;
@@ -543,7 +553,7 @@ mod tests {
             let w = rank.world();
             if rank.id() == 0 {
                 for dst in 1..rank.nprocs() {
-                    rank.send_slice(&w, dst, 7, &[dst as f64]);
+                    rank.send(&w, dst, 7, &[dst as f64]);
                 }
                 0.0
             } else {

@@ -17,18 +17,27 @@
 //! communication, mirroring the paper's assumption that processor grids are
 //! given).
 //!
-//! ## Zero-copy message fabric
+//! ## Zero-copy message fabric over pluggable transports
 //!
 //! Message data travels as [`Payload`]s — `Arc`-shared buffers with
 //! offset/length view windows. A send moves a reference, not words: the
 //! model charges α + wβ for a message of `w` words, and the simulator's
 //! wall-clock matches that shape because no memcpy happens at send,
-//! mailbox buffering, or receive. [`Rank::send_view`] ships a sub-range of
-//! a buffer in O(1), and [`Rank::recv_into`] lands a message directly in a
-//! caller buffer when owned storage is required (the single copy such a
-//! receive fundamentally needs). Each rank also carries a [`Workspace`]
-//! scratch arena so kernel inner loops can recycle buffers instead of
-//! allocating.
+//! mailbox buffering, or receive. `payload.slice(a..b)` ships a
+//! sub-range of a buffer in O(1), and [`Rank::recv_into`] lands a message
+//! directly in a caller buffer when owned storage is required (the single
+//! copy such a receive fundamentally needs). Each rank also carries a
+//! [`Workspace`] scratch arena so kernel inner loops can recycle buffers
+//! instead of allocating.
+//!
+//! *How* envelopes move between ranks is a [`Transport`] decision: the
+//! unbounded-channel [`MpscTransport`] (default) and the bounded SPSC
+//! [`RingTransport`] ship in-repo, selected per machine with
+//! [`Machine::with_transport`] or process-wide with [`TRANSPORT_ENV`].
+//! Everything semantic — tag matching, epoch isolation, poison wakeups,
+//! the deadlock timeout, and all cost accounting — lives above the
+//! transport boundary, so swapping substrates cannot change a charged
+//! cost (see the [`transport`] module docs).
 //!
 //! ## Critical-path cost accounting
 //!
@@ -72,7 +81,7 @@
 //!     let world = rank.world();
 //!     if rank.id() == 0 {
 //!         for dst in 1..world.size() {
-//!             rank.send_slice(&world, dst, 7, &[42.0]);
+//!             rank.send(&world, dst, 7, &[42.0]);
 //!         }
 //!         42.0
 //!     } else {
@@ -90,6 +99,8 @@ pub mod executor;
 mod machine;
 mod mailbox;
 mod payload;
+pub mod ring;
+pub mod transport;
 mod workspace;
 
 pub use clock::{Clock, CostParams};
@@ -97,4 +108,6 @@ pub use comm::Comm;
 pub use executor::Executor;
 pub use machine::{Machine, Rank, RunOutput, RunStats, Totals, RECV_TIMEOUT_ENV};
 pub use payload::Payload;
+pub use ring::{RingTransport, RING_CAP_ENV};
+pub use transport::{Endpoint, Envelope, MpscTransport, RecvTimedOut, Transport, TRANSPORT_ENV};
 pub use workspace::Workspace;

@@ -2,15 +2,15 @@
 //! (a thin wrapper spawning a throwaway [`Executor`]), and the [`Rank`]
 //! handle the SPMD closures receive.
 
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::clock::{Clock, CostParams};
 use crate::comm::Comm;
 use crate::executor::{Executor, POISON_EPOCH};
-use crate::mailbox::{Envelope, Mailbox};
+use crate::mailbox::Mailbox;
 use crate::payload::Payload;
+use crate::transport::{transport_from_env, Endpoint, Envelope, Transport};
 use crate::workspace::Workspace;
 
 /// Default *base* receive timeout before a blocked `recv` is declared a
@@ -29,13 +29,15 @@ const DEFAULT_RECV_TIMEOUT_BASE: Duration = Duration::from_secs(60);
 /// default could false-positive as a deadlock.
 pub const RECV_TIMEOUT_ENV: &str = "QR3D_RECV_TIMEOUT_SECS";
 
-/// A simulated distributed-memory machine with `p` processors and α-β-γ
-/// cost parameters (see [`CostParams`]).
+/// A simulated distributed-memory machine with `p` processors, α-β-γ
+/// cost parameters (see [`CostParams`]), and a pluggable message
+/// substrate (see [`Transport`]).
 #[derive(Debug, Clone)]
 pub struct Machine {
     p: usize,
     params: CostParams,
     recv_base: Duration,
+    transport: Arc<dyn Transport>,
 }
 
 /// Aggregate (whole-execution, *not* critical-path) counters for one rank.
@@ -99,7 +101,10 @@ pub struct RunOutput<T> {
 }
 
 impl Machine {
-    /// A machine with `p` ranks. `p` must be at least 1.
+    /// A machine with `p` ranks. `p` must be at least 1. The message
+    /// substrate comes from [`TRANSPORT_ENV`](crate::TRANSPORT_ENV)
+    /// (default: the unbounded [`MpscTransport`](crate::MpscTransport));
+    /// override it per machine with [`Machine::with_transport`].
     pub fn new(p: usize, params: CostParams) -> Self {
         assert!(p >= 1, "a machine needs at least one processor");
         let recv_base = std::env::var(RECV_TIMEOUT_ENV)
@@ -115,6 +120,7 @@ impl Machine {
             p,
             params,
             recv_base,
+            transport: transport_from_env(),
         }
     }
 
@@ -130,11 +136,28 @@ impl Machine {
 
     /// Set the *base* receive deadlock timeout, overriding the default
     /// and any [`RECV_TIMEOUT_ENV`] setting. The effective timeout still
-    /// scales with `P` (see [`Machine::recv_timeout`]).
+    /// scales with `P` (see [`Machine::recv_timeout`]), and it is
+    /// enforced in the transport-independent receive wrapper — every
+    /// backend shares it.
     pub fn with_recv_timeout(mut self, base: Duration) -> Self {
         assert!(base > Duration::ZERO, "receive timeout must be positive");
         self.recv_base = base;
         self
+    }
+
+    /// Use `transport` as this machine's message substrate, overriding
+    /// the [`TRANSPORT_ENV`](crate::TRANSPORT_ENV) selection. Charged
+    /// costs are transport-independent by construction, so swapping the
+    /// substrate can never change a measured (F, W, S).
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The message substrate executors of this machine will connect
+    /// through.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// The effective per-receive deadlock timeout: the configured base
@@ -154,7 +177,12 @@ impl Machine {
     /// warm-pool entry point for running many jobs without respawning
     /// threads (see the [`crate::executor`] module docs).
     pub fn executor(&self) -> Executor {
-        Executor::spawn(self.p, self.params, self.recv_timeout())
+        Executor::spawn(
+            self.p,
+            self.params,
+            self.recv_timeout(),
+            Arc::clone(&self.transport),
+        )
     }
 
     /// Run `f` on every rank (SPMD) and collect results and statistics.
@@ -186,10 +214,16 @@ impl Machine {
 /// arithmetic performed through this handle is charged to the rank's
 /// logical [`Clock`] under the α-β-γ model.
 ///
-/// Message data moves as [`Payload`]s: [`Rank::send`] performs no copy of
-/// the words (an `Arc` clone crosses the channel), and [`Rank::send_view`]
-/// ships a sub-range of a payload without materializing it. Borrowed data
-/// enters shared storage exactly once, at [`Rank::send_slice`].
+/// `Rank` is the *transport-independent wrapper* over an [`Endpoint`]:
+/// tag matching (through the mailbox), epoch leak detection, poison
+/// wakeups, the deadlock-timeout policy, and all clock accounting live
+/// here, identically for every message substrate.
+///
+/// Message data moves as [`Payload`]s: [`Rank::send`] accepts anything
+/// `Into<Payload>` and performs no copy of the words when given a
+/// `Payload` (view) or an owned `Vec<f64>` — an `Arc` clone crosses the
+/// transport. Borrowed slices are copied exactly once, into the fresh
+/// shared buffer.
 pub struct Rank {
     id: usize,
     p: usize,
@@ -198,8 +232,7 @@ pub struct Rank {
     /// The job epoch stamped on every envelope this rank sends; receives
     /// reject traffic from any other epoch (cross-job leak detection).
     epoch: u64,
-    senders: Arc<Vec<Sender<Envelope>>>,
-    receiver: Receiver<Envelope>,
+    endpoint: Box<dyn Endpoint>,
     mailbox: Mailbox,
     world: Comm,
     scratch: Workspace,
@@ -213,8 +246,7 @@ impl Rank {
         p: usize,
         params: CostParams,
         recv_timeout: Duration,
-        senders: Arc<Vec<Sender<Envelope>>>,
-        receiver: Receiver<Envelope>,
+        endpoint: Box<dyn Endpoint>,
         scratch: Workspace,
         epoch: u64,
     ) -> Self {
@@ -224,8 +256,7 @@ impl Rank {
             params,
             recv_timeout,
             epoch,
-            senders,
-            receiver,
+            endpoint,
             mailbox: Mailbox::new(),
             world: Comm::world(p, id),
             scratch,
@@ -234,10 +265,35 @@ impl Rank {
         }
     }
 
-    /// Give the per-thread parts (message receiver, scratch arena) back
+    /// Build a rank directly over a raw endpoint — the conformance
+    /// suite's backdoor for driving the wrapper semantics (epoch
+    /// rejection, timeout policy, mailbox matching) against an arbitrary
+    /// transport without an executor in the way. Not part of the stable
+    /// API.
+    #[doc(hidden)]
+    pub fn over_endpoint(
+        id: usize,
+        p: usize,
+        params: CostParams,
+        recv_timeout: Duration,
+        endpoint: Box<dyn Endpoint>,
+        epoch: u64,
+    ) -> Self {
+        Rank::new(
+            id,
+            p,
+            params,
+            recv_timeout,
+            endpoint,
+            Workspace::new(),
+            epoch,
+        )
+    }
+
+    /// Give the per-thread parts (transport endpoint, scratch arena) back
     /// to the executor's worker once the job is done.
-    pub(crate) fn into_parts(self) -> (Receiver<Envelope>, Workspace) {
-        (self.receiver, self.scratch)
+    pub(crate) fn into_parts(self) -> (Box<dyn Endpoint>, Workspace) {
+        (self.endpoint, self.scratch)
     }
 
     /// Buffered-but-unmatched envelope count, checked at job end.
@@ -252,20 +308,25 @@ impl Rank {
 
     /// Wake every peer with a poison envelope after this rank's job
     /// panicked, so nobody waits out the deadlock timeout on a message
-    /// that will never come. Bypasses cost accounting (the job is dead).
+    /// that will never come. Bypasses cost accounting (the job is dead)
+    /// and uses best-effort delivery: a full bounded buffer means the
+    /// peer has traffic to drain and will fail on its own terms anyway.
     pub(crate) fn poison_peers(&mut self) {
         for dst in 0..self.p {
             if dst == self.id {
                 continue;
             }
-            let _ = self.senders[dst].send(Envelope {
-                src_global: self.id,
-                comm_id: 0,
-                tag: 0,
-                epoch: POISON_EPOCH,
-                payload: Payload::new(Vec::new()),
-                clock: self.clock,
-            });
+            let _ = self.endpoint.try_send(
+                dst,
+                Envelope {
+                    src_global: self.id,
+                    comm_id: 0,
+                    tag: 0,
+                    epoch: POISON_EPOCH,
+                    payload: Payload::new(Vec::new()),
+                    clock: self.clock,
+                },
+            );
         }
     }
 
@@ -321,25 +382,35 @@ impl Rank {
             clock: self.clock,
         };
         let dst_global = comm.global_of(dst_local);
-        self.senders[dst_global]
-            .send(env)
-            .expect("rank channel closed");
+        // The patience window doubles as the backpressure bound: a
+        // bounded transport may block here, but a sender stuck past the
+        // deadlock window is a deadlock and the endpoint panics.
+        self.endpoint.send(dst_global, env, self.recv_timeout);
     }
 
     /// Send `payload` to `dst_local` (a local rank of `comm`) with message
-    /// tag `tag`. Asynchronous: never blocks. Costs α + wβ on this rank.
+    /// tag `tag`. Asynchronous on unbounded transports; a bounded
+    /// transport may briefly block under backpressure (and treats being
+    /// stuck past the deadlock window as fatal). Costs α + wβ on this
+    /// rank either way — charged costs never depend on the substrate.
     ///
-    /// **Zero-copy**: only the `Arc` reference crosses the channel; the
-    /// receiver's [`Payload`] views the same allocation.
+    /// Accepts anything `Into<Payload>`:
+    /// * `&Payload` / `Payload` — **zero-copy**: only the `Arc` reference
+    ///   crosses the transport, and `payload.slice(a..b)` ships a
+    ///   sub-range without materializing it;
+    /// * `Vec<f64>` — zero-copy (the `Vec` moves into shared storage);
+    /// * `&[f64]` (and `&[f64; N]`, `&Vec<f64>`) — one copy into a fresh
+    ///   shared buffer. For repeated sends of the same data, build a
+    ///   [`Payload`] once and send references to it.
     ///
     /// Self-sends are allowed (they still cost a message at each end, so
     /// algorithms should avoid them; collectives here do).
-    pub fn send(&mut self, comm: &Comm, dst_local: usize, tag: u64, payload: &Payload) {
-        self.post(comm, dst_local, tag, payload.clone());
+    pub fn send<P: Into<Payload>>(&mut self, comm: &Comm, dst_local: usize, tag: u64, payload: P) {
+        self.post(comm, dst_local, tag, payload.into());
     }
 
-    /// Send a sub-range of `payload` without materializing it (O(1) view
-    /// formation; the words are never copied).
+    /// Send a sub-range of `payload` without materializing it.
+    #[deprecated(note = "use `send(comm, dst, tag, payload.slice(range))` instead")]
     pub fn send_view(
         &mut self,
         comm: &Comm,
@@ -351,19 +422,23 @@ impl Rank {
         self.post(comm, dst_local, tag, payload.slice(range));
     }
 
-    /// Send an owned buffer — zero-copy (the `Vec` moves into shared
-    /// storage without its words being touched).
+    /// Send an owned buffer.
+    #[deprecated(note = "use the generic `send` — it accepts `Vec<f64>` directly")]
     pub fn send_vec(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: Vec<f64>) {
         self.post(comm, dst_local, tag, Payload::new(data));
     }
 
-    /// Send borrowed words, copying them once into a fresh payload. For
-    /// repeated sends of the same data, build a [`Payload`] and use
-    /// [`Rank::send`] instead.
+    /// Send borrowed words, copying them once into a fresh payload.
+    #[deprecated(note = "use the generic `send` — it accepts `&[f64]` directly")]
     pub fn send_slice(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: &[f64]) {
         self.post(comm, dst_local, tag, Payload::from_slice(data));
     }
 
+    /// The transport-independent receive wrapper: mailbox matching, the
+    /// deadlock-timeout policy (base × machine-size scaling, see
+    /// [`Machine::recv_timeout`]), poison wakeups, and epoch leak
+    /// detection all happen here — every [`Endpoint`] implementation
+    /// gets them for free.
     fn recv_envelope(&mut self, comm: &Comm, src_local: usize, tag: u64) -> Envelope {
         let key = (comm.global_of(src_local), comm.id, tag);
         loop {
@@ -374,7 +449,7 @@ impl Rank {
                 self.totals.msgs_recv += 1.0;
                 return env;
             }
-            match self.receiver.recv_timeout(self.recv_timeout) {
+            match self.endpoint.recv(self.recv_timeout) {
                 Ok(env) => {
                     if env.epoch == POISON_EPOCH {
                         // The marker lets `submit` recognize this as a
@@ -431,12 +506,12 @@ impl Rank {
     /// the partner's message with the same tag. The send is issued first,
     /// so a symmetric pair never deadlocks. This is the primitive used by
     /// bidirectional-exchange collectives.
-    pub fn sendrecv(
+    pub fn sendrecv<P: Into<Payload>>(
         &mut self,
         comm: &Comm,
         partner_local: usize,
         tag: u64,
-        payload: &Payload,
+        payload: P,
     ) -> Payload {
         self.send(comm, partner_local, tag, payload);
         self.recv(comm, partner_local, tag)
@@ -466,12 +541,12 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send_slice(&w, 1, 1, &[1.0, 2.0, 3.0]);
+                rank.send(&w, 1, 1, &[1.0, 2.0, 3.0]);
                 rank.recv(&w, 1, 2).to_vec()
             } else {
                 let v = rank.recv(&w, 0, 1);
                 let doubled: Vec<f64> = v.iter().map(|x| 2.0 * x).collect();
-                rank.send_slice(&w, 0, 2, &doubled);
+                rank.send(&w, 0, 2, &doubled);
                 doubled
             }
         });
@@ -520,7 +595,7 @@ mod tests {
         let out = m.run(move |rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send_view(&w, 1, 0, base_ref, 10..20);
+                rank.send(&w, 1, 0, base_ref.slice(10..20));
                 None
             } else {
                 let got = rank.recv(&w, 0, 0);
@@ -540,7 +615,7 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send_vec(&w, 1, 0, vec![1.0, 2.0, 3.0]);
+                rank.send(&w, 1, 0, vec![1.0, 2.0, 3.0]);
                 vec![]
             } else {
                 let mut buf = vec![0.0; 5];
@@ -557,8 +632,8 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send_slice(&w, 1, 10, &[10.0]);
-                rank.send_slice(&w, 1, 20, &[20.0]);
+                rank.send(&w, 1, 10, &[10.0]);
+                rank.send(&w, 1, 20, &[20.0]);
                 0.0
             } else {
                 // Receive in the opposite order of sending.
@@ -579,7 +654,7 @@ mod tests {
             let w = rank.world();
             if rank.id() == 0 {
                 rank.charge_flops(1000.0);
-                rank.send_slice(&w, 1, 0, &[0.0]);
+                rank.send(&w, 1, 0, &[0.0]);
             } else {
                 rank.recv(&w, 0, 0);
             }
@@ -596,9 +671,9 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             match rank.id() {
-                0 => rank.send_slice(&w, 1, 0, &[1.0; 10]),
+                0 => rank.send(&w, 1, 0, &[1.0; 10]),
                 1 => drop(rank.recv(&w, 0, 0)),
-                2 => rank.send_slice(&w, 3, 0, &[1.0; 10]),
+                2 => rank.send(&w, 3, 0, &[1.0; 10]),
                 3 => drop(rank.recv(&w, 2, 0)),
                 _ => unreachable!(),
             }
@@ -634,7 +709,7 @@ mod tests {
             if rank.id() % 2 == 1 {
                 let odd = w.subset(&[1, 3]).expect("odd rank");
                 if odd.rank() == 0 {
-                    rank.send_slice(&odd, 1, 0, &[99.0]);
+                    rank.send(&odd, 1, 0, &[99.0]);
                     0.0
                 } else {
                     rank.recv(&odd, 0, 0)[0]
@@ -652,7 +727,7 @@ mod tests {
         let out = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send_vec(&w, 1, 0, vec![5.0; 100]);
+                rank.send(&w, 1, 0, vec![5.0; 100]);
                 0.0
             } else {
                 rank.recv(&w, 0, 0).iter().sum::<f64>()
@@ -660,6 +735,32 @@ mod tests {
         });
         assert_eq!(out.results[1], 500.0);
         assert_eq!(out.stats.total_volume(), 100.0);
+    }
+
+    /// The one-PR migration shims must keep their original semantics
+    /// until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_send_shims_still_work() {
+        let base = Payload::new((0..10).map(|i| i as f64).collect());
+        let m = Machine::new(2, CostParams::unit());
+        let base_ref = &base;
+        let out = m.run(move |rank| {
+            let w = rank.world();
+            if rank.id() == 0 {
+                rank.send_slice(&w, 1, 0, &[1.0, 2.0]);
+                rank.send_vec(&w, 1, 1, vec![3.0]);
+                rank.send_view(&w, 1, 2, base_ref, 4..6);
+                0.0
+            } else {
+                let a = rank.recv(&w, 0, 0).to_vec();
+                let b = rank.recv(&w, 0, 1).to_vec();
+                let c = rank.recv(&w, 0, 2);
+                assert!(c.same_buffer(base_ref), "send_view stays zero-copy");
+                a.iter().chain(b.iter()).chain(c.iter()).sum::<f64>()
+            }
+        });
+        assert_eq!(out.results[1], 1.0 + 2.0 + 3.0 + 4.0 + 5.0);
     }
 
     #[test]
@@ -685,8 +786,8 @@ mod tests {
         let _ = m.run(|rank| {
             let w = rank.world();
             if rank.id() == 0 {
-                rank.send_slice(&w, 1, 0, &[1.0]);
-                rank.send_slice(&w, 1, 1, &[2.0]); // never received
+                rank.send(&w, 1, 0, &[1.0]);
+                rank.send(&w, 1, 1, &[2.0]); // never received
             } else {
                 rank.recv(&w, 0, 0);
             }
@@ -743,7 +844,7 @@ mod tests {
                         }
                     } else if rank.id() % (2 * gap) == gap {
                         let dst = rank.id() - gap;
-                        rank.send_slice(&w, dst, gap as u64, &[val]);
+                        rank.send(&w, dst, gap as u64, &[val]);
                         break;
                     }
                     gap *= 2;
@@ -758,5 +859,28 @@ mod tests {
         assert_eq!(v1, 28.0, "0+1+...+7");
         assert_eq!(v1, v2);
         assert_eq!(c1, c2, "logical clocks must be deterministic");
+    }
+
+    #[test]
+    fn transports_are_observationally_identical() {
+        // The same program over both substrates: results, per-rank
+        // clocks, and totals must agree bitwise — charged costs live
+        // entirely above the transport boundary.
+        let run_over = |transport: Arc<dyn crate::Transport>| {
+            let m = Machine::new(4, CostParams::supercomputer()).with_transport(transport);
+            m.run(|rank| {
+                let w = rank.world();
+                let next = (rank.id() + 1) % rank.nprocs();
+                let prev = (rank.id() + rank.nprocs() - 1) % rank.nprocs();
+                rank.charge_flops((rank.id() + 1) as f64);
+                rank.send(&w, next, 0, vec![rank.id() as f64; 8]);
+                rank.recv(&w, prev, 0)[0]
+            })
+        };
+        let mpsc = run_over(Arc::new(crate::MpscTransport));
+        let ring = run_over(Arc::new(crate::RingTransport::with_capacity(2)));
+        assert_eq!(mpsc.results, ring.results);
+        assert_eq!(mpsc.stats.per_rank, ring.stats.per_rank);
+        assert_eq!(mpsc.stats.totals, ring.stats.totals);
     }
 }

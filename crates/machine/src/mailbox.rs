@@ -6,27 +6,12 @@
 //! sequence of their mutual sends/receives — makes matching deterministic.
 //!
 //! Buffering an envelope is free of data movement: the payload is a
-//! shared [`Payload`] view, so the mailbox only moves an `Arc`.
+//! shared [`Payload`](crate::Payload) view, so the mailbox only moves
+//! an `Arc`.
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::clock::Clock;
-use crate::payload::Payload;
-
-/// A message on the wire: a shared payload view plus the sender's clock
-/// snapshot taken *after* the send was charged. The `epoch` stamps which
-/// executor job the message belongs to: receives reject envelopes from
-/// any other epoch, so traffic from consecutive jobs sharing the same
-/// channels (and communicator ids, which are deterministic) can never be
-/// confused.
-pub(crate) struct Envelope {
-    pub src_global: usize,
-    pub comm_id: u64,
-    pub tag: u64,
-    pub epoch: u64,
-    pub payload: Payload,
-    pub clock: Clock,
-}
+use crate::transport::Envelope;
 
 /// Match key for a pending receive.
 pub(crate) type Key = (usize, u64, u64);
@@ -75,6 +60,8 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::Clock;
+    use crate::payload::Payload;
 
     fn env(src: usize, comm: u64, tag: u64, val: f64) -> Envelope {
         Envelope {

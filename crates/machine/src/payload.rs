@@ -130,6 +130,27 @@ impl From<&[f64]> for Payload {
     }
 }
 
+impl<const N: usize> From<&[f64; N]> for Payload {
+    fn from(s: &[f64; N]) -> Self {
+        Payload::from_slice(s)
+    }
+}
+
+impl From<&Vec<f64>> for Payload {
+    fn from(v: &Vec<f64>) -> Self {
+        Payload::from_slice(v)
+    }
+}
+
+/// O(1): an `Arc` clone of the view — this is what lets generic
+/// `Rank::send` call sites pass `&payload` and keep the zero-copy
+/// guarantee.
+impl From<&Payload> for Payload {
+    fn from(p: &Payload) -> Self {
+        p.clone()
+    }
+}
+
 impl std::fmt::Debug for Payload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Payload")

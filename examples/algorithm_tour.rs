@@ -3,8 +3,6 @@
 //!
 //! Run with: `cargo run --release --example algorithm_tour`
 
-use qr3d::core::caqr2d::caqr2d_block;
-use qr3d::core::house2d::Grid2Config;
 use qr3d::prelude::*;
 
 fn main() {

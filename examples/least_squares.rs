@@ -10,7 +10,6 @@
 //!
 //! Run with: `cargo run --release --example least_squares`
 
-use qr3d::core::house2d::Grid2Config;
 use qr3d::prelude::*;
 
 fn main() {

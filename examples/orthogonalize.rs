@@ -11,8 +11,6 @@
 //!
 //! Run with: `cargo run --release --example orthogonalize`
 
-use qr3d::matrix::gemm::{matmul, matmul_tn};
-use qr3d::matrix::layout::BlockRow;
 use qr3d::prelude::*;
 
 fn main() {
