@@ -25,7 +25,8 @@ use std::time::Instant;
 use qr3d_bench::report::{BenchReport, GateMode};
 use qr3d_bench::{
     executor_warm_vs_cold_secs, run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch,
-    run_cholqr2_batch_over, run_pivotqr, run_rrqr, run_tsqr, run_tsqr_over,
+    run_cholqr2_batch_over, run_pivotqr, run_rrqr, run_tsqr, run_tsqr_over, service_closed_loop,
+    spawn_per_request_closed_loop,
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_machine::{MpscTransport, RingTransport, Transport};
@@ -163,6 +164,31 @@ fn emit() -> BenchReport {
         speedup,
         GateMode::Ge,
         0.45,
+    );
+
+    // The service layer's headline: at 16 concurrent closed-loop
+    // clients, the warm coalesced pool must sustain more requests per
+    // second than spawn-per-request `factor` calls. Wall-clock on
+    // contended thread scheduling, so: median of 3 and a generous
+    // tolerance — chosen so the gated floor still sits above 1× (the
+    // pool *losing* to naive spawning is a feature regression, never
+    // noise).
+    let pool_speedup = {
+        let mut ratios: Vec<f64> = (0..3)
+            .map(|_| {
+                let naive = spawn_per_request_closed_loop(512, 16, 8, 16, 3);
+                let fused = service_closed_loop(512, 16, 8, 16, 3, true);
+                fused.reqs_per_sec() / naive.reqs_per_sec()
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios[ratios.len() / 2]
+    };
+    report.push(
+        "speedup/service_pool_coalesced_over_spawn_k16",
+        pool_speedup,
+        GateMode::Ge,
+        0.5,
     );
 
     // -- Wall-clock sanity. Only the blocked/reference *ratio* is gated:

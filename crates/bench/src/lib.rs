@@ -178,6 +178,136 @@ pub fn executor_warm_vs_cold_secs(m: usize, n: usize, p: usize, jobs: usize) -> 
     (cold, warm)
 }
 
+/// What a closed-loop service load measured: total wall-clock seconds
+/// and the per-request submit→result latencies (seconds, submission
+/// order).
+#[derive(Debug, Clone)]
+pub struct ServiceLoad {
+    /// Wall-clock seconds for the whole load.
+    pub secs: f64,
+    /// Per-request latencies in seconds.
+    pub latencies: Vec<f64>,
+}
+
+impl ServiceLoad {
+    /// Requests served per second.
+    pub fn reqs_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// The `q`-quantile latency (`0.5` = p50, `0.99` = p99), in seconds.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Drive a [`QrService`] with `clients` closed-loop threads, each
+/// submitting `jobs_each` TSQR problems of the same `m × n` shape
+/// (submit, wait, repeat — the arrival pattern a shared service sees
+/// from synchronous callers). `coalesced` toggles the scheduler between
+/// the default coalescing thresholds and [`ServiceConfig::uncoalesced`];
+/// admission blocks (no request is shed), so every latency sample is a
+/// served request. Each result is residual-checked against its input.
+pub fn service_closed_loop(
+    m: usize,
+    n: usize,
+    p: usize,
+    clients: usize,
+    jobs_each: usize,
+    coalesced: bool,
+) -> ServiceLoad {
+    let params = FactorParams::new(CostParams::unit());
+    let mut cfg = ServiceConfig::new(p, params)
+        .with_pool(2)
+        .with_queue_cap(64)
+        .with_admission(Admission::Block {
+            timeout: std::time::Duration::from_secs(120),
+        });
+    if !coalesced {
+        cfg = cfg.uncoalesced();
+    }
+    let svc = QrService::start(cfg);
+    let t = Instant::now();
+    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let svc = &svc;
+                s.spawn(move || {
+                    let a = Matrix::random(m, n, 100 + c as u64);
+                    let mut lat = Vec::with_capacity(jobs_each);
+                    for _ in 0..jobs_each {
+                        let t = Instant::now();
+                        let handle = svc
+                            .submit_with(a.clone(), QrBackend::Tsqr)
+                            .expect("blocking admission accepts");
+                        let res = handle.wait();
+                        lat.push(t.elapsed().as_secs_f64());
+                        let out = res.output.expect("tsqr on full-rank input");
+                        assert!(out.residual(&a) < TOL, "served factorization is wrong");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.push(h.join().expect("client thread"));
+        }
+    });
+    ServiceLoad {
+        secs: t.elapsed().as_secs_f64(),
+        latencies: latencies.into_iter().flatten().collect(),
+    }
+}
+
+/// The naive baseline for [`service_closed_loop`]: the same closed-loop
+/// client load, but every request pays a throwaway
+/// [`qr3d_core::backend::factor`] — a fresh machine and `P` thread
+/// spawns per call, with no admission control and no batching.
+pub fn spawn_per_request_closed_loop(
+    m: usize,
+    n: usize,
+    p: usize,
+    clients: usize,
+    jobs_each: usize,
+) -> ServiceLoad {
+    let params = FactorParams::new(CostParams::unit());
+    let t = Instant::now();
+    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let params = &params;
+                s.spawn(move || {
+                    let a = Matrix::random(m, n, 100 + c as u64);
+                    let mut lat = Vec::with_capacity(jobs_each);
+                    for _ in 0..jobs_each {
+                        let t = Instant::now();
+                        let out = factor(&a, p, QrBackend::Tsqr, params)
+                            .expect("tsqr on full-rank input");
+                        lat.push(t.elapsed().as_secs_f64());
+                        assert!(out.residual(&a) < TOL, "served factorization is wrong");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.push(h.join().expect("client thread"));
+        }
+    });
+    ServiceLoad {
+        secs: t.elapsed().as_secs_f64(),
+        latencies: latencies.into_iter().flatten().collect(),
+    }
+}
+
 /// Run the distributed column-pivoted QR on an `m × n` matrix over `p`
 /// ranks; verify `A·P = Q·R`, orthogonality, permutation validity, the
 /// non-increasing diagonal, and full-rank detection; return the

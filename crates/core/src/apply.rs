@@ -69,6 +69,45 @@ pub fn apply_q_1d(rank: &mut Rank, comm: &Comm, factors: &QrFactors, c_local: &M
     .expect("one problem in, one result out")
 }
 
+/// Apply `Q₁ᵀ` — only the **leading `rank` reflectors** of `factors` —
+/// to a row-distributed matrix. The low-rank serving path: after a
+/// factorization detected numerical rank `r`, the trailing `n − r`
+/// reflectors contribute nothing to `range(A)`; least-squares and
+/// basis-extraction consumers apply just `Q₁` and move an `r × j`
+/// reduce/broadcast payload instead of `n × j` (`Q₁ᵀb` *is* the
+/// coefficient vector against the detected basis). See
+/// [`crate::tsqr::QrFactors::truncate`] for the exact nesting argument.
+/// On an input of exact rank `r` the coefficient block `(QᵀC)[..r]`
+/// equals the full apply bit for bit; rows ≥ `r` of the full apply come
+/// from the arbitrary orthogonal null-space completion chosen by
+/// Householder reconstruction and carry no information about `A`. (With
+/// the serial `geqrt` kernel the trailing τ are exact zeros and the
+/// *whole* result matches bitwise — pinned in `qr3d_matrix::qr` tests.)
+///
+/// # Panics
+/// If `rank` exceeds the stored reflector count.
+pub fn apply_qt_1d_trunc(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactors,
+    c_local: &Matrix,
+    trunc: usize,
+) -> Matrix {
+    apply_qt_1d(rank, comm, &factors.truncate(trunc), c_local)
+}
+
+/// Apply `Q₁` — only the leading `rank` reflectors — to a
+/// row-distributed matrix (see [`apply_qt_1d_trunc`]).
+pub fn apply_q_1d_trunc(
+    rank: &mut Rank,
+    comm: &Comm,
+    factors: &QrFactors,
+    c_local: &Matrix,
+    trunc: usize,
+) -> Matrix {
+    apply_q_1d(rank, comm, &factors.truncate(trunc), c_local)
+}
+
 /// Apply `Qᵀ` to `k` independent row-distributed matrices with fused
 /// communication and batched root-local `T` solves (see the module
 /// docs): `factors[i]` is applied to `c_locals[i]`. The batch pays one
@@ -488,6 +527,89 @@ mod tests {
         for err in out.results {
             assert!(err < 1e-12, "QᵀQC = C through the batch: {err}");
         }
+    }
+
+    #[test]
+    fn truncated_apply_equals_full_apply_on_exact_rank_k() {
+        // A of exact rank k (trailing columns exactly zero). TSQR's
+        // Householder *reconstruction* completes the null space with an
+        // arbitrary orthogonal tail, so the trailing reflectors act
+        // freely on rows ≥ k — but every reflector beyond the first k
+        // is identity ON THE LEADING k ROWS, so the coefficient block
+        // `(QᵀC)[:k]` (everything a rank-k least-squares solve or basis
+        // extraction consumes) must match the full apply BITWISE, while
+        // moving a k-width reduce/broadcast payload instead of n-width.
+        // (The serial kernel pins *full* bitwise equality in
+        // `qr3d_matrix::qr` tests, where the trailing τ are exact
+        // zeros.)
+        let (m, n, k, j, p) = (64usize, 8usize, 3usize, 2usize, 4usize);
+        let mut a = Matrix::zeros(m, n);
+        a.set_submatrix(0, 0, &Matrix::random(m, k, 41));
+        let c = Matrix::random(m, j, 42);
+        let lay = BlockRow::balanced(m, 1, p);
+        let machine = Machine::new(p, CostParams::unit());
+        let out = machine.run(|rank| {
+            let w = rank.world();
+            let rows = lay.local_rows(w.rank());
+            let f = tsqr_factor(rank, &w, &a.take_rows(&rows));
+            let c_loc = c.take_rows(&rows);
+            let full = apply_qt_1d(rank, &w, &f, &c_loc);
+            let before = rank.clock();
+            let trunc = apply_qt_1d_trunc(rank, &w, &f, &c_loc, k);
+            let trunc_words = rank.clock().since(&before).words;
+            let back = apply_q_1d_trunc(rank, &w, &f, &trunc, k);
+            (f, full, trunc, trunc_words, back)
+        });
+        // The detected rank on the root's R is exactly k.
+        let r = out.results[0].0.r.as_ref().expect("root holds R");
+        assert_eq!(
+            qr3d_matrix::pivot::detected_rank(r, qr3d_matrix::pivot::rank_tolerance(m, n)),
+            k
+        );
+        for (rk, (_, full, trunc, _, _)) in out.results.iter().enumerate() {
+            assert_eq!(
+                full.rows(),
+                trunc.rows(),
+                "rank {rk}: truncated apply keeps the row distribution"
+            );
+        }
+        // Rank 0 owns the global leading k rows (m/P = 16 ≥ k): the
+        // coefficient block agrees bit for bit.
+        let (_, full0, trunc0, _, _) = &out.results[0];
+        assert_eq!(
+            full0.submatrix(0, k, 0, j),
+            trunc0.submatrix(0, k, 0, j),
+            "coefficients against the detected basis ≡ full apply bitwise"
+        );
+        // And it is cheaper on the wire: k/n of the payload.
+        let full_words = {
+            let out2 = machine.run(|rank| {
+                let w = rank.world();
+                let rows = lay.local_rows(w.rank());
+                let f = tsqr_factor(rank, &w, &a.take_rows(&rows));
+                let before = rank.clock();
+                let _ = apply_qt_1d(rank, &w, &f, &c.take_rows(&rows));
+                rank.clock().since(&before).words
+            });
+            out2.results.iter().copied().fold(0.0, f64::max)
+        };
+        let trunc_words = out.results.iter().map(|r| r.3).fold(0.0, f64::max);
+        assert!(
+            trunc_words < full_words,
+            "truncated apply must move fewer words ({trunc_words} vs {full_words})"
+        );
+        // Q₁ = H₀···H_{k−1} is a full orthogonal operator (the
+        // truncation drops *reflectors*, not columns), so the
+        // roundtrip Q₁·(Q₁ᵀ·C) recovers C.
+        let starts = lay.starts();
+        let mut back_full = Matrix::zeros(m, j);
+        for (rk, (_, _, _, _, back)) in out.results.iter().enumerate() {
+            back_full.set_submatrix(starts[rk], 0, back);
+        }
+        assert!(
+            back_full.sub(&c).max_abs() < 1e-12,
+            "Q₁·Q₁ᵀ·C = C through the truncated factors"
+        );
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   [`session::Session::factor_batch`], which fuses same-shape
 //!   tall-skinny batches into shared reduction trees
 //!   (`S_batch ≈ S_single`).
+//! * [`service`] — the multi-tenant layer above sessions:
+//!   [`service::QrService`] pools warm executors behind a bounded
+//!   admission queue and a coalescing scheduler that turns concurrent
+//!   same-shape requests into fused batches.
 
 pub mod apply;
 pub mod backend;
@@ -48,6 +52,7 @@ pub mod iterative;
 pub mod panel;
 pub mod params;
 pub mod rrqr;
+pub mod service;
 pub mod session;
 pub mod shifted;
 pub mod tsqr;
@@ -58,7 +63,10 @@ pub use tsqr::QrFactors;
 
 /// Glob-import surface.
 pub mod prelude {
-    pub use crate::apply::{apply_q_1d, apply_q_1d_batch, apply_qt_1d, apply_qt_1d_batch};
+    pub use crate::apply::{
+        apply_q_1d, apply_q_1d_batch, apply_q_1d_trunc, apply_qt_1d, apply_qt_1d_batch,
+        apply_qt_1d_trunc,
+    };
     pub use crate::backend::{
         factor, factor_auto, factor_on, BatchPlan, FactorError, FactorOutput, FactorParams,
         QrBackend,
@@ -77,6 +85,10 @@ pub mod prelude {
     };
     pub use crate::params::{caqr1d_block, caqr3d_blocks};
     pub use crate::rrqr::{pivot_qr_factor, rrqr_factor, RankRevealedFactors, RrqrConfig};
+    pub use crate::service::{
+        Admission, JobHandle, JobResult, JobStats, QrService, ServiceConfig, ServiceError,
+        ServiceFull, ServiceStats,
+    };
     pub use crate::session::{BatchOutput, Session};
     pub use crate::shifted::ShiftedRowCyclic;
     pub use crate::tsqr::{tsqr_factor, tsqr_factor_batch, QrFactors};

@@ -1,0 +1,1136 @@
+//! # A multi-tenant QR service: warm executor pool + coalescing scheduler
+//!
+//! [`crate::session::Session`] made one *client* cheap: a warm executor
+//! serves that client's problems back-to-back with no thread spawns,
+//! and same-shape batches fuse into shared reduction trees. But a
+//! session is `&mut self` — many concurrent clients would each need
+//! their own, and naively giving every client a session (or worse, a
+//! `Machine::run` spawn) oversubscribes the host and forfeits exactly
+//! the batching opportunity concurrent load creates.
+//!
+//! [`QrService`] is the serving layer on top:
+//!
+//! * **A warm pool.** `pool` sessions (each `P` persistent rank
+//!   threads), spawned once at [`QrService::start`]. Every session
+//!   declares the *process-wide* rank budget `pool × P` through
+//!   [`crate::session::Session::with_rank_budget`], so the within-rank
+//!   worker fanout ([`qr3d_matrix::par::fanout`]) shrinks accordingly
+//!   and `pool × P × fanout` never oversubscribes the cores.
+//! * **A bounded submission queue with admission control.**
+//!   [`QrService::submit`] either rejects immediately with
+//!   [`ServiceFull::QueueFull`] ([`Admission::Reject`], the default) or
+//!   blocks until space frees up or a deadline expires
+//!   ([`Admission::Block`]). Capacity and pool size come from
+//!   [`ServiceConfig`] or the environment (`QR3D_SERVICE_QUEUE_CAP`,
+//!   `QR3D_SERVICE_POOL`).
+//! * **A coalescing scheduler.** Queued requests are grouped by
+//!   *bucket* — `(m, n, backend, rank-hint)` — and a bucket is
+//!   dispatched to a pool session as **one** `factor_batch` call when
+//!   it reaches `coalesce_min` jobs or its oldest job has lingered
+//!   `max_linger`. Same-shape tall-skinny buckets therefore run
+//!   *fused* (one set of reduction trees for the whole bucket,
+//!   `S_batch ≈ S_single`) — the latency win materializes precisely
+//!   when the service is busiest. Per-problem arithmetic inside a
+//!   fused batch is identical to a standalone run, so results are
+//!   **bitwise identical** to [`crate::session::Session::factor`].
+//! * **Futures-like handles.** `submit` returns a [`JobHandle`];
+//!   [`JobHandle::wait`] blocks for the [`JobResult`] (output plus
+//!   per-job queue-wait / coalesce-size / wall-time stats),
+//!   [`JobHandle::wait_timeout`] gives the handle back on timeout.
+//! * **Fault isolation.** A job that panics inside the executor
+//!   poisons only *its* session; the worker fulfils the in-flight
+//!   bucket's handles with [`ServiceError::JobPanicked`], replaces the
+//!   executor ([`crate::session::Session::reset`]), and keeps serving.
+//!   Other pool sessions never notice.
+//!
+//! Shutdown is graceful: dropping the service (or calling
+//! [`QrService::shutdown`]) closes the submission queue, flushes every
+//! staged bucket, and joins the workers — every *accepted* job
+//! completes and its handle resolves.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qr3d_machine::Machine;
+use qr3d_matrix::dense::Matrix;
+
+use crate::backend::{FactorError, FactorOutput, FactorParams, QrBackend};
+use crate::session::Session;
+use qr3d_cost::advisor::RankHint;
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// What [`QrService::submit`] does when the submission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Fail fast with [`ServiceFull::QueueFull`] — the caller sheds
+    /// load (the default).
+    Reject,
+    /// Wait up to `timeout` for space, then fail with
+    /// [`ServiceFull::DeadlineExpired`].
+    Block {
+        /// How long a submission may wait for queue space.
+        timeout: Duration,
+    },
+}
+
+/// Deployment knobs for a [`QrService`]. Environment overrides (see
+/// [`ServiceConfig::from_env`]):
+///
+/// | variable                | field       | default | clamp      |
+/// |-------------------------|-------------|---------|------------|
+/// | `QR3D_SERVICE_POOL`     | `pool`      | 2       | 1..=64     |
+/// | `QR3D_SERVICE_QUEUE_CAP`| `queue_cap` | 64      | 1..=65536  |
+///
+/// Unparsable values fall back to the default — a misspelled override
+/// must not silently pick some *other* deployment shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Ranks per pooled executor (`P`).
+    pub ranks: usize,
+    /// Warm sessions in the pool.
+    pub pool: usize,
+    /// Submission-queue capacity (jobs admitted but not yet staged).
+    pub queue_cap: usize,
+    /// Full-queue policy.
+    pub admission: Admission,
+    /// Dispatch a bucket as soon as it holds this many jobs. `1`
+    /// disables coalescing (every job is its own batch).
+    pub coalesce_min: usize,
+    /// Dispatch a bucket when its oldest job has waited this long,
+    /// even below `coalesce_min` — bounds the latency cost of waiting
+    /// for peers that never arrive.
+    pub max_linger: Duration,
+    /// Advisory context handed to every pool session (machine prices,
+    /// κ estimate, rank hint).
+    pub params: FactorParams,
+}
+
+impl ServiceConfig {
+    /// Upper clamp on the pool size.
+    pub const MAX_POOL: usize = 64;
+    /// Upper clamp on the queue capacity.
+    pub const MAX_QUEUE_CAP: usize = 1 << 16;
+
+    /// The compiled-in defaults: pool of 2, queue of 64, reject-on-full,
+    /// coalesce at 4 jobs or 1 ms of linger.
+    pub fn new(ranks: usize, params: FactorParams) -> ServiceConfig {
+        ServiceConfig {
+            ranks: ranks.max(1),
+            pool: 2,
+            queue_cap: 64,
+            admission: Admission::Reject,
+            coalesce_min: 4,
+            max_linger: Duration::from_millis(1),
+            params,
+        }
+    }
+
+    /// Defaults plus environment overrides — the injectable,
+    /// deterministically testable core of [`ServiceConfig::from_env`].
+    pub fn from_lookup(
+        ranks: usize,
+        params: FactorParams,
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> ServiceConfig {
+        let parse = |key: &str, default: usize, max: usize| -> usize {
+            match lookup(key).and_then(|v| v.trim().parse::<usize>().ok()) {
+                Some(v) if v >= 1 => v.min(max),
+                _ => default,
+            }
+        };
+        let d = ServiceConfig::new(ranks, params);
+        ServiceConfig {
+            pool: parse("QR3D_SERVICE_POOL", d.pool, Self::MAX_POOL),
+            queue_cap: parse("QR3D_SERVICE_QUEUE_CAP", d.queue_cap, Self::MAX_QUEUE_CAP),
+            ..d
+        }
+    }
+
+    /// Defaults plus `QR3D_SERVICE_POOL` / `QR3D_SERVICE_QUEUE_CAP`.
+    pub fn from_env(ranks: usize, params: FactorParams) -> ServiceConfig {
+        ServiceConfig::from_lookup(ranks, params, |key| std::env::var(key).ok())
+    }
+
+    /// Set the pool size (clamped to `1..=`[`ServiceConfig::MAX_POOL`]).
+    pub fn with_pool(mut self, pool: usize) -> ServiceConfig {
+        self.pool = pool.clamp(1, Self::MAX_POOL);
+        self
+    }
+
+    /// Set the queue capacity (clamped to
+    /// `1..=`[`ServiceConfig::MAX_QUEUE_CAP`]).
+    pub fn with_queue_cap(mut self, cap: usize) -> ServiceConfig {
+        self.queue_cap = cap.clamp(1, Self::MAX_QUEUE_CAP);
+        self
+    }
+
+    /// Set the full-queue policy.
+    pub fn with_admission(mut self, admission: Admission) -> ServiceConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Set the coalescing thresholds.
+    pub fn with_coalescing(mut self, coalesce_min: usize, max_linger: Duration) -> ServiceConfig {
+        self.coalesce_min = coalesce_min.max(1);
+        self.max_linger = max_linger;
+        self
+    }
+
+    /// Disable coalescing: every job dispatches immediately as a
+    /// batch of one (the baseline the throughput bench compares
+    /// against).
+    pub fn uncoalesced(self) -> ServiceConfig {
+        self.with_coalescing(1, Duration::ZERO)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and results
+// ---------------------------------------------------------------------
+
+/// Admission failure: the job was **not** accepted (nothing will run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFull {
+    /// The submission queue held `cap` jobs and the policy is
+    /// [`Admission::Reject`].
+    QueueFull {
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// The [`Admission::Block`] timeout expired before space freed up.
+    DeadlineExpired,
+    /// The service is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for ServiceFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceFull::QueueFull { cap } => {
+                write!(f, "submission queue full ({cap} jobs); retry or shed load")
+            }
+            ServiceFull::DeadlineExpired => write!(f, "admission deadline expired"),
+            ServiceFull::Closed => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceFull {}
+
+/// Why an *accepted* job's result is an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The factorization itself failed recoverably (e.g. CholeskyQR2
+    /// breakdown) — the session is fine.
+    Factor(FactorError),
+    /// The job's bucket panicked inside the executor. The session that
+    /// ran it was poisoned and has been replaced; resubmitting is safe.
+    JobPanicked(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Factor(e) => write!(f, "{e}"),
+            ServiceError::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-job observability, measured by the service itself.
+#[derive(Debug, Clone, Copy)]
+pub struct JobStats {
+    /// Submission to dispatch — time spent queued and staged.
+    pub queue_wait: Duration,
+    /// How many jobs shared the dispatched bucket (≥ 1; > 1 means the
+    /// scheduler coalesced).
+    pub coalesced: usize,
+    /// Whether the bucket ran as a *fused* batch (shared reduction
+    /// trees) — see [`crate::session::BatchOutput::fused`].
+    pub fused: bool,
+    /// Submission to completion, wall clock.
+    pub wall: Duration,
+}
+
+/// What a resolved [`JobHandle`] yields.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The factorization, or why it failed.
+    pub output: Result<FactorOutput, ServiceError>,
+    /// The service-side timing of this job.
+    pub stats: JobStats,
+}
+
+struct Slot {
+    submitted: Instant,
+    state: Mutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            submitted: Instant::now(),
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, result: JobResult) {
+        let mut state = self.state.lock().unwrap();
+        *state = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A pending job: block on [`JobHandle::wait`] for its [`JobResult`].
+/// Every *accepted* job resolves — including through worker panics and
+/// service shutdown.
+pub struct JobHandle {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// True once the result is ready ([`JobHandle::wait`] won't block).
+    pub fn is_done(&self) -> bool {
+        self.slot.state.lock().unwrap().is_some()
+    }
+
+    /// Block until the job resolves.
+    pub fn wait(self) -> JobResult {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.slot.cv.wait(state).unwrap();
+        }
+    }
+
+    /// Block up to `timeout`; on expiry the handle is returned so the
+    /// caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<JobResult, JobHandle> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.take() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                return Err(self);
+            }
+            let (guard, _) = self.slot.cv.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal plumbing: jobs, buckets, queues
+// ---------------------------------------------------------------------
+
+/// The coalescing key: jobs factor together only if their whole
+/// dispatch is interchangeable — same shape, same backend (including
+/// its tradeoff parameter, compared bit-for-bit), same rank hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BucketKey {
+    m: usize,
+    n: usize,
+    backend: (u8, u64),
+    hint: u8,
+    chaos: bool,
+}
+
+fn backend_key(b: QrBackend) -> (u8, u64) {
+    match b {
+        QrBackend::House1d => (0, 0),
+        QrBackend::Tsqr => (1, 0),
+        QrBackend::Caqr1d { epsilon } => (2, epsilon.to_bits()),
+        QrBackend::House2d => (3, 0),
+        QrBackend::Caqr2d => (4, 0),
+        QrBackend::Caqr3d { delta } => (5, delta.to_bits()),
+        QrBackend::CholQr2 => (6, 0),
+        QrBackend::PivotQr => (7, 0),
+        QrBackend::RandRrqr => (8, 0),
+    }
+}
+
+fn hint_key(h: RankHint) -> u8 {
+    match h {
+        RankHint::Full => 0,
+        RankHint::Unknown => 1,
+        RankHint::Deficient => 2,
+    }
+}
+
+struct Job {
+    a: Matrix,
+    backend: QrBackend,
+    key: BucketKey,
+    slot: Arc<Slot>,
+}
+
+struct Bucket {
+    backend: QrBackend,
+    chaos: bool,
+    jobs: Vec<Job>,
+    oldest: Instant,
+}
+
+enum Popped<T> {
+    Item(T),
+    TimedOut,
+    Closed,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A small closable MPMC queue on `Mutex` + two `Condvar`s — bounded
+/// for submissions (admission control), unbounded for dispatched
+/// buckets. After [`SyncQueue::close`], pushes fail but pops keep
+/// draining the remaining items before reporting [`Popped::Closed`] —
+/// that drain is what makes shutdown lossless for accepted jobs.
+struct SyncQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> SyncQueue<T> {
+    fn bounded(cap: usize) -> SyncQueue<T> {
+        SyncQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn unbounded() -> SyncQueue<T> {
+        SyncQueue::bounded(usize::MAX)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Push without waiting: `Err(true)` = closed, `Err(false)` = full.
+    fn try_push(&self, item: T) -> Result<(), bool> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(true);
+        }
+        if inner.items.len() >= self.cap {
+            return Err(false);
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Push, waiting until `deadline` for space: same errors as
+    /// [`SyncQueue::try_push`], with `Err(false)` meaning the deadline
+    /// expired while full.
+    fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), bool> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Err(true);
+            }
+            if inner.items.len() < self.cap {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(false);
+            }
+            let (guard, _) = self.not_full.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Pop, waiting until `deadline` (`None` = forever) for an item.
+    fn pop_deadline(&self, deadline: Option<Instant>) -> Popped<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            match deadline {
+                None => inner = self.not_empty.wait(inner).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Popped::TimedOut;
+                    }
+                    let (guard, _) = self.not_empty.wait_timeout(inner, d - now).unwrap();
+                    inner = guard;
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    panicked: AtomicU64,
+    batches: AtomicU64,
+    fused_batches: AtomicU64,
+    coalesced_jobs: AtomicU64,
+    executors_replaced: AtomicU64,
+}
+
+/// A snapshot of the service's lifetime counters
+/// ([`QrService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Submissions turned away at admission.
+    pub rejected: u64,
+    /// Jobs resolved with `Ok`.
+    pub completed: u64,
+    /// Jobs resolved with [`ServiceError::Factor`].
+    pub failed: u64,
+    /// Jobs resolved with [`ServiceError::JobPanicked`].
+    pub panicked: u64,
+    /// Buckets dispatched.
+    pub batches: u64,
+    /// Dispatched buckets that ran fused.
+    pub fused_batches: u64,
+    /// Jobs that shared a bucket with at least one peer.
+    pub coalesced_jobs: u64,
+    /// Poisoned executors drained and respawned.
+    pub executors_replaced: u64,
+    /// Jobs currently admitted but not yet staged.
+    pub queue_depth: usize,
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+/// The warm multi-tenant QR service — see the module docs. Construct
+/// with [`QrService::start`], submit with [`QrService::submit`] /
+/// [`QrService::submit_with`], resolve with [`JobHandle::wait`].
+/// `&self` submission: share it across client threads behind an `Arc`.
+pub struct QrService {
+    cfg: ServiceConfig,
+    inq: Arc<SyncQueue<Job>>,
+    work: Arc<SyncQueue<Bucket>>,
+    counters: Arc<Counters>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for QrService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QrService")
+            .field("ranks", &self.cfg.ranks)
+            .field("pool", &self.cfg.pool)
+            .field("queue_cap", &self.cfg.queue_cap)
+            .finish()
+    }
+}
+
+impl QrService {
+    /// Spawn the pool (`cfg.pool` sessions of `cfg.ranks` ranks each)
+    /// and the scheduler on a fresh [`Machine`] priced by
+    /// `cfg.params.machine`.
+    pub fn start(cfg: ServiceConfig) -> QrService {
+        QrService::start_on_machine(Machine::new(cfg.ranks, cfg.params.machine), cfg)
+    }
+
+    /// Spawn the pool on an explicitly configured machine (e.g. a
+    /// specific transport) — every pool session clones it. The
+    /// machine's cost parameters govern the clocks and the advisor,
+    /// overriding `cfg.params.machine`, exactly as
+    /// [`crate::session::Session::on_machine`].
+    pub fn start_on_machine(machine: Machine, cfg: ServiceConfig) -> QrService {
+        assert_eq!(
+            machine.procs(),
+            cfg.ranks,
+            "machine has {} ranks but the service is configured for {}",
+            machine.procs(),
+            cfg.ranks
+        );
+        let inq = Arc::new(SyncQueue::bounded(cfg.queue_cap));
+        let work = Arc::new(SyncQueue::unbounded());
+        let counters = Arc::new(Counters::default());
+        let budget = cfg.pool * cfg.ranks;
+
+        let workers = (0..cfg.pool)
+            .map(|w| {
+                let work = Arc::clone(&work);
+                let counters = Arc::clone(&counters);
+                let machine = machine.clone();
+                let params = cfg.params;
+                std::thread::Builder::new()
+                    .name(format!("qr3d-svc-worker-{w}"))
+                    .spawn(move || {
+                        let mut session =
+                            Session::on_machine(machine, params).with_rank_budget(budget);
+                        worker_loop(&mut session, &work, &counters);
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+
+        let scheduler = {
+            let inq = Arc::clone(&inq);
+            let work = Arc::clone(&work);
+            let coalesce_min = cfg.coalesce_min;
+            let max_linger = cfg.max_linger;
+            std::thread::Builder::new()
+                .name("qr3d-svc-sched".to_string())
+                .spawn(move || scheduler_loop(&inq, &work, coalesce_min, max_linger))
+                .expect("spawn service scheduler")
+        };
+
+        QrService {
+            cfg,
+            inq,
+            work,
+            counters,
+            scheduler: Some(scheduler),
+            workers,
+        }
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Submit with the cost-advised backend
+    /// ([`QrBackend::auto`] under this service's params).
+    pub fn submit(&self, a: Matrix) -> Result<JobHandle, ServiceFull> {
+        let backend = QrBackend::auto(a.rows(), a.cols(), self.cfg.ranks, &self.cfg.params);
+        self.submit_with(a, backend)
+    }
+
+    /// Submit with an explicit backend. Jobs with the same
+    /// `(shape, backend, rank-hint)` may coalesce into one fused
+    /// `factor_batch` — results are bitwise identical either way.
+    ///
+    /// # Panics
+    /// On host-detectable shape-contract violations (`m ≥ n ≥ 1`, and
+    /// `m ≥ n·P` for the tall-skinny backends), *before* admission —
+    /// a malformed submission must not poison a pooled executor.
+    pub fn submit_with(&self, a: Matrix, backend: QrBackend) -> Result<JobHandle, ServiceFull> {
+        let (m, n) = (a.rows(), a.cols());
+        assert!(
+            m >= n && n >= 1,
+            "service factorizations need m ≥ n ≥ 1, got {m} × {n}"
+        );
+        if matches!(
+            backend,
+            QrBackend::Tsqr | QrBackend::Caqr1d { .. } | QrBackend::RandRrqr
+        ) {
+            assert!(
+                m >= n * self.cfg.ranks,
+                "backend {backend:?} needs m ≥ n·P ({m} × {n} on {} ranks)",
+                self.cfg.ranks
+            );
+        }
+        self.enqueue(a, backend, false)
+    }
+
+    /// Chaos hook for fault-isolation tests: an accepted job that
+    /// panics inside the executor, poisoning whichever pool session
+    /// runs it. It never coalesces with real jobs; its handle resolves
+    /// with [`ServiceError::JobPanicked`].
+    pub fn inject_panic(&self) -> Result<JobHandle, ServiceFull> {
+        self.enqueue(Matrix::zeros(1, 1), QrBackend::House1d, true)
+    }
+
+    fn enqueue(
+        &self,
+        a: Matrix,
+        backend: QrBackend,
+        chaos: bool,
+    ) -> Result<JobHandle, ServiceFull> {
+        let key = BucketKey {
+            m: a.rows(),
+            n: a.cols(),
+            backend: backend_key(backend),
+            hint: hint_key(self.cfg.params.rank_hint),
+            chaos,
+        };
+        let slot = Slot::new();
+        let job = Job {
+            a,
+            backend,
+            key,
+            slot: Arc::clone(&slot),
+        };
+        let admitted = match self.cfg.admission {
+            Admission::Reject => self.inq.try_push(job),
+            Admission::Block { timeout } => self.inq.push_deadline(job, Instant::now() + timeout),
+        };
+        match admitted {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { slot })
+            }
+            Err(closed) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(if closed {
+                    ServiceFull::Closed
+                } else {
+                    match self.cfg.admission {
+                        Admission::Reject => ServiceFull::QueueFull {
+                            cap: self.cfg.queue_cap,
+                        },
+                        Admission::Block { .. } => ServiceFull::DeadlineExpired,
+                    }
+                })
+            }
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            fused_batches: c.fused_batches.load(Ordering::Relaxed),
+            coalesced_jobs: c.coalesced_jobs.load(Ordering::Relaxed),
+            executors_replaced: c.executors_replaced.load(Ordering::Relaxed),
+            queue_depth: self.inq.len(),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, flush staged buckets, serve
+    /// everything already accepted, join the pool. Equivalent to
+    /// dropping the service, but explicit about when the join happens.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inq.close();
+        if let Some(sched) = self.scheduler.take() {
+            let _ = sched.join();
+        }
+        // The scheduler closes the work queue on its way out; repeat
+        // defensively in case it panicked before getting there.
+        self.work.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for QrService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler and worker loops
+// ---------------------------------------------------------------------
+
+fn scheduler_loop(
+    inq: &SyncQueue<Job>,
+    work: &SyncQueue<Bucket>,
+    coalesce_min: usize,
+    max_linger: Duration,
+) {
+    let mut pending: HashMap<BucketKey, Bucket> = HashMap::new();
+    let dispatch = |bucket: Bucket| {
+        // The work queue is unbounded and only closes after this loop
+        // exits, so a staged bucket cannot be lost.
+        let _ = work.try_push(bucket);
+    };
+    loop {
+        let deadline = pending.values().map(|b| b.oldest + max_linger).min();
+        match inq.pop_deadline(deadline) {
+            Popped::Item(job) => {
+                let key = job.key;
+                let bucket = pending.entry(key).or_insert_with(|| Bucket {
+                    backend: job.backend,
+                    chaos: key.chaos,
+                    jobs: Vec::new(),
+                    oldest: Instant::now(),
+                });
+                bucket.jobs.push(job);
+                // Chaos jobs dispatch alone and immediately — they
+                // must never drag real peers into the panic.
+                if bucket.jobs.len() >= coalesce_min || key.chaos {
+                    dispatch(pending.remove(&key).expect("bucket just staged"));
+                }
+            }
+            Popped::TimedOut => {
+                let now = Instant::now();
+                let expired: Vec<BucketKey> = pending
+                    .iter()
+                    .filter(|(_, b)| now >= b.oldest + max_linger)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for key in expired {
+                    dispatch(pending.remove(&key).expect("expired bucket present"));
+                }
+            }
+            Popped::Closed => {
+                for (_, bucket) in pending.drain() {
+                    dispatch(bucket);
+                }
+                work.close();
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(session: &mut Session, work: &SyncQueue<Bucket>, counters: &Counters) {
+    loop {
+        let bucket = match work.pop_deadline(None) {
+            Popped::Item(b) => b,
+            Popped::Closed => return,
+            Popped::TimedOut => unreachable!("no deadline was set"),
+        };
+        serve_bucket(session, bucket, counters);
+    }
+}
+
+fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters) {
+    let k = bucket.jobs.len();
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    if k >= 2 {
+        counters
+            .coalesced_jobs
+            .fetch_add(k as u64, Ordering::Relaxed);
+    }
+    let started = Instant::now();
+    let problems: Vec<Matrix> = bucket.jobs.iter().map(|j| j.a.clone()).collect();
+    let backend = bucket.backend;
+    let chaos = bucket.chaos;
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        if chaos {
+            let _ = session.run(|_| -> () { panic!("injected service fault") });
+            unreachable!("the injected fault must propagate");
+        }
+        session.factor_batch(&problems, backend)
+    }));
+    match ran {
+        Ok(batch) => {
+            if batch.fused {
+                counters.fused_batches.fetch_add(1, Ordering::Relaxed);
+            }
+            let done = Instant::now();
+            for (job, output) in bucket.jobs.into_iter().zip(batch.outputs) {
+                let output = output.map_err(ServiceError::Factor);
+                match &output {
+                    Ok(_) => counters.completed.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+                };
+                job.slot.fulfill(JobResult {
+                    output,
+                    stats: JobStats {
+                        queue_wait: started.saturating_duration_since(job.slot.submitted),
+                        coalesced: k,
+                        fused: batch.fused,
+                        wall: done.saturating_duration_since(job.slot.submitted),
+                    },
+                });
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            let done = Instant::now();
+            counters.panicked.fetch_add(k as u64, Ordering::Relaxed);
+            for job in bucket.jobs {
+                job.slot.fulfill(JobResult {
+                    output: Err(ServiceError::JobPanicked(msg.clone())),
+                    stats: JobStats {
+                        queue_wait: started.saturating_duration_since(job.slot.submitted),
+                        coalesced: k,
+                        fused: false,
+                        wall: done.saturating_duration_since(job.slot.submitted),
+                    },
+                });
+            }
+            // Only THIS session's executor is poisoned; drain it and
+            // respawn. The rest of the pool never noticed.
+            if session.is_poisoned() {
+                session.reset();
+                counters.executors_replaced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FactorParams {
+        FactorParams::default()
+    }
+
+    fn tall(seed: u64) -> Matrix {
+        Matrix::random(32, 4, seed)
+    }
+
+    #[test]
+    fn config_env_overrides_parse_and_clamp() {
+        let look = |pool: &'static str, cap: &'static str| {
+            move |key: &str| match key {
+                "QR3D_SERVICE_POOL" => Some(pool.to_string()),
+                "QR3D_SERVICE_QUEUE_CAP" => Some(cap.to_string()),
+                _ => None,
+            }
+        };
+        let c = ServiceConfig::from_lookup(4, params(), look("3", "128"));
+        assert_eq!((c.pool, c.queue_cap), (3, 128));
+        // Clamped above, defaulted on garbage and on zero.
+        let c = ServiceConfig::from_lookup(4, params(), look("9999", "0"));
+        assert_eq!((c.pool, c.queue_cap), (ServiceConfig::MAX_POOL, 64));
+        let c = ServiceConfig::from_lookup(4, params(), look("lots", ""));
+        assert_eq!((c.pool, c.queue_cap), (2, 64));
+        let c = ServiceConfig::from_lookup(4, params(), |_| None);
+        assert_eq!((c.pool, c.queue_cap), (2, 64));
+    }
+
+    #[test]
+    fn submit_resolves_with_the_factorization() {
+        let svc = QrService::start(ServiceConfig::new(2, params()).with_pool(1));
+        let a = tall(7);
+        let h = svc.submit_with(a.clone(), QrBackend::Tsqr).unwrap();
+        let res = h.wait();
+        let out = res.output.expect("tsqr never fails on full rank");
+        assert!(out.residual(&a) < 1e-12);
+        assert_eq!(res.stats.coalesced, 1);
+        let s = svc.stats();
+        assert_eq!((s.submitted, s.completed, s.rejected), (1, 1, 0));
+    }
+
+    #[test]
+    fn reject_admission_sheds_load_at_cap() {
+        // A 1-deep queue with no workers draining it (pool is busy on
+        // a job we control): the second submission must bounce.
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_queue_cap(1)
+            .uncoalesced();
+        let svc = QrService::start(cfg);
+        // Saturate: the worker picks up some; keep pushing until one
+        // sticks in the queue and the next is rejected.
+        let mut handles = Vec::new();
+        let mut saw_reject = false;
+        for seed in 0..200 {
+            match svc.submit_with(tall(seed), QrBackend::Tsqr) {
+                Ok(h) => handles.push(h),
+                Err(ServiceFull::QueueFull { cap }) => {
+                    assert_eq!(cap, 1);
+                    saw_reject = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(saw_reject, "a 1-deep queue must eventually reject");
+        assert!(svc.stats().rejected >= 1);
+        for h in handles {
+            assert!(h.wait().output.is_ok(), "accepted jobs all complete");
+        }
+    }
+
+    #[test]
+    fn block_admission_waits_for_space() {
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_queue_cap(1)
+            .with_admission(Admission::Block {
+                timeout: Duration::from_secs(10),
+            })
+            .uncoalesced();
+        let svc = QrService::start(cfg);
+        // With blocking admission every submission is eventually
+        // accepted — the queue drains as the worker serves.
+        let handles: Vec<JobHandle> = (0..16)
+            .map(|seed| svc.submit_with(tall(seed), QrBackend::Tsqr).unwrap())
+            .collect();
+        for h in handles {
+            assert!(h.wait().output.is_ok());
+        }
+        let s = svc.stats();
+        assert_eq!((s.submitted, s.completed, s.rejected), (16, 16, 0));
+    }
+
+    #[test]
+    fn coalescer_groups_same_shape_jobs_into_fused_batches() {
+        // Generous linger so all four jobs stage before dispatch.
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_coalescing(4, Duration::from_secs(10));
+        let svc = QrService::start(cfg);
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|seed| svc.submit_with(tall(seed), QrBackend::Tsqr).unwrap())
+            .collect();
+        for h in handles {
+            let res = h.wait();
+            assert!(res.output.is_ok());
+            assert_eq!(res.stats.coalesced, 4, "all four shared one bucket");
+            assert!(res.stats.fused, "same-shape tsqr bucket runs fused");
+        }
+        let s = svc.stats();
+        assert_eq!((s.batches, s.fused_batches, s.coalesced_jobs), (1, 1, 4));
+    }
+
+    #[test]
+    fn linger_deadline_flushes_a_lone_job() {
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_coalescing(64, Duration::from_millis(5));
+        let svc = QrService::start(cfg);
+        let h = svc.submit_with(tall(3), QrBackend::Tsqr).unwrap();
+        // Well under the coalesce_min of 64 — only the linger deadline
+        // can dispatch it.
+        let res = h
+            .wait_timeout(Duration::from_secs(30))
+            .expect("linger must flush the bucket");
+        assert!(res.output.is_ok());
+        assert_eq!(res.stats.coalesced, 1);
+    }
+
+    #[test]
+    fn different_shapes_never_share_a_bucket() {
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_coalescing(2, Duration::from_millis(5));
+        let svc = QrService::start(cfg);
+        let h1 = svc
+            .submit_with(Matrix::random(32, 4, 1), QrBackend::Tsqr)
+            .unwrap();
+        let h2 = svc
+            .submit_with(Matrix::random(48, 4, 2), QrBackend::Tsqr)
+            .unwrap();
+        let (r1, r2) = (h1.wait(), h2.wait());
+        assert_eq!(r1.stats.coalesced, 1, "32×4 bucket holds one job");
+        assert_eq!(r2.stats.coalesced, 1, "48×4 bucket holds one job");
+        assert_eq!(r1.output.unwrap().q.rows(), 32);
+        assert_eq!(r2.output.unwrap().q.rows(), 48);
+    }
+
+    #[test]
+    fn handle_wait_timeout_returns_the_handle() {
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_coalescing(64, Duration::from_secs(10));
+        let svc = QrService::start(cfg);
+        let h = svc.submit_with(tall(9), QrBackend::Tsqr).unwrap();
+        // Parked behind a huge coalesce_min and a long linger: a short
+        // wait must time out and give the handle back...
+        let h = match h.wait_timeout(Duration::from_millis(10)) {
+            Err(h) => h,
+            Ok(_) => panic!("job cannot have dispatched yet"),
+        };
+        assert!(!h.is_done());
+        // ...and shutdown flushes the staged bucket, so the handle
+        // still resolves.
+        drop(svc);
+        assert!(h.wait().output.is_ok());
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_the_pool_recovers() {
+        let svc = QrService::start(ServiceConfig::new(2, params()).with_pool(1).uncoalesced());
+        let ok_before = svc.submit_with(tall(1), QrBackend::Tsqr).unwrap();
+        assert!(ok_before.wait().output.is_ok());
+        let boom = svc.inject_panic().unwrap();
+        match boom.wait().output {
+            Err(ServiceError::JobPanicked(msg)) => {
+                assert!(msg.contains("injected service fault"), "got: {msg}")
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+        // Same single-session pool: the executor was replaced and the
+        // service keeps serving.
+        let ok_after = svc.submit_with(tall(2), QrBackend::Tsqr).unwrap();
+        assert!(ok_after.wait().output.is_ok());
+        let s = svc.stats();
+        assert_eq!(s.executors_replaced, 1);
+        assert_eq!(s.panicked, 1);
+        assert_eq!(s.completed, 2);
+    }
+
+    #[test]
+    fn shutdown_serves_everything_accepted() {
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(2)
+            .with_coalescing(4, Duration::from_secs(10));
+        let svc = QrService::start(cfg);
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|seed| svc.submit_with(tall(seed), QrBackend::Tsqr).unwrap())
+            .collect();
+        svc.shutdown();
+        for h in handles {
+            assert!(
+                h.wait().output.is_ok(),
+                "accepted jobs resolve through shutdown"
+            );
+        }
+    }
+}

@@ -185,6 +185,21 @@ impl Machine {
         )
     }
 
+    /// An executor whose within-rank worker fanout is budgeted for
+    /// `concurrent_ranks` rank threads running process-wide rather than
+    /// just this executor's `P` — the entry point for executor *pools*
+    /// (N pooled executors of P ranks each pass `N·P`, so
+    /// `QR3D_RANK_THREADS` workers per rank never oversubscribe the
+    /// host even with every pooled executor busy). Values below `P` are
+    /// clamped up to `P`.
+    pub fn executor_budgeted(&self, concurrent_ranks: usize) -> Executor {
+        let exec = self.executor();
+        // `spawn` just declared `P`; widen the declaration to the pool
+        // total (latest call wins, same policy as concurrent spawns).
+        qr3d_matrix::par::set_concurrent_ranks(concurrent_ranks.max(self.p));
+        exec
+    }
+
     /// Run `f` on every rank (SPMD) and collect results and statistics.
     ///
     /// Each rank is an OS thread; `f` receives a [`Rank`] giving its
@@ -407,31 +422,6 @@ impl Rank {
     /// algorithms should avoid them; collectives here do).
     pub fn send<P: Into<Payload>>(&mut self, comm: &Comm, dst_local: usize, tag: u64, payload: P) {
         self.post(comm, dst_local, tag, payload.into());
-    }
-
-    /// Send a sub-range of `payload` without materializing it.
-    #[deprecated(note = "use `send(comm, dst, tag, payload.slice(range))` instead")]
-    pub fn send_view(
-        &mut self,
-        comm: &Comm,
-        dst_local: usize,
-        tag: u64,
-        payload: &Payload,
-        range: std::ops::Range<usize>,
-    ) {
-        self.post(comm, dst_local, tag, payload.slice(range));
-    }
-
-    /// Send an owned buffer.
-    #[deprecated(note = "use the generic `send` — it accepts `Vec<f64>` directly")]
-    pub fn send_vec(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: Vec<f64>) {
-        self.post(comm, dst_local, tag, Payload::new(data));
-    }
-
-    /// Send borrowed words, copying them once into a fresh payload.
-    #[deprecated(note = "use the generic `send` — it accepts `&[f64]` directly")]
-    pub fn send_slice(&mut self, comm: &Comm, dst_local: usize, tag: u64, data: &[f64]) {
-        self.post(comm, dst_local, tag, Payload::from_slice(data));
     }
 
     /// The transport-independent receive wrapper: mailbox matching, the
@@ -735,32 +725,6 @@ mod tests {
         });
         assert_eq!(out.results[1], 500.0);
         assert_eq!(out.stats.total_volume(), 100.0);
-    }
-
-    /// The one-PR migration shims must keep their original semantics
-    /// until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_send_shims_still_work() {
-        let base = Payload::new((0..10).map(|i| i as f64).collect());
-        let m = Machine::new(2, CostParams::unit());
-        let base_ref = &base;
-        let out = m.run(move |rank| {
-            let w = rank.world();
-            if rank.id() == 0 {
-                rank.send_slice(&w, 1, 0, &[1.0, 2.0]);
-                rank.send_vec(&w, 1, 1, vec![3.0]);
-                rank.send_view(&w, 1, 2, base_ref, 4..6);
-                0.0
-            } else {
-                let a = rank.recv(&w, 0, 0).to_vec();
-                let b = rank.recv(&w, 0, 1).to_vec();
-                let c = rank.recv(&w, 0, 2);
-                assert!(c.same_buffer(base_ref), "send_view stays zero-copy");
-                a.iter().chain(b.iter()).chain(c.iter()).sum::<f64>()
-            }
-        });
-        assert_eq!(out.results[1], 1.0 + 2.0 + 3.0 + 4.0 + 5.0);
     }
 
     #[test]

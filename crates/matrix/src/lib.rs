@@ -24,6 +24,8 @@
 //! * [`par`] — the within-rank worker pool that splits the big block
 //!   loops across `QR3D_RANK_THREADS` threads without changing a bit of
 //!   the output.
+//! * [`affinity`] — opt-in (`QR3D_PIN_CORES`) best-effort CPU pinning
+//!   for the pool's helpers and the executor's rank threads.
 //! * [`partition`] — balanced partitions ("parts differ in size by at most
 //!   one", Section 4).
 //! * [`layout`] — distributed data layouts: row-cyclic (3D-CAQR-EG input),
@@ -32,6 +34,7 @@
 //! * [`flops`] — arithmetic-cost formulas used to charge the simulated
 //!   machine's clocks.
 
+pub mod affinity;
 pub mod block;
 pub mod dense;
 pub mod flops;
@@ -59,7 +62,8 @@ pub mod prelude {
     };
     pub use crate::qr::{
         apply_block_reflector, apply_block_reflector_ws, full_q, geqrt, geqrt_reference, geqrt_ws,
-        q_times, qt_times, random_with_condition, thin_q, thin_q_ws, Reflector,
+        q_times, q_times_trunc, qt_times, qt_times_trunc, random_with_condition, thin_q, thin_q_ws,
+        Reflector,
     };
     pub use crate::scratch::{LocalArena, ScratchArena};
     pub use crate::simd::SimdLevel;

@@ -39,7 +39,8 @@
 //! chunks* from the queue (so a busy pool can never delay a caller
 //! indefinitely — it degrades to serial execution), and finally blocks
 //! until stolen chunks complete. Panics in any chunk are captured and
-//! re-raised on the caller.
+//! re-raised on the caller. With `QR3D_PIN_CORES=1` each helper pins
+//! itself to a core at spawn (best effort — see [`crate::affinity`]).
 
 use std::any::Any;
 use std::cell::Cell;
@@ -101,7 +102,11 @@ fn pool() -> &'static Pool {
     })
 }
 
-fn helper_loop() {
+fn helper_loop(slot: usize) {
+    // Opt-in affinity (`QR3D_PIN_CORES`): helpers occupy slots above the
+    // caller's (slot 0 runs the submitting thread's own chunk). Best
+    // effort — see `crate::affinity`.
+    crate::affinity::maybe_pin(slot);
     let pool = pool();
     let mut guard = pool.state.lock().expect("pool lock");
     loop {
@@ -142,11 +147,12 @@ fn ensure_helpers(want: usize) {
     let want = want.min(MAX_FANOUT - 1);
     let mut st = pool.state.lock().expect("pool lock");
     while st.helpers < want {
-        let name = format!("qr3d-par-{}", st.helpers);
+        let idx = st.helpers;
+        let name = format!("qr3d-par-{idx}");
         let spawned = std::thread::Builder::new()
             .name(name)
             .stack_size(8 << 20)
-            .spawn(helper_loop);
+            .spawn(move || helper_loop(idx + 1));
         match spawned {
             Ok(_) => st.helpers += 1,
             Err(_) => break,

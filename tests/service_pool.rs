@@ -1,0 +1,194 @@
+//! The `QrService` acceptance gates: pooled serving must be
+//! *indistinguishable* from standalone sessions in its results
+//! (bitwise), and *better* than them in its failure modes (a panic
+//! takes down one bucket, not the service).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qr3d::prelude::*;
+
+fn tall(seed: u64) -> Matrix {
+    Matrix::random(64, 8, seed)
+}
+
+/// The pooled service must return bit-for-bit what a standalone
+/// [`Session::factor`] returns — fused coalesced buckets only
+/// concatenate reduce/broadcast payloads, they never reorder a
+/// problem's own arithmetic.
+fn assert_pool_matches_standalone(coalesced: bool) {
+    let (p, k) = (4usize, 8usize);
+    let params = FactorParams::default();
+    let problems: Vec<Matrix> = (0..k as u64).map(tall).collect();
+
+    let mut session = Session::new(p, params);
+    let singles: Vec<FactorOutput> = problems
+        .iter()
+        .map(|a| session.factor(a, QrBackend::Tsqr).expect("full rank"))
+        .collect();
+
+    let mut cfg = ServiceConfig::new(p, params)
+        .with_pool(2)
+        .with_admission(Admission::Block {
+            timeout: Duration::from_secs(60),
+        });
+    cfg = if coalesced {
+        // Linger generously so the whole stream lands in one bucket.
+        cfg.with_coalescing(k, Duration::from_secs(60))
+    } else {
+        cfg.uncoalesced()
+    };
+    let svc = QrService::start(cfg);
+    let handles: Vec<JobHandle> = problems
+        .iter()
+        .map(|a| {
+            svc.submit_with(a.clone(), QrBackend::Tsqr)
+                .expect("admitted")
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let res = h.wait();
+        if coalesced {
+            assert_eq!(
+                res.stats.coalesced, k,
+                "the stream coalesced into one bucket"
+            );
+            assert!(res.stats.fused, "a same-shape tsqr bucket runs fused");
+        }
+        let out = res.output.expect("full rank");
+        assert_eq!(
+            out.q, singles[i].q,
+            "problem {i}: pooled Q must be bitwise the standalone Q"
+        );
+        assert_eq!(
+            out.r, singles[i].r,
+            "problem {i}: pooled R must be bitwise the standalone R"
+        );
+        assert_eq!(out.detected_rank, singles[i].detected_rank);
+    }
+}
+
+#[test]
+fn coalesced_pool_results_are_bitwise_standalone_results() {
+    assert_pool_matches_standalone(true);
+}
+
+#[test]
+fn uncoalesced_pool_results_are_bitwise_standalone_results() {
+    assert_pool_matches_standalone(false);
+}
+
+#[test]
+fn a_panicking_job_poisons_one_bucket_and_the_pool_replaces_the_executor() {
+    let params = FactorParams::default();
+    let cfg = ServiceConfig::new(4, params)
+        .with_pool(2)
+        .with_admission(Admission::Block {
+            timeout: Duration::from_secs(60),
+        })
+        .uncoalesced();
+    let svc = QrService::start(cfg);
+
+    // A healthy request before the fault...
+    let before = svc.submit_with(tall(1), QrBackend::Tsqr).unwrap();
+    assert!(before.wait().output.is_ok());
+
+    // ...the fault itself: only ITS handle errors...
+    let boom = svc.inject_panic().unwrap();
+    match boom.wait().output {
+        Err(ServiceError::JobPanicked(_)) => {}
+        other => panic!("expected JobPanicked, got {other:?}"),
+    }
+
+    // ...and the service keeps serving afterwards, having drained and
+    // respawned exactly the poisoned executor.
+    let after: Vec<JobHandle> = (0..6)
+        .map(|s| svc.submit_with(tall(10 + s), QrBackend::Tsqr).unwrap())
+        .collect();
+    for h in after {
+        assert!(h.wait().output.is_ok(), "post-fault submissions succeed");
+    }
+    let stats = svc.stats();
+    assert_eq!(
+        stats.executors_replaced, 1,
+        "one poisoned executor replaced"
+    );
+    assert_eq!(stats.panicked, 1, "only the chaos job errored");
+    assert_eq!(stats.completed, 7, "every real job completed");
+}
+
+#[test]
+fn pool_with_one_poisoned_executor_keeps_serving_concurrent_load() {
+    // Epoch-isolation stress: interleaved shapes from concurrent
+    // clients racing an injected fault. Every real job must resolve
+    // with a correct factorization — jobs the poisoned executor had in
+    // flight are errored, never silently dropped or corrupted, but
+    // with uncoalesced single-job buckets only the chaos bucket itself
+    // errors.
+    let params = FactorParams::default();
+    let cfg = ServiceConfig::new(4, params)
+        .with_pool(2)
+        .with_queue_cap(256)
+        .with_admission(Admission::Block {
+            timeout: Duration::from_secs(120),
+        })
+        .uncoalesced();
+    let svc = Arc::new(QrService::start(cfg));
+
+    let shapes = [(64usize, 8usize), (96, 8), (64, 4), (128, 16)];
+    std::thread::scope(|s| {
+        for (c, &(m, n)) in shapes.iter().enumerate() {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                for j in 0..6u64 {
+                    let a = Matrix::random(m, n, c as u64 * 100 + j);
+                    let h = svc
+                        .submit_with(a.clone(), QrBackend::Tsqr)
+                        .expect("admitted");
+                    let out = h
+                        .wait()
+                        .output
+                        .expect("real jobs never share a chaos bucket");
+                    assert!(out.residual(&a) < 1e-12, "{m}×{n} result is correct");
+                    assert_eq!(out.q.rows(), m, "no cross-shape mixup");
+                }
+            });
+        }
+        let svc = Arc::clone(&svc);
+        s.spawn(move || {
+            for _ in 0..3 {
+                let boom = svc.inject_panic().expect("admitted");
+                match boom.wait().output {
+                    Err(ServiceError::JobPanicked(_)) => {}
+                    other => panic!("expected JobPanicked, got {other:?}"),
+                }
+            }
+        });
+    });
+
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 24, "all real jobs served");
+    assert_eq!(stats.panicked, 3, "all chaos jobs contained");
+    assert_eq!(
+        stats.executors_replaced, 3,
+        "each fault replaced exactly one executor"
+    );
+
+    // The pool is still healthy after the stress.
+    let h = svc.submit_with(tall(999), QrBackend::Tsqr).unwrap();
+    assert!(h.wait().output.is_ok());
+}
+
+#[test]
+fn queue_wait_and_wall_stats_are_ordered() {
+    let params = FactorParams::default();
+    let svc = QrService::start(ServiceConfig::new(2, params).with_pool(1).uncoalesced());
+    let h = svc.submit_with(tall(5), QrBackend::Tsqr).unwrap();
+    let res = h.wait();
+    assert!(res.output.is_ok());
+    assert!(
+        res.stats.queue_wait <= res.stats.wall,
+        "queue wait is part of the wall time"
+    );
+    assert_eq!(res.stats.coalesced, 1);
+}
