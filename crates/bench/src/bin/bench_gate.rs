@@ -25,8 +25,8 @@ use std::time::Instant;
 use qr3d_bench::report::{BenchReport, GateMode};
 use qr3d_bench::{
     executor_warm_vs_cold_secs, run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch,
-    run_cholqr2_batch_over, run_pivotqr, run_rrqr, run_tsqr, run_tsqr_over, service_closed_loop,
-    spawn_per_request_closed_loop,
+    run_cholqr2_batch_over, run_pivotqr, run_rrqr, run_tsqr, run_tsqr_ft, run_tsqr_over,
+    service_closed_loop, spawn_per_request_closed_loop,
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_machine::{MpscTransport, RingTransport, Transport};
@@ -74,6 +74,20 @@ fn emit() -> BenchReport {
         &mut report,
         "caqr3d_96x24x4",
         run_caqr3d(96, 24, 4, Caqr3dConfig::new(12, 6), 7),
+    );
+
+    // -- The fault-tolerant TSQR's deterministic counts: the same shape
+    // as the headline tsqr record plus c = 1 checksum spare, run
+    // fault-free. The encode prologue (coded blocks + GO barrier) is
+    // the entire difference, so its bandwidth overhead is pinned as a
+    // deterministic-over-deterministic ratio, exact to float noise. --
+    let tsqr_ft = run_tsqr_ft(512, 16, 8, 1, 7);
+    push_cost(&mut report, "tsqr_ft_512x16x8c1", tsqr_ft);
+    report.push(
+        "ratio/tsqr_ft_overhead_words",
+        tsqr_ft.words / tsqr.words,
+        GateMode::Eq,
+        1e-9,
     );
 
     // -- The rank-revealing subsystem's deterministic counts, plus the

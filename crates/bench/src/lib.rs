@@ -50,6 +50,41 @@ pub fn run_tsqr(m: usize, n: usize, p: usize, seed: u64) -> Clock {
     out.stats.critical()
 }
 
+/// Run checksum-coded fault-tolerant tsqr (`tsqr_factor_ft`) fault-free
+/// on `p` compute ranks plus `c` spares; verify the residual; return
+/// the critical-path costs. Against `run_tsqr` this measures the
+/// erasure-coding prologue's explicit `(F, W, S)` overhead — the price
+/// of single-rank failure coverage when nothing actually fails.
+pub fn run_tsqr_ft(m: usize, n: usize, p: usize, c: usize, seed: u64) -> Clock {
+    let a = Matrix::random(m, n, seed);
+    let lay = BlockRow::balanced(m, 1, p);
+    let mp = m / p;
+    let machine = Machine::new(p + c, CostParams::unit());
+    let cfg = FtConfig {
+        spares: c,
+        ..FtConfig::default()
+    };
+    let out = machine.run(|rank| {
+        let w = rank.world();
+        let a_loc = if w.rank() < p {
+            a.take_rows(&lay.local_rows(w.rank()))
+        } else {
+            Matrix::zeros(mp, n)
+        };
+        tsqr_factor_ft(rank, &w, &a_loc, &cfg)
+    });
+    let factors: Vec<QrFactors> = out.results[..p]
+        .iter()
+        .map(|r| match r {
+            FtResult::Compute(f) => f.clone(),
+            other => panic!("fault-free rank returned {other:?}"),
+        })
+        .collect();
+    let fac = qr3d_core::verify::assemble_block_row(&factors, &lay.counts()[..p]);
+    assert!(fac.residual(&a) < TOL, "tsqr_ft residual");
+    out.stats.critical()
+}
+
 /// Run CholeskyQR2 on an `m × n` matrix over `p` ranks; verify explicit-Q
 /// orthogonality and the residual; return the critical-path costs.
 pub fn run_cholqr2(m: usize, n: usize, p: usize, seed: u64) -> Clock {

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use qr3d_bench::report::BenchReport;
 use qr3d_bench::{
     run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_cholqr2_batch_over, run_pivotqr,
-    run_rrqr, run_tsqr, run_tsqr_over,
+    run_rrqr, run_tsqr, run_tsqr_ft, run_tsqr_over,
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_machine::{Clock, MpscTransport, RingTransport};
@@ -101,6 +101,26 @@ fn the_fused_batch_records_are_bitwise_unchanged() {
 }
 
 #[test]
+fn the_fault_tolerant_tsqr_records_are_bitwise_pinned() {
+    // The coded-TSQR prologue joins the gate with the same contract:
+    // its fault-free clock is deterministic, so the encode tree or GO
+    // barrier changing its communication pattern fails here bitwise.
+    let base = baseline();
+    let ft = run_tsqr_ft(512, 16, 8, 1, 7);
+    assert_clock_pinned(&base, "tsqr_ft_512x16x8c1", ft);
+    let tsqr = run_tsqr(512, 16, 8, 7);
+    assert_eq!(
+        ft.words / tsqr.words,
+        pinned(&base, "ratio/tsqr_ft_overhead_words"),
+        "coded-TSQR bandwidth overhead drifted"
+    );
+    assert!(
+        ft.words > tsqr.words && ft.msgs > tsqr.msgs,
+        "the encode prologue must cost something"
+    );
+}
+
+#[test]
 fn the_transport_message_ratios_are_exactly_one() {
     // The transport-fabric acceptance relation: the full clock — not
     // just messages — must be bitwise identical whichever substrate
@@ -170,6 +190,7 @@ fn baseline_cost_and_ratio_records_are_exactly_the_pinned_set() {
         "geqp3_256x32x4",
         "rrqr_512x16x8",
         "cholqr2_batch8_512x16x8",
+        "tsqr_ft_512x16x8c1",
     ];
     let mut expected: Vec<String> = clock_groups
         .iter()
@@ -184,6 +205,7 @@ fn baseline_cost_and_ratio_records_are_exactly_the_pinned_set() {
     expected.push("ratio/cholqr2_seq8_msgs_over_batch8_msgs".into());
     expected.push("ratio/tsqr_msgs_ring_over_mpsc".into());
     expected.push("ratio/cholqr2_batch8_msgs_ring_over_mpsc".into());
+    expected.push("ratio/tsqr_ft_overhead_words".into());
     expected.sort_unstable();
     assert_eq!(
         deterministic, expected,

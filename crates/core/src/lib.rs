@@ -56,6 +56,7 @@ pub mod service;
 pub mod session;
 pub mod shifted;
 pub mod tsqr;
+pub mod tsqr_ft;
 pub mod verify;
 pub mod wide;
 
@@ -86,12 +87,13 @@ pub mod prelude {
     pub use crate::params::{caqr1d_block, caqr3d_blocks};
     pub use crate::rrqr::{pivot_qr_factor, rrqr_factor, RankRevealedFactors, RrqrConfig};
     pub use crate::service::{
-        Admission, JobHandle, JobResult, JobStats, QrService, ServiceConfig, ServiceError,
-        ServiceFull, ServiceStats,
+        Admission, JobHandle, JobResult, JobStats, QrService, RetryPolicy, ServiceConfig,
+        ServiceError, ServiceFull, ServiceStats,
     };
     pub use crate::session::{BatchOutput, Session};
     pub use crate::shifted::ShiftedRowCyclic;
     pub use crate::tsqr::{tsqr_factor, tsqr_factor_batch, QrFactors};
+    pub use crate::tsqr_ft::{tsqr_factor_ft, FtConfig, FtResult};
     pub use crate::verify::{
         assemble_factorization, detected_rank, factorization_error, orthogonality_error,
         r_gram_error, Factorization,

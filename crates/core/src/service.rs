@@ -37,11 +37,15 @@
 //!   [`JobHandle::wait`] blocks for the [`JobResult`] (output plus
 //!   per-job queue-wait / coalesce-size / wall-time stats),
 //!   [`JobHandle::wait_timeout`] gives the handle back on timeout.
-//! * **Fault isolation.** A job that panics inside the executor
-//!   poisons only *its* session; the worker fulfils the in-flight
-//!   bucket's handles with [`ServiceError::JobPanicked`], replaces the
-//!   executor ([`crate::session::Session::reset`]), and keeps serving.
-//!   Other pool sessions never notice.
+//! * **Fault isolation and retry.** A job that panics inside the
+//!   executor poisons only *its* session; the worker replaces the
+//!   executor ([`crate::session::Session::reset`]) and — under a
+//!   [`RetryPolicy`] (`QR3D_SERVICE_RETRIES`) — transparently
+//!   re-dispatches the bucket on the fresh executor, so a killed
+//!   executor costs latency, not an error ([`JobStats::retries`] and
+//!   [`ServiceStats::retried`] record it). Only once attempts are
+//!   exhausted do the bucket's handles resolve with
+//!   [`ServiceError::JobPanicked`]. Other pool sessions never notice.
 //!
 //! Shutdown is graceful: dropping the service (or calling
 //! [`QrService::shutdown`]) closes the submission queue, flushes every
@@ -80,13 +84,50 @@ pub enum Admission {
     },
 }
 
+/// How the service responds to a bucket whose executor died mid-job.
+/// The panic is contained either way (the poisoned session is always
+/// replaced); the policy decides whether the *jobs* still resolve
+/// with a result. Chaos jobs ([`QrService::inject_panic`]) never
+/// retry — they exist to observe the failure path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Re-dispatch a panicked bucket at most this many times before
+    /// fulfilling its jobs with [`ServiceError::JobPanicked`]. `0`
+    /// (the default) fails fast.
+    pub max_retries: u32,
+    /// Sleep between attempts — headroom for whatever killed the
+    /// executor to clear.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Upper clamp on `max_retries` (also applied to the
+    /// `QR3D_SERVICE_RETRIES` override).
+    pub const MAX_RETRIES: u32 = 8;
+
+    /// Retry up to `max_retries` times with no backoff.
+    pub fn retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: max_retries.min(Self::MAX_RETRIES),
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Set the inter-attempt backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+}
+
 /// Deployment knobs for a [`QrService`]. Environment overrides (see
 /// [`ServiceConfig::from_env`]):
 ///
-/// | variable                | field       | default | clamp      |
-/// |-------------------------|-------------|---------|------------|
-/// | `QR3D_SERVICE_POOL`     | `pool`      | 2       | 1..=64     |
-/// | `QR3D_SERVICE_QUEUE_CAP`| `queue_cap` | 64      | 1..=65536  |
+/// | variable                | field               | default | clamp      |
+/// |-------------------------|---------------------|---------|------------|
+/// | `QR3D_SERVICE_POOL`     | `pool`              | 2       | 1..=64     |
+/// | `QR3D_SERVICE_QUEUE_CAP`| `queue_cap`         | 64      | 1..=65536  |
+/// | `QR3D_SERVICE_RETRIES`  | `retry.max_retries` | 0       | 0..=8      |
 ///
 /// Unparsable values fall back to the default — a misspelled override
 /// must not silently pick some *other* deployment shape.
@@ -107,6 +148,8 @@ pub struct ServiceConfig {
     /// even below `coalesce_min` — bounds the latency cost of waiting
     /// for peers that never arrive.
     pub max_linger: Duration,
+    /// What to do when a bucket's executor dies mid-job.
+    pub retry: RetryPolicy,
     /// Advisory context handed to every pool session (machine prices,
     /// κ estimate, rank hint).
     pub params: FactorParams,
@@ -128,6 +171,7 @@ impl ServiceConfig {
             admission: Admission::Reject,
             coalesce_min: 4,
             max_linger: Duration::from_millis(1),
+            retry: RetryPolicy::default(),
             params,
         }
     }
@@ -146,9 +190,20 @@ impl ServiceConfig {
             }
         };
         let d = ServiceConfig::new(ranks, params);
+        // Unlike pool/cap, zero retries is meaningful (fail fast), so
+        // this parse accepts 0 instead of treating it as garbage.
+        let retries =
+            match lookup("QR3D_SERVICE_RETRIES").and_then(|v| v.trim().parse::<u32>().ok()) {
+                Some(v) => v.min(RetryPolicy::MAX_RETRIES),
+                None => d.retry.max_retries,
+            };
         ServiceConfig {
             pool: parse("QR3D_SERVICE_POOL", d.pool, Self::MAX_POOL),
             queue_cap: parse("QR3D_SERVICE_QUEUE_CAP", d.queue_cap, Self::MAX_QUEUE_CAP),
+            retry: RetryPolicy {
+                max_retries: retries,
+                ..d.retry
+            },
             ..d
         }
     }
@@ -189,6 +244,16 @@ impl ServiceConfig {
     /// against).
     pub fn uncoalesced(self) -> ServiceConfig {
         self.with_coalescing(1, Duration::ZERO)
+    }
+
+    /// Set the executor-death retry policy (`max_retries` clamped to
+    /// [`RetryPolicy::MAX_RETRIES`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ServiceConfig {
+        self.retry = RetryPolicy {
+            max_retries: retry.max_retries.min(RetryPolicy::MAX_RETRIES),
+            ..retry
+        };
+        self
     }
 }
 
@@ -258,6 +323,9 @@ pub struct JobStats {
     /// Whether the bucket ran as a *fused* batch (shared reduction
     /// trees) — see [`crate::session::BatchOutput::fused`].
     pub fused: bool,
+    /// How many times the bucket was re-dispatched after an executor
+    /// death before this outcome (0 = first attempt).
+    pub retries: u32,
     /// Submission to completion, wall clock.
     pub wall: Duration,
 }
@@ -522,6 +590,7 @@ struct Counters {
     fused_batches: AtomicU64,
     coalesced_jobs: AtomicU64,
     executors_replaced: AtomicU64,
+    retried: AtomicU64,
 }
 
 /// A snapshot of the service's lifetime counters
@@ -546,6 +615,9 @@ pub struct ServiceStats {
     pub coalesced_jobs: u64,
     /// Poisoned executors drained and respawned.
     pub executors_replaced: u64,
+    /// Jobs re-dispatched after an executor death (counted once per
+    /// job per extra attempt).
+    pub retried: u64,
     /// Jobs currently admitted but not yet staged.
     pub queue_depth: usize,
 }
@@ -609,12 +681,13 @@ impl QrService {
                 let counters = Arc::clone(&counters);
                 let machine = machine.clone();
                 let params = cfg.params;
+                let retry = cfg.retry;
                 std::thread::Builder::new()
                     .name(format!("qr3d-svc-worker-{w}"))
                     .spawn(move || {
                         let mut session =
                             Session::on_machine(machine, params).with_rank_budget(budget);
-                        worker_loop(&mut session, &work, &counters);
+                        worker_loop(&mut session, &work, &counters, retry);
                     })
                     .expect("spawn service worker")
             })
@@ -746,6 +819,7 @@ impl QrService {
             fused_batches: c.fused_batches.load(Ordering::Relaxed),
             coalesced_jobs: c.coalesced_jobs.load(Ordering::Relaxed),
             executors_replaced: c.executors_replaced.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
             queue_depth: self.inq.len(),
         }
     }
@@ -833,18 +907,23 @@ fn scheduler_loop(
     }
 }
 
-fn worker_loop(session: &mut Session, work: &SyncQueue<Bucket>, counters: &Counters) {
+fn worker_loop(
+    session: &mut Session,
+    work: &SyncQueue<Bucket>,
+    counters: &Counters,
+    retry: RetryPolicy,
+) {
     loop {
         let bucket = match work.pop_deadline(None) {
             Popped::Item(b) => b,
             Popped::Closed => return,
             Popped::TimedOut => unreachable!("no deadline was set"),
         };
-        serve_bucket(session, bucket, counters);
+        serve_bucket(session, bucket, counters, retry);
     }
 }
 
-fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters) {
+fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters, retry: RetryPolicy) {
     let k = bucket.jobs.len();
     counters.batches.fetch_add(1, Ordering::Relaxed);
     if k >= 2 {
@@ -856,19 +935,46 @@ fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters) {
     let problems: Vec<Matrix> = bucket.jobs.iter().map(|j| j.a.clone()).collect();
     let backend = bucket.backend;
     let chaos = bucket.chaos;
-    let ran = catch_unwind(AssertUnwindSafe(|| {
-        if chaos {
-            let _ = session.run(|_| -> () { panic!("injected service fault") });
-            unreachable!("the injected fault must propagate");
+    let mut attempt: u32 = 0;
+    let outcome = loop {
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            if chaos {
+                let _ = session.run(|_| -> () { panic!("injected service fault") });
+                unreachable!("the injected fault must propagate");
+            }
+            session.factor_batch(&problems, backend)
+        }));
+        match ran {
+            Ok(batch) => break Ok(batch),
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                // Only THIS session's executor is poisoned; drain it
+                // and respawn before anything else runs on it. The
+                // rest of the pool never noticed.
+                if session.is_poisoned() {
+                    session.reset();
+                    counters.executors_replaced.fetch_add(1, Ordering::Relaxed);
+                }
+                // Chaos jobs exist to observe the failure path, so
+                // they never retry.
+                if !chaos && attempt < retry.max_retries {
+                    attempt += 1;
+                    counters.retried.fetch_add(k as u64, Ordering::Relaxed);
+                    if !retry.backoff.is_zero() {
+                        std::thread::sleep(retry.backoff);
+                    }
+                    continue;
+                }
+                break Err(msg);
+            }
         }
-        session.factor_batch(&problems, backend)
-    }));
-    match ran {
+    };
+    let done = Instant::now();
+    match outcome {
         Ok(batch) => {
             if batch.fused {
                 counters.fused_batches.fetch_add(1, Ordering::Relaxed);
             }
-            let done = Instant::now();
             for (job, output) in bucket.jobs.into_iter().zip(batch.outputs) {
                 let output = output.map_err(ServiceError::Factor);
                 match &output {
@@ -881,14 +987,13 @@ fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters) {
                         queue_wait: started.saturating_duration_since(job.slot.submitted),
                         coalesced: k,
                         fused: batch.fused,
+                        retries: attempt,
                         wall: done.saturating_duration_since(job.slot.submitted),
                     },
                 });
             }
         }
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            let done = Instant::now();
+        Err(msg) => {
             counters.panicked.fetch_add(k as u64, Ordering::Relaxed);
             for job in bucket.jobs {
                 job.slot.fulfill(JobResult {
@@ -897,15 +1002,10 @@ fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters) {
                         queue_wait: started.saturating_duration_since(job.slot.submitted),
                         coalesced: k,
                         fused: false,
+                        retries: attempt,
                         wall: done.saturating_duration_since(job.slot.submitted),
                     },
                 });
-            }
-            // Only THIS session's executor is poisoned; drain it and
-            // respawn. The rest of the pool never noticed.
-            if session.is_poisoned() {
-                session.reset();
-                counters.executors_replaced.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -951,6 +1051,48 @@ mod tests {
         assert_eq!((c.pool, c.queue_cap), (2, 64));
         let c = ServiceConfig::from_lookup(4, params(), |_| None);
         assert_eq!((c.pool, c.queue_cap), (2, 64));
+    }
+
+    #[test]
+    fn retry_env_override_accepts_zero_and_clamps() {
+        let look = |retries: &'static str| {
+            move |key: &str| match key {
+                "QR3D_SERVICE_RETRIES" => Some(retries.to_string()),
+                _ => None,
+            }
+        };
+        let c = ServiceConfig::from_lookup(4, params(), look("3"));
+        assert_eq!(c.retry.max_retries, 3);
+        // Zero is a real setting (fail fast), not garbage.
+        let c = ServiceConfig::from_lookup(4, params(), look("0"));
+        assert_eq!(c.retry.max_retries, 0);
+        let c = ServiceConfig::from_lookup(4, params(), look("99"));
+        assert_eq!(c.retry.max_retries, RetryPolicy::MAX_RETRIES);
+        let c = ServiceConfig::from_lookup(4, params(), look("lots"));
+        assert_eq!(c.retry.max_retries, 0);
+        assert_eq!(
+            ServiceConfig::new(4, params())
+                .with_retry(RetryPolicy::retries(99))
+                .retry
+                .max_retries,
+            RetryPolicy::MAX_RETRIES
+        );
+    }
+
+    #[test]
+    fn chaos_jobs_never_retry_even_with_a_retry_policy() {
+        let svc = QrService::start(
+            ServiceConfig::new(2, params())
+                .with_pool(1)
+                .with_retry(RetryPolicy::retries(3))
+                .uncoalesced(),
+        );
+        let boom = svc.inject_panic().unwrap();
+        let res = boom.wait();
+        assert!(matches!(res.output, Err(ServiceError::JobPanicked(_))));
+        assert_eq!(res.stats.retries, 0, "chaos must observe the failure path");
+        let s = svc.stats();
+        assert_eq!((s.panicked, s.retried, s.executors_replaced), (1, 0, 1));
     }
 
     #[test]

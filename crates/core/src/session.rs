@@ -49,7 +49,7 @@
 //! ```
 
 use qr3d_cost::advisor::tall_skinny_admissible;
-use qr3d_machine::{Clock, Executor, Machine, Rank, RunOutput};
+use qr3d_machine::{Clock, Executor, ExecutorPoisoned, Machine, Rank, RunOutput};
 use qr3d_matrix::layout::BlockRow;
 use qr3d_matrix::pivot::{detected_rank, rank_tolerance};
 use qr3d_matrix::Matrix;
@@ -196,6 +196,18 @@ impl Session {
         F: Fn(&mut Rank) -> T + Sync,
     {
         self.exec.submit(f)
+    }
+
+    /// Like [`Session::run`], but a poisoned session comes back as the
+    /// typed [`ExecutorPoisoned`] error instead of a panic — so pooled
+    /// callers (the service retry loop) can branch on "this session
+    /// needs a [`Session::reset`]" without a `catch_unwind`.
+    pub fn try_run<T, F>(&mut self, f: F) -> Result<RunOutput<T>, ExecutorPoisoned>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Sync,
+    {
+        self.exec.try_submit(f)
     }
 
     /// Factor one problem with an explicit backend on the warm executor.
@@ -399,6 +411,21 @@ mod tests {
 
     fn unit_params() -> FactorParams {
         FactorParams::new(CostParams::unit())
+    }
+
+    #[test]
+    fn try_run_reports_poison_as_a_typed_error() {
+        let mut s = Session::new(2, unit_params());
+        assert!(s.try_run(|r| r.id()).is_ok());
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.run(|_| -> () { panic!("poison the executor") })
+        }));
+        assert!(s.is_poisoned());
+        // The typed branch: no catch_unwind needed to learn the
+        // session needs a reset.
+        assert!(matches!(s.try_run(|r| r.id()), Err(ExecutorPoisoned)));
+        s.reset();
+        assert!(s.try_run(|r| r.id()).is_ok());
     }
 
     #[test]

@@ -189,6 +189,34 @@ pub fn rrqr_cost(m: usize, n: usize, p: usize) -> Cost3 {
     }
 }
 
+/// Checksum-coded fault-tolerant tsqr (`tsqr_factor_ft`): plain tsqr
+/// plus the erasure-coding prologue, charged explicitly. Each of the
+/// `c` stripes XOR-reduces its members' `(m/P)·n`-word local blocks
+/// onto a spare over a binomial tree of `1 + ⌈P/c⌉` nodes, and every
+/// compute rank then receives a one-word GO release from each spare
+/// before any tree traffic (the commit barrier that keeps injected
+/// kills out of the encode):
+///
+/// ```text
+/// F += (mn/P)·log(1 + ⌈P/c⌉)        (XOR combines)
+/// W += (mn/P)·log(1 + ⌈P/c⌉) + c    (coded blocks + GO words)
+/// S += log(1 + ⌈P/c⌉) + c
+/// ```
+///
+/// The fault-free critical path is tsqr's plus this prologue; recovery
+/// itself is off the fault-free path and unpriced here.
+pub fn tsqr_ft_cost(m: usize, n: usize, p: usize, c: usize) -> Cost3 {
+    assert!(c >= 1 && c <= p, "1 ≤ c ≤ P checksum spares");
+    let (mf, nf, cf) = (m as f64, n as f64, c as f64);
+    let le = lg(1 + p.div_ceil(c));
+    let block = mf * nf / p as f64;
+    tsqr_cost(m, n, p).plus(Cost3 {
+        flops: block * le,
+        words: block * le + cf,
+        msgs: le + cf,
+    })
+}
+
 /// Fused-batch tsqr: `k` independent same-shape problems share one
 /// reduction tree — every tree level carries all `k` packed R-triangles
 /// as **one** message, so the latency cost stays that of a single
@@ -252,6 +280,31 @@ mod tests {
             assert_eq!(b.words, kf * s.words);
             assert_eq!(b.flops, kf * s.flops);
         }
+    }
+
+    #[test]
+    fn ft_overhead_is_the_encode_prologue() {
+        let t = tsqr_cost(M, N, P);
+        // Subtracting the large shared tsqr terms loses a few ulps.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        for c in [1usize, 2, 8] {
+            let ft = tsqr_ft_cost(M, N, P, c);
+            let (block, le, cf) = (
+                (M as f64) * (N as f64) / P as f64,
+                lg(1 + P.div_ceil(c)),
+                c as f64,
+            );
+            assert!(close(ft.flops - t.flops, block * le), "c={c}: XOR combines");
+            assert!(
+                close(ft.words - t.words, block * le + cf),
+                "c={c}: coded blocks + GO"
+            );
+            assert!(close(ft.msgs - t.msgs, le + cf), "c={c}: tree hops + GO");
+        }
+        // More spares shrink the stripes: the coded-block bandwidth
+        // term must fall as c grows (the GO term is negligible beside
+        // the (mn/P)·log stripe factor at these sizes).
+        assert!(tsqr_ft_cost(M, N, P, 8).words < tsqr_ft_cost(M, N, P, 1).words);
     }
 
     #[test]

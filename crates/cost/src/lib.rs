@@ -119,7 +119,7 @@ pub mod prelude {
     pub use crate::algorithms::{
         caqr1d_cost, caqr2d_cost, caqr3d_cost, cholqr2_batch_cost, cholqr2_cost, geqp3_cost,
         house1d_cost, house2d_cost, rrqr_cost, theorem1_cost, theorem2_cost, tsqr_batch_cost,
-        tsqr_cost,
+        tsqr_cost, tsqr_ft_cost,
     };
     pub use crate::bounds::{lower_bounds_square, lower_bounds_tall};
     pub use crate::collectives::{self as collective_costs};

@@ -37,7 +37,10 @@
 //! Everything semantic — tag matching, epoch isolation, poison wakeups,
 //! the deadlock timeout, and all cost accounting — lives above the
 //! transport boundary, so swapping substrates cannot change a charged
-//! cost (see the [`transport`] module docs).
+//! cost (see the [`transport`] module docs). A [`FaultyTransport`]
+//! decorator injects deterministic rank deaths, drops, and delays into
+//! either backend (see the [`fault`] module docs) for testing the
+//! fault-tolerant layers above.
 //!
 //! ## Critical-path cost accounting
 //!
@@ -96,6 +99,7 @@
 mod clock;
 mod comm;
 pub mod executor;
+pub mod fault;
 mod machine;
 mod mailbox;
 mod payload;
@@ -105,7 +109,8 @@ mod workspace;
 
 pub use clock::{Clock, CostParams};
 pub use comm::Comm;
-pub use executor::Executor;
+pub use executor::{Executor, ExecutorPoisoned};
+pub use fault::{FaultPlan, FaultyTransport, AUX_DEPTH_BASE, FAULT_PLAN_ENV};
 pub use machine::{Machine, Rank, RunOutput, RunStats, Totals, RECV_TIMEOUT_ENV};
 pub use payload::Payload;
 pub use ring::{RingTransport, RING_CAP_ENV};

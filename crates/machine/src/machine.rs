@@ -506,6 +506,117 @@ impl Rank {
         self.send(comm, partner_local, tag, payload);
         self.recv(comm, partner_local, tag)
     }
+
+    /// The effective receive deadlock window this rank enforces (the
+    /// machine's scaled [`Machine::recv_timeout`]). Fault-tolerant
+    /// protocols use it to bound their own polling loops.
+    pub fn recv_window(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// `true` when an injected fault has severed this rank from the
+    /// fabric (see [`crate::FaultyTransport`]): its sends vanish and its
+    /// receives time out immediately. A fault-tolerant protocol polls
+    /// this to exit cleanly — playing dead — instead of panicking into
+    /// the deadlock diagnostic. Always `false` on real transports.
+    pub fn is_severed(&self) -> bool {
+        self.endpoint.is_dead()
+    }
+
+    /// Poll (buffering unmatched arrivals) until the keyed envelope
+    /// shows up or `window` elapses. Poison wakeups and epoch leaks
+    /// panic exactly as in the blocking receive.
+    fn poll_envelope(&mut self, key: (usize, u64, u64), window: Duration) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + window;
+        loop {
+            if let Some(env) = self.mailbox.pop(&key) {
+                return Some(env);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match self.endpoint.recv(left) {
+                Ok(env) => {
+                    if env.epoch == POISON_EPOCH {
+                        panic!(
+                            "rank {} aborted: rank {} {}",
+                            self.id,
+                            env.src_global,
+                            crate::executor::POISON_ABORT_MARKER
+                        );
+                    }
+                    assert_eq!(
+                        env.epoch, self.epoch,
+                        "rank {}: cross-job message leak (epoch-{} traffic from rank {} \
+                         arrived during epoch {})",
+                        self.id, env.epoch, env.src_global, self.epoch
+                    );
+                    self.mailbox.push(env)
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// A bounded-wait [`Rank::recv`]: the matched message (fully
+    /// charged, clock merged) or `None` once `window` elapses — the
+    /// building block for failure detectors, which must treat "nothing
+    /// arrived" as data rather than a deadlock panic.
+    pub fn try_recv(
+        &mut self,
+        comm: &Comm,
+        src_local: usize,
+        tag: u64,
+        window: Duration,
+    ) -> Option<Payload> {
+        let key = (comm.global_of(src_local), comm.id, tag);
+        let env = self.poll_envelope(key, window)?;
+        self.clock.merge_max(&env.clock);
+        self.clock
+            .charge_msg(env.payload.len() as f64, &self.params);
+        self.totals.msgs_recv += 1.0;
+        Some(env.payload)
+    }
+
+    /// Send `payload` as *control-plane* traffic: epoch-stamped and
+    /// delivered like any message, but charged to neither the clock nor
+    /// the totals — like poison wakeups, failure-detector and recovery
+    /// traffic models out-of-band signalling, so a fault-free run's
+    /// charged (F, W, S) stay bitwise identical whether or not the
+    /// protocol stands ready to recover.
+    pub fn send_control<P: Into<Payload>>(
+        &mut self,
+        comm: &Comm,
+        dst_local: usize,
+        tag: u64,
+        payload: P,
+    ) {
+        let env = Envelope {
+            src_global: self.id,
+            comm_id: comm.id,
+            tag,
+            epoch: self.epoch,
+            payload: payload.into(),
+            clock: self.clock,
+        };
+        let dst_global = comm.global_of(dst_local);
+        self.endpoint.send(dst_global, env, self.recv_timeout);
+    }
+
+    /// Bounded-wait receive for control-plane traffic sent with
+    /// [`Rank::send_control`]: uncharged, no clock merge. Returns `None`
+    /// once `window` elapses.
+    pub fn try_recv_control(
+        &mut self,
+        comm: &Comm,
+        src_local: usize,
+        tag: u64,
+        window: Duration,
+    ) -> Option<Payload> {
+        let key = (comm.global_of(src_local), comm.id, tag);
+        Some(self.poll_envelope(key, window)?.payload)
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,16 @@ pub trait Transport: std::fmt::Debug + Send + Sync {
     /// move to their rank's worker thread and live for the executor's
     /// lifetime (jobs reuse them).
     fn connect(&self, p: usize) -> Vec<Box<dyn Endpoint>>;
+
+    /// `true` when this transport may legitimately lose envelopes or
+    /// leave them undelivered — today only the fault-injecting
+    /// [`FaultyTransport`](crate::FaultyTransport). The executor skips
+    /// its message-conservation invariants (empty mailboxes, global
+    /// sent == received) on lossy fabrics, because an injected rank
+    /// death makes both fail by design.
+    fn is_lossy(&self) -> bool {
+        false
+    }
 }
 
 /// One rank's pair of wires into the fabric. Owned (and only ever used)
@@ -109,15 +119,29 @@ pub trait Endpoint: Send {
     /// by (source, communicator, tag) happens a layer up, in the
     /// mailbox.
     fn recv(&mut self, timeout: Duration) -> Result<Envelope, RecvTimedOut>;
+
+    /// `true` when an injected fault has severed this rank from the
+    /// fabric (see [`FaultyTransport`](crate::FaultyTransport)): its
+    /// sends vanish and its receives time out immediately. Real
+    /// transports are never severed.
+    fn is_dead(&self) -> bool {
+        false
+    }
 }
 
-/// Resolve the process-wide default transport from [`TRANSPORT_ENV`].
+/// Resolve the process-wide default transport from [`TRANSPORT_ENV`],
+/// wrapping it in a [`FaultyTransport`](crate::FaultyTransport) when
+/// [`FAULT_PLAN_ENV`](crate::FAULT_PLAN_ENV) arms a fault plan.
 pub(crate) fn transport_from_env() -> Arc<dyn Transport> {
-    match std::env::var(TRANSPORT_ENV) {
+    let base: Arc<dyn Transport> = match std::env::var(TRANSPORT_ENV) {
         Ok(raw) => parse_transport(&raw).unwrap_or_else(|| {
             panic!("{TRANSPORT_ENV}={raw:?}: unknown transport (expected \"mpsc\" or \"ring\")")
         }),
         Err(_) => Arc::new(MpscTransport),
+    };
+    match crate::fault::FaultPlan::from_env() {
+        Some(plan) => Arc::new(crate::fault::FaultyTransport::wrap(base, plan)),
+        None => base,
     }
 }
 

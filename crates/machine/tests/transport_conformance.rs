@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qr3d_machine::{
-    Clock, CostParams, Envelope, Machine, MpscTransport, Payload, Rank, RingTransport, Transport,
+    Clock, CostParams, Envelope, FaultPlan, FaultyTransport, Machine, MpscTransport, Payload, Rank,
+    RingTransport, Transport,
 };
 
 /// Every in-repo backend, by name. A deliberately tiny ring capacity is
@@ -277,6 +278,56 @@ fn dropped_peer_times_out_instead_of_deadlocking() {
         assert!(
             start.elapsed() < Duration::from_secs(20),
             "[{name}] timed out in {:?} — wrapper timeout not applied",
+            start.elapsed()
+        );
+    }
+}
+
+#[test]
+fn killed_peer_surfaces_as_a_clean_timeout_on_every_backend() {
+    // Satellite fix: an injected mid-collective rank death must map to
+    // the wrapper's bounded "deadlocked" diagnostic on EVERY backend.
+    // The hard case is ring(cap=1): the survivor keeps sending to the
+    // dead rank, whose capacity-1 ring fills after one envelope — the
+    // fault layer must drop those sends instead of parking the producer
+    // into its "full ring" panic.
+    for (name, transport) in backends() {
+        let faulty = Arc::new(FaultyTransport::wrap(
+            transport,
+            FaultPlan::new().kill_at_recv(1, 1),
+        ));
+        let m = Machine::new(2, CostParams::unit())
+            .with_transport(faulty)
+            .with_recv_timeout(Duration::from_millis(100));
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            m.run(|rank| {
+                let w = rank.world();
+                if rank.id() == 0 {
+                    // The first envelope kills rank 1 on delivery; the
+                    // rest target a dead rank (and would overfill a
+                    // capacity-1 ring if they were forwarded).
+                    for i in 0..6 {
+                        rank.send(&w, 1, i, &[i as f64]);
+                    }
+                    let _ = rank.recv(&w, 1, 99);
+                } else {
+                    let _ = rank.recv(&w, 0, 0);
+                }
+            })
+        }));
+        let msg = panic_message(result.expect_err("the survivor must give up"));
+        assert!(
+            msg.contains("deadlocked"),
+            "[{name}] death must surface as the recv timeout, got {msg:?}"
+        );
+        assert!(
+            !msg.contains("full ring"),
+            "[{name}] sender parked behind a dead consumer: {msg:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "[{name}] gave up in {:?} — timeout not applied",
             start.elapsed()
         );
     }

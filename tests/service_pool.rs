@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qr3d::prelude::*;
+use qr3d_machine::{FaultPlan, FaultyTransport, Machine, MpscTransport, RingTransport, Transport};
 
 fn tall(seed: u64) -> Matrix {
     Matrix::random(64, 8, seed)
@@ -177,6 +178,72 @@ fn pool_with_one_poisoned_executor_keeps_serving_concurrent_load() {
     // The pool is still healthy after the stress.
     let h = svc.submit_with(tall(999), QrBackend::Tsqr).unwrap();
     assert!(h.wait().output.is_ok());
+}
+
+/// The service-retry gate: a [`FaultPlan`] silently kills a rank in
+/// whichever pool executor's rank 1 sends first, wedging that bucket
+/// until the receive timeouts poison the executor — and under a
+/// [`RetryPolicy`] the service re-dispatches the bucket on the fresh
+/// executor (the one-shot fault is already consumed), so under
+/// concurrent multi-shape load every submitted job still completes.
+fn chaos_killed_executor_is_retried(inner: Arc<dyn Transport>) {
+    let p = 4usize;
+    let params = FactorParams::default();
+    let plan = FaultPlan::new().kill_at_send(1, 1);
+    let machine = Machine::new(p, params.machine)
+        .with_recv_timeout(Duration::from_millis(200))
+        .with_transport(Arc::new(FaultyTransport::wrap(inner, plan)));
+    let cfg = ServiceConfig::new(p, params)
+        .with_pool(2)
+        .with_queue_cap(256)
+        .with_admission(Admission::Block {
+            timeout: Duration::from_secs(120),
+        })
+        .with_retry(RetryPolicy::retries(2))
+        .uncoalesced();
+    let svc = Arc::new(QrService::start_on_machine(machine, cfg));
+
+    let shapes = [(64usize, 8usize), (96, 8), (128, 16)];
+    std::thread::scope(|s| {
+        for (c, &(m, n)) in shapes.iter().enumerate() {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                for j in 0..4u64 {
+                    let a = Matrix::random(m, n, c as u64 * 100 + j);
+                    let h = svc
+                        .submit_with(a.clone(), QrBackend::Tsqr)
+                        .expect("admitted");
+                    let res = h.wait();
+                    let out = res
+                        .output
+                        .expect("a killed executor is retried, not surfaced");
+                    assert!(out.residual(&a) < 1e-12, "{m}×{n} result is correct");
+                }
+            });
+        }
+    });
+
+    let stats = svc.stats();
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "every submitted job completed despite the kill"
+    );
+    assert!(stats.retried > 0, "the killed bucket was re-dispatched");
+    assert_eq!(stats.panicked, 0, "no job surfaced the executor death");
+    assert!(
+        stats.executors_replaced >= 1,
+        "the poisoned executor was replaced"
+    );
+}
+
+#[test]
+fn killed_executor_jobs_are_transparently_retried_mpsc() {
+    chaos_killed_executor_is_retried(Arc::new(MpscTransport));
+}
+
+#[test]
+fn killed_executor_jobs_are_transparently_retried_ring() {
+    chaos_killed_executor_is_retried(Arc::new(RingTransport::default()));
 }
 
 #[test]
