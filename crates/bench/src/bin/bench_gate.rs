@@ -26,7 +26,7 @@ use qr3d_bench::report::{BenchReport, GateMode};
 use qr3d_bench::{
     executor_warm_vs_cold_secs, run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch,
     run_cholqr2_batch_over, run_pivotqr, run_rrqr, run_tsqr, run_tsqr_ft, run_tsqr_over,
-    service_closed_loop, spawn_per_request_closed_loop,
+    run_updating, service_closed_loop, spawn_per_request_closed_loop, streaming_vs_refactor_secs,
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_machine::{MpscTransport, RingTransport, Transport};
@@ -203,6 +203,36 @@ fn emit() -> BenchReport {
         pool_speedup,
         GateMode::Ge,
         0.5,
+    );
+
+    // -- The streaming/updating subsystem. Deterministic charged counts
+    // of k = 4 appended blocks (the headline tsqr shape arriving as a
+    // stream), then the wall-clock relation the subsystem exists for:
+    // absorbing arrivals through the carry stack must beat refactoring
+    // every growing prefix from scratch (≈ (k + 1)/2 in flops). Median
+    // of 3 and a generous tolerance — the floor still sits above 1×, so
+    // streaming *losing* to refactoring is a feature regression, never
+    // noise. --
+    push_cost(
+        &mut report,
+        "update_512x16x8k4",
+        run_updating(512, 16, 8, 4, 7),
+    );
+    let stream_speedup = {
+        let mut ratios: Vec<f64> = (0..3)
+            .map(|_| {
+                let (refactor, streaming) = streaming_vs_refactor_secs(256, 16, 4, 8);
+                refactor / streaming
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios[ratios.len() / 2]
+    };
+    report.push(
+        "speedup/streaming_append_over_refactor",
+        stream_speedup,
+        GateMode::Ge,
+        0.6,
     );
 
     // -- Wall-clock sanity. Only the blocked/reference *ratio* is gated:

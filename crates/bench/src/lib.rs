@@ -343,6 +343,67 @@ pub fn spawn_per_request_closed_loop(
     }
 }
 
+/// Run the streaming/updating QR: an `m × n` matrix arriving as `k`
+/// equal row blocks appended to an [`UpdatingQr`] over `p` ranks.
+/// Verify the assembled factorization against the concatenated input;
+/// return the stream's total charged critical-path costs (appends plus
+/// the finish replay) — deterministic, so the bench gate pins them
+/// bitwise like every other `cost/*` record.
+pub fn run_updating(m: usize, n: usize, p: usize, k: usize, seed: u64) -> Clock {
+    assert!(m.is_multiple_of(k), "run_updating: k must divide m");
+    let b = m / k;
+    let blocks: Vec<Matrix> = (0..k)
+        .map(|i| Matrix::random(b, n, seed + i as u64))
+        .collect();
+    let mut session = Session::new(p, FactorParams::new(CostParams::unit()));
+    let out = session.factor_streaming(&blocks);
+    let mut a = blocks[0].clone();
+    for block in &blocks[1..] {
+        a = a.vstack(block);
+    }
+    assert!(out.residual(&a) < TOL, "updating residual");
+    out.critical
+}
+
+/// Wall-clock seconds to absorb `k` row blocks of `b × n` on `p` ranks
+/// by **refactoring** every growing prefix from scratch versus
+/// **streaming** them through one [`UpdatingQr`]. Returns
+/// `(refactor, streaming)`; `refactor / streaming` is the speedup the
+/// updating subsystem buys a long-lived session (≈ `(k + 1) / 2` in
+/// flops, since refactoring pays the full prefix each arrival).
+pub fn streaming_vs_refactor_secs(b: usize, n: usize, p: usize, k: usize) -> (f64, f64) {
+    let blocks: Vec<Matrix> = (0..k)
+        .map(|i| Matrix::random(b, n, 42 + i as u64))
+        .collect();
+    let mut session = Session::new(p, FactorParams::new(CostParams::unit()));
+    // Streaming first: it pre-faults the allocator and page cache, which
+    // is *generous to the refactor path* measured second.
+    let t = Instant::now();
+    let mut upd = UpdatingQr::new();
+    for block in &blocks {
+        upd.append_rows(&mut session, block);
+    }
+    let streamed = upd.finish(&mut session);
+    let streaming = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut prefix = blocks[0].clone();
+    let mut last = session
+        .factor(&prefix, QrBackend::Tsqr)
+        .expect("full-rank tsqr succeeds");
+    for block in &blocks[1..] {
+        prefix = prefix.vstack(block);
+        last = session
+            .factor(&prefix, QrBackend::Tsqr)
+            .expect("full-rank tsqr succeeds");
+    }
+    let refactor = t.elapsed().as_secs_f64();
+
+    assert!(streamed.residual(&prefix) < TOL, "streamed residual");
+    assert!(last.residual(&prefix) < TOL, "refactored residual");
+    (refactor, streaming)
+}
+
 /// Run the distributed column-pivoted QR on an `m × n` matrix over `p`
 /// ranks; verify `A·P = Q·R`, orthogonality, permutation validity, the
 /// non-increasing diagonal, and full-rank detection; return the
@@ -516,6 +577,10 @@ mod tests {
         );
         let (cold, warm) = executor_warm_vs_cold_secs(64, 8, 2, 3);
         assert!(cold > 0.0 && warm > 0.0);
+        let c = run_updating(128, 8, 4, 4, 1);
+        assert!(c.flops > 0.0 && c.words > 0.0 && c.msgs > 0.0);
+        let (refactor, streaming) = streaming_vs_refactor_secs(64, 8, 4, 4);
+        assert!(refactor > 0.0 && streaming > 0.0);
         let c = run_caqr1d(64, 8, 4, 4, 2);
         assert!(c.msgs > 0.0);
         let c = run_caqr3d(48, 12, 4, Caqr3dConfig::new(6, 3), 3);

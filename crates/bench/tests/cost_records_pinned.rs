@@ -13,7 +13,7 @@ use std::sync::Arc;
 use qr3d_bench::report::BenchReport;
 use qr3d_bench::{
     run_caqr1d, run_caqr3d, run_cholqr2, run_cholqr2_batch, run_cholqr2_batch_over, run_pivotqr,
-    run_rrqr, run_tsqr, run_tsqr_ft, run_tsqr_over,
+    run_rrqr, run_tsqr, run_tsqr_ft, run_tsqr_over, run_updating,
 };
 use qr3d_core::prelude::Caqr3dConfig;
 use qr3d_machine::{Clock, MpscTransport, RingTransport};
@@ -121,6 +121,16 @@ fn the_fault_tolerant_tsqr_records_are_bitwise_pinned() {
 }
 
 #[test]
+fn the_updating_qr_records_are_bitwise_pinned() {
+    // The streaming subsystem's charged clocks join the gate with the
+    // same contract as every other record: the carry-stack appends and
+    // finish replay are deterministic, so any drift in their merge or
+    // communication pattern fails here bitwise.
+    let base = baseline();
+    assert_clock_pinned(&base, "update_512x16x8k4", run_updating(512, 16, 8, 4, 7));
+}
+
+#[test]
 fn the_transport_message_ratios_are_exactly_one() {
     // The transport-fabric acceptance relation: the full clock — not
     // just messages — must be bitwise identical whichever substrate
@@ -191,6 +201,7 @@ fn baseline_cost_and_ratio_records_are_exactly_the_pinned_set() {
         "rrqr_512x16x8",
         "cholqr2_batch8_512x16x8",
         "tsqr_ft_512x16x8c1",
+        "update_512x16x8k4",
     ];
     let mut expected: Vec<String> = clock_groups
         .iter()
@@ -221,6 +232,7 @@ fn baseline_cost_and_ratio_records_are_exactly_the_pinned_set() {
         "speedup/gemm_simd_over_scalar_512",
         "speedup/geqrt_threads4_over_threads1_1024x256",
         "speedup/service_pool_coalesced_over_spawn_k16",
+        "speedup/streaming_append_over_refactor",
     ] {
         assert!(
             base.records.iter().any(|r| r.name == name),

@@ -39,6 +39,10 @@
 //!   [`service::QrService`] pools warm executors behind a bounded
 //!   admission queue and a coalescing scheduler that turns concurrent
 //!   same-shape requests into fused batches.
+//! * [`updating`] — streaming/updating QR: [`updating::UpdatingQr`]
+//!   absorbs appended row blocks through the warm executor with a
+//!   carry-stack of logarithmically merged `R`s, bitwise-equivalent to
+//!   a one-shot TSQR over the concatenated matrix.
 
 pub mod apply;
 pub mod backend;
@@ -57,6 +61,7 @@ pub mod session;
 pub mod shifted;
 pub mod tsqr;
 pub mod tsqr_ft;
+pub mod updating;
 pub mod verify;
 pub mod wide;
 
@@ -94,6 +99,7 @@ pub mod prelude {
     pub use crate::shifted::ShiftedRowCyclic;
     pub use crate::tsqr::{tsqr_factor, tsqr_factor_batch, QrFactors};
     pub use crate::tsqr_ft::{tsqr_factor_ft, FtConfig, FtResult};
+    pub use crate::updating::UpdatingQr;
     pub use crate::verify::{
         assemble_factorization, detected_rank, factorization_error, orthogonality_error,
         r_gram_error, Factorization,

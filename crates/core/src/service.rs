@@ -33,6 +33,12 @@
 //!   when the service is busiest. Per-problem arithmetic inside a
 //!   fused batch is identical to a standalone run, so results are
 //!   **bitwise identical** to [`crate::session::Session::factor`].
+//! * **Streaming jobs.** [`QrService::submit_streaming`] runs a block
+//!   sequence through
+//!   [`crate::session::Session::factor_streaming`] on a pooled
+//!   executor — an [`crate::updating::UpdatingQr`] append per block.
+//!   Each stream carries a unique bucket key, so it dispatches
+//!   immediately and never coalesces with other work.
 //! * **Futures-like handles.** `submit` returns a [`JobHandle`];
 //!   [`JobHandle::wait`] blocks for the [`JobResult`] (output plus
 //!   per-job queue-wait / coalesce-size / wall-time stats),
@@ -63,7 +69,7 @@ use qr3d_machine::Machine;
 use qr3d_matrix::dense::Matrix;
 
 use crate::backend::{FactorError, FactorOutput, FactorParams, QrBackend};
-use crate::session::Session;
+use crate::session::{BatchOutput, Session};
 use qr3d_cost::advisor::RankHint;
 
 // ---------------------------------------------------------------------
@@ -420,6 +426,8 @@ impl JobHandle {
 /// The coalescing key: jobs factor together only if their whole
 /// dispatch is interchangeable — same shape, same backend (including
 /// its tradeoff parameter, compared bit-for-bit), same rank hint.
+/// Streaming jobs carry a unique nonzero `stream` id, so no two ever
+/// share a bucket (their block sequences are not interchangeable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct BucketKey {
     m: usize,
@@ -427,6 +435,7 @@ struct BucketKey {
     backend: (u8, u64),
     hint: u8,
     chaos: bool,
+    stream: u64,
 }
 
 fn backend_key(b: QrBackend) -> (u8, u64) {
@@ -451,8 +460,16 @@ fn hint_key(h: RankHint) -> u8 {
     }
 }
 
+/// What a job asks the executor to run: a one-shot factorization, or a
+/// streamed one ([`crate::session::Session::factor_streaming`] over the
+/// job's block sequence).
+enum Payload {
+    Factor(Matrix),
+    Streaming(Vec<Matrix>),
+}
+
 struct Job {
-    a: Matrix,
+    payload: Payload,
     backend: QrBackend,
     key: BucketKey,
     slot: Arc<Slot>,
@@ -750,7 +767,44 @@ impl QrService {
                 self.cfg.ranks
             );
         }
-        self.enqueue(a, backend, false)
+        self.enqueue(Payload::Factor(a), backend, false, 0)
+    }
+
+    /// Submit a *streaming* factorization: the blocks run through
+    /// [`crate::session::Session::factor_streaming`] on a pooled
+    /// executor — one append job per block on its warm ranks — and the
+    /// handle resolves with the factors of the concatenated matrix.
+    /// Streaming jobs dispatch immediately and never coalesce (their
+    /// block sequences are not interchangeable with anything else).
+    ///
+    /// # Panics
+    /// If `blocks` is empty, the column counts disagree, or any block
+    /// has fewer than `n·P` rows (the per-append contract of
+    /// [`crate::updating::UpdatingQr::append_rows`]) — checked *before*
+    /// admission, so a malformed stream cannot poison a pooled
+    /// executor.
+    pub fn submit_streaming(&self, blocks: Vec<Matrix>) -> Result<JobHandle, ServiceFull> {
+        assert!(!blocks.is_empty(), "submit_streaming: no blocks");
+        let n = blocks[0].cols();
+        assert!(n >= 1, "submit_streaming: need at least one column");
+        let p = self.cfg.ranks;
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(
+                b.cols(),
+                n,
+                "submit_streaming: block {i} has {} columns, block 0 has {n}",
+                b.cols()
+            );
+            assert!(
+                b.rows() >= n * p,
+                "submit_streaming: block {i} needs ≥ n·P = {} rows, got {}",
+                n * p,
+                b.rows()
+            );
+        }
+        static NEXT_STREAM: AtomicU64 = AtomicU64::new(1);
+        let stream = NEXT_STREAM.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(Payload::Streaming(blocks), QrBackend::Tsqr, false, stream)
     }
 
     /// Chaos hook for fault-isolation tests: an accepted job that
@@ -758,25 +812,36 @@ impl QrService {
     /// runs it. It never coalesces with real jobs; its handle resolves
     /// with [`ServiceError::JobPanicked`].
     pub fn inject_panic(&self) -> Result<JobHandle, ServiceFull> {
-        self.enqueue(Matrix::zeros(1, 1), QrBackend::House1d, true)
+        self.enqueue(
+            Payload::Factor(Matrix::zeros(1, 1)),
+            QrBackend::House1d,
+            true,
+            0,
+        )
     }
 
     fn enqueue(
         &self,
-        a: Matrix,
+        payload: Payload,
         backend: QrBackend,
         chaos: bool,
+        stream: u64,
     ) -> Result<JobHandle, ServiceFull> {
+        let (m, n) = match &payload {
+            Payload::Factor(a) => (a.rows(), a.cols()),
+            Payload::Streaming(blocks) => (blocks.iter().map(Matrix::rows).sum(), blocks[0].cols()),
+        };
         let key = BucketKey {
-            m: a.rows(),
-            n: a.cols(),
+            m,
+            n,
             backend: backend_key(backend),
             hint: hint_key(self.cfg.params.rank_hint),
             chaos,
+            stream,
         };
         let slot = Slot::new();
         let job = Job {
-            a,
+            payload,
             backend,
             key,
             slot: Arc::clone(&slot),
@@ -880,8 +945,10 @@ fn scheduler_loop(
                 });
                 bucket.jobs.push(job);
                 // Chaos jobs dispatch alone and immediately — they
-                // must never drag real peers into the panic.
-                if bucket.jobs.len() >= coalesce_min || key.chaos {
+                // must never drag real peers into the panic. Streaming
+                // jobs likewise: their unique key means waiting for
+                // peers could only add latency.
+                if bucket.jobs.len() >= coalesce_min || key.chaos || key.stream != 0 {
                     dispatch(pending.remove(&key).expect("bucket just staged"));
                 }
             }
@@ -932,7 +999,22 @@ fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters, retr
             .fetch_add(k as u64, Ordering::Relaxed);
     }
     let started = Instant::now();
-    let problems: Vec<Matrix> = bucket.jobs.iter().map(|j| j.a.clone()).collect();
+    let problems: Vec<Matrix> = bucket
+        .jobs
+        .iter()
+        .filter_map(|j| match &j.payload {
+            Payload::Factor(a) => Some(a.clone()),
+            Payload::Streaming(_) => None,
+        })
+        .collect();
+    // A streaming job's unique bucket key guarantees it arrives alone.
+    let streaming: Option<&[Matrix]> = match &bucket.jobs[..] {
+        [job] => match &job.payload {
+            Payload::Streaming(blocks) => Some(blocks),
+            Payload::Factor(_) => None,
+        },
+        _ => None,
+    };
     let backend = bucket.backend;
     let chaos = bucket.chaos;
     let mut attempt: u32 = 0;
@@ -941,6 +1023,15 @@ fn serve_bucket(session: &mut Session, bucket: Bucket, counters: &Counters, retr
             if chaos {
                 let _ = session.run(|_| -> () { panic!("injected service fault") });
                 unreachable!("the injected fault must propagate");
+            }
+            if let Some(blocks) = streaming {
+                let out = session.factor_streaming(blocks);
+                let critical = out.critical;
+                return BatchOutput {
+                    outputs: vec![Ok(out)],
+                    critical,
+                    fused: false,
+                };
             }
             session.factor_batch(&problems, backend)
         }));
@@ -1106,6 +1197,82 @@ mod tests {
         assert_eq!(res.stats.coalesced, 1);
         let s = svc.stats();
         assert_eq!((s.submitted, s.completed, s.rejected), (1, 1, 0));
+    }
+
+    #[test]
+    fn submit_streaming_resolves_bitwise_with_factor_streaming() {
+        let p = 2;
+        let blocks: Vec<Matrix> = (0..2u64).map(|i| Matrix::random(16, 4, 60 + i)).collect();
+        let svc = QrService::start(ServiceConfig::new(p, params()).with_pool(1));
+        let h = svc.submit_streaming(blocks.clone()).unwrap();
+        let res = h.wait();
+        let out = res.output.expect("streaming tsqr on full rank");
+        let mut s = Session::new(p, params());
+        let want = s.factor_streaming(&blocks);
+        assert_eq!(out.q, want.q, "service streaming must match bitwise");
+        assert_eq!(out.r, want.r);
+        assert_eq!(res.stats.coalesced, 1, "streaming jobs never coalesce");
+    }
+
+    #[test]
+    fn identical_streams_never_share_a_bucket() {
+        // Two streams with identical shapes would coalesce if keyed
+        // like one-shot jobs; their unique stream ids must keep them
+        // apart AND dispatch them without waiting out the linger.
+        let cfg = ServiceConfig::new(2, params())
+            .with_pool(1)
+            .with_coalescing(64, Duration::from_secs(60));
+        let svc = QrService::start(cfg);
+        let blocks: Vec<Matrix> = (0..2u64).map(|i| Matrix::random(8, 2, 40 + i)).collect();
+        let h1 = svc.submit_streaming(blocks.clone()).unwrap();
+        let h2 = svc.submit_streaming(blocks).unwrap();
+        let (r1, r2) = (h1.wait(), h2.wait());
+        assert_eq!((r1.stats.coalesced, r2.stats.coalesced), (1, 1));
+        assert_eq!(
+            r1.output.expect("stream 1").q,
+            r2.output.expect("stream 2").q,
+            "same blocks, same factors"
+        );
+        let s = svc.stats();
+        assert_eq!(s.batches, 2, "one dispatch per stream");
+        assert_eq!(s.coalesced_jobs, 0);
+    }
+
+    #[test]
+    fn streaming_panic_is_contained_and_pool_recovers() {
+        // A chaos job poisons the session, then a streaming job must
+        // still run on the replaced executor.
+        let svc = QrService::start(ServiceConfig::new(2, params()).with_pool(1).uncoalesced());
+        let boom = svc.inject_panic().unwrap();
+        assert!(matches!(
+            boom.wait().output,
+            Err(ServiceError::JobPanicked(_))
+        ));
+        let blocks: Vec<Matrix> = (0..2u64).map(|i| Matrix::random(8, 2, 44 + i)).collect();
+        let h = svc.submit_streaming(blocks).unwrap();
+        assert!(h.wait().output.is_ok(), "pool recovered for streaming");
+        assert_eq!(svc.stats().executors_replaced, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no blocks")]
+    fn submit_streaming_rejects_empty() {
+        let svc = QrService::start(ServiceConfig::new(2, params()).with_pool(1));
+        let _ = svc.submit_streaming(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "block 1 has 3 columns")]
+    fn submit_streaming_rejects_column_mismatch() {
+        let svc = QrService::start(ServiceConfig::new(2, params()).with_pool(1));
+        let _ = svc.submit_streaming(vec![Matrix::random(8, 2, 1), Matrix::random(8, 3, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥ n·P")]
+    fn submit_streaming_rejects_short_block() {
+        let svc = QrService::start(ServiceConfig::new(4, params()).with_pool(1));
+        let _ = svc.submit_streaming(vec![Matrix::random(8, 3, 1)]);
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! Streaming / updating QR: absorb row blocks as they arrive instead of
+//! re-factoring the growing matrix from scratch.
+//!
+//! ## The merge-tree view
+//!
+//! TSQR (see [`crate::tsqr`]) is a binary merge tree over row blocks:
+//! leaves factor locally, interior nodes re-factor two stacked `R`s.
+//! Nothing forces the whole tree to run at once — an [`UpdatingQr`]
+//! grows it *incrementally*, one appended block at a time:
+//!
+//! * **Per append**: the new `b × n` block runs TSQR phases 0–1 on the
+//!   warm executor (`P` leaf QRs plus a binomial upsweep — a real
+//!   distributed job, charged on the machine clocks), yielding one
+//!   `n × n` R-factor for the block.
+//! * **Carry stack**: block-level `R`s combine like a binary counter
+//!   (a logarithmic merge / Bentley–Saxe scheme): each append's `R`
+//!   enters at height 0, and equal-height neighbours merge — rank 0
+//!   re-factors `[R_older; R_newer]` — so after `k` appends the stack
+//!   holds at most `⌈log₂ k⌉ + 1` entries and each block's data has
+//!   been touched `O(log k)` times, not `O(k)`.
+//! * **[`UpdatingQr::finish`]**: the recorded tree Q-factors replay the
+//!   TSQR downsweep + Householder reconstruction host-side, producing
+//!   the explicit thin `Q` and sign-fixed `R` of the *concatenated*
+//!   matrix.
+//!
+//! ## Bitwise equivalence
+//!
+//! Every merge is the same `geqrt` a one-shot TSQR would run on the
+//! same operands, so the whole streaming computation is a one-shot TSQR
+//! whose tree was built lazily. Concretely: with `k` and `P` powers of
+//! two and equal append sizes `b` divisible by `P`, the streamed tree
+//! *coincides node-for-node* with the binomial tree of a one-shot
+//! [`crate::session::Session::factor`] over `k·P` ranks on the
+//! concatenated matrix (each one-shot rank owns `b/P` rows — exactly
+//! one streaming leaf), and the factors, `R`, and applied `Q` are
+//! **bitwise identical**. Other shapes still produce a valid TSQR
+//! factorization (any binary merge tree is), just over a differently
+//! shaped tree.
+//!
+//! Cost per append is modelled by `qr3d_cost::algorithms::update_cost`:
+//! a TSQR sweep of the new block plus an amortized-`O(1)` carry merge —
+//! versus re-factoring, which re-pays the *entire* accumulated matrix
+//! every time.
+//!
+//! ```
+//! use qr3d_core::prelude::*;
+//! use qr3d_machine::CostParams;
+//! use qr3d_matrix::Matrix;
+//!
+//! let mut session = Session::new(2, FactorParams::new(CostParams::unit()));
+//! let mut upd = UpdatingQr::new();
+//! for seed in 0..4u64 {
+//!     upd.append_rows(&mut session, &Matrix::random(8, 3, seed));
+//! }
+//! let out = upd.finish(&mut session);
+//! assert_eq!(out.q.rows(), 32);
+//! assert!(out.r.is_upper_triangular(1e-14));
+//! ```
+
+use std::collections::HashMap;
+
+use qr3d_collectives::tree::binomial_frames;
+use qr3d_cost::advisor::tall_skinny_admissible;
+use qr3d_machine::Clock;
+use qr3d_matrix::layout::BlockRow;
+use qr3d_matrix::pivot::{detected_rank, rank_tolerance};
+use qr3d_matrix::qr::{apply_block_reflector, geqrt_ws, thin_q};
+use qr3d_matrix::scratch::LocalArena;
+use qr3d_matrix::tri::{lu_sign, trsm, trsm_ws, Side, Uplo};
+use qr3d_matrix::{flops, Matrix};
+
+use crate::backend::{FactorOutput, QrBackend};
+use crate::session::Session;
+use crate::tsqr::{pack_upper, unpack_upper};
+
+/// One recorded merge of two *block-level* `R`s (a carry-stack merge):
+/// the compact-WY factors of `geqrt([R_older; R_newer])`, rooted at the
+/// older side's append. `other` is the newer side's root append — where
+/// the downsweep's bottom half gets delivered.
+#[derive(Debug)]
+struct CrossFactor {
+    other: usize,
+    v: Matrix,
+    t: Matrix,
+}
+
+/// Everything [`UpdatingQr::finish`] needs to replay one append's
+/// subtree: the per-rank leaf factors, the within-append upsweep tree,
+/// and the cross merges rooted here.
+#[derive(Debug)]
+struct AppendState {
+    /// Rows per rank of this append's balanced block-row layout.
+    counts: Vec<usize>,
+    /// Per-rank leaf basis `V⁰` (`m_q × n`).
+    v0: Vec<Matrix>,
+    /// Per-rank leaf kernel `T⁰`.
+    t0: Vec<Matrix>,
+    /// Per-rank within-append merge factors, pushed deepest-first (the
+    /// upsweep order) so `pop()` yields shallowest-first (the downsweep
+    /// order) — exactly [`crate::tsqr`]'s discipline.
+    tree: Vec<Vec<(Matrix, Matrix)>>,
+    /// Cross merges whose older side is rooted at this append, in
+    /// creation order (deepest first — later merges sit closer to the
+    /// global root).
+    cross: Vec<CrossFactor>,
+}
+
+/// A carry-stack entry: the `R` of a contiguous run of appends, rooted
+/// at the run's oldest append.
+#[derive(Debug)]
+struct CarryEntry {
+    /// Merge height: a fresh append is 0; merging two height-`h`
+    /// entries makes height `h + 1`. Strictly increasing from the top
+    /// of the stack down.
+    height: u32,
+    /// The oldest append in the run (where the downsweep restarts).
+    root: usize,
+    r: Matrix,
+}
+
+/// What one append job returns per rank.
+struct AppendOut {
+    v0: Matrix,
+    t0: Matrix,
+    tree: Vec<(Matrix, Matrix)>,
+    /// The block's fully merged `R` (rank 0 only).
+    r: Option<Matrix>,
+    /// Cross-merge factors executed on rank 0, in merge order.
+    cross: Vec<(Matrix, Matrix)>,
+}
+
+/// An incrementally grown QR factorization — see the module docs.
+/// Append with [`UpdatingQr::append_rows`] (each append is one warm
+/// executor job), read the running `R` with [`UpdatingQr::r`], and
+/// close with [`UpdatingQr::finish`] for the explicit factors of the
+/// concatenated matrix.
+#[derive(Debug, Default)]
+pub struct UpdatingQr {
+    n: usize,
+    p: usize,
+    total_rows: usize,
+    appends: Vec<AppendState>,
+    carry: Vec<CarryEntry>,
+    critical: Clock,
+}
+
+impl UpdatingQr {
+    /// An empty updating factorization. The first
+    /// [`UpdatingQr::append_rows`] fixes the column count `n` and the
+    /// rank count `P` (from the session it runs on).
+    pub fn new() -> UpdatingQr {
+        UpdatingQr::default()
+    }
+
+    /// Rows absorbed so far.
+    pub fn rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Columns (0 before the first append).
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// How many blocks have been appended.
+    pub fn appends(&self) -> usize {
+        self.appends.len()
+    }
+
+    /// The accumulated critical-path clock of every append job so far
+    /// (appends are sequentially dependent, so clocks add).
+    pub fn critical(&self) -> Clock {
+        self.critical
+    }
+
+    /// The current `R`-factor of everything appended, when the carry
+    /// stack has fully merged (always true after a power-of-two number
+    /// of equal appends; call [`UpdatingQr::finish`] for the general
+    /// case). Sign convention: this is the upsweep's `R` — `finish`
+    /// flips row signs to match the reconstructed Householder `Q`, as
+    /// TSQR's reconstruction does.
+    pub fn r(&self) -> Option<&Matrix> {
+        match &self.carry[..] {
+            [only] => Some(&only.r),
+            _ => None,
+        }
+    }
+
+    /// Absorb a `b × n` block of new rows: one warm executor job runs
+    /// TSQR phases 0–1 on the block (`P` leaf QRs + binomial upsweep),
+    /// then rank 0 folds the block's `R` into the carry stack. Charged
+    /// on the session's machine clocks; the model-side price is
+    /// `qr3d_cost::algorithms::update_cost`.
+    ///
+    /// # Panics
+    /// If the block's column count differs from earlier appends, the
+    /// session's rank count changed, or `b < n·P` (every rank needs at
+    /// least `n` rows of the block — the same aspect gate as TSQR).
+    pub fn append_rows(&mut self, session: &mut Session, block: &Matrix) {
+        let p = session.procs();
+        let (b, n) = (block.rows(), block.cols());
+        if self.appends.is_empty() {
+            assert!(n >= 1, "append_rows: need at least one column");
+            self.n = n;
+            self.p = p;
+        } else {
+            assert_eq!(
+                n, self.n,
+                "append_rows: block has {n} columns, stream has {}",
+                self.n
+            );
+            assert_eq!(
+                p, self.p,
+                "append_rows: session has {p} ranks, stream started with {}",
+                self.p
+            );
+        }
+        assert!(
+            tall_skinny_admissible(b, n, p),
+            "append_rows: every rank needs ≥ n rows of the block \
+             (b = {b}, n = {n}, P = {p})"
+        );
+        let a = self.appends.len();
+
+        // Which carry entries this append will merge with: a binary
+        // counter — pop while the top has the height the merged entry
+        // would enter at.
+        let mut to_merge: Vec<usize> = Vec::new();
+        {
+            let mut h = 0u32;
+            let mut i = self.carry.len();
+            while i > 0 && self.carry[i - 1].height == h {
+                to_merge.push(i - 1);
+                h += 1;
+                i -= 1;
+            }
+        }
+        let carry_rs: Vec<Matrix> = to_merge.iter().map(|&i| self.carry[i].r.clone()).collect();
+
+        let lay = BlockRow::balanced(b, 1, p);
+        let out = session.run(|rank| {
+            let w = rank.world();
+            let me = w.rank();
+            let op = w.next_op();
+            let tag = |depth: u64, phase: u64| (op << 8) | (depth << 1) | phase;
+
+            // Phase 0: leaf QR of this rank's rows of the block.
+            let a_loc = block.take_rows(&lay.local_rows(me));
+            let mp = a_loc.rows();
+            let local = geqrt_ws(rank.workspace(), &a_loc);
+            rank.charge_flops(flops::geqrt(mp, n));
+            let (v0, t0, mut r_cur) = (local.v, local.t, local.r);
+
+            // Phase 1: within-append binomial upsweep — identical wire
+            // format and arithmetic to `tsqr_factor`'s.
+            let frames = binomial_frames(me, w.size(), 0);
+            let mut tree = Vec::new();
+            for f in frames.iter().rev() {
+                if me == f.ort {
+                    rank.send(&w, f.rt, tag(f.depth, 0), pack_upper(&r_cur));
+                } else {
+                    let incoming = rank.recv(&w, f.ort, tag(f.depth, 0));
+                    let r_other = unpack_upper(&incoming, n);
+                    let stacked = r_cur.vstack(&r_other);
+                    let merged = geqrt_ws(rank.workspace(), &stacked);
+                    rank.charge_flops(flops::geqrt(2 * n, n));
+                    r_cur = merged.r;
+                    tree.push((merged.v, merged.t));
+                }
+            }
+
+            // Carry merges on rank 0: fold older block-level Rs in
+            // stack-pop order. [R_older; R_newer] matches the upsweep's
+            // stacking (the lower-ranked side goes on top).
+            let mut cross = Vec::new();
+            let mut r_out = None;
+            if me == 0 {
+                for r_old in &carry_rs {
+                    let stacked = r_old.vstack(&r_cur);
+                    let merged = geqrt_ws(rank.workspace(), &stacked);
+                    rank.charge_flops(flops::geqrt(2 * n, n));
+                    r_cur = merged.r;
+                    cross.push((merged.v, merged.t));
+                }
+                r_out = Some(r_cur);
+            }
+            AppendOut {
+                v0,
+                t0,
+                tree,
+                r: r_out,
+                cross,
+            }
+        });
+        self.critical.merge_sum(&out.stats.critical());
+
+        // Host-side bookkeeping: store the append's replay state and
+        // update the carry stack.
+        let mut results = out.results;
+        let root_out = &mut results[0];
+        let r_final = root_out.r.take().expect("rank 0 returns the merged R");
+        let cross_factors = std::mem::take(&mut root_out.cross);
+        let mut v0 = Vec::with_capacity(p);
+        let mut t0 = Vec::with_capacity(p);
+        let mut tree = Vec::with_capacity(p);
+        for res in results {
+            v0.push(res.v0);
+            t0.push(res.t0);
+            tree.push(res.tree);
+        }
+        self.appends.push(AppendState {
+            counts: lay.counts().to_vec(),
+            v0,
+            t0,
+            tree,
+            cross: Vec::new(),
+        });
+
+        // Record each cross merge at its (older) root append; the newer
+        // side of merge j is the root of whatever had accumulated so
+        // far.
+        let mut newer = a;
+        let mut final_root = a;
+        for (&idx, (v, t)) in to_merge.iter().zip(cross_factors) {
+            let root = self.carry[idx].root;
+            self.appends[root]
+                .cross
+                .push(CrossFactor { other: newer, v, t });
+            newer = root;
+            final_root = root;
+        }
+        let height = to_merge.len() as u32;
+        self.carry.truncate(self.carry.len() - to_merge.len());
+        self.carry.push(CarryEntry {
+            height,
+            root: final_root,
+            r: r_final,
+        });
+        self.total_rows += b;
+    }
+
+    /// Merge any remaining carry entries down to one (top-down), as one
+    /// rank-0 job on the warm executor. A no-op after a power-of-two
+    /// number of equal appends.
+    fn collapse(&mut self, session: &mut Session) {
+        if self.carry.len() <= 1 {
+            return;
+        }
+        let n = self.n;
+        let top = self.carry.pop().expect("len > 1");
+        let olders: Vec<Matrix> = self.carry.iter().rev().map(|e| e.r.clone()).collect();
+        let top_r = top.r;
+        let out = session.run(|rank| {
+            if rank.world().rank() != 0 {
+                return (Vec::new(), None);
+            }
+            let mut r_cur = top_r.clone();
+            let mut factors = Vec::with_capacity(olders.len());
+            for r_old in &olders {
+                let stacked = r_old.vstack(&r_cur);
+                let merged = geqrt_ws(rank.workspace(), &stacked);
+                rank.charge_flops(flops::geqrt(2 * n, n));
+                r_cur = merged.r;
+                factors.push((merged.v, merged.t));
+            }
+            (factors, Some(r_cur))
+        });
+        self.critical.merge_sum(&out.stats.critical());
+        let (factors, r_final) = out.results.into_iter().next().expect("rank 0 result");
+        let mut newer = top.root;
+        let mut final_root = top.root;
+        for ((v, t), entry) in factors.into_iter().zip(self.carry.iter().rev()) {
+            let root = entry.root;
+            self.appends[root]
+                .cross
+                .push(CrossFactor { other: newer, v, t });
+            newer = root;
+            final_root = root;
+        }
+        self.carry.clear();
+        self.carry.push(CarryEntry {
+            height: 0,
+            root: final_root,
+            r: r_final.expect("rank 0 returns the merged R"),
+        });
+    }
+
+    /// Close the stream: merge any unmerged carry entries (one last
+    /// executor job), then replay the recorded tree's downsweep and
+    /// Householder reconstruction host-side — the same uncharged
+    /// host-side assembly `Session::factor` performs — yielding the
+    /// explicit thin `Q` and sign-fixed `R` of the concatenated matrix.
+    ///
+    /// For power-of-two `k` equal appends (see the module docs) the
+    /// result is bitwise identical to a one-shot
+    /// [`Session::factor`] over `k·P` ranks.
+    ///
+    /// # Panics
+    /// If nothing was appended.
+    pub fn finish(mut self, session: &mut Session) -> FactorOutput {
+        assert!(!self.appends.is_empty(), "finish: nothing was appended");
+        self.collapse(session);
+        let (n, p, m) = (self.n, self.p, self.total_rows);
+        let k = self.appends.len();
+        debug_assert_eq!(self.carry.len(), 1);
+        debug_assert_eq!(self.carry[0].root, 0);
+
+        // ---- Downsweep over the cross (block-level) tree: the global
+        // root starts at I_n; every cross factor splits its block into
+        // a top half (stays at the older root) and a bottom half
+        // (delivered to the newer side's root). Roots only ever deliver
+        // forward (older → newer), so ascending append order works. ----
+        let mut b_append: Vec<Option<Matrix>> = (0..k).map(|_| None).collect();
+        b_append[0] = Some(Matrix::identity(n));
+        for a in 0..k {
+            // Latest-created cross merges sit closest to the global
+            // root: process them first.
+            let cross = std::mem::take(&mut self.appends[a].cross);
+            for node in cross.iter().rev() {
+                let b = b_append[a]
+                    .take()
+                    .expect("parent delivered this root's block");
+                let mut stacked = b.vstack(&Matrix::zeros(n, n));
+                apply_block_reflector(&node.v, &node.t, &mut stacked, false);
+                b_append[a] = Some(stacked.submatrix(0, n, 0, n));
+                b_append[node.other] = Some(stacked.submatrix(n, 2 * n, 0, n));
+            }
+        }
+
+        // ---- Within-append downsweep + leaf W, per append: replay the
+        // binomial frames with a pending-delivery map (with root 0 the
+        // sender of every downsweep hop is the lower rank, so ascending
+        // rank order sees each delivery before its receiver runs). ----
+        let mut w_all: Vec<Vec<Matrix>> = Vec::with_capacity(k);
+        for (a, st) in self.appends.iter_mut().enumerate() {
+            let mut b_cur: Vec<Matrix> = (0..p).map(|_| Matrix::zeros(0, 0)).collect();
+            b_cur[0] = b_append[a]
+                .take()
+                .expect("cross downsweep reached every root");
+            let mut pending: HashMap<usize, Matrix> = HashMap::new();
+            for q in 0..p {
+                for f in binomial_frames(q, p, 0).iter() {
+                    if q == f.ort {
+                        b_cur[q] = pending.remove(&q).expect("sender ran first");
+                    } else {
+                        let (v, t) = st.tree[q].pop().expect("tree Q-factor per frame");
+                        let mut stacked = b_cur[q].vstack(&Matrix::zeros(n, n));
+                        apply_block_reflector(&v, &t, &mut stacked, false);
+                        b_cur[q] = stacked.submatrix(0, n, 0, n);
+                        pending.insert(f.ort, stacked.submatrix(n, 2 * n, 0, n));
+                    }
+                }
+            }
+            debug_assert!(st.tree.iter().all(|t| t.is_empty()));
+            let ws = (0..p)
+                .map(|q| {
+                    let mp = st.counts[q];
+                    let b = std::mem::replace(&mut b_cur[q], Matrix::zeros(0, 0));
+                    let mut w = b.vstack(&Matrix::zeros(mp - n, n));
+                    apply_block_reflector(&st.v0[q], &st.t0[q], &mut w, false);
+                    w
+                })
+                .collect();
+            w_all.push(ws);
+        }
+
+        // ---- Householder reconstruction at the global root leaf
+        // (append 0, rank 0), then every leaf solves its V rows with
+        // the shared U — the arithmetic of tsqr's phase 3. ----
+        let w0 = &w_all[0][0];
+        let x = w0.submatrix(0, n, 0, n);
+        let (l, u, s) = lu_sign(&x);
+        let mut us = u.clone();
+        for i in 0..n {
+            for j in 0..n {
+                us[(i, j)] *= s[j];
+            }
+        }
+        let t = trsm(Side::Right, Uplo::Lower, true, true, &l, &us);
+        let mp0 = self.appends[0].counts[0];
+        let w2 = w0.submatrix(n, mp0, 0, n);
+        // The V solves must be `trsm_ws` (the always-blocked path), not
+        // the size-dispatching `trsm` wrapper: tsqr's phase 3 draws them
+        // from the rank workspace, and the blocked tile substitution
+        // rounds differently from the scalar reference — bitwise
+        // equivalence demands the same kernel.
+        let mut arena = LocalArena::default();
+        let v_below = trsm_ws(&mut arena, Side::Right, Uplo::Upper, false, false, &u, &w2);
+        let v_root = l.vstack(&v_below);
+        let mut r = self.carry.pop().expect("collapsed carry").r;
+        for i in 0..n {
+            for j in 0..n {
+                r[(i, j)] *= -s[i];
+            }
+        }
+
+        let mut v = Matrix::zeros(m, n);
+        let mut off = 0;
+        for (a, st) in self.appends.iter().enumerate() {
+            for (q, w) in w_all[a].iter().enumerate() {
+                if (a, q) == (0, 0) {
+                    v.set_submatrix(0, 0, &v_root);
+                } else {
+                    let vq = trsm_ws(&mut arena, Side::Right, Uplo::Upper, false, false, &u, w);
+                    v.set_submatrix(off, 0, &vq);
+                }
+                off += st.counts[q];
+            }
+        }
+
+        let q = thin_q(&v, &t);
+        let rank = detected_rank(&r, rank_tolerance(m, n));
+        FactorOutput {
+            backend: QrBackend::Tsqr,
+            q,
+            r,
+            perm: None,
+            detected_rank: rank,
+            critical: self.critical,
+        }
+    }
+}
+
+impl Session {
+    /// Stream `blocks` through an [`UpdatingQr`] on this session's warm
+    /// executor — one append job per block — and return the factors of
+    /// the concatenated matrix. See [`UpdatingQr`] for the per-block
+    /// contract and the bitwise-equivalence conditions.
+    ///
+    /// # Panics
+    /// If `blocks` is empty, or any block violates the append contract.
+    pub fn factor_streaming(&mut self, blocks: &[Matrix]) -> FactorOutput {
+        assert!(!blocks.is_empty(), "factor_streaming: no blocks");
+        let mut upd = UpdatingQr::new();
+        for block in blocks {
+            upd.append_rows(self, block);
+        }
+        upd.finish(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FactorParams;
+    use qr3d_machine::CostParams;
+
+    fn unit_params() -> FactorParams {
+        FactorParams::new(CostParams::unit())
+    }
+
+    fn concat(blocks: &[Matrix]) -> Matrix {
+        let mut it = blocks.iter();
+        let mut out = it.next().expect("nonempty").clone();
+        for b in it {
+            out = out.vstack(b);
+        }
+        out
+    }
+
+    #[test]
+    fn k_appends_match_oneshot_over_kp_ranks_bitwise() {
+        // k = 4 appends of b = 12 rows on P = 2 ranks: the streamed
+        // tree coincides with the one-shot binomial tree over
+        // k·P = 8 ranks (each one-shot rank owns b/P = 6 rows — one
+        // streaming leaf). Factors must match BITWISE.
+        let (k, b, n, p) = (4usize, 12usize, 3usize, 2usize);
+        let blocks: Vec<Matrix> = (0..k)
+            .map(|i| Matrix::random(b, n, 70 + i as u64))
+            .collect();
+
+        let mut s = Session::new(p, unit_params());
+        let mut upd = UpdatingQr::new();
+        for block in &blocks {
+            upd.append_rows(&mut s, block);
+        }
+        assert!(upd.r().is_some(), "power-of-two appends fully merge");
+        let streamed = upd.finish(&mut s);
+
+        let mut oneshot_session = Session::new(k * p, unit_params());
+        let oneshot = oneshot_session
+            .factor(&concat(&blocks), QrBackend::Tsqr)
+            .unwrap();
+
+        assert_eq!(streamed.r, oneshot.r, "R must match bitwise");
+        assert_eq!(streamed.q, oneshot.q, "applied Q must match bitwise");
+        assert_eq!(streamed.detected_rank, oneshot.detected_rank);
+    }
+
+    #[test]
+    fn single_append_equals_oneshot_same_ranks_bitwise() {
+        // k = 1 degenerates to plain TSQR on the same P ranks.
+        let (b, n, p) = (32usize, 4usize, 4usize);
+        let block = Matrix::random(b, n, 81);
+        let mut s = Session::new(p, unit_params());
+        let mut upd = UpdatingQr::new();
+        upd.append_rows(&mut s, &block);
+        let streamed = upd.finish(&mut s);
+        let oneshot = s.factor(&block, QrBackend::Tsqr).unwrap();
+        assert_eq!(streamed.r, oneshot.r);
+        assert_eq!(streamed.q, oneshot.q);
+    }
+
+    #[test]
+    fn non_power_of_two_appends_still_factor_correctly() {
+        // k = 3 appends: the carry stack holds two entries until
+        // finish() collapses them. Not bitwise-matched to any one-shot
+        // tree, but still a valid TSQR factorization.
+        let (k, b, n, p) = (3usize, 10usize, 2usize, 2usize);
+        let blocks: Vec<Matrix> = (0..k)
+            .map(|i| Matrix::random(b, n, 90 + i as u64))
+            .collect();
+        let a = concat(&blocks);
+        let mut s = Session::new(p, unit_params());
+        let mut upd = UpdatingQr::new();
+        for block in &blocks {
+            upd.append_rows(&mut s, block);
+        }
+        assert!(upd.r().is_none(), "3 appends leave two carry entries");
+        let out = upd.finish(&mut s);
+        assert!(out.residual(&a) < 1e-12);
+        assert!(out.orthogonality() < 1e-12);
+        assert!(out.r.is_upper_triangular(1e-14));
+    }
+
+    #[test]
+    fn mixed_append_sizes_factor_correctly() {
+        let (n, p) = (3usize, 2usize);
+        let blocks = [
+            Matrix::random(8, n, 1),
+            Matrix::random(14, n, 2),
+            Matrix::random(6, n, 3),
+            Matrix::random(20, n, 4),
+        ];
+        let a = concat(&blocks);
+        let mut s = Session::new(p, unit_params());
+        let out = s.factor_streaming(&blocks);
+        assert!(out.residual(&a) < 1e-12);
+        assert!(out.orthogonality() < 1e-12);
+    }
+
+    #[test]
+    fn factor_streaming_equals_manual_append_loop_bitwise() {
+        let blocks: Vec<Matrix> = (0..2u64).map(|i| Matrix::random(16, 4, 30 + i)).collect();
+        let mut s1 = Session::new(2, unit_params());
+        let via_convenience = s1.factor_streaming(&blocks);
+        let mut s2 = Session::new(2, unit_params());
+        let mut upd = UpdatingQr::new();
+        for b in &blocks {
+            upd.append_rows(&mut s2, b);
+        }
+        let via_loop = upd.finish(&mut s2);
+        assert_eq!(via_convenience.r, via_loop.r);
+        assert_eq!(via_convenience.q, via_loop.q);
+    }
+
+    #[test]
+    fn running_r_satisfies_the_gram_identity() {
+        // After 2 (power-of-two) appends the carry-top R is a genuine
+        // R-factor of the concatenated matrix: RᵀR = AᵀA.
+        let blocks: Vec<Matrix> = (0..2u64).map(|i| Matrix::random(12, 3, 50 + i)).collect();
+        let a = concat(&blocks);
+        let mut s = Session::new(2, unit_params());
+        let mut upd = UpdatingQr::new();
+        for b in &blocks {
+            upd.append_rows(&mut s, b);
+        }
+        let r = upd.r().expect("fully merged").clone();
+        assert!(crate::verify::r_gram_error(&a, &r) < 1e-12);
+    }
+
+    #[test]
+    fn appends_charge_the_machine_clocks() {
+        let mut s = Session::new(2, unit_params());
+        let mut upd = UpdatingQr::new();
+        upd.append_rows(&mut s, &Matrix::random(8, 2, 7));
+        let after_one = upd.critical();
+        assert!(after_one.flops > 0.0, "leaf QRs are charged");
+        assert!(after_one.msgs > 0.0, "the upsweep hop is charged");
+        upd.append_rows(&mut s, &Matrix::random(8, 2, 8));
+        let after_two = upd.critical();
+        assert!(after_two.flops > after_one.flops, "appends accumulate");
+    }
+
+    #[test]
+    #[should_panic(expected = "block has 3 columns")]
+    fn append_rejects_column_mismatch() {
+        let mut s = Session::new(2, unit_params());
+        let mut upd = UpdatingQr::new();
+        upd.append_rows(&mut s, &Matrix::random(8, 2, 1));
+        upd.append_rows(&mut s, &Matrix::random(8, 3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "every rank needs")]
+    fn append_rejects_short_block() {
+        let mut s = Session::new(4, unit_params());
+        let mut upd = UpdatingQr::new();
+        // b = 8 < n·P = 3·4 = 12.
+        upd.append_rows(&mut s, &Matrix::random(8, 3, 1));
+    }
+}

@@ -259,6 +259,35 @@ pub fn cholqr2_batch_cost(m: usize, n: usize, p: usize, k: usize) -> Cost3 {
     }
 }
 
+/// One streaming append of `m_new` rows to an [`UpdatingQr`]-style
+/// running factorization over `p` ranks (`qr3d_core::updating`): a TSQR
+/// sweep of just the new block plus the carry-stack fold —
+///
+/// ```text
+/// F = m_new·n²/P + n³ (log P + 1)
+/// W = n² log P
+/// S = log P
+/// ```
+///
+/// The `n³ (log P + 1)` term is the upsweep's `log P` merge QRs plus
+/// the carry merge on rank 0: the carry stack is a binary counter
+/// (Bentley–Saxe), so across `k` appends each entry is merged
+/// `O(log k)` times but the *amortized* per-append count is `< 1` —
+/// charged here as one flat `n³`, independent of how many rows the
+/// stream has already absorbed. Contrast re-factoring from scratch,
+/// which pays [`tsqr_cost`] of the *entire* accumulated matrix on
+/// every arrival.
+///
+/// [`UpdatingQr`]: ../qr3d_core/updating/struct.UpdatingQr.html
+pub fn update_cost(m_new: usize, n: usize, p: usize) -> Cost3 {
+    let (mf, nf, l) = (m_new as f64, n as f64, lg(p));
+    Cost3 {
+        flops: mf * nf * nf / p as f64 + nf.powi(3) * (l + 1.0),
+        words: nf * nf * l,
+        msgs: l,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +421,25 @@ mod tests {
         ] {
             assert!(c.flops >= ideal * 0.99);
         }
+    }
+
+    #[test]
+    fn streaming_appends_beat_refactoring_from_scratch() {
+        // k appends of b rows each: the stream pays k sweeps of one
+        // block; re-factoring pays tsqr of the whole prefix each time.
+        let (b, k) = (M, 16usize);
+        let stream: f64 = (0..k).map(|_| update_cost(b, N, P).flops).sum();
+        let refactor: f64 = (1..=k).map(|i| tsqr_cost(i * b, N, P).flops).sum();
+        assert!(
+            stream * 4.0 < refactor,
+            "streaming {stream:e} must be far under refactoring {refactor:e}"
+        );
+        // Latency and bandwidth per arrival match a single tsqr sweep.
+        let u = update_cost(b, N, P);
+        let t = tsqr_cost(b, N, P);
+        assert_eq!(u.msgs, t.msgs);
+        assert_eq!(u.words, t.words);
+        assert!(u.flops > t.flops, "the carry merge is charged");
     }
 
     #[test]

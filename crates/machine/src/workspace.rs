@@ -56,6 +56,19 @@ impl Workspace {
     pub fn pooled(&self) -> usize {
         self.arena.pooled()
     }
+
+    /// Bytes currently borrowed from the workspace (taken, not yet
+    /// returned), counted by buffer capacity.
+    pub fn outstanding_bytes(&self) -> usize {
+        self.arena.outstanding_bytes()
+    }
+
+    /// High-watermark of [`Workspace::outstanding_bytes`] — the peak
+    /// scratch demand of the jobs this rank has run, for budgeting the
+    /// workspace together with a bounded tile cache.
+    pub fn peak_bytes(&self) -> usize {
+        self.arena.peak_bytes()
+    }
 }
 
 impl ScratchArena for Workspace {
@@ -127,6 +140,18 @@ mod tests {
             ws.put(v);
         }
         assert!(ws.pooled() <= POOL_CAP);
+    }
+
+    #[test]
+    fn watermark_delegates_to_arena() {
+        let mut ws = Workspace::new();
+        let b = ws.take(16);
+        let bytes = b.capacity() * size_of::<f64>();
+        assert_eq!(ws.outstanding_bytes(), bytes);
+        assert_eq!(ws.peak_bytes(), bytes);
+        ws.put(b);
+        assert_eq!(ws.outstanding_bytes(), 0);
+        assert_eq!(ws.peak_bytes(), bytes);
     }
 
     #[test]

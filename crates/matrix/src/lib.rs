@@ -46,6 +46,7 @@ pub mod pivot;
 pub mod qr;
 pub mod scratch;
 pub mod simd;
+pub mod tiles;
 pub mod tri;
 
 pub use dense::Matrix;
@@ -67,5 +68,9 @@ pub mod prelude {
     };
     pub use crate::scratch::{LocalArena, ScratchArena};
     pub use crate::simd::SimdLevel;
+    pub use crate::tiles::{
+        geqrt_out_of_core, geqrt_out_of_core_ws, MemStore, OocQr, SpillStore, TileKey, TileStore,
+        TiledMatrix,
+    };
     pub use crate::tri::{lu_sign, potrf, trsm, NotPositiveDefinite, Side, Uplo};
 }

@@ -44,6 +44,8 @@ pub struct LocalArena {
     pool: Vec<Vec<f64>>,
     hits: u64,
     misses: u64,
+    outstanding_bytes: usize,
+    peak_bytes: usize,
 }
 
 impl LocalArena {
@@ -61,7 +63,7 @@ impl LocalArena {
                 best = Some(i);
             }
         }
-        match best {
+        let v = match best {
             Some(i) => {
                 self.hits += 1;
                 let mut v = self.pool.swap_remove(i);
@@ -72,7 +74,10 @@ impl LocalArena {
                 self.misses += 1;
                 Vec::with_capacity(cap)
             }
-        }
+        };
+        self.outstanding_bytes += v.capacity() * size_of::<f64>();
+        self.peak_bytes = self.peak_bytes.max(self.outstanding_bytes);
+        v
     }
 
     /// Borrow a buffer holding a copy of `src`, reusing pooled capacity.
@@ -93,6 +98,20 @@ impl LocalArena {
     pub fn pooled(&self) -> usize {
         self.pool.len()
     }
+
+    /// Bytes currently borrowed from the arena (taken, not yet `put`
+    /// back), counted by buffer capacity.
+    pub fn outstanding_bytes(&self) -> usize {
+        self.outstanding_bytes
+    }
+
+    /// High-watermark of [`LocalArena::outstanding_bytes`] over the
+    /// arena's lifetime — what the kernels' scratch demand actually
+    /// peaked at, so callers can budget the arena alongside a bounded
+    /// tile cache (`SpillStore`).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
 }
 
 impl ScratchArena for LocalArena {
@@ -103,6 +122,11 @@ impl ScratchArena for LocalArena {
     }
 
     fn put(&mut self, v: Vec<f64>) {
+        // Saturating: a caller may `put` a buffer the arena never served
+        // (or one it grew), so the decrement can exceed the increment.
+        self.outstanding_bytes = self
+            .outstanding_bytes
+            .saturating_sub(v.capacity() * size_of::<f64>());
         if v.capacity() == 0 {
             return;
         }
@@ -170,6 +194,29 @@ mod tests {
         assert_eq!((hits, misses), (0, 1));
         let _ = take_matrix(&mut ws, 2, 2);
         assert_eq!(ws.stats(), (1, 1));
+    }
+
+    #[test]
+    fn watermark_tracks_outstanding_and_peak() {
+        let mut ws = LocalArena::new();
+        assert_eq!((ws.outstanding_bytes(), ws.peak_bytes()), (0, 0));
+        let a = ws.take(4);
+        let b = ws.take(8);
+        let live = (a.capacity() + b.capacity()) * size_of::<f64>();
+        assert_eq!(ws.outstanding_bytes(), live);
+        assert_eq!(ws.peak_bytes(), live);
+        ws.put(a);
+        assert!(ws.outstanding_bytes() < live, "put shrinks outstanding");
+        assert_eq!(ws.peak_bytes(), live, "peak is a high-watermark");
+        ws.put(b);
+        assert_eq!(ws.outstanding_bytes(), 0);
+        // Reuse from the pool counts the same as a fresh allocation.
+        let c = ws.take(6);
+        assert_eq!(ws.outstanding_bytes(), c.capacity() * size_of::<f64>());
+        ws.put(c);
+        // Returning a buffer the arena never served must not underflow.
+        ws.put(vec![0.0; 1000]);
+        assert_eq!(ws.outstanding_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Property tests on the tile stores: for arbitrary interleavings of
+//! `put`/`get`/`pin`/`unpin`/`flush`/`evict_unpinned`/`prefetch`, a
+//! [`SpillStore`] at any capacity — down to a single tile — must be
+//! observationally identical (bitwise) to the unbounded [`MemStore`]
+//! and to a plain `HashMap` model, while never evicting a pinned tile
+//! and never dropping a dirty one.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use qr3d_matrix::tiles::{MemStore, SpillStore, TileKey, TileStore};
+
+const TILE_LEN: usize = 6;
+const KEY_SPAN: usize = 3;
+
+/// Deterministic tile payload for `seed`, with sign and magnitude
+/// variety (including an occasional −0.0) so read-back checks are
+/// honest bitwise comparisons, not just value comparisons.
+fn payload(seed: u64) -> Vec<f64> {
+    (0..TILE_LEN)
+        .map(|i| {
+            let mut x = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(i as u64 * 1_442_695_040_888_963_407);
+            x ^= x >> 31;
+            if x.is_multiple_of(13) {
+                -0.0
+            } else {
+                (x as f64 / u64::MAX as f64) - 0.5
+            }
+        })
+        .collect()
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One scripted operation: `(opcode, block_row, block_col, seed)`.
+type Op = (u8, usize, usize, u64);
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..7, 0usize..KEY_SPAN, 0usize..KEY_SPAN, 0u64..10_000)
+}
+
+/// Model of what a correct store must answer: tile contents plus
+/// outstanding pins (absent tiles read as zeros).
+#[derive(Default)]
+struct Model {
+    tiles: HashMap<TileKey, Vec<f64>>,
+    pins: HashMap<TileKey, usize>,
+}
+
+impl Model {
+    fn expected(&self, key: TileKey) -> Vec<f64> {
+        self.tiles
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; TILE_LEN])
+    }
+
+    fn total_pins(&self) -> usize {
+        self.pins.values().sum()
+    }
+}
+
+/// Drive `ops` through a store and the model in lockstep, checking the
+/// bitwise read-back contract after every step. Opcode 5
+/// (`evict_unpinned`) is spill-specific and a no-op here.
+fn run_script(store: &mut dyn TileStore, ops: &[Op]) -> Model {
+    let mut model = Model::default();
+    let mut buf = vec![0.0f64; TILE_LEN];
+    for &(op, r, c, seed) in ops {
+        let key: TileKey = (r, c);
+        match op {
+            0 => {
+                let data = payload(seed);
+                store.put(key, &data);
+                model.tiles.insert(key, data);
+            }
+            1 => {
+                store.get(key, &mut buf);
+                prop_assert_eq!(
+                    bits(&buf),
+                    bits(&model.expected(key)),
+                    "get({:?}) diverged from the model",
+                    key
+                );
+            }
+            2 => {
+                store.pin(key);
+                *model.pins.entry(key).or_insert(0) += 1;
+            }
+            3 => {
+                store.unpin(key);
+                if let Some(p) = model.pins.get_mut(&key) {
+                    *p -= 1;
+                    if *p == 0 {
+                        model.pins.remove(&key);
+                    }
+                }
+            }
+            4 => store.flush(),
+            5 => {}
+            6 => store.prefetch(&[key, (r, (c + 1) % KEY_SPAN)]),
+            _ => unreachable!("opcode space is 0..7"),
+        }
+    }
+    model
+}
+
+/// Every tile in the key space must read back bitwise-equal to the
+/// model — including dirty tiles that were evicted and faulted back.
+fn check_full_readback(store: &mut dyn TileStore, model: &Model, label: &str) {
+    let mut buf = vec![0.0f64; TILE_LEN];
+    for r in 0..KEY_SPAN {
+        for c in 0..KEY_SPAN {
+            let key = (r, c);
+            store.get(key, &mut buf);
+            prop_assert_eq!(
+                bits(&buf),
+                bits(&model.expected(key)),
+                "{}: final read-back of {:?} diverged",
+                label,
+                key
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mem_store_matches_the_model(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut store = MemStore::new(TILE_LEN);
+        let model = run_script(&mut store, &ops);
+        check_full_readback(&mut store, &model, "MemStore");
+    }
+
+    #[test]
+    fn spill_store_matches_the_model_at_any_capacity(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        cap_tiles in 1usize..5,
+    ) {
+        let cap_bytes = cap_tiles * TILE_LEN * size_of::<f64>();
+        let mut store = SpillStore::with_capacity(TILE_LEN, cap_bytes);
+        let mut model = Model::default();
+        let mut buf = vec![0.0f64; TILE_LEN];
+        for &(op, r, c, seed) in &ops {
+            let key: TileKey = (r, c);
+            match op {
+                0 => {
+                    let data = payload(seed);
+                    store.put(key, &data);
+                    model.tiles.insert(key, data);
+                }
+                1 => {
+                    store.get(key, &mut buf);
+                    prop_assert_eq!(
+                        bits(&buf),
+                        bits(&model.expected(key)),
+                        "get({:?}) diverged from the model",
+                        key
+                    );
+                }
+                2 => {
+                    store.pin(key);
+                    *model.pins.entry(key).or_insert(0) += 1;
+                }
+                3 => {
+                    store.unpin(key);
+                    if let Some(p) = model.pins.get_mut(&key) {
+                        *p -= 1;
+                        if *p == 0 {
+                            model.pins.remove(&key);
+                        }
+                    }
+                }
+                4 => store.flush(),
+                5 => store.evict_unpinned(),
+                6 => store.prefetch(&[key, (r, (c + 1) % KEY_SPAN)]),
+                _ => unreachable!("opcode space is 0..7"),
+            }
+            // Pinned tiles never leave residency, whatever the cap.
+            for (&key, &pins) in &model.pins {
+                prop_assert!(store.is_resident(key), "pinned {:?} evicted", key);
+                prop_assert_eq!(store.pin_count(key), pins);
+            }
+            // With no pins outstanding the cap is a hard bound (the
+            // strategy never goes below one tile, where it degenerates).
+            if model.total_pins() == 0 {
+                prop_assert!(
+                    store.resident_bytes() <= cap_bytes,
+                    "unpinned store exceeds its cap: {} > {}",
+                    store.resident_bytes(),
+                    cap_bytes
+                );
+            }
+        }
+        // Dirty tiles survive a full unpin + evict-everything cycle.
+        for (&key, &pins) in &model.pins.clone() {
+            for _ in 0..pins {
+                store.unpin(key);
+            }
+        }
+        model.pins.clear();
+        store.evict_unpinned();
+        prop_assert_eq!(store.resident_bytes(), 0, "evict_unpinned left residents");
+        check_full_readback(&mut store, &model, "SpillStore(evicted)");
+    }
+
+    #[test]
+    fn spill_store_is_bitwise_identical_to_mem_store(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        cap_tiles in 1usize..4,
+    ) {
+        let cap_bytes = cap_tiles * TILE_LEN * size_of::<f64>();
+        let mut mem = MemStore::new(TILE_LEN);
+        let mut spill = SpillStore::with_capacity(TILE_LEN, cap_bytes);
+        let mut mb = vec![0.0f64; TILE_LEN];
+        let mut sb = vec![0.0f64; TILE_LEN];
+        for &(op, r, c, seed) in &ops {
+            let key: TileKey = (r, c);
+            match op {
+                0 => {
+                    let data = payload(seed);
+                    mem.put(key, &data);
+                    spill.put(key, &data);
+                }
+                1 => {
+                    mem.get(key, &mut mb);
+                    spill.get(key, &mut sb);
+                    prop_assert_eq!(bits(&mb), bits(&sb), "stores disagree at {:?}", key);
+                }
+                2 => {
+                    mem.pin(key);
+                    spill.pin(key);
+                }
+                3 => {
+                    mem.unpin(key);
+                    spill.unpin(key);
+                }
+                4 => {
+                    mem.flush();
+                    spill.flush();
+                }
+                5 => spill.evict_unpinned(),
+                6 => {
+                    let hint = [key, ((r + 1) % KEY_SPAN, c)];
+                    mem.prefetch(&hint);
+                    spill.prefetch(&hint);
+                }
+                _ => unreachable!("opcode space is 0..7"),
+            }
+        }
+        for r in 0..KEY_SPAN {
+            for c in 0..KEY_SPAN {
+                mem.get((r, c), &mut mb);
+                spill.get((r, c), &mut sb);
+                prop_assert_eq!(bits(&mb), bits(&sb), "final disagreement at {:?}", (r, c));
+            }
+        }
+    }
+}
